@@ -1,0 +1,47 @@
+//! Ablation A2 — the paper's next-fit allocation versus first-fit and
+//! best-fit on random fleets: slot counts and allocator runtime.
+
+use cps_bench::synthetic_fleet;
+use cps_sched::{allocate_slots, AllocationStrategy, AllocatorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Ablation A2: packing strategy vs. number of TT slots ===");
+    println!("{:>6} {:>9} {:>10} {:>9}", "apps", "next-fit", "first-fit", "best-fit");
+    for size in [4usize, 8, 16, 24] {
+        let fleet = synthetic_fleet(size, 123);
+        let mut counts = Vec::new();
+        for strategy in
+            [AllocationStrategy::NextFit, AllocationStrategy::FirstFit, AllocationStrategy::BestFit]
+        {
+            let config =
+                AllocatorConfig { strategy, max_slots: size.max(10), ..AllocatorConfig::default() };
+            let count = allocate_slots(&fleet, &config)
+                .map(|allocation| allocation.slot_count().to_string())
+                .unwrap_or_else(|_| "-".to_string());
+            counts.push(count);
+        }
+        println!("{:>6} {:>9} {:>10} {:>9}", size, counts[0], counts[1], counts[2]);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation_allocation");
+    for size in [8usize, 16, 32] {
+        let fleet = synthetic_fleet(size, 123);
+        for strategy in
+            [AllocationStrategy::NextFit, AllocationStrategy::FirstFit, AllocationStrategy::BestFit]
+        {
+            let config =
+                AllocatorConfig { strategy, max_slots: size.max(10), ..AllocatorConfig::default() };
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), size),
+                &size,
+                |b, _| b.iter(|| allocate_slots(&fleet, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation A3 — number of piecewise-linear segments in the dwell-time
+//! model: the paper's two-segment model versus a many-segment upper envelope
+//! of the measured curve (the refinement the paper suggests in Section III).
+
+use cps_core::{experiments, fit_non_monotonic};
+use cps_sched::{DwellTimeModel, NonMonotonicModel, PiecewiseLinearModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let curve = experiments::figure3_dwell_wait_curve().expect("characterisation must succeed");
+    let (xi_tt, xi_et, xi_m, k_p) = fit_non_monotonic(&curve).expect("fit must succeed");
+    let two_segment = NonMonotonicModel::new(xi_tt, xi_m, k_p, xi_et).expect("valid model");
+    // Many-segment model: the measured points themselves (plus a tiny safety
+    // margin) as breakpoints — the tightest piecewise-linear upper bound.
+    let breakpoints: Vec<(f64, f64)> =
+        curve.points.iter().map(|p| (p.wait_time, p.dwell_time + 1e-9)).collect();
+    let fine = PiecewiseLinearModel::new(breakpoints).expect("valid model");
+
+    println!("\n=== Ablation A3: dwell-model granularity ===");
+    println!("{:>10} {:>12} {:>12}", "k_wait [s]", "2 segments", "n segments");
+    let mut conservatism = 0.0;
+    for point in curve.points.iter().step_by(10) {
+        let coarse = two_segment.dwell(point.wait_time);
+        let tight = fine.dwell(point.wait_time);
+        conservatism += coarse - tight;
+        println!("{:>10.2} {:>12.2} {:>12.2}", point.wait_time, coarse, tight);
+    }
+    println!(
+        "average extra conservatism of the 2-segment model: {:.3} s per sampled wait time\n",
+        conservatism / curve.points.iter().step_by(10).count().max(1) as f64
+    );
+
+    let mut group = c.benchmark_group("ablation_segments");
+    group.bench_function("evaluate_two_segment_model", |b| {
+        b.iter(|| {
+            curve.points.iter().map(|p| two_segment.dwell(p.wait_time)).sum::<f64>()
+        })
+    });
+    group.bench_function("evaluate_n_segment_model", |b| {
+        b.iter(|| curve.points.iter().map(|p| fine.dwell(p.wait_time)).sum::<f64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

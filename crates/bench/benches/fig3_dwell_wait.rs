@@ -1,0 +1,30 @@
+//! Experiment E1 — regenerates the paper's Figure 3: the measured dwell-time
+//! versus wait-time relation of the servo rig, and benchmarks the switched
+//! characterisation sweep.
+
+use cps_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the figure data once, so the bench run doubles as
+    // the reproduction artefact.
+    let curve = experiments::figure3_dwell_wait_curve().expect("characterisation must succeed");
+    println!("\n=== Figure 3: dwell time vs. wait time (servo rig) ===");
+    println!("{}", experiments::render_curve(&curve, 5));
+    println!(
+        "shape checks: non-monotonic = {}, xi_m/xi_tt = {:.2}, xi_et/xi_tt = {:.2}\n",
+        curve.is_non_monotonic(),
+        curve.max_dwell() / curve.xi_tt,
+        curve.xi_et / curve.xi_tt
+    );
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("characterize_servo_rig", |b| {
+        b.iter(|| experiments::figure3_dwell_wait_curve().expect("characterisation must succeed"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment E2 — regenerates the paper's Figure 4: the two-segment
+//! non-monotonic dwell-time model versus the conservative and simple
+//! monotonic models, and benchmarks the model fit.
+
+use cps_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = experiments::figure4_models().expect("model fitting must succeed");
+    println!("\n=== Figure 4: dwell-time models (every 10th wait sample) ===");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>10}",
+        "k_wait [s]", "measured", "non-monotonic", "conservative", "simple"
+    );
+    for i in (0..data.wait_times.len()).step_by(10) {
+        println!(
+            "{:>10.2} {:>10.2} {:>14.2} {:>14.2} {:>10.2}",
+            data.wait_times[i],
+            data.measured[i],
+            data.non_monotonic[i],
+            data.conservative[i],
+            data.simple[i]
+        );
+    }
+    println!(
+        "orderings hold (conservative >= non-monotonic >= measured, simple underestimates): {}\n",
+        experiments::figure4_orderings_hold(&data)
+    );
+
+    let curve = experiments::figure3_dwell_wait_curve().expect("characterisation must succeed");
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("fit_non_monotonic_model", |b| {
+        b.iter(|| cps_core::fit_non_monotonic(&curve).expect("fit must succeed"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment E5 — regenerates the paper's Figure 5: the disturbance
+//! responses of all six case-study applications co-simulated over the
+//! FlexRay bus with the dynamic resource-allocation scheme, and benchmarks
+//! the co-simulation engine.
+
+use cps_core::{case_study, experiments, CoSimulation};
+use cps_flexray::FlexRayConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let trace = experiments::figure5_cosimulation(12.0).expect("co-simulation must succeed");
+    println!("\n=== Figure 5: co-simulated disturbance responses (derived fleet) ===");
+    println!("{}", experiments::render_cosim(&trace));
+    println!("all deadlines met: {}\n", trace.all_deadlines_met());
+
+    // Benchmark only the co-simulation run itself (fleet design and Table-I
+    // derivation are one-off offline steps).
+    let fleet = case_study::derived_fleet().expect("fleet design");
+    let table = case_study::derive_table(&fleet).expect("table derivation");
+    let allocation = cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default())
+        .expect("allocation");
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("cosimulate_6_apps_4s", |b| {
+        b.iter(|| {
+            let mut cosim = CoSimulation::new(
+                fleet.clone(),
+                &allocation,
+                FlexRayConfig::paper_case_study(),
+            )
+            .expect("co-simulation setup");
+            cosim.inject_disturbances().expect("disturbances");
+            cosim.run(4.0).expect("run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

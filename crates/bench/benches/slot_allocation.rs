@@ -1,0 +1,37 @@
+//! Experiment E4 — regenerates the paper's headline result: 3 TT slots with
+//! the non-monotonic dwell model versus 5 with the conservative monotonic
+//! one (+67 % communication resource), and benchmarks the allocator.
+
+use cps_core::{case_study, experiments};
+use cps_sched::{allocate_slots, AllocatorConfig, ModelKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let apps = case_study::paper_table1();
+    let outcome = case_study::run_slot_allocation(&apps).expect("allocation must succeed");
+    println!("\n=== Section V headline: TT-slot dimensioning ===");
+    println!("{}", experiments::render_allocation(&outcome, &apps));
+    assert_eq!(outcome.non_monotonic_slots, 3);
+    assert_eq!(outcome.monotonic_slots, 5);
+
+    let mut group = c.benchmark_group("slot_allocation");
+    group.bench_function("paper_table1_non_monotonic", |b| {
+        b.iter(|| allocate_slots(&apps, &AllocatorConfig::default()).expect("allocation"))
+    });
+    group.bench_function("paper_table1_conservative_monotonic", |b| {
+        b.iter(|| {
+            allocate_slots(
+                &apps,
+                &AllocatorConfig {
+                    model: ModelKind::ConservativeMonotonic,
+                    ..AllocatorConfig::default()
+                },
+            )
+            .expect("allocation")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

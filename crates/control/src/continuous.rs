@@ -1,0 +1,266 @@
+//! Continuous-time linear time-invariant (LTI) plant models.
+
+use crate::error::{ControlError, Result};
+use cps_linalg::{eigenvalues, is_hurwitz_stable, Complex, Matrix};
+
+/// A continuous-time LTI system
+/// `ẋ = A·x + B·u`, `y = C·x`.
+///
+/// This is the form in which the automotive plants of the case study are
+/// specified before being discretised into the paper's Eq. (1).
+///
+/// # Example
+///
+/// ```
+/// use cps_control::ContinuousStateSpace;
+/// use cps_linalg::Matrix;
+///
+/// // Double integrator (servo position).
+/// let plant = ContinuousStateSpace::new(
+///     Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]])?,
+///     Matrix::column(&[0.0, 1.0])?,
+///     Matrix::from_rows(&[&[1.0, 0.0]])?,
+/// )?;
+/// assert_eq!(plant.order(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousStateSpace {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+}
+
+impl ContinuousStateSpace {
+    /// Creates a continuous-time state-space model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] if
+    /// * `A` is not square,
+    /// * `B` does not have the same number of rows as `A`,
+    /// * `C` does not have the same number of columns as `A`, or
+    /// * any matrix contains non-finite entries.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ControlError::InvalidModel {
+                reason: format!("state matrix must be square, got {:?}", a.shape()),
+            });
+        }
+        if b.rows() != a.rows() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "input matrix has {} rows but the system has {} states",
+                    b.rows(),
+                    a.rows()
+                ),
+            });
+        }
+        if c.cols() != a.cols() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "output matrix has {} columns but the system has {} states",
+                    c.cols(),
+                    a.cols()
+                ),
+            });
+        }
+        if !(a.is_finite() && b.is_finite() && c.is_finite()) {
+            return Err(ControlError::InvalidModel {
+                reason: "system matrices must be finite".to_string(),
+            });
+        }
+        Ok(ContinuousStateSpace { a, b, c })
+    }
+
+    /// Creates a model whose output is the full state (`C = I`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ContinuousStateSpace::new`].
+    pub fn with_full_state_output(a: Matrix, b: Matrix) -> Result<Self> {
+        let n = a.rows();
+        Self::new(a, b, Matrix::identity(n))
+    }
+
+    /// State matrix `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Input matrix `B`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Output matrix `C`.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Number of states.
+    pub fn order(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Open-loop eigenvalues (continuous-time poles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigenvalue-solver failures.
+    pub fn poles(&self) -> Result<Vec<Complex>> {
+        Ok(eigenvalues(&self.a)?)
+    }
+
+    /// Returns `true` if the open-loop plant is asymptotically stable
+    /// (all poles in the open left half-plane).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigenvalue-solver failures.
+    pub fn is_stable(&self) -> Result<bool> {
+        Ok(is_hurwitz_stable(&self.a)?)
+    }
+
+    /// Controllability matrix `[B, AB, A²B, …, Aⁿ⁻¹B]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-arithmetic failures.
+    pub fn controllability_matrix(&self) -> Result<Matrix> {
+        let n = self.order();
+        let mut block = self.b.clone();
+        let mut ctrb = self.b.clone();
+        for _ in 1..n {
+            block = self.a.matmul(&block)?;
+            ctrb = ctrb.hstack(&block)?;
+        }
+        Ok(ctrb)
+    }
+
+    /// Returns `true` if the pair `(A, B)` is controllable (the
+    /// controllability matrix has full row rank).
+    ///
+    /// Rank is estimated from the QR factorisation of the transposed
+    /// controllability matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-arithmetic failures.
+    pub fn is_controllable(&self) -> Result<bool> {
+        let ctrb = self.controllability_matrix()?;
+        Ok(rank(&ctrb) == self.order())
+    }
+}
+
+/// Numerical rank of a matrix via QR with a fixed relative tolerance.
+pub(crate) fn rank(m: &Matrix) -> usize {
+    // Work on the transpose when the matrix is wide so QR applies.
+    let tall = if m.rows() >= m.cols() { m.clone() } else { m.transpose() };
+    let qr = match cps_linalg::Qr::decompose(&tall) {
+        Ok(qr) => qr,
+        Err(_) => return 0,
+    };
+    let r = qr.r();
+    let k = r.rows().min(r.cols());
+    let scale = r.max_abs().max(1e-300);
+    (0..k).filter(|&i| r[(i, i)].abs() > 1e-10 * scale).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_integrator() -> ContinuousStateSpace {
+        ContinuousStateSpace::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap(),
+            Matrix::column(&[0.0, 1.0]).unwrap(),
+            Matrix::from_rows(&[&[1.0, 0.0]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_are_reported() {
+        let plant = double_integrator();
+        assert_eq!(plant.order(), 2);
+        assert_eq!(plant.inputs(), 1);
+        assert_eq!(plant.outputs(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::column(&[1.0, 0.0]).unwrap();
+        let c = Matrix::identity(2);
+        assert!(ContinuousStateSpace::new(a, b.clone(), c.clone()).is_err());
+        let a = Matrix::identity(2);
+        assert!(ContinuousStateSpace::new(a.clone(), Matrix::column(&[1.0]).unwrap(), c).is_err());
+        assert!(ContinuousStateSpace::new(a.clone(), b.clone(), Matrix::identity(3)).is_err());
+        let mut nan = Matrix::identity(2);
+        nan[(0, 0)] = f64::NAN;
+        assert!(ContinuousStateSpace::new(nan, b, Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn full_state_output_constructor() {
+        let plant = ContinuousStateSpace::with_full_state_output(
+            Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -2.0]]).unwrap(),
+            Matrix::column(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(plant.c(), &Matrix::identity(2));
+        assert_eq!(plant.outputs(), 2);
+    }
+
+    #[test]
+    fn stability_and_poles() {
+        let stable = ContinuousStateSpace::with_full_state_output(
+            Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -2.0]]).unwrap(),
+            Matrix::column(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
+        assert!(stable.is_stable().unwrap());
+        assert_eq!(stable.poles().unwrap().len(), 2);
+        // Double integrator is not asymptotically stable.
+        assert!(!double_integrator().is_stable().unwrap());
+    }
+
+    #[test]
+    fn controllability_of_double_integrator() {
+        let plant = double_integrator();
+        assert!(plant.is_controllable().unwrap());
+        let ctrb = plant.controllability_matrix().unwrap();
+        assert_eq!(ctrb.shape(), (2, 2));
+    }
+
+    #[test]
+    fn uncontrollable_pair_is_detected() {
+        // Second state unreachable from the input.
+        let plant = ContinuousStateSpace::with_full_state_output(
+            Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -2.0]]).unwrap(),
+            Matrix::column(&[1.0, 0.0]).unwrap(),
+        )
+        .unwrap();
+        assert!(!plant.is_controllable().unwrap());
+    }
+
+    #[test]
+    fn rank_helper() {
+        assert_eq!(rank(&Matrix::identity(3)), 3);
+        let low = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(rank(&low), 1);
+        let wide = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
+        assert_eq!(rank(&wide), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the control-theory substrate.
+
+use cps_linalg::LinalgError;
+use std::fmt;
+
+/// Errors reported by modelling, design and analysis routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// A model parameter violates its precondition (non-positive sampling
+    /// period, delay larger than the period, mismatched dimensions, ...).
+    InvalidModel {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+    /// A synthesis procedure could not produce a stabilising controller.
+    DesignFailed {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// A simulation or analysis horizon was exhausted before the observed
+    /// quantity (settling, convergence) was reached.
+    HorizonExceeded {
+        /// The quantity that was being awaited.
+        what: &'static str,
+        /// Number of simulation steps performed.
+        steps: usize,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ControlError::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+            ControlError::DesignFailed { reason } => write!(f, "controller design failed: {reason}"),
+            ControlError::HorizonExceeded { what, steps } => {
+                write!(f, "{what} not reached within {steps} simulation steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ControlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ControlError {
+    fn from(e: LinalgError) -> Self {
+        ControlError::Linalg(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ControlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ControlError::InvalidModel { reason: "h must be positive".into() };
+        assert!(e.to_string().contains("invalid model"));
+        let e = ControlError::DesignFailed { reason: "uncontrollable".into() };
+        assert!(e.to_string().contains("design failed"));
+        let e = ControlError::HorizonExceeded { what: "settling", steps: 10 };
+        assert!(e.to_string().contains("10"));
+        let e: ControlError = LinalgError::Singular { pivot: 0 }.into();
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn source_is_chained_for_linalg() {
+        use std::error::Error;
+        let e: ControlError = LinalgError::Singular { pivot: 0 }.into();
+        assert!(e.source().is_some());
+        let e = ControlError::InvalidModel { reason: "x".into() };
+        assert!(e.source().is_none());
+    }
+}

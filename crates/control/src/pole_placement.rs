@@ -1,0 +1,133 @@
+//! Pole placement (Ackermann's formula) for single-input systems.
+//!
+//! Provided as an alternative synthesis path to LQR; the paper only requires
+//! *some* stabilising state feedback per communication mode, and pole
+//! placement lets tests and ablations pin the closed-loop spectrum exactly.
+
+use crate::error::{ControlError, Result};
+use cps_linalg::{inverse, Matrix};
+
+/// Computes a state-feedback gain `K` (with `u = −K·x`) placing the
+/// eigenvalues of `A − B·K` at the desired locations, using Ackermann's
+/// formula. Only real desired poles are supported (complex pairs can be
+/// approximated by two nearby real poles, which is sufficient for the tests
+/// and ablations in this repository).
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidModel`] if the system is not single-input, the
+///   number of desired poles differs from the state dimension, or dimensions
+///   mismatch.
+/// * [`ControlError::DesignFailed`] if the pair `(A, B)` is not controllable
+///   (the controllability matrix is singular).
+///
+/// # Example
+///
+/// ```
+/// use cps_control::place_poles;
+/// use cps_linalg::{spectral_radius, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?;
+/// let b = Matrix::column(&[0.005, 0.1])?;
+/// let k = place_poles(&a, &b, &[0.5, 0.6])?;
+/// let closed = a.sub_matrix(&b.matmul(&k)?)?;
+/// assert!((spectral_radius(&closed)? - 0.6).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn place_poles(a: &Matrix, b: &Matrix, desired_poles: &[f64]) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(ControlError::InvalidModel {
+            reason: format!("state matrix must be square, got {:?}", a.shape()),
+        });
+    }
+    let n = a.rows();
+    if b.shape() != (n, 1) {
+        return Err(ControlError::InvalidModel {
+            reason: format!("pole placement requires a single-input system, B is {:?}", b.shape()),
+        });
+    }
+    if desired_poles.len() != n {
+        return Err(ControlError::InvalidModel {
+            reason: format!("expected {n} desired poles, got {}", desired_poles.len()),
+        });
+    }
+
+    // Controllability matrix [B, AB, ..., A^{n-1}B].
+    let mut ctrb = b.clone();
+    let mut block = b.clone();
+    for _ in 1..n {
+        block = a.matmul(&block)?;
+        ctrb = ctrb.hstack(&block)?;
+    }
+    let ctrb_inv = inverse(&ctrb).map_err(|_| ControlError::DesignFailed {
+        reason: "pair (A, B) is not controllable".to_string(),
+    })?;
+
+    // Desired characteristic polynomial evaluated at A:
+    // p(A) = (A - p1 I)(A - p2 I)...(A - pn I).
+    let mut p_of_a = Matrix::identity(n);
+    for &pole in desired_poles {
+        let factor = a.sub_matrix(&Matrix::identity(n).scale(pole))?;
+        p_of_a = p_of_a.matmul(&factor)?;
+    }
+
+    // K = [0 ... 0 1] · ctrb⁻¹ · p(A).
+    let mut selector = Matrix::zeros(1, n);
+    selector[(0, n - 1)] = 1.0;
+    Ok(selector.matmul(&ctrb_inv)?.matmul(&p_of_a)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_linalg::{eigenvalues, spectral_radius};
+
+    fn double_integrator(h: f64) -> (Matrix, Matrix) {
+        (
+            Matrix::from_rows(&[&[1.0, h], &[0.0, 1.0]]).unwrap(),
+            Matrix::column(&[h * h / 2.0, h]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn places_poles_exactly() {
+        let (a, b) = double_integrator(0.02);
+        let k = place_poles(&a, &b, &[0.7, 0.8]).unwrap();
+        let closed = a.sub_matrix(&b.matmul(&k).unwrap()).unwrap();
+        let mut eigs: Vec<f64> = eigenvalues(&closed).unwrap().iter().map(|e| e.re).collect();
+        eigs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((eigs[0] - 0.7).abs() < 1e-8);
+        assert!((eigs[1] - 0.8).abs() < 1e-8);
+    }
+
+    #[test]
+    fn deadbeat_control() {
+        let (a, b) = double_integrator(0.1);
+        let k = place_poles(&a, &b, &[0.0, 0.0]).unwrap();
+        let closed = a.sub_matrix(&b.matmul(&k).unwrap()).unwrap();
+        assert!(spectral_radius(&closed).unwrap() < 1e-6);
+        // Deadbeat: A_cl² = 0.
+        let squared = closed.matmul(&closed).unwrap();
+        assert!(squared.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_multi_input_and_wrong_counts() {
+        let (a, _) = double_integrator(0.02);
+        let wide_b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert!(place_poles(&a, &wide_b, &[0.5, 0.5]).is_err());
+        let b = Matrix::column(&[0.0, 1.0]).unwrap();
+        assert!(place_poles(&a, &b, &[0.5]).is_err());
+        assert!(place_poles(&Matrix::zeros(2, 3), &b, &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn uncontrollable_pair_fails() {
+        let a = Matrix::diagonal(&[1.5, 0.5]).unwrap();
+        let b = Matrix::column(&[0.0, 1.0]).unwrap();
+        assert!(matches!(
+            place_poles(&a, &b, &[0.1, 0.2]),
+            Err(ControlError::DesignFailed { .. })
+        ));
+    }
+}

@@ -1,0 +1,211 @@
+//! Response-time (settling-time) metrics on closed-loop trajectories.
+//!
+//! The paper's performance requirement for application `Cᵢ` is that the norm
+//! of the plant state returns below the threshold `E_th` within the deadline
+//! ξᵈᵢ after a disturbance. The functions here compute the corresponding
+//! settling quantities from autonomous closed-loop simulations.
+
+use crate::delayed::plant_state_norm;
+use crate::error::{ControlError, Result};
+use cps_linalg::Matrix;
+
+/// Autonomous trajectory of the plant-state norm under `z[k+1] = A·z[k]`.
+///
+/// `plant_order` selects how many leading entries of the (possibly
+/// delay-augmented) state constitute the physical plant state on which the
+/// norm is evaluated.
+///
+/// # Errors
+///
+/// Returns shape errors if `initial_state` does not match `a`.
+pub fn norm_trajectory(
+    a: &Matrix,
+    initial_state: &[f64],
+    plant_order: usize,
+    steps: usize,
+) -> Result<Vec<f64>> {
+    if initial_state.len() != a.cols() {
+        return Err(ControlError::InvalidModel {
+            reason: format!(
+                "initial state has length {} but the system has {} states",
+                initial_state.len(),
+                a.cols()
+            ),
+        });
+    }
+    let mut state = initial_state.to_vec();
+    let mut norms = Vec::with_capacity(steps + 1);
+    norms.push(plant_state_norm(&state, plant_order));
+    for _ in 0..steps {
+        state = a.matvec(&state)?;
+        norms.push(plant_state_norm(&state, plant_order));
+    }
+    Ok(norms)
+}
+
+/// Index of the first sample from which the trajectory stays at or below
+/// `threshold` for the remainder of the horizon, or `None` if it never
+/// settles within the recorded horizon.
+///
+/// This is the discrete version of the settling time used for the response
+/// times ξᵀᵀ, ξᴱᵀ and the dwell time k_dw in the paper.
+pub fn settling_index(norms: &[f64], threshold: f64) -> Option<usize> {
+    let last_violation = norms.iter().rposition(|&n| n > threshold);
+    match last_violation {
+        None => Some(0),
+        Some(idx) if idx + 1 < norms.len() => Some(idx + 1),
+        Some(_) => None,
+    }
+}
+
+/// Summary metrics of a disturbance-rejection transient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseMetrics {
+    /// Settling time in seconds (first time from which the norm stays at or
+    /// below the threshold).
+    pub settling_time: f64,
+    /// Settling time expressed in samples.
+    pub settling_steps: usize,
+    /// Peak norm reached during the transient.
+    pub peak_norm: f64,
+    /// Sample index at which the peak occurs.
+    pub peak_step: usize,
+}
+
+/// Simulates the autonomous closed loop from `initial_state` and extracts the
+/// settling metrics with respect to `threshold`.
+///
+/// `period` converts sample counts into seconds; `horizon_steps` bounds the
+/// simulation.
+///
+/// # Errors
+///
+/// * Shape errors from the simulation.
+/// * [`ControlError::HorizonExceeded`] if the trajectory does not settle
+///   within `horizon_steps` samples (e.g. an unstable closed loop).
+pub fn response_metrics(
+    a: &Matrix,
+    initial_state: &[f64],
+    plant_order: usize,
+    threshold: f64,
+    period: f64,
+    horizon_steps: usize,
+) -> Result<ResponseMetrics> {
+    if !(threshold > 0.0) {
+        return Err(ControlError::InvalidModel {
+            reason: format!("threshold must be positive, got {threshold}"),
+        });
+    }
+    if !(period > 0.0) {
+        return Err(ControlError::InvalidModel {
+            reason: format!("period must be positive, got {period}"),
+        });
+    }
+    let norms = norm_trajectory(a, initial_state, plant_order, horizon_steps)?;
+    let settling_steps = settling_index(&norms, threshold)
+        .ok_or(ControlError::HorizonExceeded { what: "settling", steps: horizon_steps })?;
+    let (peak_step, peak_norm) = norms
+        .iter()
+        .enumerate()
+        .fold((0, 0.0), |acc, (i, &n)| if n > acc.1 { (i, n) } else { acc });
+    Ok(ResponseMetrics {
+        settling_time: settling_steps as f64 * period,
+        settling_steps,
+        peak_norm,
+        peak_step,
+    })
+}
+
+/// Response (settling) time in seconds of the autonomous closed loop — the
+/// quantity the paper denotes ξ when a single communication mode is used
+/// throughout the disturbance rejection.
+///
+/// # Errors
+///
+/// Same conditions as [`response_metrics`].
+pub fn response_time(
+    a: &Matrix,
+    initial_state: &[f64],
+    plant_order: usize,
+    threshold: f64,
+    period: f64,
+    horizon_steps: usize,
+) -> Result<f64> {
+    Ok(response_metrics(a, initial_state, plant_order, threshold, period, horizon_steps)?
+        .settling_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_trajectory_of_contraction_decays() {
+        let a = Matrix::diagonal(&[0.5, 0.5]).unwrap();
+        let norms = norm_trajectory(&a, &[1.0, 0.0], 2, 5).unwrap();
+        assert_eq!(norms.len(), 6);
+        assert!((norms[0] - 1.0).abs() < 1e-12);
+        assert!((norms[1] - 0.5).abs() < 1e-12);
+        assert!(norms.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn norm_trajectory_checks_state_length() {
+        let a = Matrix::identity(2);
+        assert!(norm_trajectory(&a, &[1.0], 1, 3).is_err());
+    }
+
+    #[test]
+    fn settling_index_basic_cases() {
+        assert_eq!(settling_index(&[1.0, 0.5, 0.05, 0.01, 0.005], 0.1), Some(2));
+        // Already below threshold from the start.
+        assert_eq!(settling_index(&[0.05, 0.01], 0.1), Some(0));
+        // Never settles.
+        assert_eq!(settling_index(&[1.0, 0.5, 0.2], 0.1), None);
+        // Re-crossing pushes the settling index later.
+        assert_eq!(settling_index(&[1.0, 0.05, 0.2, 0.01, 0.0], 0.1), Some(3));
+    }
+
+    #[test]
+    fn response_metrics_of_decaying_system() {
+        let a = Matrix::diagonal(&[0.5]).unwrap();
+        let metrics = response_metrics(&a, &[1.0], 1, 0.1, 0.02, 100).unwrap();
+        // 1.0 -> 0.5 -> 0.25 -> 0.125 -> 0.0625 (first <= 0.1 at step 4).
+        assert_eq!(metrics.settling_steps, 4);
+        assert!((metrics.settling_time - 0.08).abs() < 1e-12);
+        assert!((metrics.peak_norm - 1.0).abs() < 1e-12);
+        assert_eq!(metrics.peak_step, 0);
+    }
+
+    #[test]
+    fn response_metrics_detects_overshoot_peak() {
+        // A non-normal stable map exhibits transient norm growth before decaying.
+        let a = Matrix::from_rows(&[&[0.5, 2.0], &[0.0, 0.5]]).unwrap();
+        let metrics = response_metrics(&a, &[0.0, 1.0], 2, 0.1, 0.02, 500).unwrap();
+        assert!(metrics.peak_norm > 1.0);
+        assert!(metrics.peak_step > 0);
+    }
+
+    #[test]
+    fn unstable_system_exceeds_horizon() {
+        let a = Matrix::diagonal(&[1.1]).unwrap();
+        assert!(matches!(
+            response_metrics(&a, &[1.0], 1, 0.1, 0.02, 50),
+            Err(ControlError::HorizonExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let a = Matrix::diagonal(&[0.5]).unwrap();
+        assert!(response_metrics(&a, &[1.0], 1, 0.0, 0.02, 10).is_err());
+        assert!(response_metrics(&a, &[1.0], 1, 0.1, 0.0, 10).is_err());
+    }
+
+    #[test]
+    fn response_time_matches_metrics() {
+        let a = Matrix::diagonal(&[0.5]).unwrap();
+        let t = response_time(&a, &[1.0], 1, 0.1, 0.02, 100).unwrap();
+        assert!((t - 0.08).abs() < 1e-12);
+    }
+}

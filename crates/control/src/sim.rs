@@ -1,0 +1,308 @@
+//! Closed-loop simulation utilities with explicit control inputs,
+//! disturbances and time-varying communication modes.
+//!
+//! The autonomous-trajectory helpers in [`crate::response`] cover the
+//! analytical characterisation; this module provides the step-by-step
+//! simulator that the co-simulation engine (in `cps-core`) drives alongside
+//! the FlexRay bus model, where the communication mode — and therefore the
+//! effective delay and controller — changes at runtime.
+
+use crate::delayed::{plant_state_norm, DelayedLtiSystem};
+use crate::error::{ControlError, Result};
+use crate::lqr::StateFeedbackController;
+
+/// Which communication mode the control signal currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommunicationMode {
+    /// Event-triggered communication in the dynamic segment (default mode).
+    #[default]
+    EventTriggered,
+    /// Time-triggered communication in an owned static slot.
+    TimeTriggered,
+}
+
+impl std::fmt::Display for CommunicationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommunicationMode::EventTriggered => write!(f, "ET"),
+            CommunicationMode::TimeTriggered => write!(f, "TT"),
+        }
+    }
+}
+
+/// A running closed-loop plant instance whose controller and effective delay
+/// depend on the current communication mode.
+#[derive(Debug, Clone)]
+pub struct PlantSimulator {
+    et_system: DelayedLtiSystem,
+    tt_system: DelayedLtiSystem,
+    et_controller: StateFeedbackController,
+    tt_controller: StateFeedbackController,
+    state: Vec<f64>,
+    previous_input: Vec<f64>,
+    time: f64,
+}
+
+/// One record of the simulated trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSample {
+    /// Simulation time in seconds at the *start* of the step.
+    pub time: f64,
+    /// Norm of the physical plant state.
+    pub norm: f64,
+    /// Communication mode active during the step.
+    pub mode: CommunicationMode,
+    /// Control input applied during the step.
+    pub input: Vec<f64>,
+}
+
+impl PlantSimulator {
+    /// Creates a simulator from the ET/TT models and controllers of one
+    /// application, starting at the origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] if the two models differ in
+    /// dimensions or sampling period.
+    pub fn new(
+        et_system: DelayedLtiSystem,
+        tt_system: DelayedLtiSystem,
+        et_controller: StateFeedbackController,
+        tt_controller: StateFeedbackController,
+    ) -> Result<Self> {
+        if et_system.plant_order() != tt_system.plant_order()
+            || et_system.inputs() != tt_system.inputs()
+        {
+            return Err(ControlError::InvalidModel {
+                reason: "ET and TT models must describe the same plant".to_string(),
+            });
+        }
+        if (et_system.period() - tt_system.period()).abs() > 1e-12 {
+            return Err(ControlError::InvalidModel {
+                reason: "ET and TT models must share the sampling period".to_string(),
+            });
+        }
+        let n = et_system.plant_order();
+        let m = et_system.inputs();
+        Ok(PlantSimulator {
+            et_system,
+            tt_system,
+            et_controller,
+            tt_controller,
+            state: vec![0.0; n],
+            previous_input: vec![0.0; m],
+            time: 0.0,
+        })
+    }
+
+    /// Sampling period of the simulated loop.
+    pub fn period(&self) -> f64 {
+        self.et_system.period()
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current physical plant state.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Norm of the current physical plant state (the quantity compared with
+    /// `E_th`).
+    pub fn state_norm(&self) -> f64 {
+        plant_state_norm(&self.state, self.state.len())
+    }
+
+    /// Adds a disturbance to the plant state (instantaneous state jump, the
+    /// disturbance model used throughout the paper's case study).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] if the disturbance has the
+    /// wrong dimension.
+    pub fn inject_disturbance(&mut self, disturbance: &[f64]) -> Result<()> {
+        if disturbance.len() != self.state.len() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "disturbance has length {} but the plant has {} states",
+                    disturbance.len(),
+                    self.state.len()
+                ),
+            });
+        }
+        for (s, d) in self.state.iter_mut().zip(disturbance) {
+            *s += d;
+        }
+        Ok(())
+    }
+
+    /// Resets state, previous input and time to zero.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = 0.0);
+        self.previous_input.iter_mut().for_each(|u| *u = 0.0);
+        self.time = 0.0;
+    }
+
+    /// Advances the closed loop by one sampling period using the controller
+    /// and delay model of `mode`, and returns the record of the step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures (these indicate an internal
+    /// inconsistency and should not occur for validated models).
+    pub fn step(&mut self, mode: CommunicationMode) -> Result<SimSample> {
+        let (system, controller) = match mode {
+            CommunicationMode::EventTriggered => (&self.et_system, &self.et_controller),
+            CommunicationMode::TimeTriggered => (&self.tt_system, &self.tt_controller),
+        };
+        // Augmented state is [x; u_prev].
+        let mut augmented = self.state.clone();
+        augmented.extend_from_slice(&self.previous_input);
+        let input = controller.control(&augmented)?;
+        let sample = SimSample {
+            time: self.time,
+            norm: self.state_norm(),
+            mode,
+            input: input.clone(),
+        };
+        self.state = system.step(&self.state, &input, &self.previous_input)?;
+        self.previous_input = input;
+        self.time += system.period();
+        Ok(sample)
+    }
+
+    /// Runs `steps` consecutive steps in a fixed mode and returns the records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from [`PlantSimulator::step`].
+    pub fn run(&mut self, mode: CommunicationMode, steps: usize) -> Result<Vec<SimSample>> {
+        (0..steps).map(|_| self.step(mode)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lqr::{design_switched_pair, LqrWeights};
+    use crate::plants;
+
+    fn servo_simulator() -> PlantSimulator {
+        // Servo rig with the detuned ET controller and the fast TT controller
+        // used throughout the Figure 3 reproduction.
+        let plant = plants::servo_rig_upright();
+        let et_sys = DelayedLtiSystem::from_continuous(&plant, 0.02, 0.02).unwrap();
+        let tt_sys = DelayedLtiSystem::from_continuous(&plant, 0.02, 0.0007).unwrap();
+        let et = crate::lqr::design_by_pole_placement(&et_sys, &[-0.7, -0.8, -40.0]).unwrap();
+        let tt = crate::lqr::design_by_pole_placement(&tt_sys, &[-6.0, -8.0, -40.0]).unwrap();
+        PlantSimulator::new(et_sys, tt_sys, et, tt).unwrap()
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(CommunicationMode::EventTriggered.to_string(), "ET");
+        assert_eq!(CommunicationMode::TimeTriggered.to_string(), "TT");
+        assert_eq!(CommunicationMode::default(), CommunicationMode::EventTriggered);
+    }
+
+    #[test]
+    fn disturbance_rejection_in_tt_mode() {
+        let mut sim = servo_simulator();
+        sim.inject_disturbance(&[45.0_f64.to_radians(), 0.0]).unwrap();
+        assert!(sim.state_norm() > 0.1);
+        let samples = sim.run(CommunicationMode::TimeTriggered, 200).unwrap();
+        assert_eq!(samples.len(), 200);
+        assert!(sim.state_norm() < 0.1, "TT loop must reject the disturbance");
+        // Time advances by one period per step.
+        assert!((sim.time() - 200.0 * 0.02).abs() < 1e-9);
+        assert!((samples[1].time - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disturbance_rejection_in_et_mode_is_slower() {
+        let mut sim_tt = servo_simulator();
+        let mut sim_et = servo_simulator();
+        let disturbance = [45.0_f64.to_radians(), 0.0];
+        sim_tt.inject_disturbance(&disturbance).unwrap();
+        sim_et.inject_disturbance(&disturbance).unwrap();
+
+        let settle = |sim: &mut PlantSimulator, mode| {
+            let mut steps = 0;
+            while sim.state_norm() > 0.1 && steps < 5000 {
+                sim.step(mode).unwrap();
+                steps += 1;
+            }
+            steps
+        };
+        let tt_steps = settle(&mut sim_tt, CommunicationMode::TimeTriggered);
+        let et_steps = settle(&mut sim_et, CommunicationMode::EventTriggered);
+        assert!(tt_steps < et_steps, "TT ({tt_steps}) must settle faster than ET ({et_steps})");
+    }
+
+    #[test]
+    fn switching_mid_transient_still_settles() {
+        let mut sim = servo_simulator();
+        sim.inject_disturbance(&[45.0_f64.to_radians(), 0.0]).unwrap();
+        sim.run(CommunicationMode::EventTriggered, 15).unwrap();
+        sim.run(CommunicationMode::TimeTriggered, 400).unwrap();
+        assert!(sim.state_norm() < 0.1);
+    }
+
+    #[test]
+    fn reset_clears_state_and_time() {
+        let mut sim = servo_simulator();
+        sim.inject_disturbance(&[0.5, 0.5]).unwrap();
+        sim.run(CommunicationMode::EventTriggered, 3).unwrap();
+        sim.reset();
+        assert_eq!(sim.state_norm(), 0.0);
+        assert_eq!(sim.time(), 0.0);
+        assert_eq!(sim.state(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn disturbance_dimension_is_validated() {
+        let mut sim = servo_simulator();
+        assert!(sim.inject_disturbance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn mismatched_models_are_rejected() {
+        let servo = plants::servo_position();
+        let suspension = plants::quarter_car_suspension();
+        let w2 = LqrWeights::identity_with_input_weight(2, 0.1);
+        let w4 = LqrWeights::identity_with_input_weight(4, 0.1);
+        let servo_pair = design_switched_pair(&servo, 0.02, 0.02, 0.0, &w2, &w2).unwrap();
+        let susp_pair = design_switched_pair(&suspension, 0.02, 0.02, 0.0, &w4, &w4).unwrap();
+        assert!(PlantSimulator::new(
+            servo_pair.et_system.clone(),
+            susp_pair.tt_system,
+            servo_pair.et.clone(),
+            susp_pair.tt,
+        )
+        .is_err());
+
+        // Same plant but different sampling periods must also be rejected.
+        let fast = design_switched_pair(&servo, 0.01, 0.01, 0.0, &w2, &w2).unwrap();
+        assert!(PlantSimulator::new(
+            servo_pair.et_system,
+            fast.tt_system,
+            servo_pair.et,
+            fast.tt,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sample_records_mode_and_input() {
+        let mut sim = servo_simulator();
+        sim.inject_disturbance(&[0.3, 0.0]).unwrap();
+        let s = sim.step(CommunicationMode::TimeTriggered).unwrap();
+        assert_eq!(s.mode, CommunicationMode::TimeTriggered);
+        assert_eq!(s.input.len(), 1);
+        assert!(s.norm > 0.0);
+        assert_eq!(s.time, 0.0);
+    }
+}

@@ -1,0 +1,666 @@
+//! Switched-system analysis: the dwell-time / wait-time relation of
+//! Section III.
+//!
+//! The closed loop evolves with the event-triggered dynamics `A₁` for
+//! `k_wait` samples and then switches (once, non-preemptively) to the
+//! time-triggered dynamics `A₂`:
+//!
+//! ```text
+//! x₁[k]          = A₁ᵏ·x₀                      (before the switch)
+//! x₂[k_wait, k]  = A₂ᵏ·A₁^{k_wait}·x₀          (after the switch)
+//! ```
+//!
+//! The dwell time `k_dw(k_wait)` is how long the application then needs on
+//! the TT slot until the plant-state norm is back at or below `E_th`. The
+//! paper's central observation is that this map is *not* monotone in
+//! `k_wait`.
+
+use crate::delayed::DelayedLtiSystem;
+use crate::error::{ControlError, Result};
+use crate::response::{norm_trajectory, settling_index};
+use cps_linalg::{vec_norm, Matrix};
+
+/// One point of the dwell-time/wait-time characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DwellWaitPoint {
+    /// Wait time spent on ET communication before the switch, in seconds.
+    pub wait_time: f64,
+    /// Wait time in samples.
+    pub wait_steps: usize,
+    /// Dwell time needed on the TT slot after the switch, in seconds.
+    pub dwell_time: f64,
+    /// Dwell time in samples.
+    pub dwell_steps: usize,
+    /// Plant-state norm at the moment of the switch.
+    pub norm_at_switch: f64,
+}
+
+/// The full characterisation of one application's switching behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DwellWaitCurve {
+    /// Sampled relation, one entry per wait time `0, h, 2h, …`.
+    pub points: Vec<DwellWaitPoint>,
+    /// Response (settling) time with pure TT communication, ξᵀᵀ, in seconds.
+    pub xi_tt: f64,
+    /// Response (settling) time with pure ET communication, ξᴱᵀ, in seconds.
+    pub xi_et: f64,
+    /// Sampling period used for the characterisation.
+    pub period: f64,
+}
+
+impl DwellWaitCurve {
+    /// Maximum dwell time over the whole curve, ξᴹ, in seconds.
+    pub fn max_dwell(&self) -> f64 {
+        self.points.iter().map(|p| p.dwell_time).fold(0.0, f64::max)
+    }
+
+    /// Wait time at which the maximum dwell time occurs, k_p, in seconds.
+    pub fn peak_wait(&self) -> f64 {
+        self.points
+            .iter()
+            .max_by(|a, b| a.dwell_time.partial_cmp(&b.dwell_time).expect("finite dwell times"))
+            .map(|p| p.wait_time)
+            .unwrap_or(0.0)
+    }
+
+    /// Returns `true` if the curve is non-monotonic, i.e. the dwell time
+    /// strictly increases somewhere before decreasing — the phenomenon the
+    /// paper exploits.
+    pub fn is_non_monotonic(&self) -> bool {
+        let dwell: Vec<f64> = self.points.iter().map(|p| p.dwell_time).collect();
+        let rises = dwell.windows(2).any(|w| w[1] > w[0] + 1e-12);
+        let falls = dwell.windows(2).any(|w| w[1] < w[0] - 1e-12);
+        rises && falls
+    }
+
+    /// Total response time ξ(k_wait) = k_wait + k_dw(k_wait) for each sampled
+    /// wait time, in seconds.
+    pub fn total_response_times(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.wait_time + p.dwell_time).collect()
+    }
+}
+
+/// Simulates the switched trajectory: `k_switch` samples under `a1`, then the
+/// remainder under `a2`; returns the plant-state norms of the whole horizon
+/// (length `horizon + 1`, including the initial state).
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidModel`] if the matrices have different shapes or
+///   the initial state does not match.
+pub fn switched_norm_trajectory(
+    a1: &Matrix,
+    a2: &Matrix,
+    initial_state: &[f64],
+    plant_order: usize,
+    k_switch: usize,
+    horizon: usize,
+) -> Result<Vec<f64>> {
+    if a1.shape() != a2.shape() || !a1.is_square() {
+        return Err(ControlError::InvalidModel {
+            reason: format!(
+                "switched dynamics must share a square shape, got {:?} and {:?}",
+                a1.shape(),
+                a2.shape()
+            ),
+        });
+    }
+    if initial_state.len() != a1.cols() {
+        return Err(ControlError::InvalidModel {
+            reason: format!(
+                "initial state has length {} but the system has {} states",
+                initial_state.len(),
+                a1.cols()
+            ),
+        });
+    }
+    let k_switch = k_switch.min(horizon);
+    let mut norms = Vec::with_capacity(horizon + 1);
+    let mut state = initial_state.to_vec();
+    norms.push(crate::delayed::plant_state_norm(&state, plant_order));
+    for k in 0..horizon {
+        let dynamics = if k < k_switch { a1 } else { a2 };
+        state = dynamics.matvec(&state)?;
+        norms.push(crate::delayed::plant_state_norm(&state, plant_order));
+    }
+    Ok(norms)
+}
+
+/// Computes the dwell time (in samples) for a single wait time: the number of
+/// additional samples after the switch until the plant-state norm stays at or
+/// below `threshold`.
+///
+/// If the state has already settled during the ET phase and never re-crosses
+/// the threshold afterwards, the dwell time is zero (the application never
+/// actually needs the slot).
+///
+/// # Errors
+///
+/// * Propagates simulation errors.
+/// * [`ControlError::HorizonExceeded`] if the switched system does not settle
+///   within `horizon` samples.
+pub fn dwell_steps(
+    a1: &Matrix,
+    a2: &Matrix,
+    initial_state: &[f64],
+    plant_order: usize,
+    threshold: f64,
+    wait_steps: usize,
+    horizon: usize,
+) -> Result<usize> {
+    if !(threshold > 0.0) {
+        return Err(ControlError::InvalidModel {
+            reason: format!("threshold must be positive, got {threshold}"),
+        });
+    }
+    let norms =
+        switched_norm_trajectory(a1, a2, initial_state, plant_order, wait_steps, horizon)?;
+    let settle = settling_index(&norms, threshold)
+        .ok_or(ControlError::HorizonExceeded { what: "switched settling", steps: horizon })?;
+    Ok(settle.saturating_sub(wait_steps))
+}
+
+/// Parameters of a dwell/wait characterisation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationConfig {
+    /// Sampling period `h` in seconds.
+    pub period: f64,
+    /// Switching threshold `E_th` on the plant-state norm.
+    pub threshold: f64,
+    /// Initial (post-disturbance) augmented state.
+    pub initial_state: Vec<f64>,
+    /// Number of physical plant states in the augmented state.
+    pub plant_order: usize,
+    /// Simulation horizon in samples used for every settling computation.
+    pub horizon: usize,
+}
+
+impl CharacterizationConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] if any parameter is out of
+    /// range.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.period > 0.0) || !self.period.is_finite() {
+            return Err(ControlError::InvalidModel {
+                reason: format!("period must be positive, got {}", self.period),
+            });
+        }
+        if !(self.threshold > 0.0) {
+            return Err(ControlError::InvalidModel {
+                reason: format!("threshold must be positive, got {}", self.threshold),
+            });
+        }
+        if self.initial_state.is_empty() || self.plant_order == 0 {
+            return Err(ControlError::InvalidModel {
+                reason: "initial state and plant order must be non-empty".to_string(),
+            });
+        }
+        if self.horizon == 0 {
+            return Err(ControlError::InvalidModel {
+                reason: "horizon must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Characterises the dwell-time / wait-time relation (the data behind
+/// Figure 3) by sweeping the wait time from zero up to the pure-ET settling
+/// time.
+///
+/// `a1` is the ET closed loop, `a2` the TT closed loop, both on the same
+/// (delay-augmented) state.
+///
+/// # Errors
+///
+/// * Propagates simulation failures.
+/// * [`ControlError::HorizonExceeded`] if either pure-mode loop fails to
+///   settle within the configured horizon.
+pub fn characterize_dwell_vs_wait(
+    a1: &Matrix,
+    a2: &Matrix,
+    config: &CharacterizationConfig,
+) -> Result<DwellWaitCurve> {
+    config.validate()?;
+    let x0 = &config.initial_state;
+    let n = config.plant_order;
+
+    // Pure-mode settling times: xi_et is also the upper end of the sweep,
+    // because waiting longer than xi_et means the disturbance is rejected
+    // entirely on ET communication.
+    let tt_norms = norm_trajectory(a2, x0, n, config.horizon)?;
+    let xi_tt_steps = settling_index(&tt_norms, config.threshold)
+        .ok_or(ControlError::HorizonExceeded { what: "pure TT settling", steps: config.horizon })?;
+    let et_norms = norm_trajectory(a1, x0, n, config.horizon)?;
+    let xi_et_steps = settling_index(&et_norms, config.threshold)
+        .ok_or(ControlError::HorizonExceeded { what: "pure ET settling", steps: config.horizon })?;
+
+    let mut points = Vec::with_capacity(xi_et_steps + 1);
+    for wait in 0..=xi_et_steps {
+        let dwell = dwell_steps(a1, a2, x0, n, config.threshold, wait, config.horizon)?;
+        let norms_before = &et_norms[wait.min(et_norms.len() - 1)];
+        points.push(DwellWaitPoint {
+            wait_time: wait as f64 * config.period,
+            wait_steps: wait,
+            dwell_time: dwell as f64 * config.period,
+            dwell_steps: dwell,
+            norm_at_switch: *norms_before,
+        });
+    }
+    Ok(DwellWaitCurve {
+        points,
+        xi_tt: xi_tt_steps as f64 * config.period,
+        xi_et: xi_et_steps as f64 * config.period,
+        period: config.period,
+    })
+}
+
+/// Switched closed loop with an actuator magnitude limit — the model of the
+/// paper's servo-motor rig, whose amplifier can only deliver a bounded
+/// torque.
+///
+/// The paper's Figure 3 is an *experimental* curve. In a purely linear,
+/// energy-dissipative closed loop the dwell time is largely governed by the
+/// state's modal content and barely rises with the wait time; the pronounced
+/// rise measured on the rig comes from the combination of (a) the load being
+/// held upright, so gravity keeps pumping energy into the plant while the
+/// slow ET loop has not yet caught it, and (b) the torque limit, which makes
+/// the TT-mode recovery time grow with the accumulated kinetic energy. This
+/// model captures exactly those two ingredients.
+#[derive(Debug, Clone)]
+pub struct SaturatedSwitchedModel {
+    et_system: DelayedLtiSystem,
+    tt_system: DelayedLtiSystem,
+    et_gain: Matrix,
+    tt_gain: Matrix,
+    input_limit: f64,
+}
+
+impl SaturatedSwitchedModel {
+    /// Creates the model from the two delay models, the two feedback gains
+    /// (acting on the augmented state, `u = −K·z`) and the actuator limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] if the systems describe
+    /// different plants, the gains have the wrong shape, or the limit is not
+    /// positive.
+    pub fn new(
+        et_system: DelayedLtiSystem,
+        tt_system: DelayedLtiSystem,
+        et_gain: Matrix,
+        tt_gain: Matrix,
+        input_limit: f64,
+    ) -> Result<Self> {
+        if et_system.plant_order() != tt_system.plant_order()
+            || et_system.inputs() != tt_system.inputs()
+            || (et_system.period() - tt_system.period()).abs() > 1e-12
+        {
+            return Err(ControlError::InvalidModel {
+                reason: "ET and TT models must describe the same plant and period".to_string(),
+            });
+        }
+        let expected = (et_system.inputs(), et_system.augmented_order());
+        if et_gain.shape() != expected || tt_gain.shape() != expected {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "gains must be {}x{}, got {:?} and {:?}",
+                    expected.0,
+                    expected.1,
+                    et_gain.shape(),
+                    tt_gain.shape()
+                ),
+            });
+        }
+        if !(input_limit > 0.0) || !input_limit.is_finite() {
+            return Err(ControlError::InvalidModel {
+                reason: format!("input limit must be positive and finite, got {input_limit}"),
+            });
+        }
+        Ok(SaturatedSwitchedModel { et_system, tt_system, et_gain, tt_gain, input_limit })
+    }
+
+    /// Sampling period of the underlying loop.
+    pub fn period(&self) -> f64 {
+        self.et_system.period()
+    }
+
+    /// Number of physical plant states.
+    pub fn plant_order(&self) -> usize {
+        self.et_system.plant_order()
+    }
+
+    /// Simulates the switched, saturated closed loop: `k_switch` samples in
+    /// ET mode, then TT mode, starting from the plant state `x0` (previous
+    /// input zero). Returns the plant-state norms over `horizon + 1` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] if `x0` has the wrong length.
+    pub fn switched_norms(
+        &self,
+        x0: &[f64],
+        k_switch: usize,
+        horizon: usize,
+    ) -> Result<Vec<f64>> {
+        let n = self.plant_order();
+        if x0.len() != n {
+            return Err(ControlError::InvalidModel {
+                reason: format!("initial state has length {}, expected {n}", x0.len()),
+            });
+        }
+        let m = self.et_system.inputs();
+        let mut state = x0.to_vec();
+        let mut previous_input = vec![0.0; m];
+        let mut norms = Vec::with_capacity(horizon + 1);
+        norms.push(vec_norm(&state));
+        for k in 0..horizon {
+            let (system, gain) = if k < k_switch {
+                (&self.et_system, &self.et_gain)
+            } else {
+                (&self.tt_system, &self.tt_gain)
+            };
+            let mut augmented = state.clone();
+            augmented.extend_from_slice(&previous_input);
+            let mut input: Vec<f64> = gain.matvec(&augmented)?.iter().map(|v| -v).collect();
+            for value in &mut input {
+                *value = value.clamp(-self.input_limit, self.input_limit);
+            }
+            state = system.step(&state, &input, &previous_input)?;
+            previous_input = input;
+            norms.push(vec_norm(&state));
+        }
+        Ok(norms)
+    }
+
+    /// Characterises the dwell-time / wait-time relation of the saturated
+    /// rig — the reproduction of Figure 3.
+    ///
+    /// `config.initial_state` must be the *plant* state here (the previous
+    /// input always starts at zero).
+    ///
+    /// # Errors
+    ///
+    /// * Propagates simulation failures and configuration validation.
+    /// * [`ControlError::HorizonExceeded`] if either pure-mode response fails
+    ///   to settle within the configured horizon.
+    pub fn characterize(&self, config: &CharacterizationConfig) -> Result<DwellWaitCurve> {
+        config.validate()?;
+        let x0 = &config.initial_state;
+        let threshold = config.threshold;
+
+        let tt_norms = self.switched_norms(x0, 0, config.horizon)?;
+        let xi_tt_steps = settling_index(&tt_norms, threshold).ok_or(
+            ControlError::HorizonExceeded { what: "pure TT settling", steps: config.horizon },
+        )?;
+        let et_norms = self.switched_norms(x0, config.horizon, config.horizon)?;
+        let xi_et_steps = settling_index(&et_norms, threshold).ok_or(
+            ControlError::HorizonExceeded { what: "pure ET settling", steps: config.horizon },
+        )?;
+
+        let mut points = Vec::with_capacity(xi_et_steps + 1);
+        for wait in 0..=xi_et_steps {
+            let norms = self.switched_norms(x0, wait, config.horizon)?;
+            let settle = settling_index(&norms, threshold).ok_or(
+                ControlError::HorizonExceeded { what: "switched settling", steps: config.horizon },
+            )?;
+            let dwell = settle.saturating_sub(wait);
+            points.push(DwellWaitPoint {
+                wait_time: wait as f64 * config.period,
+                wait_steps: wait,
+                dwell_time: dwell as f64 * config.period,
+                dwell_steps: dwell,
+                norm_at_switch: et_norms[wait.min(et_norms.len() - 1)],
+            });
+        }
+        Ok(DwellWaitCurve {
+            points,
+            xi_tt: xi_tt_steps as f64 * config.period,
+            xi_et: xi_et_steps as f64 * config.period,
+            period: config.period,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lqr::design_by_pole_placement;
+    use crate::plants;
+
+    /// Linear (unsaturated) ET/TT closed loops of the servo rig, used to test
+    /// the purely linear switched analysis of the paper's Eqs. (3)–(4).
+    fn rig_linear_loops() -> (Matrix, Matrix) {
+        let plant = plants::servo_rig_upright();
+        let h = 0.02;
+        let et_sys = DelayedLtiSystem::from_continuous(&plant, h, h).unwrap();
+        let tt_sys = DelayedLtiSystem::from_continuous(&plant, h, 0.0007).unwrap();
+        let et = design_by_pole_placement(&et_sys, &[-0.7, -0.8, -40.0]).unwrap();
+        let tt = design_by_pole_placement(&tt_sys, &[-6.0, -8.0, -40.0]).unwrap();
+        (et.closed_loop().clone(), tt.closed_loop().clone())
+    }
+
+    fn servo_config() -> CharacterizationConfig {
+        CharacterizationConfig {
+            period: 0.02,
+            threshold: 0.1,
+            // 45 degree initial offset with zero velocity, zero previous input.
+            initial_state: vec![45.0_f64.to_radians(), 0.0, 0.0],
+            plant_order: 2,
+            horizon: 4000,
+        }
+    }
+
+    /// The saturated servo-rig model with the paper's timing parameters.
+    fn rig_model() -> SaturatedSwitchedModel {
+        let plant = plants::servo_rig_upright();
+        let h = 0.02;
+        let et_sys = DelayedLtiSystem::from_continuous(&plant, h, h).unwrap();
+        let tt_sys = DelayedLtiSystem::from_continuous(&plant, h, 0.0007).unwrap();
+        let et = design_by_pole_placement(&et_sys, &[-0.7, -0.8, -40.0]).unwrap();
+        let tt = design_by_pole_placement(&tt_sys, &[-6.0, -8.0, -40.0]).unwrap();
+        SaturatedSwitchedModel::new(
+            et_sys,
+            tt_sys,
+            et.gain().clone(),
+            tt.gain().clone(),
+            plants::SERVO_RIG_TORQUE_LIMIT,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn switched_trajectory_switches_dynamics() {
+        let a1 = Matrix::diagonal(&[1.0]).unwrap(); // marginally stable: norm constant
+        let a2 = Matrix::diagonal(&[0.5]).unwrap(); // contraction after switch
+        let norms = switched_norm_trajectory(&a1, &a2, &[1.0], 1, 3, 6).unwrap();
+        assert_eq!(norms.len(), 7);
+        assert!((norms[3] - 1.0).abs() < 1e-12);
+        assert!((norms[4] - 0.5).abs() < 1e-12);
+        assert!((norms[6] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switched_trajectory_validates_shapes() {
+        let a1 = Matrix::identity(2);
+        let a2 = Matrix::identity(3);
+        assert!(switched_norm_trajectory(&a1, &a2, &[1.0, 0.0], 2, 1, 5).is_err());
+        assert!(switched_norm_trajectory(&a1, &Matrix::identity(2), &[1.0], 2, 1, 5).is_err());
+    }
+
+    #[test]
+    fn dwell_time_zero_when_already_settled() {
+        let a1 = Matrix::diagonal(&[0.1]).unwrap();
+        let a2 = Matrix::diagonal(&[0.1]).unwrap();
+        // After 3 ET steps the norm is 1e-3 << 0.1 and never rises again.
+        let dwell = dwell_steps(&a1, &a2, &[1.0], 1, 0.1, 3, 100).unwrap();
+        assert_eq!(dwell, 0);
+    }
+
+    #[test]
+    fn dwell_time_decreases_for_scalar_contractions() {
+        // With scalar (monotone) dynamics the relation IS monotone: the
+        // longer we wait, the less dwell is needed. This is exactly the
+        // intuition the paper shows to be false for oscillatory systems.
+        let a1 = Matrix::diagonal(&[0.9]).unwrap();
+        let a2 = Matrix::diagonal(&[0.5]).unwrap();
+        let config = CharacterizationConfig {
+            period: 0.02,
+            threshold: 0.1,
+            initial_state: vec![1.0],
+            plant_order: 1,
+            horizon: 500,
+        };
+        let curve = characterize_dwell_vs_wait(&a1, &a2, &config).unwrap();
+        assert!(!curve.is_non_monotonic());
+        let dwell: Vec<f64> = curve.points.iter().map(|p| p.dwell_time).collect();
+        assert!(dwell.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn linear_servo_curve_properties() {
+        let (a1, a2) = rig_linear_loops();
+        let curve = characterize_dwell_vs_wait(&a1, &a2, &servo_config()).unwrap();
+        // The paper's orderings: xi_tt < xi_et.
+        assert!(curve.xi_tt < curve.xi_et);
+        // At wait = 0 the dwell equals the pure-TT settling time.
+        assert!((curve.points[0].dwell_time - curve.xi_tt).abs() < 1e-9);
+        // Once the wait reaches the ET settling time only a short residual
+        // dwell remains (the TT controller taking over can briefly push the
+        // norm back above the threshold).
+        assert!(curve.points.last().unwrap().dwell_time <= curve.max_dwell());
+        // The modelled dwell never exceeds the ET settling time.
+        assert!(curve.max_dwell() <= curve.xi_et + 1e-9);
+    }
+
+    #[test]
+    fn servo_rig_curve_is_non_monotonic_like_figure3() {
+        let model = rig_model();
+        let config = CharacterizationConfig {
+            period: 0.02,
+            threshold: 0.1,
+            initial_state: vec![45.0_f64.to_radians(), 0.0],
+            plant_order: 2,
+            horizon: 10_000,
+        };
+        let curve = model.characterize(&config).unwrap();
+        assert!(curve.is_non_monotonic(), "rig dwell/wait relation must rise then fall");
+        // Figure 3 shape: the peak dwell clearly exceeds the pure-TT response
+        // and occurs at a strictly positive wait time; the pure-ET response is
+        // much slower than the pure-TT one.
+        assert!(curve.xi_tt < curve.xi_et);
+        assert!(curve.max_dwell() > 1.1 * curve.xi_tt, "xi_m = {}, xi_tt = {}", curve.max_dwell(), curve.xi_tt);
+        assert!(curve.peak_wait() >= 0.1, "k_p = {}", curve.peak_wait());
+        assert!(curve.xi_et > 2.0 * curve.xi_tt);
+        // At wait = 0 the dwell equals the pure-TT settling time; once the
+        // wait reaches the ET settling time, only a short residual dwell can
+        // remain (the aggressive TT controller may briefly push the norm back
+        // over the threshold when it takes over a nearly settled state).
+        assert!((curve.points[0].dwell_time - curve.xi_tt).abs() < 1e-9);
+        assert!(curve.points.last().unwrap().dwell_time < curve.max_dwell() / 2.0);
+    }
+
+    #[test]
+    fn saturated_model_validation() {
+        let plant = plants::servo_rig_upright();
+        let h = 0.02;
+        let et_sys = DelayedLtiSystem::from_continuous(&plant, h, h).unwrap();
+        let tt_sys = DelayedLtiSystem::from_continuous(&plant, h, 0.0007).unwrap();
+        let et = design_by_pole_placement(&et_sys, &[-0.7, -0.8, -40.0]).unwrap();
+        let tt = design_by_pole_placement(&tt_sys, &[-6.0, -8.0, -40.0]).unwrap();
+        // Bad input limit.
+        assert!(SaturatedSwitchedModel::new(
+            et_sys.clone(),
+            tt_sys.clone(),
+            et.gain().clone(),
+            tt.gain().clone(),
+            0.0
+        )
+        .is_err());
+        // Bad gain shape.
+        assert!(SaturatedSwitchedModel::new(
+            et_sys.clone(),
+            tt_sys.clone(),
+            Matrix::zeros(1, 2),
+            tt.gain().clone(),
+            1.0
+        )
+        .is_err());
+        // Mismatched periods.
+        let other = DelayedLtiSystem::from_continuous(&plant, 0.01, 0.001).unwrap();
+        assert!(SaturatedSwitchedModel::new(
+            et_sys.clone(),
+            other,
+            et.gain().clone(),
+            tt.gain().clone(),
+            1.0
+        )
+        .is_err());
+        // Wrong initial state length.
+        let model = rig_model();
+        assert!(model.switched_norms(&[0.1], 0, 10).is_err());
+        assert_eq!(model.plant_order(), 2);
+        assert!((model.period() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_response_time_is_increasing_in_wait_on_average() {
+        // Section III: because the second-segment gradient is between 0 and −1,
+        // the total response time grows with the wait time. We check the
+        // end-to-end property on the rig curve.
+        let model = rig_model();
+        let config = CharacterizationConfig {
+            period: 0.02,
+            threshold: 0.1,
+            initial_state: vec![45.0_f64.to_radians(), 0.0],
+            plant_order: 2,
+            horizon: 10_000,
+        };
+        let curve = model.characterize(&config).unwrap();
+        let totals = curve.total_response_times();
+        assert!(totals.last().unwrap() > totals.first().unwrap());
+    }
+
+    #[test]
+    fn characterization_validates_config() {
+        let (a1, a2) = rig_linear_loops();
+        let mut config = servo_config();
+        config.period = 0.0;
+        assert!(characterize_dwell_vs_wait(&a1, &a2, &config).is_err());
+        let mut config = servo_config();
+        config.threshold = -1.0;
+        assert!(characterize_dwell_vs_wait(&a1, &a2, &config).is_err());
+        let mut config = servo_config();
+        config.horizon = 0;
+        assert!(characterize_dwell_vs_wait(&a1, &a2, &config).is_err());
+        let mut config = servo_config();
+        config.initial_state.clear();
+        assert!(characterize_dwell_vs_wait(&a1, &a2, &config).is_err());
+    }
+
+    #[test]
+    fn dwell_steps_validates_threshold() {
+        let a = Matrix::identity(1);
+        assert!(dwell_steps(&a, &a, &[1.0], 1, 0.0, 0, 10).is_err());
+    }
+
+    #[test]
+    fn unstable_switched_system_reports_horizon_exceeded() {
+        let a1 = Matrix::diagonal(&[1.05]).unwrap();
+        let a2 = Matrix::diagonal(&[1.05]).unwrap();
+        let config = CharacterizationConfig {
+            period: 0.02,
+            threshold: 0.1,
+            initial_state: vec![1.0],
+            plant_order: 1,
+            horizon: 50,
+        };
+        assert!(matches!(
+            characterize_dwell_vs_wait(&a1, &a2, &config),
+            Err(ControlError::HorizonExceeded { .. })
+        ));
+    }
+}

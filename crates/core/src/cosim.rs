@@ -1,0 +1,295 @@
+//! Plant / runtime / bus co-simulation — the engine behind Figure 5.
+//!
+//! Every sampling period the engine reads the plant-state norms, lets the
+//! dynamic resource-allocation runtime decide which application may use its
+//! TT slot (Figure 1), steps each closed loop with the controller and delay
+//! model of its granted communication mode, and mirrors the resulting
+//! traffic onto a cycle-accurate FlexRay bus to collect realistic latency
+//! and slot-usage statistics.
+
+use crate::application::ControlApplication;
+use crate::error::{CoreError, Result};
+use crate::runtime::{AllocationRuntime, RuntimeApp};
+use cps_control::{CommunicationMode, PlantSimulator};
+use cps_flexray::{FlexRayBus, FlexRayConfig, Frame, LatencyStats, Segment};
+use cps_sched::SlotAllocation;
+
+/// One record of one application's trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Simulation time at the start of the period.
+    pub time: f64,
+    /// Plant-state norm ‖x‖ at that time.
+    pub norm: f64,
+    /// Communication mode used during the period.
+    pub mode: CommunicationMode,
+}
+
+/// Trajectory and verdict of one application in the co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppTrace {
+    /// Application name.
+    pub name: String,
+    /// Sampled trajectory.
+    pub points: Vec<TracePoint>,
+    /// Deadline (desired response time) of the application.
+    pub deadline: f64,
+    /// Measured response time: the first time from which the norm stays at or
+    /// below the threshold (None if it never settles within the simulation).
+    pub response_time: Option<f64>,
+}
+
+impl AppTrace {
+    /// Returns `true` if the measured response time meets the deadline.
+    pub fn deadline_met(&self) -> bool {
+        self.response_time.map(|t| t <= self.deadline).unwrap_or(false)
+    }
+
+    /// Total time the application spent on TT communication.
+    pub fn tt_time(&self, period: f64) -> f64 {
+        self.points.iter().filter(|p| p.mode == CommunicationMode::TimeTriggered).count() as f64
+            * period
+    }
+}
+
+/// The complete result of a co-simulation run.
+#[derive(Debug, Clone)]
+pub struct CoSimTrace {
+    /// One trace per application, in the order the applications were given.
+    pub apps: Vec<AppTrace>,
+    /// Slot occupancy per period: `occupancy[k][slot]` is the application
+    /// index holding the slot during period `k`, if any.
+    pub slot_occupancy: Vec<Vec<Option<usize>>>,
+    /// Sampling period of the co-simulation.
+    pub period: f64,
+    /// FlexRay bus usage statistics accumulated over the run.
+    pub bus_statistics: cps_flexray::BusStatistics,
+    /// Observed bus latency statistics per application.
+    pub bus_latencies: Vec<LatencyStats>,
+}
+
+impl CoSimTrace {
+    /// Returns `true` if every application met its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.apps.iter().all(AppTrace::deadline_met)
+    }
+}
+
+/// The co-simulation engine.
+#[derive(Debug)]
+pub struct CoSimulation {
+    apps: Vec<ControlApplication>,
+    simulators: Vec<PlantSimulator>,
+    runtime: AllocationRuntime,
+    bus: FlexRayBus,
+    period: f64,
+    slot_count: usize,
+}
+
+impl CoSimulation {
+    /// Builds the engine from designed applications and an offline slot
+    /// allocation (application order must match the allocation's indices).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] if the applications use different
+    ///   sampling periods, the allocation references unknown applications, or
+    ///   the bus does not offer enough static slots.
+    pub fn new(
+        apps: Vec<ControlApplication>,
+        allocation: &SlotAllocation,
+        bus_config: FlexRayConfig,
+    ) -> Result<Self> {
+        if apps.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "co-simulation needs at least one application".to_string(),
+            });
+        }
+        let period = apps[0].spec().period;
+        if apps.iter().any(|a| (a.spec().period - period).abs() > 1e-12) {
+            return Err(CoreError::InvalidConfig {
+                reason: "all applications must share the sampling period".to_string(),
+            });
+        }
+        let slot_count = allocation.slot_count();
+        if slot_count > bus_config.static_slot_count {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "allocation needs {slot_count} static slots but the bus offers only {}",
+                    bus_config.static_slot_count
+                ),
+            });
+        }
+        let mut runtime_apps = Vec::with_capacity(apps.len());
+        let mut simulators = Vec::with_capacity(apps.len());
+        let mut bus = FlexRayBus::new(bus_config)?;
+        for (index, app) in apps.iter().enumerate() {
+            let slot = allocation.slot_of(index);
+            runtime_apps.push(RuntimeApp {
+                name: app.name().to_string(),
+                threshold: app.spec().threshold,
+                slot,
+                priority: app.spec().deadline,
+            });
+            simulators.push(app.simulator()?);
+            // Every application's control signal is a bus frame; it starts in
+            // the dynamic segment and is moved into its TT slot on demand.
+            bus.register_frame(Frame::dynamic(index as u32 + 1, app.name(), 2)?)?;
+        }
+        let runtime = AllocationRuntime::new(runtime_apps, slot_count)?;
+        Ok(CoSimulation { apps, simulators, runtime, bus, period, slot_count })
+    }
+
+    /// Injects each application's configured disturbance at the current time
+    /// (the case study applies all of them at t = 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn inject_disturbances(&mut self) -> Result<()> {
+        for (app, sim) in self.apps.iter().zip(&mut self.simulators) {
+            sim.inject_disturbance(&app.spec().disturbance)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the co-simulation for `duration` seconds and returns the traces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator, runtime and bus errors.
+    pub fn run(&mut self, duration: f64) -> Result<CoSimTrace> {
+        if !(duration > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("duration must be positive, got {duration}"),
+            });
+        }
+        let steps = (duration / self.period).ceil() as usize;
+        let mut points: Vec<Vec<TracePoint>> = vec![Vec::with_capacity(steps); self.apps.len()];
+        let mut occupancy = Vec::with_capacity(steps);
+
+        for step in 0..steps {
+            let time = step as f64 * self.period;
+            let norms: Vec<f64> = self.simulators.iter().map(PlantSimulator::state_norm).collect();
+            let modes = self.runtime.step(&norms)?;
+            occupancy.push(self.runtime.slot_holders().to_vec());
+
+            for (index, mode) in modes.iter().enumerate() {
+                points[index].push(TracePoint { time, norm: norms[index], mode: *mode });
+                // Mirror the control message onto the bus: TT users own their
+                // allocated static slot for this period, ET users contend in
+                // the dynamic segment.
+                let frame_id = index as u32 + 1;
+                let segment = match mode {
+                    CommunicationMode::TimeTriggered => Segment::Static {
+                        slot: self.runtime_slot_of(index).unwrap_or(0),
+                    },
+                    CommunicationMode::EventTriggered => Segment::Dynamic,
+                };
+                // Reassignment can fail only transiently when two apps swap a
+                // slot within one period; fall back to the dynamic segment.
+                if self.bus.reassign_frame(frame_id, segment).is_err() {
+                    self.bus.reassign_frame(frame_id, Segment::Dynamic)?;
+                }
+                self.bus.queue_message(frame_id, time)?;
+                self.simulators[index].step(*mode)?;
+            }
+            self.bus.run_until(time + self.period);
+        }
+
+        let traces = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(index, app)| {
+                let series = &points[index];
+                let threshold = app.spec().threshold;
+                let norms: Vec<f64> = series.iter().map(|p| p.norm).collect();
+                let response_time = cps_control::settling_index(&norms, threshold)
+                    .map(|k| k as f64 * self.period);
+                AppTrace {
+                    name: app.name().to_string(),
+                    points: series.clone(),
+                    deadline: app.spec().deadline,
+                    response_time,
+                }
+            })
+            .collect();
+        let bus_latencies = (0..self.apps.len())
+            .map(|index| LatencyStats::from_latencies(&self.bus.latencies_of(index as u32 + 1)))
+            .collect();
+        Ok(CoSimTrace {
+            apps: traces,
+            slot_occupancy: occupancy,
+            period: self.period,
+            bus_statistics: self.bus.statistics(),
+            bus_latencies,
+        })
+    }
+
+    /// Number of TT slots managed by the runtime.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    fn runtime_slot_of(&self, app_index: usize) -> Option<usize> {
+        self.runtime
+            .slot_holders()
+            .iter()
+            .position(|holder| *holder == Some(app_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+
+    #[test]
+    fn case_study_cosim_meets_all_deadlines() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        let mut cosim =
+            CoSimulation::new(apps, &allocation, FlexRayConfig::paper_case_study()).unwrap();
+        cosim.inject_disturbances().unwrap();
+        let trace = cosim.run(12.0).unwrap();
+        assert!(trace.all_deadlines_met(), "traces: {:?}", summary(&trace));
+        assert_eq!(trace.apps.len(), 6);
+        assert!(!trace.slot_occupancy.is_empty());
+        // At least one application actually used TT communication.
+        assert!(trace
+            .apps
+            .iter()
+            .any(|a| a.points.iter().any(|p| p.mode == CommunicationMode::TimeTriggered)));
+        // The bus transported traffic in both segments.
+        assert!(trace.bus_statistics.static_transmissions > 0);
+        assert!(trace.bus_statistics.dynamic_transmissions > 0);
+    }
+
+    fn summary(trace: &CoSimTrace) -> Vec<(String, Option<f64>, f64)> {
+        trace.apps.iter().map(|a| (a.name.clone(), a.response_time, a.deadline)).collect()
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        // Empty application list.
+        assert!(CoSimulation::new(vec![], &allocation, FlexRayConfig::paper_case_study()).is_err());
+        // Bus with too few static slots.
+        let tiny_bus = FlexRayConfig {
+            cycle_length: 0.005,
+            static_slot_count: 1,
+            static_slot_length: 0.0002,
+            minislot_count: 60,
+            minislot_length: 0.00005,
+        };
+        if allocation.slot_count() > 1 {
+            assert!(CoSimulation::new(apps, &allocation, tiny_bus).is_err());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the co-design core.
+
+use std::fmt;
+
+/// Errors reported by the co-design flow.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A control-theory operation failed.
+    Control(cps_control::ControlError),
+    /// A schedulability-analysis operation failed.
+    Sched(cps_sched::SchedError),
+    /// A bus-model operation failed.
+    FlexRay(cps_flexray::FlexRayError),
+    /// A configuration value specific to the co-design layer is invalid.
+    InvalidConfig {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Control(e) => write!(f, "control-design failure: {e}"),
+            CoreError::Sched(e) => write!(f, "schedulability-analysis failure: {e}"),
+            CoreError::FlexRay(e) => write!(f, "bus-model failure: {e}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Control(e) => Some(e),
+            CoreError::Sched(e) => Some(e),
+            CoreError::FlexRay(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<cps_control::ControlError> for CoreError {
+    fn from(e: cps_control::ControlError) -> Self {
+        CoreError::Control(e)
+    }
+}
+
+impl From<cps_sched::SchedError> for CoreError {
+    fn from(e: cps_sched::SchedError) -> Self {
+        CoreError::Sched(e)
+    }
+}
+
+impl From<cps_flexray::FlexRayError> for CoreError {
+    fn from(e: cps_flexray::FlexRayError) -> Self {
+        CoreError::FlexRay(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e: CoreError = cps_sched::SchedError::InvalidParameter { reason: "x".into() }.into();
+        assert!(e.to_string().contains("schedulability"));
+        assert!(e.source().is_some());
+        let e: CoreError =
+            cps_flexray::FlexRayError::InvalidConfig { reason: "y".into() }.into();
+        assert!(e.to_string().contains("bus-model"));
+        let e: CoreError =
+            cps_control::ControlError::InvalidModel { reason: "z".into() }.into();
+        assert!(e.to_string().contains("control-design"));
+        let e = CoreError::InvalidConfig { reason: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! FlexRay cycle configuration: static (TT) segment and dynamic (ET) segment.
+
+use crate::error::{FlexRayError, Result};
+
+/// Configuration of one FlexRay communication cycle.
+///
+/// A cycle consists of a *static segment* with `static_slot_count` TDMA slots
+/// of equal length Ψ (`static_slot_length`), followed by a *dynamic segment*
+/// divided into `minislot_count` minislots of length ψ (`minislot_length`),
+/// with typically ψ ≪ Ψ. Symbol window and network idle time are lumped into
+/// the remainder of the cycle and not modelled explicitly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlexRayConfig {
+    /// Total cycle length in seconds (the paper's case study uses 5 ms).
+    pub cycle_length: f64,
+    /// Number of static (TT) slots per cycle (the paper uses 10).
+    pub static_slot_count: usize,
+    /// Length Ψ of each static slot in seconds.
+    pub static_slot_length: f64,
+    /// Number of minislots in the dynamic segment.
+    pub minislot_count: usize,
+    /// Length ψ of each minislot in seconds.
+    pub minislot_length: f64,
+}
+
+impl FlexRayConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidConfig`] if any length or count is
+    /// non-positive, if ψ ≥ Ψ, or if the two segments do not fit into the
+    /// cycle.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.cycle_length > 0.0)
+            || !(self.static_slot_length > 0.0)
+            || !(self.minislot_length > 0.0)
+            || !self.cycle_length.is_finite()
+        {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "cycle, slot and minislot lengths must be positive and finite".to_string(),
+            });
+        }
+        if self.static_slot_count == 0 || self.minislot_count == 0 {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "static slot count and minislot count must be positive".to_string(),
+            });
+        }
+        if self.minislot_length >= self.static_slot_length {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "a minislot must be shorter than a static slot (psi << Psi)".to_string(),
+            });
+        }
+        let needed = self.static_segment_length() + self.dynamic_segment_length();
+        if needed > self.cycle_length + 1e-12 {
+            return Err(FlexRayError::InvalidConfig {
+                reason: format!(
+                    "segments need {needed:.6} s but the cycle is only {:.6} s",
+                    self.cycle_length
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The case-study configuration of the paper's Section V: a 5 ms cycle
+    /// with 10 static slots in a 2 ms static segment (Ψ = 0.2 ms) and the
+    /// remaining 3 ms as dynamic segment with ψ = 0.05 ms minislots.
+    pub fn paper_case_study() -> Self {
+        FlexRayConfig {
+            cycle_length: 0.005,
+            static_slot_count: 10,
+            static_slot_length: 0.0002,
+            minislot_count: 60,
+            minislot_length: 0.00005,
+        }
+    }
+
+    /// Total length of the static segment (`count · Ψ`).
+    pub fn static_segment_length(&self) -> f64 {
+        self.static_slot_count as f64 * self.static_slot_length
+    }
+
+    /// Total length of the dynamic segment (`count · ψ`).
+    pub fn dynamic_segment_length(&self) -> f64 {
+        self.minislot_count as f64 * self.minislot_length
+    }
+
+    /// Start time of static slot `slot` (0-based) within the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidFrame`] if the slot index is out of
+    /// range.
+    pub fn static_slot_start(&self, slot: usize) -> Result<f64> {
+        if slot >= self.static_slot_count {
+            return Err(FlexRayError::InvalidFrame {
+                reason: format!(
+                    "static slot {slot} does not exist (only {} slots)",
+                    self.static_slot_count
+                ),
+            });
+        }
+        Ok(slot as f64 * self.static_slot_length)
+    }
+
+    /// Start time of the dynamic segment within the cycle.
+    pub fn dynamic_segment_start(&self) -> f64 {
+        self.static_segment_length()
+    }
+}
+
+impl Default for FlexRayConfig {
+    fn default() -> Self {
+        Self::paper_case_study()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_is_valid() {
+        let config = FlexRayConfig::paper_case_study();
+        config.validate().unwrap();
+        assert!((config.static_segment_length() - 0.002).abs() < 1e-12);
+        assert!((config.dynamic_segment_length() - 0.003).abs() < 1e-12);
+        assert_eq!(config, FlexRayConfig::default());
+    }
+
+    #[test]
+    fn slot_start_times() {
+        let config = FlexRayConfig::paper_case_study();
+        assert_eq!(config.static_slot_start(0).unwrap(), 0.0);
+        assert!((config.static_slot_start(5).unwrap() - 0.001).abs() < 1e-12);
+        assert!(config.static_slot_start(10).is_err());
+        assert!((config.dynamic_segment_start() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut config = FlexRayConfig::paper_case_study();
+        config.cycle_length = 0.0;
+        assert!(config.validate().is_err());
+
+        let mut config = FlexRayConfig::paper_case_study();
+        config.static_slot_count = 0;
+        assert!(config.validate().is_err());
+
+        let mut config = FlexRayConfig::paper_case_study();
+        config.minislot_length = 0.001;
+        assert!(config.validate().is_err(), "minislot must be shorter than static slot");
+
+        let mut config = FlexRayConfig::paper_case_study();
+        config.cycle_length = 0.004;
+        assert!(config.validate().is_err(), "segments exceed the cycle");
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the FlexRay bus simulator.
+
+use std::fmt;
+
+/// Errors reported by bus configuration and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlexRayError {
+    /// A configuration value violates its precondition (zero slot lengths,
+    /// segments exceeding the cycle, ...).
+    InvalidConfig {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+    /// A frame definition or transmission request is malformed (unknown slot,
+    /// payload too large, duplicate static assignment, ...).
+    InvalidFrame {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlexRayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlexRayError::InvalidConfig { reason } => write!(f, "invalid bus configuration: {reason}"),
+            FlexRayError::InvalidFrame { reason } => write!(f, "invalid frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FlexRayError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, FlexRayError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FlexRayError::InvalidConfig { reason: "cycle too short".into() };
+        assert!(e.to_string().contains("cycle too short"));
+        let e = FlexRayError::InvalidFrame { reason: "slot 11 does not exist".into() };
+        assert!(e.to_string().contains("slot 11"));
+    }
+}

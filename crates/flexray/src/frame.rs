@@ -1,0 +1,126 @@
+//! Frames and transmission requests.
+
+use crate::error::{FlexRayError, Result};
+
+/// Where a frame is transmitted within the FlexRay cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// Time-triggered transmission in the given static slot (0-based).
+    Static {
+        /// Index of the owned static slot.
+        slot: usize,
+    },
+    /// Event-triggered transmission in the dynamic segment, arbitrated by
+    /// frame identifier (lower identifier = higher priority).
+    Dynamic,
+}
+
+/// A frame definition registered on the bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Frame identifier; doubles as the dynamic-segment priority (lower is
+    /// higher priority), mirroring FlexRay's minislot counting scheme.
+    pub id: u32,
+    /// Human-readable name of the signal carried by this frame.
+    pub name: String,
+    /// Number of minislots one transmission of this frame occupies in the
+    /// dynamic segment (a static transmission always occupies exactly its
+    /// slot).
+    pub dynamic_minislots: usize,
+    /// Segment this frame is (currently) assigned to.
+    pub segment: Segment,
+}
+
+impl Frame {
+    /// Creates a dynamic-segment frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidFrame`] if `dynamic_minislots` is zero.
+    pub fn dynamic(id: u32, name: impl Into<String>, dynamic_minislots: usize) -> Result<Self> {
+        if dynamic_minislots == 0 {
+            return Err(FlexRayError::InvalidFrame {
+                reason: "a dynamic frame must occupy at least one minislot".to_string(),
+            });
+        }
+        Ok(Frame { id, name: name.into(), dynamic_minislots, segment: Segment::Dynamic })
+    }
+
+    /// Creates a static-slot frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidFrame`] if `dynamic_minislots` is zero
+    /// (the value is still needed in case the frame is later moved to the
+    /// dynamic segment by the dynamic resource-allocation scheme).
+    pub fn static_slot(
+        id: u32,
+        name: impl Into<String>,
+        slot: usize,
+        dynamic_minislots: usize,
+    ) -> Result<Self> {
+        if dynamic_minislots == 0 {
+            return Err(FlexRayError::InvalidFrame {
+                reason: "a frame must occupy at least one minislot".to_string(),
+            });
+        }
+        Ok(Frame {
+            id,
+            name: name.into(),
+            dynamic_minislots,
+            segment: Segment::Static { slot },
+        })
+    }
+
+    /// Returns `true` if the frame currently uses a static (TT) slot.
+    pub fn is_static(&self) -> bool {
+        matches!(self.segment, Segment::Static { .. })
+    }
+}
+
+/// A completed transmission, as recorded by the bus simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
+    /// Identifier of the transmitted frame.
+    pub frame_id: u32,
+    /// Time at which the payload was queued at the sending controller.
+    pub queued_at: f64,
+    /// Time at which the transmission completed on the bus.
+    pub completed_at: f64,
+    /// Whether the transmission used a static slot.
+    pub used_static_slot: bool,
+}
+
+impl Transmission {
+    /// End-to-end communication latency (queueing + transmission).
+    pub fn latency(&self) -> f64 {
+        self.completed_at - self.queued_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_constructors() {
+        let dynamic = Frame::dynamic(7, "steering torque", 2).unwrap();
+        assert!(!dynamic.is_static());
+        assert_eq!(dynamic.dynamic_minislots, 2);
+        let fixed = Frame::static_slot(3, "brake demand", 1, 2).unwrap();
+        assert!(fixed.is_static());
+        assert!(Frame::dynamic(7, "x", 0).is_err());
+        assert!(Frame::static_slot(7, "x", 0, 0).is_err());
+    }
+
+    #[test]
+    fn transmission_latency() {
+        let tx = Transmission {
+            frame_id: 1,
+            queued_at: 0.010,
+            completed_at: 0.0145,
+            used_static_slot: false,
+        };
+        assert!((tx.latency() - 0.0045).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,419 @@
+//! Eigenvalue computation for small dense real matrices.
+//!
+//! Stability of the closed-loop matrices `A₁` (event-triggered loop) and
+//! `A₂` (time-triggered loop) in the paper is decided by their spectral
+//! radius, so we need the full (possibly complex) spectrum of small real
+//! matrices. The implementation reduces the matrix to upper Hessenberg form
+//! with Householder reflections and then applies shifted QR iterations with
+//! deflation, extracting trailing 1×1 and 2×2 blocks analytically.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+
+/// A complex number used to report eigenvalues.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from its real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude (absolute value) of the complex number.
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Returns `true` if the imaginary part is negligible relative to `tol`.
+    pub fn is_real(&self, tol: f64) -> bool {
+        self.im.abs() <= tol
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+/// Maximum number of QR iterations per eigenvalue before giving up.
+const MAX_ITERS_PER_EIGENVALUE: usize = 200;
+
+/// Reduces a square matrix to upper Hessenberg form by orthogonal similarity
+/// transformations (Householder reflections).
+///
+/// The returned matrix has the same eigenvalues as the input.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] if `a` is rectangular.
+pub fn hessenberg(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape(), op: "hessenberg" });
+    }
+    let n = a.rows();
+    let mut h = a.clone();
+    if n < 3 {
+        return Ok(h);
+    }
+    for k in 0..(n - 2) {
+        // Householder vector annihilating entries below the first subdiagonal
+        // in column k.
+        let mut norm = 0.0;
+        for i in (k + 1)..n {
+            norm += h[(i, k)] * h[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            continue;
+        }
+        let alpha = if h[(k + 1, k)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; n];
+        v[k + 1] = h[(k + 1, k)] - alpha;
+        for i in (k + 2)..n {
+            v[i] = h[(i, k)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < 1e-300 {
+            continue;
+        }
+        // H <- P H with P = I - 2 v vᵀ / vᵀv.
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in (k + 1)..n {
+                dot += v[i] * h[(i, j)];
+            }
+            let scale = 2.0 * dot / vtv;
+            for i in (k + 1)..n {
+                h[(i, j)] -= scale * v[i];
+            }
+        }
+        // H <- H P.
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in (k + 1)..n {
+                dot += h[(i, j)] * v[j];
+            }
+            let scale = 2.0 * dot / vtv;
+            for j in (k + 1)..n {
+                h[(i, j)] -= scale * v[j];
+            }
+        }
+    }
+    // Clean entries that are exactly zero by construction.
+    for i in 2..n {
+        for j in 0..(i - 1) {
+            h[(i, j)] = 0.0;
+        }
+    }
+    Ok(h)
+}
+
+/// Eigenvalues of the 2×2 matrix `[[a, b], [c, d]]`.
+fn eig_2x2(a: f64, b: f64, c: f64, d: f64) -> [Complex; 2] {
+    let trace = a + d;
+    let det = a * d - b * c;
+    let disc = trace * trace / 4.0 - det;
+    if disc >= 0.0 {
+        let root = disc.sqrt();
+        [Complex::real(trace / 2.0 + root), Complex::real(trace / 2.0 - root)]
+    } else {
+        let root = (-disc).sqrt();
+        [Complex::new(trace / 2.0, root), Complex::new(trace / 2.0, -root)]
+    }
+}
+
+/// Computes all eigenvalues of a square real matrix.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is rectangular.
+/// * [`LinalgError::InvalidArgument`] if `a` contains non-finite entries.
+/// * [`LinalgError::NotConverged`] if the shifted QR iteration does not
+///   deflate within its iteration budget (practically never happens for the
+///   small, well-conditioned matrices appearing in control design).
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{eigenvalues, Matrix};
+///
+/// // Rotation-and-scale matrix: eigenvalues 0.5 ± 0.5i.
+/// let a = Matrix::from_rows(&[&[0.5, -0.5], &[0.5, 0.5]])?;
+/// let eigs = eigenvalues(&a)?;
+/// assert!((eigs[0].abs() - 0.7071).abs() < 1e-3);
+/// # Ok::<(), cps_linalg::LinalgError>(())
+/// ```
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape(), op: "eigenvalues" });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::InvalidArgument {
+            reason: "matrix contains non-finite entries".to_string(),
+        });
+    }
+    let n = a.rows();
+    if n == 1 {
+        return Ok(vec![Complex::real(a[(0, 0)])]);
+    }
+    if n == 2 {
+        return Ok(eig_2x2(a[(0, 0)], a[(0, 1)], a[(1, 0)], a[(1, 1)]).to_vec());
+    }
+
+    let mut h = hessenberg(a)?;
+    let mut eigs: Vec<Complex> = Vec::with_capacity(n);
+    let mut active = n; // current active trailing dimension (leading block 0..active)
+    let scale = a.inf_norm().max(1.0);
+    let tol = 1e-12 * scale;
+    let mut iterations_since_deflation = 0usize;
+    let mut total_budget = MAX_ITERS_PER_EIGENVALUE * n;
+
+    while active > 0 {
+        if active == 1 {
+            eigs.push(Complex::real(h[(0, 0)]));
+            break;
+        }
+        if active == 2 {
+            eigs.extend_from_slice(&eig_2x2(h[(0, 0)], h[(0, 1)], h[(1, 0)], h[(1, 1)]));
+            break;
+        }
+        // Check for deflation opportunities at the bottom of the active block.
+        let p = active - 1;
+        if h[(p, p - 1)].abs() <= tol * (h[(p, p)].abs() + h[(p - 1, p - 1)].abs()).max(1.0) {
+            eigs.push(Complex::real(h[(p, p)]));
+            active -= 1;
+            iterations_since_deflation = 0;
+            continue;
+        }
+        if h[(p - 1, p - 2)].abs()
+            <= tol * (h[(p - 1, p - 1)].abs() + h[(p - 2, p - 2)].abs()).max(1.0)
+        {
+            eigs.extend_from_slice(&eig_2x2(
+                h[(p - 1, p - 1)],
+                h[(p - 1, p)],
+                h[(p, p - 1)],
+                h[(p, p)],
+            ));
+            active -= 2;
+            iterations_since_deflation = 0;
+            continue;
+        }
+
+        if total_budget == 0 {
+            return Err(LinalgError::NotConverged {
+                algorithm: "shifted QR eigenvalues",
+                iterations: MAX_ITERS_PER_EIGENVALUE * n,
+            });
+        }
+        total_budget -= 1;
+        iterations_since_deflation += 1;
+
+        // Wilkinson-style shift from the trailing 2×2 block, with an
+        // occasional exceptional shift to break symmetry-induced stalls.
+        let trailing = eig_2x2(h[(p - 1, p - 1)], h[(p - 1, p)], h[(p, p - 1)], h[(p, p)]);
+        let mut shift = if trailing[0].is_real(1e-300) {
+            // Pick the real eigenvalue closer to the bottom-right entry.
+            if (trailing[0].re - h[(p, p)]).abs() < (trailing[1].re - h[(p, p)]).abs() {
+                trailing[0].re
+            } else {
+                trailing[1].re
+            }
+        } else {
+            trailing[0].re
+        };
+        if iterations_since_deflation % 17 == 0 {
+            shift = h[(p, p)].abs() + h[(p, p - 1)].abs();
+        }
+
+        // One explicit shifted QR step on the active leading block.
+        let block = h.block(0, 0, active, active)?;
+        let shifted = block.sub_matrix(&Matrix::identity(active).scale(shift))?;
+        let qr = Qr::decompose(&shifted)?;
+        let next = qr.r().matmul(qr.q())?.add_matrix(&Matrix::identity(active).scale(shift))?;
+        h.set_block(0, 0, &next)?;
+    }
+
+    Ok(eigs)
+}
+
+/// Spectral radius: the maximum modulus over all eigenvalues.
+///
+/// A discrete-time LTI system `x[k+1] = A x[k]` is asymptotically stable iff
+/// the spectral radius of `A` is strictly below one — the criterion the paper
+/// applies to both switched closed-loop matrices.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigenvalues`].
+pub fn spectral_radius(a: &Matrix) -> Result<f64> {
+    Ok(eigenvalues(a)?.iter().map(Complex::abs).fold(0.0, f64::max))
+}
+
+/// Returns `true` if the matrix is Schur stable (spectral radius < 1), i.e.
+/// the corresponding discrete-time system is asymptotically stable.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigenvalues`].
+pub fn is_schur_stable(a: &Matrix) -> Result<bool> {
+    Ok(spectral_radius(a)? < 1.0)
+}
+
+/// Returns `true` if the matrix is Hurwitz stable (all eigenvalues have a
+/// strictly negative real part), i.e. the corresponding continuous-time
+/// system is asymptotically stable.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eigenvalues`].
+pub fn is_hurwitz_stable(a: &Matrix) -> Result<bool> {
+    Ok(eigenvalues(a)?.iter().all(|e| e.re < 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real(mut eigs: Vec<Complex>) -> Vec<f64> {
+        eigs.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+        eigs.into_iter().map(|e| e.re).collect()
+    }
+
+    #[test]
+    fn eigenvalues_of_diagonal() {
+        let a = Matrix::diagonal(&[3.0, -1.0, 0.5]).unwrap();
+        let eigs = sorted_real(eigenvalues(&a).unwrap());
+        assert!((eigs[0] + 1.0).abs() < 1e-9);
+        assert!((eigs[1] - 0.5).abs() < 1e-9);
+        assert!((eigs[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_of_triangular() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, -3.0, 5.0], &[0.0, 0.0, 7.0]]).unwrap();
+        let eigs = sorted_real(eigenvalues(&a).unwrap());
+        assert!((eigs[0] + 3.0).abs() < 1e-8);
+        assert!((eigs[1] - 2.0).abs() < 1e-8);
+        assert!((eigs[2] - 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn complex_pair_from_rotation() {
+        // Pure rotation by 90 degrees: eigenvalues ±i.
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]).unwrap();
+        let eigs = eigenvalues(&a).unwrap();
+        assert!(eigs.iter().all(|e| (e.abs() - 1.0).abs() < 1e-10));
+        assert!(eigs.iter().any(|e| e.im > 0.5));
+        assert!(eigs.iter().any(|e| e.im < -0.5));
+    }
+
+    #[test]
+    fn complex_pair_in_larger_matrix() {
+        // Block diagonal: rotation-scale block (0.6 ± 0.3i) plus real 0.2.
+        let a = Matrix::from_rows(&[
+            &[0.6, -0.3, 0.0],
+            &[0.3, 0.6, 0.0],
+            &[0.0, 0.0, 0.2],
+        ])
+        .unwrap();
+        let eigs = eigenvalues(&a).unwrap();
+        let radius = spectral_radius(&a).unwrap();
+        assert!((radius - (0.6f64 * 0.6 + 0.3 * 0.3).sqrt()).abs() < 1e-8);
+        assert_eq!(eigs.len(), 3);
+        assert!(eigs.iter().any(|e| e.is_real(1e-8) && (e.re - 0.2).abs() < 1e-8));
+    }
+
+    #[test]
+    fn symmetric_matrix_has_real_spectrum() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 3.0, 0.2, 0.1],
+            &[0.5, 0.2, 2.0, 0.3],
+            &[0.0, 0.1, 0.3, 1.0],
+        ])
+        .unwrap();
+        let eigs = eigenvalues(&a).unwrap();
+        assert_eq!(eigs.len(), 4);
+        assert!(eigs.iter().all(|e| e.is_real(1e-6)));
+        let trace: f64 = eigs.iter().map(|e| e.re).sum();
+        assert!((trace - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hessenberg_preserves_spectrum() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[5.0, 6.0, 7.0, 8.0],
+            &[9.0, 1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0, 1.0],
+        ])
+        .unwrap();
+        let h = hessenberg(&a).unwrap();
+        // Hessenberg structure: zeros below the first subdiagonal.
+        for i in 2..4 {
+            for j in 0..(i - 1) {
+                assert_eq!(h[(i, j)], 0.0);
+            }
+        }
+        // Similarity transform preserves the trace.
+        assert!((h.trace().unwrap() - a.trace().unwrap()).abs() < 1e-9);
+        let ra = spectral_radius(&a).unwrap();
+        let rh = spectral_radius(&h).unwrap();
+        assert!((ra - rh).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stability_predicates() {
+        let stable = Matrix::from_rows(&[&[0.5, 0.1], &[0.0, 0.3]]).unwrap();
+        assert!(is_schur_stable(&stable).unwrap());
+        let unstable = Matrix::from_rows(&[&[1.2, 0.0], &[0.0, 0.3]]).unwrap();
+        assert!(!is_schur_stable(&unstable).unwrap());
+
+        let hurwitz = Matrix::from_rows(&[&[-1.0, 2.0], &[0.0, -3.0]]).unwrap();
+        assert!(is_hurwitz_stable(&hurwitz).unwrap());
+        let not_hurwitz = Matrix::from_rows(&[&[0.1, 0.0], &[0.0, -3.0]]).unwrap();
+        assert!(!is_hurwitz_stable(&not_hurwitz).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(eigenvalues(&Matrix::zeros(2, 3)).is_err());
+        let mut nan = Matrix::identity(2);
+        nan[(0, 0)] = f64::NAN;
+        assert!(eigenvalues(&nan).is_err());
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_rows(&[&[42.0]]).unwrap();
+        let eigs = eigenvalues(&a).unwrap();
+        assert_eq!(eigs.len(), 1);
+        assert_eq!(eigs[0].re, 42.0);
+    }
+
+    #[test]
+    fn complex_display_and_helpers() {
+        let c = Complex::new(1.0, -2.0);
+        assert!(format!("{c}").contains('-'));
+        assert!(Complex::real(3.0).is_real(0.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+        assert_eq!(Complex::default(), Complex::new(0.0, 0.0));
+    }
+}

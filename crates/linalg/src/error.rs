@@ -1,0 +1,113 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors reported by the linear-algebra routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that was attempted.
+        op: &'static str,
+    },
+    /// The operation requires a square matrix but got a rectangular one.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+        /// Name of the operation that was attempted.
+        op: &'static str,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be factored
+    /// or inverted.
+    Singular {
+        /// Index of the pivot at which the factorisation broke down.
+        pivot: usize,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NotConverged {
+        /// Name of the algorithm that gave up.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument carried an invalid value (empty dimension, negative weight
+    /// matrix, non-finite entry, ...).
+    InvalidArgument {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape, op } => {
+                write!(f, "{op} requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotConverged { algorithm, iterations } => {
+                write!(f, "{algorithm} did not converge after {iterations} iterations")
+            }
+            LinalgError::InvalidArgument { reason } => {
+                write!(f, "invalid argument: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = LinalgError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "mul" };
+        assert_eq!(err.to_string(), "shape mismatch in mul: left is 2x3, right is 4x5");
+    }
+
+    #[test]
+    fn display_not_square() {
+        let err = LinalgError::NotSquare { shape: (2, 3), op: "inverse" };
+        assert!(err.to_string().contains("requires a square matrix"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let err = LinalgError::Singular { pivot: 1 };
+        assert_eq!(err.to_string(), "matrix is singular at pivot 1");
+    }
+
+    #[test]
+    fn display_not_converged() {
+        let err = LinalgError::NotConverged { algorithm: "qr eigenvalues", iterations: 500 };
+        assert!(err.to_string().contains("did not converge"));
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let err = LinalgError::InvalidArgument { reason: "empty matrix".to_string() };
+        assert!(err.to_string().contains("empty matrix"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,258 @@
+//! Matrix exponential and the zero-order-hold discretisation integrals
+//! required to derive the paper's plant model (Eq. (1)) from continuous-time
+//! dynamics.
+
+use crate::error::{LinalgError, Result};
+use crate::lu::Lu;
+use crate::matrix::Matrix;
+
+/// Computes the matrix exponential `e^A` using scaling-and-squaring with a
+/// Padé(6,6) approximant.
+///
+/// Accuracy is more than sufficient for the small (≤ 10 state) control
+/// matrices in this repository.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is rectangular.
+/// * [`LinalgError::InvalidArgument`] if `a` contains non-finite entries.
+/// * [`LinalgError::Singular`] if the Padé denominator cannot be inverted
+///   (does not happen for finite input after scaling).
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{expm, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]])?;
+/// let e = expm(&a)?;
+/// // exp([[0,1],[0,0]]) = [[1,1],[0,1]]
+/// assert!(e.approx_eq(&Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]])?, 1e-12));
+/// # Ok::<(), cps_linalg::LinalgError>(())
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape(), op: "expm" });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::InvalidArgument {
+            reason: "matrix contains non-finite entries".to_string(),
+        });
+    }
+    let n = a.rows();
+    let norm = a.inf_norm();
+
+    // Scale so that the norm is below 0.5, compute the Padé approximant,
+    // then square back.
+    let mut squarings = 0u32;
+    let mut scaled = a.clone();
+    if norm > 0.5 {
+        squarings = (norm / 0.5).log2().ceil() as u32;
+        scaled = a.scale(1.0 / f64::powi(2.0, squarings as i32));
+    }
+
+    // Padé(6,6): p(A) / q(A) with q(A) = p(-A).
+    const PADE_COEFFS: [f64; 7] =
+        [1.0, 0.5, 0.1136363636363636, 0.015151515151515152, 0.0012626262626262627, 6.313131313131313e-5, 1.5031265031265032e-6];
+    let mut term = Matrix::identity(n);
+    let mut numerator = Matrix::identity(n).scale(PADE_COEFFS[0]);
+    let mut denominator = Matrix::identity(n).scale(PADE_COEFFS[0]);
+    let mut sign = 1.0;
+    for &coeff in PADE_COEFFS.iter().skip(1) {
+        term = term.matmul(&scaled)?;
+        sign = -sign;
+        numerator = numerator.add_matrix(&term.scale(coeff))?;
+        denominator = denominator.add_matrix(&term.scale(coeff * sign))?;
+    }
+    let mut result = Lu::decompose(&denominator)?.solve_matrix(&numerator)?;
+    for _ in 0..squarings {
+        result = result.matmul(&result)?;
+    }
+    Ok(result)
+}
+
+/// Zero-order-hold discretisation of the continuous-time pair `(A, B)` over a
+/// step of `dt` seconds:
+///
+/// * `phi = e^{A·dt}`
+/// * `gamma = ∫₀^{dt} e^{A·s} ds · B`
+///
+/// Both are computed simultaneously from the exponential of the augmented
+/// matrix `[[A, B], [0, 0]]`, which is numerically robust even when `A` is
+/// singular (pure integrators such as the servo-position plant).
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is rectangular.
+/// * [`LinalgError::ShapeMismatch`] if `b` has a different number of rows
+///   than `a`.
+/// * [`LinalgError::InvalidArgument`] if `dt` is not positive and finite.
+pub fn discretize_zoh(a: &Matrix, b: &Matrix, dt: f64) -> Result<(Matrix, Matrix)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape(), op: "discretize_zoh" });
+    }
+    if b.rows() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "discretize_zoh",
+        });
+    }
+    if !(dt > 0.0) || !dt.is_finite() {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("discretisation step must be positive and finite, got {dt}"),
+        });
+    }
+    let n = a.rows();
+    let m = b.cols();
+    // Augmented matrix [[A, B], [0, 0]] * dt.
+    let mut aug = Matrix::zeros(n + m, n + m);
+    aug.set_block(0, 0, &a.scale(dt))?;
+    aug.set_block(0, n, &b.scale(dt))?;
+    let exp_aug = expm(&aug)?;
+    let phi = exp_aug.block(0, 0, n, n)?;
+    let gamma = exp_aug.block(0, n, n, m)?;
+    Ok((phi, gamma))
+}
+
+/// Computes the partial zero-order-hold input integral
+/// `∫_{t0}^{t1} e^{A·s} ds · B` for `0 ≤ t0 ≤ t1`.
+///
+/// This is exactly what is needed for the delayed-input model of the paper's
+/// Eq. (1): with sensor-to-actuator delay `d ≤ h`,
+/// `Γ₀ = ∫₀^{h−d} e^{A·s} ds · B` and `Γ₁ = ∫_{h−d}^{h} e^{A·s} ds · B`.
+///
+/// # Errors
+///
+/// Same conditions as [`discretize_zoh`], plus
+/// [`LinalgError::InvalidArgument`] if `t0 > t1` or `t0 < 0`.
+pub fn input_integral(a: &Matrix, b: &Matrix, t0: f64, t1: f64) -> Result<Matrix> {
+    if t0 < 0.0 || t0 > t1 || !t0.is_finite() || !t1.is_finite() {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("integral bounds must satisfy 0 <= t0 <= t1, got [{t0}, {t1}]"),
+        });
+    }
+    if b.rows() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "input_integral",
+        });
+    }
+    if t1 == 0.0 || (t1 - t0) == 0.0 {
+        return Ok(Matrix::zeros(a.rows(), b.cols()));
+    }
+    // ∫_{t0}^{t1} e^{A s} ds B = ∫_0^{t1} ... − ∫_0^{t0} ...
+    let (_, g1) = discretize_zoh(a, b, t1)?;
+    if t0 == 0.0 {
+        return Ok(g1);
+    }
+    let (_, g0) = discretize_zoh(a, b, t0)?;
+    g1.sub_matrix(&g0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        assert!(expm(&z).unwrap().approx_eq(&Matrix::identity(3), 1e-14));
+    }
+
+    #[test]
+    fn expm_of_diagonal() {
+        let a = Matrix::diagonal(&[1.0, -2.0]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - 1f64.exp()).abs() < 1e-10);
+        assert!((e[(1, 1)] - (-2f64).exp()).abs() < 1e-10);
+        assert!(e[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_of_rotation_matches_closed_form() {
+        // exp([[0, -w], [w, 0]] t) = [[cos wt, -sin wt], [sin wt, cos wt]]
+        let w = 2.0;
+        let a = Matrix::from_rows(&[&[0.0, -w], &[w, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - w.cos()).abs() < 1e-9);
+        assert!((e[(1, 0)] - w.sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expm_large_norm_uses_squaring() {
+        let a = Matrix::diagonal(&[5.0, -5.0]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - 5f64.exp()).abs() / 5f64.exp() < 1e-9);
+        assert!((e[(1, 1)] - (-5f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expm_rejects_bad_input() {
+        assert!(expm(&Matrix::zeros(2, 3)).is_err());
+        let mut nan = Matrix::identity(2);
+        nan[(1, 1)] = f64::INFINITY;
+        assert!(expm(&nan).is_err());
+    }
+
+    #[test]
+    fn zoh_double_integrator_matches_closed_form() {
+        // Double integrator: A = [[0,1],[0,0]], B = [[0],[1]].
+        // phi = [[1, h], [0, 1]], gamma = [[h^2/2], [h]].
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let b = Matrix::column(&[0.0, 1.0]).unwrap();
+        let h = 0.02;
+        let (phi, gamma) = discretize_zoh(&a, &b, h).unwrap();
+        assert!((phi[(0, 1)] - h).abs() < 1e-12);
+        assert!((gamma[(0, 0)] - h * h / 2.0).abs() < 1e-12);
+        assert!((gamma[(1, 0)] - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zoh_first_order_lag_matches_closed_form() {
+        // dx = -a x + b u: phi = e^{-a h}, gamma = b (1 - e^{-a h}) / a.
+        let a_coeff = 3.0;
+        let b_coeff = 2.0;
+        let a = Matrix::from_rows(&[&[-a_coeff]]).unwrap();
+        let b = Matrix::from_rows(&[&[b_coeff]]).unwrap();
+        let h = 0.1;
+        let (phi, gamma) = discretize_zoh(&a, &b, h).unwrap();
+        assert!((phi[(0, 0)] - (-a_coeff * h).exp()).abs() < 1e-10);
+        assert!((gamma[(0, 0)] - b_coeff * (1.0 - (-a_coeff * h).exp()) / a_coeff).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zoh_rejects_bad_arguments() {
+        let a = Matrix::identity(2);
+        let b = Matrix::column(&[1.0, 0.0]).unwrap();
+        assert!(discretize_zoh(&a, &b, 0.0).is_err());
+        assert!(discretize_zoh(&a, &b, f64::NAN).is_err());
+        assert!(discretize_zoh(&a, &Matrix::column(&[1.0]).unwrap(), 0.1).is_err());
+        assert!(discretize_zoh(&Matrix::zeros(2, 3), &b, 0.1).is_err());
+    }
+
+    #[test]
+    fn input_integral_splits_the_full_interval() {
+        // Γ₀ + Γ₁ must equal the full ZOH gamma for any split point.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[-4.0, -0.8]]).unwrap();
+        let b = Matrix::column(&[0.0, 1.5]).unwrap();
+        let h = 0.02;
+        let d = 0.007;
+        let (_, gamma_full) = discretize_zoh(&a, &b, h).unwrap();
+        let gamma0 = input_integral(&a, &b, 0.0, h - d).unwrap();
+        let gamma1 = input_integral(&a, &b, h - d, h).unwrap();
+        let sum = gamma0.add_matrix(&gamma1).unwrap();
+        assert!(sum.approx_eq(&gamma_full, 1e-10));
+    }
+
+    #[test]
+    fn input_integral_degenerate_bounds() {
+        let a = Matrix::identity(2);
+        let b = Matrix::column(&[1.0, 1.0]).unwrap();
+        let zero = input_integral(&a, &b, 0.01, 0.01).unwrap();
+        assert!(zero.approx_eq(&Matrix::zeros(2, 1), 1e-15));
+        assert!(input_integral(&a, &b, 0.02, 0.01).is_err());
+        assert!(input_integral(&a, &b, -0.1, 0.01).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! # cps-linalg
+//!
+//! Dense small-matrix linear algebra substrate for the DATE 2019 reproduction
+//! *Exploiting System Dynamics for Resource-Efficient Automotive CPS Design*.
+//!
+//! Automotive control loops involve plants with a handful of states, so this
+//! crate favours clarity, exhaustive validation and predictable numerics over
+//! raw throughput. It provides exactly the operations the rest of the
+//! workspace needs:
+//!
+//! * [`Matrix`] — dense row-major matrices with shape-checked arithmetic.
+//! * [`Lu`] / [`solve`] / [`inverse`] / [`determinant`] — LU factorisation
+//!   with partial pivoting.
+//! * [`Qr`] / [`polyfit`] — Householder QR and least-squares fitting.
+//! * [`eigenvalues`] / [`spectral_radius`] / [`is_schur_stable`] — spectra of
+//!   small real matrices via Hessenberg reduction + shifted QR.
+//! * [`expm`] / [`discretize_zoh`] / [`input_integral`] — matrix exponential
+//!   and the zero-order-hold integrals behind the paper's delayed-input plant
+//!   model (Eq. (1)).
+//! * [`solve_discrete_lyapunov`] — Lyapunov-based stability certificates.
+//! * [`solve_dare`] / [`dlqr`] — discrete Riccati equation and LQR synthesis.
+//!
+//! # Example
+//!
+//! ```
+//! use cps_linalg::{dlqr, discretize_zoh, is_schur_stable, DareOptions, Matrix};
+//!
+//! // Continuous-time double integrator, sampled with h = 20 ms.
+//! let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]])?;
+//! let b = Matrix::column(&[0.0, 1.0])?;
+//! let (phi, gamma) = discretize_zoh(&a, &b, 0.02)?;
+//!
+//! let sol = dlqr(&phi, &gamma, &Matrix::identity(2), &Matrix::from_rows(&[&[0.1]])?,
+//!                DareOptions::default())?;
+//! let closed_loop = phi.sub_matrix(&gamma.matmul(&sol.gain)?)?;
+//! assert!(is_schur_stable(&closed_loop)?);
+//! # Ok::<(), cps_linalg::LinalgError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod expm;
+mod lu;
+mod lyapunov;
+mod matrix;
+mod qr;
+mod riccati;
+
+pub mod eig;
+
+pub use eig::{eigenvalues, is_hurwitz_stable, is_schur_stable, spectral_radius, Complex};
+pub use error::{LinalgError, Result};
+pub use expm::{discretize_zoh, expm, input_integral};
+pub use lu::{determinant, inverse, solve, Lu};
+pub use lyapunov::{is_positive_definite, is_schur_stable_lyapunov, solve_discrete_lyapunov};
+pub use matrix::{dot, vec_norm, Matrix};
+pub use qr::{polyfit, polyval, Qr};
+pub use riccati::{dlqr, solve_dare, DareOptions, LqrSolution};

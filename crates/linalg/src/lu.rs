@@ -1,0 +1,281 @@
+//! LU decomposition with partial pivoting, and the linear solves / inverses /
+//! determinants built on top of it.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Pivot threshold below which a matrix is treated as numerically singular.
+const SINGULARITY_TOL: f64 = 1e-13;
+
+/// LU decomposition of a square matrix with partial (row) pivoting:
+/// `P * A = L * U`.
+///
+/// The factors are stored compactly: the strict lower triangle of `lu` holds
+/// `L` (with an implicit unit diagonal) and the upper triangle holds `U`.
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{Lu, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]])?;
+/// let lu = Lu::decompose(&a)?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), cps_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix corresponds to row
+    /// `perm[i]` of the original matrix.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), needed for the determinant.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Singular`] if a pivot smaller than the singularity
+    ///   tolerance is encountered.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape(), op: "lu" });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find the pivot row for column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < SINGULARITY_TOL {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            // Eliminate below the pivot.
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / lu[(k, k)];
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    lu[(r, c)] -= factor * lu[(k, c)];
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "lu solve",
+            });
+        }
+        // Apply the permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `B` has a different number of
+    /// rows than `A`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "lu solve_matrix",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = b.col(c);
+            let x = self.solve(&col)?;
+            for (r, value) in x.into_iter().enumerate() {
+                out[(r, c)] = value;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        let mut det = self.perm_sign;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (the factorisation itself already guarantees
+    /// non-singularity).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Solves the linear system `A x = b`.
+///
+/// Convenience wrapper over [`Lu::decompose`] + [`Lu::solve`] for one-shot use.
+///
+/// # Errors
+///
+/// Returns the underlying factorisation or shape errors.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::decompose(a)?.solve(b)
+}
+
+/// Inverse of a square non-singular matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if the matrix cannot be inverted and
+/// [`LinalgError::NotSquare`] if it is rectangular.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::decompose(a)?.inverse()
+}
+
+/// Determinant of a square matrix (zero if the factorisation detects
+/// singularity).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] if the matrix is rectangular.
+pub fn determinant(a: &Matrix) -> Result<f64> {
+    match Lu::decompose(a) {
+        Ok(lu) => Ok(lu.determinant()),
+        Err(LinalgError::Singular { .. }) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = Lu::decompose(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::decompose(&a), Err(LinalgError::Singular { .. })));
+        assert_eq!(determinant(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]]).unwrap();
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
+        // det = 1*(50-48) - 2*(40-42) + 3*(32-35) = 2 + 4 - 9 = -3
+        assert!((determinant(&a).unwrap() + 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_of_identity_is_one() {
+        assert!((determinant(&Matrix::identity(4)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((determinant(&a).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_solves_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0]]).unwrap();
+        let x = Lu::decompose(&a).unwrap().solve_matrix(&b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-10));
+    }
+}

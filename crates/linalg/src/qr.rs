@@ -1,0 +1,280 @@
+//! QR decomposition via Householder reflections.
+//!
+//! The eigenvalue solver ([`crate::eig`]) and the least-squares fitting used
+//! when approximating dwell-time curves both build on this factorisation.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// QR decomposition `A = Q * R` with `Q` orthogonal and `R` upper triangular.
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{Matrix, Qr};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])?;
+/// let qr = Qr::decompose(&a)?;
+/// let back = qr.q().matmul(qr.r())?;
+/// assert!(back.approx_eq(&a, 1e-10));
+/// # Ok::<(), cps_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factors `a` (which may be rectangular with `rows >= cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `a` has fewer rows than
+    /// columns (the thin factorisation used here requires a tall matrix).
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidArgument {
+                reason: format!("qr requires rows >= cols, got {m}x{n}"),
+            });
+        }
+        let mut r = a.clone();
+        let mut q = Matrix::identity(m);
+
+        for k in 0..n.min(m - 1) {
+            // Build the Householder vector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm < 1e-300 {
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            v[k] = r[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                v[i] = r[(i, k)];
+            }
+            let vtv: f64 = v.iter().map(|x| x * x).sum();
+            if vtv < 1e-300 {
+                continue;
+            }
+
+            // Apply the reflector to R: R <- (I - 2 v vᵀ / vᵀv) R.
+            for j in 0..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let scale = 2.0 * dot / vtv;
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i];
+                }
+            }
+            // Accumulate into Q: Q <- Q (I - 2 v vᵀ / vᵀv).
+            for i in 0..m {
+                let mut dot = 0.0;
+                for j in k..m {
+                    dot += q[(i, j)] * v[j];
+                }
+                let scale = 2.0 * dot / vtv;
+                for j in k..m {
+                    q[(i, j)] -= scale * v[j];
+                }
+            }
+        }
+        // Zero out numerical noise below the diagonal of R.
+        for i in 0..m {
+            for j in 0..n.min(i) {
+                r[(i, j)] = 0.0;
+            }
+        }
+        Ok(Qr { q, r })
+    }
+
+    /// The orthogonal factor `Q` (`m × m`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`m × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂` using the
+    /// factorisation.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `b.len()` differs from the number
+    ///   of rows of `A`.
+    /// * [`LinalgError::Singular`] if `R` has a (numerically) zero diagonal
+    ///   entry, i.e. `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let m = self.q.rows();
+        let n = self.r.cols();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                left: (m, n),
+                right: (b.len(), 1),
+                op: "least squares",
+            });
+        }
+        // y = Qᵀ b (only the first n entries are needed).
+        let mut y = vec![0.0; n];
+        for j in 0..n {
+            let mut acc = 0.0;
+            for i in 0..m {
+                acc += self.q[(i, j)] * b[i];
+            }
+            y[j] = acc;
+        }
+        // Back-substitute R x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            let diag = self.r[(i, i)];
+            if diag.abs() < 1e-12 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = acc / diag;
+        }
+        Ok(x)
+    }
+}
+
+/// Fits a least-squares polynomial of degree `degree` through the points
+/// `(xs[i], ys[i])`, returning coefficients in ascending power order.
+///
+/// Used by the dwell-time model fitting to smooth simulated characterisation
+/// curves before extracting breakpoints.
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidArgument`] if the slices differ in length or there
+///   are fewer points than coefficients.
+/// * [`LinalgError::Singular`] if the Vandermonde system is rank deficient.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("xs has {} points but ys has {}", xs.len(), ys.len()),
+        });
+    }
+    let n_coeffs = degree + 1;
+    if xs.len() < n_coeffs {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("need at least {} points for degree {}", n_coeffs, degree),
+        });
+    }
+    let mut vander = Matrix::zeros(xs.len(), n_coeffs);
+    for (i, &x) in xs.iter().enumerate() {
+        let mut p = 1.0;
+        for j in 0..n_coeffs {
+            vander[(i, j)] = p;
+            p *= x;
+        }
+    }
+    Qr::decompose(&vander)?.solve_least_squares(ys)
+}
+
+/// Evaluates a polynomial with coefficients in ascending power order.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]])
+            .unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let back = qr.q().matmul(qr.r()).unwrap();
+        assert!(back.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0], &[0.0, 4.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        for i in 0..qr.r().rows() {
+            for j in 0..qr.r().cols().min(i) {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wide_matrices() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 2 + 3x measured exactly: least squares must recover it.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let coeffs = polyfit(&xs, &ys, 1).unwrap();
+        assert!((coeffs[0] - 2.0).abs() < 1e-10);
+        assert!((coeffs[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimises_residual() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        // Overdetermined, inconsistent data.
+        let x = qr.solve_least_squares(&[0.0, 1.0, 3.0]).unwrap();
+        // Normal-equation solution: intercept ~ -1/6, slope 1.5.
+        assert!((x[0] + 1.0 / 6.0).abs() < 1e-9);
+        assert!((x[1] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_checks_rhs_length() {
+        let a = Matrix::identity(3);
+        let qr = Qr::decompose(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn polyfit_rejects_bad_input() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0], 1).is_err());
+        assert!(polyfit(&[1.0], &[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn polyval_evaluates_in_ascending_order() {
+        // 1 + 2x + 3x^2 at x = 2 -> 17
+        assert_eq!(polyval(&[1.0, 2.0, 3.0], 2.0), 17.0);
+        assert_eq!(polyval(&[], 2.0), 0.0);
+    }
+
+    #[test]
+    fn polyfit_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 0.5 * x + 0.25 * x * x).collect();
+        let coeffs = polyfit(&xs, &ys, 2).unwrap();
+        assert!((coeffs[0] - 1.0).abs() < 1e-8);
+        assert!((coeffs[1] + 0.5).abs() < 1e-8);
+        assert!((coeffs[2] - 0.25).abs() < 1e-8);
+    }
+}

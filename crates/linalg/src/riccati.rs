@@ -1,0 +1,260 @@
+//! Discrete-time algebraic Riccati equation (DARE) solver and the LQR gain
+//! computation built on it.
+//!
+//! The paper designs the event-triggered and time-triggered state-feedback
+//! controllers "using optimal control principles" (Section II-B, refs [9],
+//! [10]); in this reproduction that is an infinite-horizon discrete LQR.
+
+use crate::error::{LinalgError, Result};
+use crate::lu::Lu;
+use crate::matrix::Matrix;
+
+/// Options controlling the fixed-point DARE iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DareOptions {
+    /// Maximum number of Riccati recursion steps.
+    pub max_iterations: usize,
+    /// Convergence threshold on the max-abs difference between successive
+    /// iterates.
+    pub tolerance: f64,
+}
+
+impl Default for DareOptions {
+    fn default() -> Self {
+        DareOptions { max_iterations: 20_000, tolerance: 1e-11 }
+    }
+}
+
+/// Solves the discrete-time algebraic Riccati equation
+///
+/// `P = AᵀPA − AᵀPB (R + BᵀPB)⁻¹ BᵀPA + Q`
+///
+/// by iterating the finite-horizon Riccati recursion to convergence (value
+/// iteration). For stabilisable `(A, B)` and detectable `(A, Q^{1/2})` the
+/// recursion converges to the unique stabilising solution.
+///
+/// # Errors
+///
+/// * Shape errors if the operands are malformed.
+/// * [`LinalgError::InvalidArgument`] if `Q` or `R` is not symmetric.
+/// * [`LinalgError::Singular`] if `R + BᵀPB` becomes singular.
+/// * [`LinalgError::NotConverged`] if the recursion does not converge (for
+///   example because the pair is not stabilisable).
+pub fn solve_dare(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    options: DareOptions,
+) -> Result<Matrix> {
+    validate_lqr_shapes(a, b, q, r)?;
+    let mut p = q.clone();
+    for iteration in 0..options.max_iterations {
+        let next = riccati_step(a, b, q, r, &p)?;
+        let delta = next.sub_matrix(&p)?.max_abs();
+        p = next;
+        if delta < options.tolerance {
+            // Symmetrise to clean up round-off before returning.
+            return p.add_matrix(&p.transpose()).map(|s| s.scale(0.5));
+        }
+        // Guard against runaway divergence early.
+        if !p.is_finite() {
+            return Err(LinalgError::NotConverged {
+                algorithm: "dare value iteration",
+                iterations: iteration + 1,
+            });
+        }
+    }
+    Err(LinalgError::NotConverged {
+        algorithm: "dare value iteration",
+        iterations: options.max_iterations,
+    })
+}
+
+/// One step of the Riccati recursion:
+/// `P⁺ = AᵀPA − AᵀPB (R + BᵀPB)⁻¹ BᵀPA + Q`.
+fn riccati_step(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix, p: &Matrix) -> Result<Matrix> {
+    let at = a.transpose();
+    let bt = b.transpose();
+    let pa = p.matmul(a)?;
+    let pb = p.matmul(b)?;
+    let btpb = bt.matmul(&pb)?;
+    let gram = r.add_matrix(&btpb)?;
+    let btpa = bt.matmul(&pa)?;
+    let gain_term = Lu::decompose(&gram)?.solve_matrix(&btpa)?;
+    let atpa = at.matmul(&pa)?;
+    let atpb = at.matmul(&pb)?;
+    atpa.sub_matrix(&atpb.matmul(&gain_term)?)?.add_matrix(q)
+}
+
+/// Result of an LQR synthesis: the state-feedback gain and the Riccati
+/// solution it was derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LqrSolution {
+    /// State-feedback gain `K` such that the optimal input is `u = −K·x`.
+    pub gain: Matrix,
+    /// Stabilising solution `P` of the DARE (the optimal cost matrix).
+    pub cost: Matrix,
+}
+
+/// Designs an infinite-horizon discrete-time LQR controller.
+///
+/// Returns the gain `K` (with the convention `u[k] = −K·x[k]`) and the
+/// Riccati cost matrix `P` minimising `Σ (xᵀQx + uᵀRu)`.
+///
+/// # Errors
+///
+/// Propagates the DARE solver errors; additionally fails with
+/// [`LinalgError::Singular`] if `R + BᵀPB` is singular at the final gain
+/// computation.
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{dlqr, DareOptions, Matrix};
+///
+/// // Double integrator sampled at 0.1 s.
+/// let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?;
+/// let b = Matrix::column(&[0.005, 0.1])?;
+/// let q = Matrix::identity(2);
+/// let r = Matrix::from_rows(&[&[0.1]])?;
+/// let sol = dlqr(&a, &b, &q, &r, DareOptions::default())?;
+/// assert_eq!(sol.gain.shape(), (1, 2));
+/// # Ok::<(), cps_linalg::LinalgError>(())
+/// ```
+pub fn dlqr(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    options: DareOptions,
+) -> Result<LqrSolution> {
+    let p = solve_dare(a, b, q, r, options)?;
+    let bt = b.transpose();
+    let gram = r.add_matrix(&bt.matmul(&p)?.matmul(b)?)?;
+    let rhs = bt.matmul(&p)?.matmul(a)?;
+    let gain = Lu::decompose(&gram)?.solve_matrix(&rhs)?;
+    Ok(LqrSolution { gain, cost: p })
+}
+
+fn validate_lqr_shapes(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix) -> Result<()> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape(), op: "dare" });
+    }
+    if b.rows() != a.rows() {
+        return Err(LinalgError::ShapeMismatch { left: a.shape(), right: b.shape(), op: "dare" });
+    }
+    if q.shape() != a.shape() {
+        return Err(LinalgError::ShapeMismatch { left: a.shape(), right: q.shape(), op: "dare" });
+    }
+    if r.shape() != (b.cols(), b.cols()) {
+        return Err(LinalgError::ShapeMismatch {
+            left: (b.cols(), b.cols()),
+            right: r.shape(),
+            op: "dare",
+        });
+    }
+    if !q.is_symmetric(1e-9) {
+        return Err(LinalgError::InvalidArgument { reason: "Q must be symmetric".to_string() });
+    }
+    if !r.is_symmetric(1e-9) {
+        return Err(LinalgError::InvalidArgument { reason: "R must be symmetric".to_string() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eig::spectral_radius;
+
+    fn double_integrator(h: f64) -> (Matrix, Matrix) {
+        let a = Matrix::from_rows(&[&[1.0, h], &[0.0, 1.0]]).unwrap();
+        let b = Matrix::column(&[h * h / 2.0, h]).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn dare_solution_satisfies_equation() {
+        let (a, b) = double_integrator(0.05);
+        let q = Matrix::identity(2);
+        let r = Matrix::from_rows(&[&[0.5]]).unwrap();
+        let p = solve_dare(&a, &b, &q, &r, DareOptions::default()).unwrap();
+
+        // Residual of the DARE must be tiny.
+        let next = riccati_step(&a, &b, &q, &r, &p).unwrap();
+        assert!(next.sub_matrix(&p).unwrap().max_abs() < 1e-8);
+        assert!(p.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn lqr_stabilises_double_integrator() {
+        let (a, b) = double_integrator(0.02);
+        let q = Matrix::identity(2);
+        let r = Matrix::from_rows(&[&[0.1]]).unwrap();
+        let sol = dlqr(&a, &b, &q, &r, DareOptions::default()).unwrap();
+
+        // Closed loop A − B K must be Schur stable.
+        let closed = a.sub_matrix(&b.matmul(&sol.gain).unwrap()).unwrap();
+        assert!(spectral_radius(&closed).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn lqr_stabilises_unstable_plant() {
+        // Scalar unstable plant x+ = 1.2 x + 0.5 u.
+        let a = Matrix::from_rows(&[&[1.2]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.5]]).unwrap();
+        let q = Matrix::identity(1);
+        let r = Matrix::identity(1);
+        let sol = dlqr(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        let closed = a.sub_matrix(&b.matmul(&sol.gain).unwrap()).unwrap();
+        assert!(closed[(0, 0)].abs() < 1.0);
+    }
+
+    #[test]
+    fn heavier_input_weight_gives_smaller_gain() {
+        let (a, b) = double_integrator(0.02);
+        let q = Matrix::identity(2);
+        let cheap = dlqr(&a, &b, &q, &Matrix::from_rows(&[&[0.01]]).unwrap(), DareOptions::default())
+            .unwrap();
+        let expensive =
+            dlqr(&a, &b, &q, &Matrix::from_rows(&[&[10.0]]).unwrap(), DareOptions::default())
+                .unwrap();
+        assert!(cheap.gain.frobenius_norm() > expensive.gain.frobenius_norm());
+    }
+
+    #[test]
+    fn shape_and_symmetry_validation() {
+        let (a, b) = double_integrator(0.02);
+        let q = Matrix::identity(2);
+        let r = Matrix::identity(1);
+        assert!(solve_dare(&Matrix::zeros(2, 3), &b, &q, &r, DareOptions::default()).is_err());
+        assert!(solve_dare(&a, &Matrix::column(&[1.0]).unwrap(), &q, &r, DareOptions::default())
+            .is_err());
+        assert!(solve_dare(&a, &b, &Matrix::identity(3), &r, DareOptions::default()).is_err());
+        assert!(solve_dare(&a, &b, &q, &Matrix::identity(2), DareOptions::default()).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        assert!(solve_dare(&a, &b, &asym, &r, DareOptions::default()).is_err());
+    }
+
+    #[test]
+    fn uncontrollable_unstable_pair_does_not_converge() {
+        // Unstable mode with zero input authority: value iteration diverges.
+        let a = Matrix::diagonal(&[1.5, 0.5]).unwrap();
+        let b = Matrix::column(&[0.0, 1.0]).unwrap();
+        let q = Matrix::identity(2);
+        let r = Matrix::identity(1);
+        let options = DareOptions { max_iterations: 500, tolerance: 1e-12 };
+        assert!(matches!(
+            solve_dare(&a, &b, &q, &r, options),
+            Err(LinalgError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let opts = DareOptions::default();
+        assert!(opts.max_iterations > 100);
+        assert!(opts.tolerance > 0.0 && opts.tolerance < 1e-6);
+    }
+}

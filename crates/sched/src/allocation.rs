@@ -1,0 +1,385 @@
+//! TT-slot allocation heuristics (the paper's Section IV allocation
+//! procedure plus first-fit/best-fit ablations).
+//!
+//! Finding the minimum number of slots is NP-hard (it generalises bin
+//! packing), so the paper uses a greedy heuristic: walk the applications in
+//! priority order and keep adding them to the most recently opened slot; as
+//! soon as an addition breaks the schedulability of *any* application already
+//! in that slot, open a new slot and place the application there.
+
+use crate::app::{priority_order, AppTimingParams};
+use crate::dwell::ModelKind;
+use crate::error::{Result, SchedError};
+use crate::schedulability::{analyze_slot, is_slot_schedulable, WaitTimeMethod};
+
+/// Which greedy packing strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocationStrategy {
+    /// The paper's procedure: try only the most recently opened slot and open
+    /// a new one on failure.
+    #[default]
+    NextFit,
+    /// Try every existing slot in creation order before opening a new one.
+    FirstFit,
+    /// Place the application into the schedulable slot that leaves the least
+    /// remaining slack (tightest fit), opening a new one only if none fits.
+    BestFit,
+}
+
+impl std::fmt::Display for AllocationStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocationStrategy::NextFit => write!(f, "next-fit"),
+            AllocationStrategy::FirstFit => write!(f, "first-fit"),
+            AllocationStrategy::BestFit => write!(f, "best-fit"),
+        }
+    }
+}
+
+/// The result of a slot allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotAllocation {
+    /// Slots in creation order; each slot lists indices into the original
+    /// application slice.
+    pub slots: Vec<Vec<usize>>,
+    /// The dwell-time model the allocation was computed with.
+    pub model: ModelKind,
+    /// The wait-time method the allocation was computed with.
+    pub method: WaitTimeMethod,
+}
+
+impl SlotAllocation {
+    /// Number of TT slots used.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns the slot index holding the given application, if any.
+    pub fn slot_of(&self, app_index: usize) -> Option<usize> {
+        self.slots.iter().position(|slot| slot.contains(&app_index))
+    }
+
+    /// Verifies that every slot of the allocation is schedulable and every
+    /// application is placed exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    pub fn verify(&self, apps: &[AppTimingParams]) -> Result<bool> {
+        let mut seen = vec![0usize; apps.len()];
+        for slot in &self.slots {
+            for &index in slot {
+                if index >= apps.len() {
+                    return Ok(false);
+                }
+                seen[index] += 1;
+            }
+            if !is_slot_schedulable(apps, slot, self.model, self.method)? {
+                return Ok(false);
+            }
+        }
+        Ok(seen.iter().all(|&count| count == 1))
+    }
+}
+
+/// Configuration of the slot allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocatorConfig {
+    /// Dwell-time model used for the schedulability analysis.
+    pub model: ModelKind,
+    /// Wait-time computation method.
+    pub method: WaitTimeMethod,
+    /// Packing strategy.
+    pub strategy: AllocationStrategy,
+    /// Maximum number of TT slots that may be opened (the static segment has
+    /// finitely many; the paper's bus offers 10 per cycle).
+    pub max_slots: usize,
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        AllocatorConfig {
+            model: ModelKind::NonMonotonic,
+            method: WaitTimeMethod::ClosedFormBound,
+            strategy: AllocationStrategy::NextFit,
+            max_slots: 10,
+        }
+    }
+}
+
+/// Allocates the applications to TT slots with the configured greedy
+/// strategy, processing them in priority order (decreasing priority, i.e.
+/// increasing deadline) exactly as in the paper's case study.
+///
+/// # Errors
+///
+/// * [`SchedError::InvalidParameter`] if `apps` is empty, `max_slots` is
+///   zero, or an application is unschedulable even alone on a dedicated slot.
+/// * [`SchedError::InsufficientSlots`] if more than `max_slots` slots would
+///   be required.
+pub fn allocate_slots(
+    apps: &[AppTimingParams],
+    config: &AllocatorConfig,
+) -> Result<SlotAllocation> {
+    if apps.is_empty() {
+        return Err(SchedError::InvalidParameter {
+            reason: "cannot allocate an empty application set".to_string(),
+        });
+    }
+    if config.max_slots == 0 {
+        return Err(SchedError::InvalidParameter {
+            reason: "max_slots must be at least one".to_string(),
+        });
+    }
+    let order = priority_order(apps);
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+
+    for &app_index in &order {
+        // An application must at least be schedulable alone (its pure-TT
+        // response must meet the deadline), otherwise no allocation exists.
+        if !is_slot_schedulable(apps, &[app_index], config.model, config.method)? {
+            return Err(SchedError::InvalidParameter {
+                reason: format!(
+                    "application {} cannot meet its deadline even with a dedicated TT slot",
+                    apps[app_index].name
+                ),
+            });
+        }
+        let last_slot = slots.len().checked_sub(1);
+        let placed_slot = match config.strategy {
+            AllocationStrategy::NextFit => {
+                try_slots(apps, &mut slots, app_index, config, last_slot)?
+            }
+            AllocationStrategy::FirstFit => try_slots(apps, &mut slots, app_index, config, None)?,
+            AllocationStrategy::BestFit => best_fit(apps, &mut slots, app_index, config)?,
+        };
+        if placed_slot.is_none() {
+            if slots.len() >= config.max_slots {
+                return Err(SchedError::InsufficientSlots {
+                    available: config.max_slots,
+                    application: apps[app_index].name.clone(),
+                });
+            }
+            slots.push(vec![app_index]);
+        }
+    }
+    Ok(SlotAllocation { slots, model: config.model, method: config.method })
+}
+
+/// Tries to place the application into existing slots. With `only` set, only
+/// that slot index is tried (next-fit); otherwise all slots are tried in
+/// creation order (first-fit). Returns the slot index used, if any.
+fn try_slots(
+    apps: &[AppTimingParams],
+    slots: &mut [Vec<usize>],
+    app_index: usize,
+    config: &AllocatorConfig,
+    only: Option<usize>,
+) -> Result<Option<usize>> {
+    let candidates: Vec<usize> = match only {
+        Some(slot_index) => vec![slot_index],
+        None => (0..slots.len()).collect(),
+    };
+    for slot_index in candidates {
+        let slot = &mut slots[slot_index];
+        slot.push(app_index);
+        if is_slot_schedulable(apps, slot, config.model, config.method)? {
+            return Ok(Some(slot_index));
+        }
+        slot.pop();
+    }
+    Ok(None)
+}
+
+/// Best-fit placement: among the slots that remain schedulable with the
+/// application added, pick the one whose minimum slack is smallest.
+fn best_fit(
+    apps: &[AppTimingParams],
+    slots: &mut [Vec<usize>],
+    app_index: usize,
+    config: &AllocatorConfig,
+) -> Result<Option<usize>> {
+    let mut best: Option<(usize, f64)> = None;
+    for slot_index in 0..slots.len() {
+        let mut candidate = slots[slot_index].clone();
+        candidate.push(app_index);
+        let analysis = analyze_slot(apps, &candidate, config.model, config.method)?;
+        if analysis.is_schedulable() {
+            let min_slack = analysis
+                .analyses
+                .iter()
+                .map(|a| a.slack())
+                .fold(f64::INFINITY, f64::min);
+            if best.map_or(true, |(_, slack)| min_slack < slack) {
+                best = Some((slot_index, min_slack));
+            }
+        }
+    }
+    if let Some((slot_index, _)) = best {
+        slots[slot_index].push(app_index);
+        return Ok(Some(slot_index));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study_fixtures::paper_table1;
+
+    #[test]
+    fn paper_case_study_needs_three_slots_with_non_monotonic_model() {
+        let apps = paper_table1();
+        let allocation = allocate_slots(&apps, &AllocatorConfig::default()).unwrap();
+        assert_eq!(allocation.slot_count(), 3, "allocation = {:?}", allocation.slots);
+        assert!(allocation.verify(&apps).unwrap());
+
+        // Paper: S1 = {C3, C6}, S2 = {C2, C4}, S3 = {C5, C1} (indices 2,5 / 1,3 / 4,0).
+        assert_eq!(allocation.slots[0], vec![2, 5]);
+        assert_eq!(allocation.slots[1], vec![1, 3]);
+        assert_eq!(allocation.slots[2], vec![4, 0]);
+    }
+
+    #[test]
+    fn paper_case_study_needs_five_slots_with_conservative_monotonic_model() {
+        let apps = paper_table1();
+        let config = AllocatorConfig {
+            model: ModelKind::ConservativeMonotonic,
+            ..AllocatorConfig::default()
+        };
+        let allocation = allocate_slots(&apps, &config).unwrap();
+        assert_eq!(allocation.slot_count(), 5, "allocation = {:?}", allocation.slots);
+        assert!(allocation.verify(&apps).unwrap());
+
+        // Paper: S1 = {C3, C6}, then C2, C4, C5, C1 each alone.
+        assert_eq!(allocation.slots[0], vec![2, 5]);
+        assert_eq!(allocation.slots.len(), 5);
+    }
+
+    #[test]
+    fn resource_saving_is_67_percent() {
+        let apps = paper_table1();
+        let non_monotonic = allocate_slots(&apps, &AllocatorConfig::default()).unwrap();
+        let monotonic = allocate_slots(
+            &apps,
+            &AllocatorConfig {
+                model: ModelKind::ConservativeMonotonic,
+                ..AllocatorConfig::default()
+            },
+        )
+        .unwrap();
+        let overhead = (monotonic.slot_count() as f64 - non_monotonic.slot_count() as f64)
+            / non_monotonic.slot_count() as f64;
+        assert!((overhead - 0.67).abs() < 0.01, "overhead = {overhead}");
+    }
+
+    #[test]
+    fn slot_of_reports_placement() {
+        let apps = paper_table1();
+        let allocation = allocate_slots(&apps, &AllocatorConfig::default()).unwrap();
+        assert_eq!(allocation.slot_of(2), Some(0)); // C3 in S1
+        assert_eq!(allocation.slot_of(0), Some(2)); // C1 in S3
+        assert_eq!(allocation.slot_of(42), None);
+    }
+
+    #[test]
+    fn first_fit_never_uses_more_slots_than_next_fit() {
+        let apps = paper_table1();
+        for model in [ModelKind::NonMonotonic, ModelKind::ConservativeMonotonic] {
+            let next_fit = allocate_slots(
+                &apps,
+                &AllocatorConfig { model, ..AllocatorConfig::default() },
+            )
+            .unwrap();
+            let first_fit = allocate_slots(
+                &apps,
+                &AllocatorConfig {
+                    model,
+                    strategy: AllocationStrategy::FirstFit,
+                    ..AllocatorConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(first_fit.slot_count() <= next_fit.slot_count());
+            assert!(first_fit.verify(&apps).unwrap());
+        }
+    }
+
+    #[test]
+    fn best_fit_produces_valid_allocations() {
+        let apps = paper_table1();
+        let allocation = allocate_slots(
+            &apps,
+            &AllocatorConfig {
+                strategy: AllocationStrategy::BestFit,
+                ..AllocatorConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(allocation.verify(&apps).unwrap());
+        assert!(allocation.slot_count() <= 6);
+    }
+
+    #[test]
+    fn max_slots_limit_is_enforced() {
+        let apps = paper_table1();
+        let config = AllocatorConfig {
+            model: ModelKind::ConservativeMonotonic,
+            max_slots: 3,
+            ..AllocatorConfig::default()
+        };
+        assert!(matches!(
+            allocate_slots(&apps, &config),
+            Err(SchedError::InsufficientSlots { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_and_zero_slots_are_rejected() {
+        let apps = paper_table1();
+        assert!(allocate_slots(&[], &AllocatorConfig::default()).is_err());
+        assert!(allocate_slots(
+            &apps,
+            &AllocatorConfig { max_slots: 0, ..AllocatorConfig::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn infeasible_application_is_rejected() {
+        // Deadline shorter than even the pure-TT response time.
+        let apps = vec![AppTimingParams::new("X", 10.0, 0.2, 0.39, 3.97, 0.64, 0.69).unwrap()];
+        assert!(allocate_slots(&apps, &AllocatorConfig::default()).is_err());
+    }
+
+    #[test]
+    fn single_application_gets_single_slot() {
+        let apps = vec![AppTimingParams::new("X", 10.0, 2.0, 0.39, 3.97, 0.64, 0.69).unwrap()];
+        let allocation = allocate_slots(&apps, &AllocatorConfig::default()).unwrap();
+        assert_eq!(allocation.slot_count(), 1);
+        assert_eq!(allocation.slots[0], vec![0]);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(AllocationStrategy::NextFit.to_string(), "next-fit");
+        assert_eq!(AllocationStrategy::FirstFit.to_string(), "first-fit");
+        assert_eq!(AllocationStrategy::BestFit.to_string(), "best-fit");
+        assert_eq!(AllocationStrategy::default(), AllocationStrategy::NextFit);
+    }
+
+    #[test]
+    fn simple_monotonic_model_uses_fewer_or_equal_slots_but_is_unsafe() {
+        // The unsafe simple model under-estimates dwell times, so it can only
+        // make packing look easier — the point the paper makes about earlier
+        // work producing invalid guarantees.
+        let apps = paper_table1();
+        let simple = allocate_slots(
+            &apps,
+            &AllocatorConfig { model: ModelKind::SimpleMonotonic, ..AllocatorConfig::default() },
+        )
+        .unwrap();
+        let non_monotonic = allocate_slots(&apps, &AllocatorConfig::default()).unwrap();
+        assert!(simple.slot_count() <= non_monotonic.slot_count());
+    }
+}

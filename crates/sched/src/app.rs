@@ -1,0 +1,209 @@
+//! Timing parameters of a control application, i.e. one row of the paper's
+//! Table I.
+
+use crate::error::{Result, SchedError};
+
+/// The timing parameters the schedulability analysis needs for one control
+/// application `Cᵢ` (one row of Table I, all values in seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppTimingParams {
+    /// Human-readable application name (e.g. `"C3"`).
+    pub name: String,
+    /// Minimum inter-arrival time `rᵢ` of the external disturbance.
+    pub inter_arrival: f64,
+    /// Deadline (desired response time) ξᵈᵢ.
+    pub deadline: f64,
+    /// Response time with pure TT communication, ξᵀᵀᵢ.
+    pub xi_tt: f64,
+    /// Response time with pure ET communication, ξᴱᵀᵢ.
+    pub xi_et: f64,
+    /// Maximum dwell time of the non-monotonic model, ξᴹᵢ.
+    pub xi_m: f64,
+    /// Wait time at which the maximum dwell time occurs, k_pᵢ.
+    pub k_p: f64,
+    /// Maximum dwell time of the conservative monotonic model, ξ′ᴹᵢ.
+    pub xi_prime_m: f64,
+}
+
+impl AppTimingParams {
+    /// Creates and validates a parameter set.
+    ///
+    /// The conservative maximum dwell time ξ′ᴹ is derived automatically as
+    /// `ξᴹ / (1 − k_p / ξᴱᵀ)` — the intercept of the line through
+    /// `(k_p, ξᴹ)` and `(ξᴱᵀ, 0)`, which is the smallest monotonically
+    /// decreasing linear model that upper-bounds the non-monotonic one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] if any value is non-positive
+    /// where it must be positive, non-finite, or violates the orderings
+    /// `ξᵀᵀ ≤ ξᴹ`, `ξᵀᵀ ≤ ξᴱᵀ`, `k_p < ξᴱᵀ` or `ξᵈ > 0`.
+    pub fn new(
+        name: impl Into<String>,
+        inter_arrival: f64,
+        deadline: f64,
+        xi_tt: f64,
+        xi_et: f64,
+        xi_m: f64,
+        k_p: f64,
+    ) -> Result<Self> {
+        let name = name.into();
+        let all = [inter_arrival, deadline, xi_tt, xi_et, xi_m, k_p];
+        if all.iter().any(|v| !v.is_finite()) {
+            return Err(SchedError::InvalidParameter {
+                reason: format!("{name}: all timing parameters must be finite"),
+            });
+        }
+        if inter_arrival <= 0.0 || deadline <= 0.0 || xi_tt <= 0.0 || xi_et <= 0.0 || xi_m <= 0.0 {
+            return Err(SchedError::InvalidParameter {
+                reason: format!("{name}: times must be strictly positive"),
+            });
+        }
+        if k_p < 0.0 {
+            return Err(SchedError::InvalidParameter {
+                reason: format!("{name}: peak wait time k_p must be non-negative"),
+            });
+        }
+        if xi_tt > xi_m + 1e-12 {
+            return Err(SchedError::InvalidParameter {
+                reason: format!("{name}: xi_tt ({xi_tt}) must not exceed xi_m ({xi_m})"),
+            });
+        }
+        if xi_tt > xi_et + 1e-12 {
+            return Err(SchedError::InvalidParameter {
+                reason: format!("{name}: xi_tt ({xi_tt}) must not exceed xi_et ({xi_et})"),
+            });
+        }
+        if k_p >= xi_et {
+            return Err(SchedError::InvalidParameter {
+                reason: format!("{name}: k_p ({k_p}) must be smaller than xi_et ({xi_et})"),
+            });
+        }
+        let xi_prime_m = xi_m / (1.0 - k_p / xi_et);
+        Ok(AppTimingParams {
+            name,
+            inter_arrival,
+            deadline,
+            xi_tt,
+            xi_et,
+            xi_m,
+            k_p,
+            xi_prime_m,
+        })
+    }
+
+    /// Creates a parameter set with an explicitly given conservative maximum
+    /// dwell time ξ′ᴹ (used when reproducing the paper's exact Table I, whose
+    /// published ξ′ᴹ values are rounded).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`AppTimingParams::new`], plus `ξ′ᴹ ≥ ξᴹ`.
+    pub fn with_explicit_conservative_dwell(
+        name: impl Into<String>,
+        inter_arrival: f64,
+        deadline: f64,
+        xi_tt: f64,
+        xi_et: f64,
+        xi_m: f64,
+        k_p: f64,
+        xi_prime_m: f64,
+    ) -> Result<Self> {
+        let mut params = Self::new(name, inter_arrival, deadline, xi_tt, xi_et, xi_m, k_p)?;
+        if xi_prime_m + 1e-12 < xi_m {
+            return Err(SchedError::InvalidParameter {
+                reason: format!(
+                    "{}: conservative dwell ({xi_prime_m}) must be at least xi_m ({xi_m})",
+                    params.name
+                ),
+            });
+        }
+        params.xi_prime_m = xi_prime_m;
+        Ok(params)
+    }
+
+    /// Returns `true` if this application has a higher priority than `other`
+    /// (the paper assigns priorities by deadline: the smaller ξᵈ, the higher
+    /// the priority).
+    pub fn has_higher_priority_than(&self, other: &AppTimingParams) -> bool {
+        self.deadline < other.deadline
+    }
+}
+
+/// Sorts applications by decreasing priority (increasing deadline), returning
+/// the permutation of indices into the original slice.
+///
+/// Ties are broken by name so the ordering is deterministic.
+pub fn priority_order(apps: &[AppTimingParams]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..apps.len()).collect();
+    order.sort_by(|&a, &b| {
+        apps[a]
+            .deadline
+            .partial_cmp(&apps[b].deadline)
+            .expect("finite deadlines")
+            .then_with(|| apps[a].name.cmp(&apps[b].name))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AppTimingParams {
+        AppTimingParams::new("C3", 15.0, 2.0, 0.39, 3.97, 0.64, 0.69).unwrap()
+    }
+
+    #[test]
+    fn conservative_dwell_is_derived_from_the_envelope_line() {
+        let app = sample();
+        // xi'_m = xi_m / (1 - k_p / xi_et) = 0.64 / (1 - 0.69/3.97) ≈ 0.775.
+        assert!((app.xi_prime_m - 0.64 / (1.0 - 0.69 / 3.97)).abs() < 1e-12);
+        assert!((app.xi_prime_m - 0.77).abs() < 0.01);
+        assert!(app.xi_prime_m >= app.xi_m);
+    }
+
+    #[test]
+    fn explicit_conservative_dwell_overrides_derived_value() {
+        let app = AppTimingParams::with_explicit_conservative_dwell(
+            "C1", 200.0, 9.5, 1.68, 11.62, 5.30, 2.27, 6.59,
+        )
+        .unwrap();
+        assert_eq!(app.xi_prime_m, 6.59);
+        // Must still dominate xi_m.
+        assert!(AppTimingParams::with_explicit_conservative_dwell(
+            "C1", 200.0, 9.5, 1.68, 11.62, 5.30, 2.27, 5.0,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_parameters() {
+        assert!(AppTimingParams::new("x", 0.0, 2.0, 0.4, 4.0, 0.6, 0.7).is_err());
+        assert!(AppTimingParams::new("x", 15.0, -2.0, 0.4, 4.0, 0.6, 0.7).is_err());
+        assert!(AppTimingParams::new("x", 15.0, 2.0, 0.8, 4.0, 0.6, 0.7).is_err()); // xi_tt > xi_m
+        assert!(AppTimingParams::new("x", 15.0, 2.0, 5.0, 4.0, 6.0, 0.7).is_err()); // xi_tt > xi_et
+        assert!(AppTimingParams::new("x", 15.0, 2.0, 0.4, 4.0, 0.6, 4.5).is_err()); // k_p >= xi_et
+        assert!(AppTimingParams::new("x", 15.0, 2.0, 0.4, 4.0, 0.6, -0.1).is_err());
+        assert!(AppTimingParams::new("x", f64::NAN, 2.0, 0.4, 4.0, 0.6, 0.7).is_err());
+    }
+
+    #[test]
+    fn priority_is_by_deadline() {
+        let a = sample();
+        let b = AppTimingParams::new("C6", 6.0, 6.0, 0.71, 7.94, 0.92, 0.67).unwrap();
+        assert!(a.has_higher_priority_than(&b));
+        assert!(!b.has_higher_priority_than(&a));
+    }
+
+    #[test]
+    fn priority_order_sorts_by_deadline_then_name() {
+        let apps = vec![
+            AppTimingParams::new("B", 10.0, 5.0, 0.5, 4.0, 0.6, 0.5).unwrap(),
+            AppTimingParams::new("A", 10.0, 5.0, 0.5, 4.0, 0.6, 0.5).unwrap(),
+            AppTimingParams::new("C", 10.0, 2.0, 0.5, 4.0, 0.6, 0.5).unwrap(),
+        ];
+        let order = priority_order(&apps);
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+}

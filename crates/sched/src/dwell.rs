@@ -1,0 +1,477 @@
+//! Dwell-time models: how long an application needs the TT slot as a
+//! function of how long it already waited in ET communication (Figure 4).
+//!
+//! Three analytical models are provided, mirroring the paper's discussion:
+//!
+//! * [`NonMonotonicModel`] — the paper's contribution: two piecewise-linear
+//!   segments rising from ξᵀᵀ at zero wait to the peak ξᴹ at `k_p` and
+//!   falling back to zero at ξᴱᵀ.
+//! * [`ConservativeMonotonicModel`] — a monotonically decreasing line from
+//!   ξ′ᴹ at zero wait to zero at ξᴱᵀ that upper-bounds the true curve
+//!   everywhere (safe but over-provisioned).
+//! * [`SimpleMonotonicModel`] — the *unsafe* assumption of earlier work: a
+//!   line from ξᵀᵀ to zero, which under-estimates the dwell time in the
+//!   rising region.
+//!
+//! A general [`PiecewiseLinearModel`] with any number of segments is also
+//! provided as the paper's suggested extension ("may be modeled with three or
+//! more piecewise linear curves").
+
+use crate::app::AppTimingParams;
+use crate::error::{Result, SchedError};
+
+/// A model of the dwell time `k_dw` as a function of the wait time `k_wait`.
+///
+/// Implementations must be *safe over-approximations*: for schedulability
+/// analysis the modelled dwell time must never under-estimate the true one
+/// (except for [`SimpleMonotonicModel`], which exists precisely to
+/// demonstrate why that assumption is unsafe).
+pub trait DwellTimeModel {
+    /// Modelled dwell time (seconds) for the given wait time (seconds).
+    fn dwell(&self, wait: f64) -> f64;
+
+    /// The maximum dwell time over all wait times — the blocking/interference
+    /// term used by the schedulability analysis.
+    fn max_dwell(&self) -> f64;
+
+    /// Worst-case total response time for a given wait time:
+    /// `ξ(k_wait) = k_wait + k_dw(k_wait)`.
+    fn response_time(&self, wait: f64) -> f64 {
+        wait + self.dwell(wait)
+    }
+}
+
+/// Which analytical dwell-time model to use in the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelKind {
+    /// The paper's two-segment non-monotonic model.
+    #[default]
+    NonMonotonic,
+    /// The conservative monotonic upper bound.
+    ConservativeMonotonic,
+    /// The unsafe simple monotonic assumption of earlier work.
+    SimpleMonotonic,
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::NonMonotonic => write!(f, "non-monotonic"),
+            ModelKind::ConservativeMonotonic => write!(f, "conservative monotonic"),
+            ModelKind::SimpleMonotonic => write!(f, "simple monotonic"),
+        }
+    }
+}
+
+/// The paper's two-segment piecewise-linear non-monotonic model (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonMonotonicModel {
+    xi_tt: f64,
+    xi_m: f64,
+    k_p: f64,
+    xi_et: f64,
+}
+
+impl NonMonotonicModel {
+    /// Builds the model from the characteristic points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] unless
+    /// `0 < ξᵀᵀ ≤ ξᴹ`, `0 ≤ k_p < ξᴱᵀ` and `ξᴱᵀ > 0`.
+    pub fn new(xi_tt: f64, xi_m: f64, k_p: f64, xi_et: f64) -> Result<Self> {
+        if !(xi_tt > 0.0 && xi_m > 0.0 && xi_et > 0.0 && k_p >= 0.0)
+            || [xi_tt, xi_m, k_p, xi_et].iter().any(|v| !v.is_finite())
+        {
+            return Err(SchedError::InvalidParameter {
+                reason: "non-monotonic model requires positive finite parameters".to_string(),
+            });
+        }
+        if xi_tt > xi_m + 1e-12 {
+            return Err(SchedError::InvalidParameter {
+                reason: format!("xi_tt ({xi_tt}) must not exceed xi_m ({xi_m})"),
+            });
+        }
+        if k_p >= xi_et {
+            return Err(SchedError::InvalidParameter {
+                reason: format!("k_p ({k_p}) must be smaller than xi_et ({xi_et})"),
+            });
+        }
+        Ok(NonMonotonicModel { xi_tt, xi_m, k_p, xi_et })
+    }
+
+    /// Builds the model for an application from its Table-I parameters.
+    pub fn for_app(app: &AppTimingParams) -> Self {
+        // AppTimingParams already validated the same invariants.
+        NonMonotonicModel { xi_tt: app.xi_tt, xi_m: app.xi_m, k_p: app.k_p, xi_et: app.xi_et }
+    }
+
+    /// The conservative monotonic envelope of this model: the line through
+    /// `(k_p, ξᴹ)` and `(ξᴱᵀ, 0)` extended back to wait zero (intercept ξ′ᴹ).
+    pub fn conservative_envelope(&self) -> ConservativeMonotonicModel {
+        let xi_prime_m = if self.k_p == 0.0 {
+            self.xi_m
+        } else {
+            self.xi_m / (1.0 - self.k_p / self.xi_et)
+        };
+        ConservativeMonotonicModel { xi_prime_m, xi_et: self.xi_et }
+    }
+
+    /// Pure-ET response time ξᴱᵀ used as the end of the falling segment.
+    pub fn xi_et(&self) -> f64 {
+        self.xi_et
+    }
+
+    /// Wait time of the dwell peak, k_p.
+    pub fn peak_wait(&self) -> f64 {
+        self.k_p
+    }
+}
+
+impl DwellTimeModel for NonMonotonicModel {
+    fn dwell(&self, wait: f64) -> f64 {
+        if wait <= 0.0 {
+            return self.xi_tt;
+        }
+        if wait >= self.xi_et {
+            return 0.0;
+        }
+        if wait <= self.k_p {
+            // Rising segment from (0, xi_tt) to (k_p, xi_m).
+            self.xi_tt + (self.xi_m - self.xi_tt) * wait / self.k_p
+        } else {
+            // Falling segment from (k_p, xi_m) to (xi_et, 0).
+            self.xi_m * (self.xi_et - wait) / (self.xi_et - self.k_p)
+        }
+    }
+
+    fn max_dwell(&self) -> f64 {
+        self.xi_m
+    }
+}
+
+/// The conservative monotonic model: a line from ξ′ᴹ at zero wait down to
+/// zero at ξᴱᵀ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConservativeMonotonicModel {
+    xi_prime_m: f64,
+    xi_et: f64,
+}
+
+impl ConservativeMonotonicModel {
+    /// Builds the model from ξ′ᴹ and ξᴱᵀ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] unless both are positive and
+    /// finite.
+    pub fn new(xi_prime_m: f64, xi_et: f64) -> Result<Self> {
+        if !(xi_prime_m > 0.0 && xi_et > 0.0) || !xi_prime_m.is_finite() || !xi_et.is_finite() {
+            return Err(SchedError::InvalidParameter {
+                reason: "conservative model requires positive finite parameters".to_string(),
+            });
+        }
+        Ok(ConservativeMonotonicModel { xi_prime_m, xi_et })
+    }
+
+    /// Builds the model for an application from its Table-I parameters.
+    pub fn for_app(app: &AppTimingParams) -> Self {
+        ConservativeMonotonicModel { xi_prime_m: app.xi_prime_m, xi_et: app.xi_et }
+    }
+}
+
+impl DwellTimeModel for ConservativeMonotonicModel {
+    fn dwell(&self, wait: f64) -> f64 {
+        if wait <= 0.0 {
+            return self.xi_prime_m;
+        }
+        if wait >= self.xi_et {
+            return 0.0;
+        }
+        self.xi_prime_m * (1.0 - wait / self.xi_et)
+    }
+
+    fn max_dwell(&self) -> f64 {
+        self.xi_prime_m
+    }
+}
+
+/// The *unsafe* simple monotonic model assumed by earlier work: a line from
+/// ξᵀᵀ at zero wait down to zero at ξᴱᵀ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleMonotonicModel {
+    xi_tt: f64,
+    xi_et: f64,
+}
+
+impl SimpleMonotonicModel {
+    /// Builds the model from ξᵀᵀ and ξᴱᵀ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] unless `0 < ξᵀᵀ ≤ ξᴱᵀ`.
+    pub fn new(xi_tt: f64, xi_et: f64) -> Result<Self> {
+        if !(xi_tt > 0.0 && xi_et >= xi_tt) || !xi_tt.is_finite() || !xi_et.is_finite() {
+            return Err(SchedError::InvalidParameter {
+                reason: "simple model requires 0 < xi_tt <= xi_et".to_string(),
+            });
+        }
+        Ok(SimpleMonotonicModel { xi_tt, xi_et })
+    }
+
+    /// Builds the model for an application from its Table-I parameters.
+    pub fn for_app(app: &AppTimingParams) -> Self {
+        SimpleMonotonicModel { xi_tt: app.xi_tt, xi_et: app.xi_et }
+    }
+}
+
+impl DwellTimeModel for SimpleMonotonicModel {
+    fn dwell(&self, wait: f64) -> f64 {
+        if wait <= 0.0 {
+            return self.xi_tt;
+        }
+        if wait >= self.xi_et {
+            return 0.0;
+        }
+        self.xi_tt * (1.0 - wait / self.xi_et)
+    }
+
+    fn max_dwell(&self) -> f64 {
+        self.xi_tt
+    }
+}
+
+/// A general piecewise-linear dwell-time model with an arbitrary number of
+/// breakpoints — the paper's suggested refinement beyond two segments.
+///
+/// Breakpoints are `(wait, dwell)` pairs with strictly increasing wait times;
+/// the model interpolates linearly between them and is constant outside the
+/// covered range (clamped to the first/last dwell values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinearModel {
+    breakpoints: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinearModel {
+    /// Builds the model from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] if fewer than two breakpoints
+    /// are given, wait times are not strictly increasing, or any value is
+    /// negative or non-finite.
+    pub fn new(breakpoints: Vec<(f64, f64)>) -> Result<Self> {
+        if breakpoints.len() < 2 {
+            return Err(SchedError::InvalidParameter {
+                reason: "piecewise-linear model needs at least two breakpoints".to_string(),
+            });
+        }
+        for window in breakpoints.windows(2) {
+            if window[1].0 <= window[0].0 {
+                return Err(SchedError::InvalidParameter {
+                    reason: "breakpoint wait times must be strictly increasing".to_string(),
+                });
+            }
+        }
+        if breakpoints.iter().any(|(w, d)| *w < 0.0 || *d < 0.0 || !w.is_finite() || !d.is_finite())
+        {
+            return Err(SchedError::InvalidParameter {
+                reason: "breakpoints must be non-negative and finite".to_string(),
+            });
+        }
+        Ok(PiecewiseLinearModel { breakpoints })
+    }
+
+    /// The breakpoints of the model.
+    pub fn breakpoints(&self) -> &[(f64, f64)] {
+        &self.breakpoints
+    }
+}
+
+impl DwellTimeModel for PiecewiseLinearModel {
+    fn dwell(&self, wait: f64) -> f64 {
+        let first = self.breakpoints.first().expect("validated: at least two breakpoints");
+        let last = self.breakpoints.last().expect("validated: at least two breakpoints");
+        if wait <= first.0 {
+            return first.1;
+        }
+        if wait >= last.0 {
+            return last.1;
+        }
+        for window in self.breakpoints.windows(2) {
+            let (w0, d0) = window[0];
+            let (w1, d1) = window[1];
+            if wait >= w0 && wait <= w1 {
+                let t = (wait - w0) / (w1 - w0);
+                return d0 + t * (d1 - d0);
+            }
+        }
+        last.1
+    }
+
+    fn max_dwell(&self) -> f64 {
+        self.breakpoints.iter().map(|(_, d)| *d).fold(0.0, f64::max)
+    }
+}
+
+/// Returns the dwell time predicted by the selected analytical model for an
+/// application described by its Table-I parameters.
+pub fn dwell_for(app: &AppTimingParams, kind: ModelKind, wait: f64) -> f64 {
+    match kind {
+        ModelKind::NonMonotonic => NonMonotonicModel::for_app(app).dwell(wait),
+        ModelKind::ConservativeMonotonic => ConservativeMonotonicModel::for_app(app).dwell(wait),
+        ModelKind::SimpleMonotonic => SimpleMonotonicModel::for_app(app).dwell(wait),
+    }
+}
+
+/// Returns the maximum dwell time of the selected analytical model — the
+/// quantity that enters the blocking and interference terms of the
+/// schedulability analysis (ξᴹ for the non-monotonic model, ξ′ᴹ for the
+/// conservative monotonic one, ξᵀᵀ for the unsafe simple model).
+pub fn max_dwell_for(app: &AppTimingParams, kind: ModelKind) -> f64 {
+    match kind {
+        ModelKind::NonMonotonic => app.xi_m,
+        ModelKind::ConservativeMonotonic => app.xi_prime_m,
+        ModelKind::SimpleMonotonic => app.xi_tt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c3() -> AppTimingParams {
+        AppTimingParams::new("C3", 15.0, 2.0, 0.39, 3.97, 0.64, 0.69).unwrap()
+    }
+
+    #[test]
+    fn non_monotonic_endpoints_and_peak() {
+        let model = NonMonotonicModel::for_app(&c3());
+        assert!((model.dwell(0.0) - 0.39).abs() < 1e-12);
+        assert!((model.dwell(0.69) - 0.64).abs() < 1e-12);
+        assert!(model.dwell(3.97).abs() < 1e-12);
+        assert!(model.dwell(10.0).abs() < 1e-12);
+        assert_eq!(model.max_dwell(), 0.64);
+        assert_eq!(model.peak_wait(), 0.69);
+        assert_eq!(model.xi_et(), 3.97);
+    }
+
+    #[test]
+    fn non_monotonic_matches_case_study_evaluations() {
+        // The two dwell evaluations used in the paper's Section V.
+        let c3_model = NonMonotonicModel::for_app(&c3());
+        // k_wait = xi_m of C6 = 0.92 -> dwell ≈ 0.595 so the response is 1.515.
+        assert!((c3_model.response_time(0.92) - 1.515).abs() < 0.005);
+
+        let c6 = AppTimingParams::new("C6", 6.0, 6.0, 0.71, 7.94, 0.92, 0.67).unwrap();
+        let c6_model = NonMonotonicModel::for_app(&c6);
+        // k_wait = 0.669 -> response ≈ 1.589.
+        assert!((c6_model.response_time(0.669) - 1.589).abs() < 0.005);
+    }
+
+    #[test]
+    fn non_monotonic_rises_then_falls() {
+        let model = NonMonotonicModel::for_app(&c3());
+        assert!(model.dwell(0.3) > model.dwell(0.0));
+        assert!(model.dwell(0.69) > model.dwell(0.3));
+        assert!(model.dwell(2.0) < model.dwell(0.69));
+        assert!(model.dwell(3.5) < model.dwell(2.0));
+    }
+
+    #[test]
+    fn conservative_envelope_dominates_non_monotonic_model() {
+        let app = c3();
+        let nm = NonMonotonicModel::for_app(&app);
+        let cm = nm.conservative_envelope();
+        assert!((cm.max_dwell() - app.xi_prime_m).abs() < 1e-12);
+        for i in 0..=100 {
+            let wait = app.xi_et * i as f64 / 100.0;
+            assert!(
+                cm.dwell(wait) + 1e-9 >= nm.dwell(wait),
+                "conservative model must dominate at wait {wait}"
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_envelope_with_zero_peak_wait() {
+        let nm = NonMonotonicModel::new(0.5, 0.5, 0.0, 2.0).unwrap();
+        let cm = nm.conservative_envelope();
+        assert!((cm.max_dwell() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_model_underestimates_in_rising_region() {
+        let app = c3();
+        let nm = NonMonotonicModel::for_app(&app);
+        let simple = SimpleMonotonicModel::for_app(&app);
+        // At the peak wait time the simple model is clearly below the truth —
+        // this is exactly why the paper calls it unsafe.
+        assert!(simple.dwell(app.k_p) < nm.dwell(app.k_p));
+        assert_eq!(simple.max_dwell(), app.xi_tt);
+        assert!((simple.dwell(0.0) - app.xi_tt).abs() < 1e-12);
+        assert!(simple.dwell(app.xi_et).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservative_model_endpoints() {
+        let cm = ConservativeMonotonicModel::new(0.77, 3.97).unwrap();
+        assert!((cm.dwell(0.0) - 0.77).abs() < 1e-12);
+        assert!(cm.dwell(3.97).abs() < 1e-12);
+        assert!(cm.dwell(5.0).abs() < 1e-12);
+        // Monotone decreasing.
+        assert!(cm.dwell(1.0) > cm.dwell(2.0));
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(NonMonotonicModel::new(0.0, 0.6, 0.7, 4.0).is_err());
+        assert!(NonMonotonicModel::new(0.8, 0.6, 0.7, 4.0).is_err());
+        assert!(NonMonotonicModel::new(0.4, 0.6, 4.5, 4.0).is_err());
+        assert!(ConservativeMonotonicModel::new(0.0, 4.0).is_err());
+        assert!(ConservativeMonotonicModel::new(f64::NAN, 4.0).is_err());
+        assert!(SimpleMonotonicModel::new(2.0, 1.0).is_err());
+        assert!(SimpleMonotonicModel::new(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn piecewise_linear_interpolation() {
+        let model =
+            PiecewiseLinearModel::new(vec![(0.0, 0.4), (0.5, 0.8), (1.0, 0.6), (2.0, 0.0)]).unwrap();
+        assert!((model.dwell(0.25) - 0.6).abs() < 1e-12);
+        assert!((model.dwell(0.75) - 0.7).abs() < 1e-12);
+        assert!((model.dwell(1.5) - 0.3).abs() < 1e-12);
+        assert_eq!(model.dwell(-1.0), 0.4);
+        assert_eq!(model.dwell(3.0), 0.0);
+        assert_eq!(model.max_dwell(), 0.8);
+        assert_eq!(model.breakpoints().len(), 4);
+    }
+
+    #[test]
+    fn piecewise_linear_validation() {
+        assert!(PiecewiseLinearModel::new(vec![(0.0, 0.4)]).is_err());
+        assert!(PiecewiseLinearModel::new(vec![(0.0, 0.4), (0.0, 0.5)]).is_err());
+        assert!(PiecewiseLinearModel::new(vec![(0.0, -0.4), (1.0, 0.5)]).is_err());
+    }
+
+    #[test]
+    fn dwell_for_and_max_dwell_for_dispatch() {
+        let app = c3();
+        assert_eq!(max_dwell_for(&app, ModelKind::NonMonotonic), app.xi_m);
+        assert_eq!(max_dwell_for(&app, ModelKind::ConservativeMonotonic), app.xi_prime_m);
+        assert_eq!(max_dwell_for(&app, ModelKind::SimpleMonotonic), app.xi_tt);
+        assert!((dwell_for(&app, ModelKind::NonMonotonic, 0.0) - app.xi_tt).abs() < 1e-12);
+        assert!(
+            (dwell_for(&app, ModelKind::ConservativeMonotonic, 0.0) - app.xi_prime_m).abs() < 1e-12
+        );
+        assert!((dwell_for(&app, ModelKind::SimpleMonotonic, 0.0) - app.xi_tt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_kind_display_and_default() {
+        assert_eq!(ModelKind::default(), ModelKind::NonMonotonic);
+        assert_eq!(ModelKind::NonMonotonic.to_string(), "non-monotonic");
+        assert_eq!(ModelKind::ConservativeMonotonic.to_string(), "conservative monotonic");
+        assert_eq!(ModelKind::SimpleMonotonic.to_string(), "simple monotonic");
+    }
+}

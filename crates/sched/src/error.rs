@@ -1,0 +1,88 @@
+//! Error type for the schedulability-analysis crate.
+
+use std::fmt;
+
+/// Errors reported by the dwell-time models, wait-time analysis and slot
+/// allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A timing parameter violates its precondition (negative time, deadline
+    /// exceeding the inter-arrival time, inconsistent curve breakpoints, ...).
+    InvalidParameter {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+    /// The higher-priority interference alone already saturates the slot
+    /// (`m ≥ 1` in the paper's Eq. (19)); the application cannot be
+    /// schedulable on this slot.
+    SlotOverloaded {
+        /// Name of the application whose analysis failed.
+        application: String,
+        /// The interference utilisation `m = Σ ξᴹⱼ / rⱼ` that was computed.
+        utilization: f64,
+    },
+    /// The exact fixed-point iteration did not converge within its budget.
+    FixedPointDiverged {
+        /// Name of the application whose analysis failed.
+        application: String,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The allocator ran out of slots (more slots would be required than the
+    /// configured maximum).
+    InsufficientSlots {
+        /// Number of slots that were available.
+        available: usize,
+        /// Name of the first application that could not be placed.
+        application: String,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            SchedError::SlotOverloaded { application, utilization } => write!(
+                f,
+                "application {application} cannot be scheduled: interference utilisation {utilization:.3} >= 1"
+            ),
+            SchedError::FixedPointDiverged { application, iterations } => write!(
+                f,
+                "fixed-point iteration for {application} did not converge after {iterations} iterations"
+            ),
+            SchedError::InsufficientSlots { available, application } => write!(
+                f,
+                "application {application} cannot be placed within {available} TT slots"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SchedError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SchedError::InvalidParameter { reason: "negative deadline".into() };
+        assert!(e.to_string().contains("invalid parameter"));
+        let e = SchedError::SlotOverloaded { application: "C1".into(), utilization: 1.2 };
+        assert!(e.to_string().contains("C1"));
+        assert!(e.to_string().contains("1.200"));
+        let e = SchedError::FixedPointDiverged { application: "C2".into(), iterations: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = SchedError::InsufficientSlots { available: 3, application: "C4".into() };
+        assert!(e.to_string().contains("3 TT slots"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchedError>();
+    }
+}

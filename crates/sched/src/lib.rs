@@ -1,0 +1,67 @@
+//! # cps-sched
+//!
+//! Schedulability analysis and TT-slot allocation for the DATE 2019
+//! reproduction *Exploiting System Dynamics for Resource-Efficient Automotive
+//! CPS Design*.
+//!
+//! The crate implements the analytical core of the paper:
+//!
+//! * [`AppTimingParams`] — one row of the paper's Table I (disturbance
+//!   inter-arrival time, deadline, pure-mode response times, dwell-curve
+//!   breakpoints).
+//! * [`NonMonotonicModel`], [`ConservativeMonotonicModel`],
+//!   [`SimpleMonotonicModel`], [`PiecewiseLinearModel`] — the dwell-time
+//!   models of Figure 4.
+//! * [`max_wait_time_bound`] / [`max_wait_time_fixed_point`] — the maximum
+//!   wait time of Eq. (5) with the closed-form bound of Eq. (20) whose
+//!   existence the paper proves.
+//! * [`analyze_application`] / [`analyze_slot`] — worst-case response times
+//!   ξ̂ = k̂_wait + k_dw(k̂_wait) and deadline checks.
+//! * [`allocate_slots`] — the paper's greedy next-fit slot allocation plus
+//!   first-fit and best-fit ablations.
+//! * [`case_study_fixtures::paper_table1`] — the published Table I, from
+//!   which the headline 3-versus-5-slot result is reproduced exactly.
+//!
+//! # Example: the paper's headline result
+//!
+//! ```
+//! use cps_sched::{allocate_slots, AllocatorConfig, ModelKind};
+//! use cps_sched::case_study_fixtures::paper_table1;
+//!
+//! let apps = paper_table1();
+//! let non_monotonic = allocate_slots(&apps, &AllocatorConfig::default())?;
+//! let monotonic = allocate_slots(
+//!     &apps,
+//!     &AllocatorConfig { model: ModelKind::ConservativeMonotonic, ..AllocatorConfig::default() },
+//! )?;
+//! assert_eq!(non_monotonic.slot_count(), 3);
+//! assert_eq!(monotonic.slot_count(), 5);
+//! # Ok::<(), cps_sched::SchedError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod allocation;
+mod app;
+mod dwell;
+mod error;
+mod schedulability;
+mod wait_time;
+
+pub mod case_study_fixtures;
+
+pub use allocation::{allocate_slots, AllocationStrategy, AllocatorConfig, SlotAllocation};
+pub use app::{priority_order, AppTimingParams};
+pub use dwell::{
+    dwell_for, max_dwell_for, ConservativeMonotonicModel, DwellTimeModel, ModelKind,
+    NonMonotonicModel, PiecewiseLinearModel, SimpleMonotonicModel,
+};
+pub use error::{Result, SchedError};
+pub use schedulability::{
+    analyze_application, analyze_slot, is_slot_schedulable, ResponseTimeAnalysis, SlotAnalysis,
+    WaitTimeMethod,
+};
+pub use wait_time::{
+    max_wait_time_bound, max_wait_time_fixed_point, max_wait_time_lower_bound, InterferenceContext,
+};

@@ -1,0 +1,39 @@
+//! Figure 5 reproduction: co-simulate the six-application fleet over the
+//! FlexRay bus with the dynamic resource-allocation scheme and print the
+//! disturbance responses, slot usage and bus statistics.
+//!
+//! Run with `cargo run --release --example cosim_responses`.
+
+use automotive_cps::control::CommunicationMode;
+use automotive_cps::core::experiments;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = experiments::figure5_cosimulation(12.0)?;
+    println!("=== Figure 5: co-simulated responses (all disturbances at t = 0) ===");
+    println!("{}", experiments::render_cosim(&trace));
+
+    // Compact ASCII sketch of each response: norm every 0.5 s, with the
+    // communication mode marked (E = event-triggered, T = time-triggered).
+    println!("norm / mode every 0.5 s:");
+    for app in &trace.apps {
+        let samples: Vec<String> = app
+            .points
+            .iter()
+            .step_by((0.5 / trace.period) as usize)
+            .map(|p| {
+                let marker = match p.mode {
+                    CommunicationMode::TimeTriggered => 'T',
+                    CommunicationMode::EventTriggered => 'E',
+                };
+                format!("{:.2}{marker}", p.norm)
+            })
+            .collect();
+        println!("  {:<16} {}", app.name, samples.join(" "));
+    }
+
+    println!(
+        "\nall deadlines met: {} (paper: every application settles before its deadline)",
+        trace.all_deadlines_met()
+    );
+    Ok(())
+}

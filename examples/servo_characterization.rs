@@ -1,0 +1,28 @@
+//! Figure 3 reproduction: characterise the servo rig's dwell-time /
+//! wait-time relation and fit the Figure 4 models to it.
+//!
+//! Run with `cargo run --release --example servo_characterization`.
+
+use automotive_cps::core::{experiments, fit_non_monotonic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let curve = experiments::figure3_dwell_wait_curve()?;
+    println!("=== Figure 3: measured dwell time vs. wait time (servo rig) ===");
+    println!("{}", experiments::render_curve(&curve, 5));
+    println!("non-monotonic (rises then falls): {}", curve.is_non_monotonic());
+
+    let (xi_tt, xi_et, xi_m, k_p) = fit_non_monotonic(&curve)?;
+    println!("\n=== Figure 4: fitted two-segment model ===");
+    println!("xi_tt = {xi_tt:.2} s, xi_m = {xi_m:.2} s at k_p = {k_p:.2} s, xi_et = {xi_et:.2} s");
+    println!(
+        "conservative monotonic intercept xi'_m = {:.2} s",
+        xi_m / (1.0 - k_p / xi_et)
+    );
+
+    let data = experiments::figure4_models()?;
+    println!(
+        "model orderings hold (conservative >= non-monotonic >= measurement): {}",
+        experiments::figure4_orderings_hold(&data)
+    );
+    Ok(())
+}

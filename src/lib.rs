@@ -1,0 +1,31 @@
+//! Workspace façade for the DATE 2019 reproduction
+//! *Exploiting System Dynamics for Resource-Efficient Automotive CPS Design*.
+//!
+//! This crate simply re-exports the member crates so that the examples and
+//! integration tests can use one coherent namespace:
+//!
+//! * [`linalg`] — dense small-matrix linear algebra substrate.
+//! * [`control`] — LTI modelling, discretisation with input delay, LQR design,
+//!   switched-system analysis and the automotive plant library.
+//! * [`flexray`] — cycle-accurate hybrid (TT + ET) FlexRay bus simulator.
+//! * [`sched`] — dwell-time models, maximum-wait-time / worst-case response
+//!   time analysis and TT-slot allocation heuristics.
+//! * [`core`] — the paper's co-design flow: application modelling,
+//!   dwell/wait characterisation, Table-I derivation, the dynamic
+//!   resource-allocation runtime and the plant/bus co-simulation engine.
+//!
+//! # Example
+//!
+//! ```
+//! use automotive_cps::core::case_study;
+//!
+//! let apps = case_study::paper_table1();
+//! let outcome = case_study::run_slot_allocation(&apps).expect("allocation succeeds");
+//! assert!(outcome.non_monotonic_slots < outcome.monotonic_slots);
+//! ```
+
+pub use cps_control as control;
+pub use cps_core as core;
+pub use cps_flexray as flexray;
+pub use cps_linalg as linalg;
+pub use cps_sched as sched;

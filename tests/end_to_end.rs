@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the complete co-design flow from plant
+//! models to TT-slot dimensioning and co-simulation.
+
+use automotive_cps::core::{case_study, experiments};
+use automotive_cps::flexray::{FlexRayBus, FlexRayConfig, Frame};
+use automotive_cps::sched::{
+    analyze_slot, DwellTimeModel, ModelKind, NonMonotonicModel, WaitTimeMethod,
+};
+
+#[test]
+fn headline_result_3_vs_5_slots() {
+    let apps = case_study::paper_table1();
+    let outcome = case_study::run_slot_allocation(&apps).expect("allocation succeeds");
+    assert_eq!(outcome.non_monotonic_slots, 3);
+    assert_eq!(outcome.monotonic_slots, 5);
+    assert!((outcome.overhead_fraction - 2.0 / 3.0).abs() < 0.01);
+    // The paper's slot contents: S1 = {C3, C6}, S2 = {C2, C4}, S3 = {C5, C1}.
+    assert_eq!(outcome.non_monotonic.slots[0], vec![2, 5]);
+    assert_eq!(outcome.non_monotonic.slots[1], vec![1, 3]);
+    assert_eq!(outcome.non_monotonic.slots[2], vec![4, 0]);
+}
+
+#[test]
+fn paper_intermediate_numbers_are_reproduced() {
+    let apps = case_study::paper_table1();
+    // Section V quotes k_wait,6 = 0.669 s -> xi_hat_6 = 1.589 s and
+    // k_wait,3 = 0.92 s -> xi_hat_3 = 1.515 s on slot S1 = {C3, C6}.
+    let analysis = analyze_slot(
+        &apps,
+        &[2, 5],
+        ModelKind::NonMonotonic,
+        WaitTimeMethod::ClosedFormBound,
+    )
+    .expect("analysis succeeds");
+    let c3 = &analysis.analyses[0];
+    let c6 = &analysis.analyses[1];
+    assert!((c3.max_wait_time - 0.92).abs() < 1e-6);
+    assert!((c3.worst_case_response_time - 1.515).abs() < 0.005);
+    assert!((c6.max_wait_time - 0.669).abs() < 0.001);
+    assert!((c6.worst_case_response_time - 1.589).abs() < 0.005);
+    assert!(analysis.is_schedulable());
+}
+
+#[test]
+fn figure3_shape_holds_end_to_end() {
+    let curve = experiments::figure3_dwell_wait_curve().expect("characterisation succeeds");
+    assert!(curve.is_non_monotonic());
+    assert!(curve.max_dwell() > 1.1 * curve.xi_tt);
+    assert!(curve.peak_wait() > 0.0);
+    assert!(curve.xi_et > 2.0 * curve.xi_tt);
+}
+
+#[test]
+fn figure4_model_orderings_hold_end_to_end() {
+    let data = experiments::figure4_models().expect("model fit succeeds");
+    assert!(experiments::figure4_orderings_hold(&data));
+}
+
+#[test]
+fn derived_pipeline_saves_resources_or_matches() {
+    let fleet = case_study::derived_fleet().expect("fleet design succeeds");
+    let table = case_study::derive_table(&fleet).expect("table derivation succeeds");
+    let outcome = case_study::run_slot_allocation(&table).expect("allocation succeeds");
+    assert!(outcome.non_monotonic_slots <= outcome.monotonic_slots);
+    assert!(outcome.non_monotonic.verify(&table).expect("verification runs"));
+    assert!(outcome.monotonic.verify(&table).expect("verification runs"));
+}
+
+#[test]
+fn cosimulation_meets_deadlines_and_uses_the_bus() {
+    let trace = experiments::figure5_cosimulation(12.0).expect("co-simulation succeeds");
+    assert!(trace.all_deadlines_met());
+    assert!(trace.bus_statistics.static_transmissions > 0);
+    assert!(trace.bus_statistics.dynamic_transmissions > 0);
+    // Slot occupancy is recorded for every simulated period.
+    assert_eq!(trace.slot_occupancy.len(), trace.apps[0].points.len());
+}
+
+#[test]
+fn published_response_times_are_consistent_with_the_dwell_model() {
+    // The Table I columns are mutually consistent: evaluating the
+    // non-monotonic model of every application at wait zero gives xi_tt and
+    // the peak gives xi_m.
+    for app in case_study::paper_table1() {
+        let model = NonMonotonicModel::for_app(&app);
+        assert!((model.dwell(0.0) - app.xi_tt).abs() < 1e-9);
+        assert!((model.dwell(app.k_p) - app.xi_m).abs() < 1e-9);
+        assert!(model.dwell(app.xi_et) < 1e-9);
+    }
+}
+
+#[test]
+fn flexray_bus_supports_the_case_study_configuration() {
+    // Ten static slots as in the paper; the three slots of the non-monotonic
+    // allocation fit comfortably and TT transmissions stay deterministic.
+    let mut bus = FlexRayBus::new(FlexRayConfig::paper_case_study()).expect("valid bus");
+    for slot in 0..3 {
+        bus.register_frame(
+            Frame::static_slot(slot as u32 + 1, format!("slot{slot}"), slot, 2).expect("frame"),
+        )
+        .expect("registration");
+    }
+    for cycle in 0..8 {
+        for id in 1..=3u32 {
+            bus.queue_message(id, cycle as f64 * 0.005).expect("queue");
+        }
+        bus.run_cycle();
+    }
+    let stats = bus.statistics();
+    assert_eq!(stats.static_transmissions, 24);
+    assert_eq!(stats.wasted_static_slots, 0);
+    // Deterministic latency: every transmission of frame 1 has the same latency.
+    let latencies = bus.latencies_of(1);
+    assert!(latencies.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+}
