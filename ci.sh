@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI pipeline for the automotive CPS reproduction workspace.
+#
+#   ./ci.sh          full pipeline: release build, tests, clippy, bench smoke
+#   ./ci.sh quick    build + tests only
+#
+# Everything runs offline: the two external dev-dependencies (criterion,
+# proptest) are API-compatible shims vendored under crates/compat/.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release (workspace)"
+cargo build --release --workspace
+
+step "cargo test -q (workspace)"
+cargo test -q --workspace
+
+if [[ "${1:-}" == "quick" ]]; then
+    echo "quick mode: skipping clippy and bench smoke"
+    exit 0
+fi
+
+step "cargo clippy -D warnings (workspace, all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo bench -- --test (smoke: every benchmark body runs once)"
+cargo bench -p cps-bench -- --test
+
+echo
+echo "CI pipeline passed."

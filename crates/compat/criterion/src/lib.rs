@@ -1,0 +1,261 @@
+//! Offline, API-compatible shim for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this repository cannot reach a crates registry,
+//! so this crate implements the (small) subset of criterion's API that the
+//! workspace's bench targets use: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher`], [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is first calibrated (the iteration
+//! count is doubled until one sample takes at least ~5 ms), then
+//! `sample_size` timed samples are collected and the per-iteration minimum,
+//! mean and maximum are reported. Passing `--test` on the command line (what
+//! `cargo bench -- --test` forwards) runs every benchmark body exactly once
+//! as a smoke test, which CI uses.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterised benchmark (`function_name/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Creates an identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into the string id under which a benchmark is reported.
+pub trait IntoBenchmarkId {
+    /// The reported benchmark id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handed to the benchmark closure; `iter` runs and times the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured number of iterations and records the
+    /// elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+/// The benchmark manager: entry point handed to every bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { settings: Settings { test_mode, sample_size: 20 } }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings, _criterion: self }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.into_benchmark_id(), self.settings, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings and a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&id, self.settings, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `group_name/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        run_benchmark(&id, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) {
+    if settings.test_mode {
+        let mut bencher = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        println!("Testing {id} ... ok");
+        return;
+    }
+
+    // Calibrate: double the iteration count until one sample costs >= 5 ms.
+    let mut iterations: u64 = 1;
+    loop {
+        let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(5) || iterations >= 1 << 30 {
+            break;
+        }
+        iterations *= 2;
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iterations as f64);
+    }
+    let min = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().copied().fold(0.0f64, f64::max);
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{id:<55} time: [{} {} {}] ({} samples x {} iters)",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max),
+        per_iter_ns.len(),
+        iterations,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running a list of bench functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).into_benchmark_id(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).into_benchmark_id(), "8");
+        assert_eq!("plain".into_benchmark_id(), "plain");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0u64;
+        let mut bencher = Bencher { iterations: 5, elapsed: Duration::ZERO };
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(10.0).ends_with("ns"));
+        assert!(format_ns(10_000.0).ends_with("us"));
+        assert!(format_ns(10_000_000.0).ends_with("ms"));
+        assert!(format_ns(10_000_000_000.0).ends_with(" s"));
+    }
+}

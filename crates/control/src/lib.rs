@@ -18,6 +18,10 @@
 //!   ξᴱᵀ).
 //! * [`characterize_dwell_vs_wait`] — the switched-system sweep behind the
 //!   non-monotonic dwell-time/wait-time relation of Figure 3.
+//! * [`StepKernel`] — the precompiled, allocation-free closed-loop stepper:
+//!   Φ, Γ₀, Γ₁ and the feedback gain fused into one augmented matrix per
+//!   communication mode at construction, so a step is a single in-place
+//!   matrix–vector product.
 //! * [`PlantSimulator`] — step-by-step closed-loop simulation with runtime
 //!   mode switching, driven by the co-simulation engine in `cps-core`.
 //!
@@ -61,6 +65,7 @@ mod continuous;
 mod delayed;
 mod discrete;
 mod error;
+mod kernel;
 mod lqr;
 mod pole_placement;
 mod response;
@@ -73,6 +78,7 @@ pub use continuous::ContinuousStateSpace;
 pub use delayed::{plant_state_norm, DelayedLtiSystem};
 pub use discrete::DiscreteStateSpace;
 pub use error::{ControlError, Result};
+pub use kernel::StepKernel;
 pub use lqr::{
     design_by_pole_placement, design_lqr, design_switched_pair, LqrWeights,
     StateFeedbackController, SwitchedControllerPair,

@@ -230,7 +230,6 @@ mod tests {
         assert!(!rig.is_stable().unwrap());
         assert!(rig.is_controllable().unwrap());
         assert_eq!(rig.order(), 2);
-        assert!(SERVO_RIG_TORQUE_LIMIT > 0.0);
         // Holding the load at 45 degrees must be feasible within the torque limit.
         let gravity_at_45 = 0.3 * 9.81 * 0.3 * 45.0_f64.to_radians();
         assert!(gravity_at_45 < SERVO_RIG_TORQUE_LIMIT);

@@ -7,8 +7,9 @@
 //! the FlexRay bus model, where the communication mode — and therefore the
 //! effective delay and controller — changes at runtime.
 
-use crate::delayed::{plant_state_norm, DelayedLtiSystem};
-use crate::error::{ControlError, Result};
+use crate::delayed::DelayedLtiSystem;
+use crate::error::Result;
+use crate::kernel::StepKernel;
 use crate::lqr::StateFeedbackController;
 
 /// Which communication mode the control signal currently uses.
@@ -32,15 +33,16 @@ impl std::fmt::Display for CommunicationMode {
 
 /// A running closed-loop plant instance whose controller and effective delay
 /// depend on the current communication mode.
+///
+/// Since the kernel refactor this is a thin, record-producing wrapper around
+/// [`StepKernel`]: the per-step dynamics are one in-place matrix–vector
+/// product on the fused closed-loop matrix of the active mode. Use the
+/// kernel directly (via [`PlantSimulator::kernel`] or [`StepKernel::new`])
+/// when the [`SimSample`] records are not needed — that path never touches
+/// the heap.
 #[derive(Debug, Clone)]
 pub struct PlantSimulator {
-    et_system: DelayedLtiSystem,
-    tt_system: DelayedLtiSystem,
-    et_controller: StateFeedbackController,
-    tt_controller: StateFeedbackController,
-    state: Vec<f64>,
-    previous_input: Vec<f64>,
-    time: f64,
+    kernel: StepKernel,
 }
 
 /// One record of the simulated trajectory.
@@ -70,50 +72,40 @@ impl PlantSimulator {
         et_controller: StateFeedbackController,
         tt_controller: StateFeedbackController,
     ) -> Result<Self> {
-        if et_system.plant_order() != tt_system.plant_order()
-            || et_system.inputs() != tt_system.inputs()
-        {
-            return Err(ControlError::InvalidModel {
-                reason: "ET and TT models must describe the same plant".to_string(),
-            });
-        }
-        if (et_system.period() - tt_system.period()).abs() > 1e-12 {
-            return Err(ControlError::InvalidModel {
-                reason: "ET and TT models must share the sampling period".to_string(),
-            });
-        }
-        let n = et_system.plant_order();
-        let m = et_system.inputs();
-        Ok(PlantSimulator {
-            et_system,
-            tt_system,
-            et_controller,
-            tt_controller,
-            state: vec![0.0; n],
-            previous_input: vec![0.0; m],
-            time: 0.0,
-        })
+        let kernel = StepKernel::new(&et_system, &tt_system, &et_controller, &tt_controller)?;
+        Ok(PlantSimulator { kernel })
+    }
+
+    /// The underlying allocation-free kernel.
+    pub fn kernel(&self) -> &StepKernel {
+        &self.kernel
+    }
+
+    /// Consumes the simulator and returns its kernel — the preferred handle
+    /// for hot loops that do not need [`SimSample`] records.
+    pub fn into_kernel(self) -> StepKernel {
+        self.kernel
     }
 
     /// Sampling period of the simulated loop.
     pub fn period(&self) -> f64 {
-        self.et_system.period()
+        self.kernel.period()
     }
 
     /// Current simulation time in seconds.
     pub fn time(&self) -> f64 {
-        self.time
+        self.kernel.time()
     }
 
     /// Current physical plant state.
     pub fn state(&self) -> &[f64] {
-        &self.state
+        self.kernel.state()
     }
 
     /// Norm of the current physical plant state (the quantity compared with
     /// `E_th`).
     pub fn state_norm(&self) -> f64 {
-        plant_state_norm(&self.state, self.state.len())
+        self.kernel.state_norm()
     }
 
     /// Adds a disturbance to the plant state (instantaneous state jump, the
@@ -124,54 +116,30 @@ impl PlantSimulator {
     /// Returns [`ControlError::InvalidModel`] if the disturbance has the
     /// wrong dimension.
     pub fn inject_disturbance(&mut self, disturbance: &[f64]) -> Result<()> {
-        if disturbance.len() != self.state.len() {
-            return Err(ControlError::InvalidModel {
-                reason: format!(
-                    "disturbance has length {} but the plant has {} states",
-                    disturbance.len(),
-                    self.state.len()
-                ),
-            });
-        }
-        for (s, d) in self.state.iter_mut().zip(disturbance) {
-            *s += d;
-        }
-        Ok(())
+        self.kernel.inject_disturbance(disturbance)
     }
 
     /// Resets state, previous input and time to zero.
     pub fn reset(&mut self) {
-        self.state.iter_mut().for_each(|s| *s = 0.0);
-        self.previous_input.iter_mut().for_each(|u| *u = 0.0);
-        self.time = 0.0;
+        self.kernel.reset();
     }
 
     /// Advances the closed loop by one sampling period using the controller
     /// and delay model of `mode`, and returns the record of the step.
     ///
+    /// The dynamics are one fused in-place matrix–vector product; the only
+    /// allocation is the `input` vector of the returned record (the applied
+    /// input is the tail of the kernel's new augmented state).
+    ///
     /// # Errors
     ///
-    /// Propagates linear-algebra failures (these indicate an internal
-    /// inconsistency and should not occur for validated models).
+    /// Kept fallible for API stability; the kernel path cannot fail after
+    /// construction.
     pub fn step(&mut self, mode: CommunicationMode) -> Result<SimSample> {
-        let (system, controller) = match mode {
-            CommunicationMode::EventTriggered => (&self.et_system, &self.et_controller),
-            CommunicationMode::TimeTriggered => (&self.tt_system, &self.tt_controller),
-        };
-        // Augmented state is [x; u_prev].
-        let mut augmented = self.state.clone();
-        augmented.extend_from_slice(&self.previous_input);
-        let input = controller.control(&augmented)?;
-        let sample = SimSample {
-            time: self.time,
-            norm: self.state_norm(),
-            mode,
-            input: input.clone(),
-        };
-        self.state = system.step(&self.state, &input, &self.previous_input)?;
-        self.previous_input = input;
-        self.time += system.period();
-        Ok(sample)
+        let time = self.kernel.time();
+        let norm = self.kernel.state_norm();
+        self.kernel.step(mode);
+        Ok(SimSample { time, norm, mode, input: self.kernel.previous_input().to_vec() })
     }
 
     /// Runs `steps` consecutive steps in a fixed mode and returns the records.
@@ -180,7 +148,11 @@ impl PlantSimulator {
     ///
     /// Propagates failures from [`PlantSimulator::step`].
     pub fn run(&mut self, mode: CommunicationMode, steps: usize) -> Result<Vec<SimSample>> {
-        (0..steps).map(|_| self.step(mode)).collect()
+        let mut samples = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            samples.push(self.step(mode)?);
+        }
+        Ok(samples)
     }
 }
 

@@ -4,7 +4,7 @@
 use crate::error::{CoreError, Result};
 use cps_control::{
     design_by_pole_placement, design_lqr, ContinuousStateSpace, DelayedLtiSystem, LqrWeights,
-    PlantSimulator, SaturatedSwitchedModel, StateFeedbackController,
+    PlantSimulator, SaturatedSwitchedModel, StateFeedbackController, StepKernel,
 };
 
 /// How the ET/TT state-feedback controllers of an application are designed.
@@ -174,7 +174,8 @@ impl ControlApplication {
     }
 
     /// A fresh closed-loop simulator for this application (state at the
-    /// origin), used by the co-simulation engine.
+    /// origin), used when per-step [`cps_control::SimSample`] records are
+    /// wanted.
     ///
     /// # Errors
     ///
@@ -185,6 +186,22 @@ impl ControlApplication {
             self.tt_system.clone(),
             self.et_controller.clone(),
             self.tt_controller.clone(),
+        )?)
+    }
+
+    /// A fresh allocation-free step kernel for this application (state at
+    /// the origin) — the handle the co-simulation engine and the scenario
+    /// batch runner drive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-construction failures.
+    pub fn kernel(&self) -> Result<StepKernel> {
+        Ok(StepKernel::new(
+            &self.et_system,
+            &self.tt_system,
+            &self.et_controller,
+            &self.tt_controller,
         )?)
     }
 }

@@ -10,7 +10,7 @@
 use crate::application::ControlApplication;
 use crate::error::{CoreError, Result};
 use crate::runtime::{AllocationRuntime, RuntimeApp};
-use cps_control::{CommunicationMode, PlantSimulator};
+use cps_control::{CommunicationMode, StepKernel};
 use cps_flexray::{FlexRayBus, FlexRayConfig, Frame, LatencyStats, Segment};
 use cps_sched::SlotAllocation;
 
@@ -76,14 +76,26 @@ impl CoSimTrace {
 }
 
 /// The co-simulation engine.
+///
+/// Each application's closed loop is stepped by a precompiled, allocation-free
+/// [`StepKernel`]; the per-period scratch buffers (plant-state norms and
+/// granted modes) are owned by the engine and reused across steps and runs.
+/// [`CoSimulation::reset`] rewinds everything to time zero without
+/// reconstruction, so repeated runs — the fig5 bench, Monte-Carlo disturbance
+/// sweeps, fleet dimensioning — pay the design cost once.
 #[derive(Debug)]
 pub struct CoSimulation {
     apps: Vec<ControlApplication>,
-    simulators: Vec<PlantSimulator>,
+    kernels: Vec<StepKernel>,
     runtime: AllocationRuntime,
     bus: FlexRayBus,
     period: f64,
     slot_count: usize,
+    threshold_scale: f64,
+    /// Scratch: plant-state norms of the current period.
+    norms: Vec<f64>,
+    /// Scratch: communication modes granted for the current period.
+    modes: Vec<CommunicationMode>,
 }
 
 impl CoSimulation {
@@ -121,7 +133,7 @@ impl CoSimulation {
             });
         }
         let mut runtime_apps = Vec::with_capacity(apps.len());
-        let mut simulators = Vec::with_capacity(apps.len());
+        let mut kernels = Vec::with_capacity(apps.len());
         let mut bus = FlexRayBus::new(bus_config)?;
         for (index, app) in apps.iter().enumerate() {
             let slot = allocation.slot_of(index);
@@ -131,13 +143,64 @@ impl CoSimulation {
                 slot,
                 priority: app.spec().deadline,
             });
-            simulators.push(app.simulator()?);
+            kernels.push(app.kernel()?);
             // Every application's control signal is a bus frame; it starts in
             // the dynamic segment and is moved into its TT slot on demand.
             bus.register_frame(Frame::dynamic(index as u32 + 1, app.name(), 2)?)?;
         }
         let runtime = AllocationRuntime::new(runtime_apps, slot_count)?;
-        Ok(CoSimulation { apps, simulators, runtime, bus, period, slot_count })
+        let app_count = apps.len();
+        Ok(CoSimulation {
+            apps,
+            kernels,
+            runtime,
+            bus,
+            period,
+            slot_count,
+            threshold_scale: 1.0,
+            norms: vec![0.0; app_count],
+            modes: Vec::with_capacity(app_count),
+        })
+    }
+
+    /// Rewinds the engine to time zero without reconstruction: every kernel
+    /// returns to the origin, the runtime releases all slots, the bus log and
+    /// counters are cleared and every frame returns to the dynamic segment.
+    /// The configured threshold scale is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors (none occur for frames the engine registered).
+    pub fn reset(&mut self) -> Result<()> {
+        for kernel in &mut self.kernels {
+            kernel.reset();
+        }
+        self.runtime.reset();
+        self.bus.reset();
+        for index in 0..self.apps.len() {
+            self.bus.reassign_frame(index as u32 + 1, Segment::Dynamic)?;
+        }
+        Ok(())
+    }
+
+    /// Scales every application's switching threshold `E_th` by `scale`
+    /// (relative to the designed value) — the primitive behind threshold
+    /// sweeps. The scale survives [`CoSimulation::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `scale` is not positive.
+    pub fn set_threshold_scale(&mut self, scale: f64) -> Result<()> {
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("threshold scale must be positive and finite, got {scale}"),
+            });
+        }
+        for (index, app) in self.apps.iter().enumerate() {
+            self.runtime.set_threshold(index, app.spec().threshold * scale)?;
+        }
+        self.threshold_scale = scale;
+        Ok(())
     }
 
     /// Injects each application's configured disturbance at the current time
@@ -147,8 +210,18 @@ impl CoSimulation {
     ///
     /// Propagates simulator errors.
     pub fn inject_disturbances(&mut self) -> Result<()> {
-        for (app, sim) in self.apps.iter().zip(&mut self.simulators) {
-            sim.inject_disturbance(&app.spec().disturbance)?;
+        self.inject_disturbances_scaled(1.0)
+    }
+
+    /// Injects each application's configured disturbance scaled by `scale` —
+    /// the primitive behind Monte-Carlo disturbance sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn inject_disturbances_scaled(&mut self, scale: f64) -> Result<()> {
+        for (app, kernel) in self.apps.iter().zip(&mut self.kernels) {
+            kernel.inject_disturbance_scaled(&app.spec().disturbance, scale)?;
         }
         Ok(())
     }
@@ -165,24 +238,36 @@ impl CoSimulation {
             });
         }
         let steps = (duration / self.period).ceil() as usize;
-        let mut points: Vec<Vec<TracePoint>> = vec![Vec::with_capacity(steps); self.apps.len()];
+        // Not `vec![Vec::with_capacity(steps); n]`: cloning a Vec drops its
+        // capacity, which would leave all but one buffer unsized.
+        let mut points: Vec<Vec<TracePoint>> =
+            (0..self.apps.len()).map(|_| Vec::with_capacity(steps)).collect();
         let mut occupancy = Vec::with_capacity(steps);
 
         for step in 0..steps {
             let time = step as f64 * self.period;
-            let norms: Vec<f64> = self.simulators.iter().map(PlantSimulator::state_norm).collect();
-            let modes = self.runtime.step(&norms)?;
+            for (norm, kernel) in self.norms.iter_mut().zip(&self.kernels) {
+                *norm = kernel.state_norm();
+            }
+            // Split the borrows: the runtime writes into the mode scratch.
+            let CoSimulation { runtime, norms, modes, .. } = self;
+            runtime.step_into(norms, modes)?;
             occupancy.push(self.runtime.slot_holders().to_vec());
 
-            for (index, mode) in modes.iter().enumerate() {
-                points[index].push(TracePoint { time, norm: norms[index], mode: *mode });
+            for (index, mode) in self.modes.iter().enumerate() {
+                points[index].push(TracePoint { time, norm: self.norms[index], mode: *mode });
                 // Mirror the control message onto the bus: TT users own their
                 // allocated static slot for this period, ET users contend in
                 // the dynamic segment.
                 let frame_id = index as u32 + 1;
                 let segment = match mode {
                     CommunicationMode::TimeTriggered => Segment::Static {
-                        slot: self.runtime_slot_of(index).unwrap_or(0),
+                        slot: self
+                            .runtime
+                            .slot_holders()
+                            .iter()
+                            .position(|holder| *holder == Some(index))
+                            .unwrap_or(0),
                     },
                     CommunicationMode::EventTriggered => Segment::Dynamic,
                 };
@@ -192,7 +277,7 @@ impl CoSimulation {
                     self.bus.reassign_frame(frame_id, Segment::Dynamic)?;
                 }
                 self.bus.queue_message(frame_id, time)?;
-                self.simulators[index].step(*mode)?;
+                self.kernels[index].step(*mode);
             }
             self.bus.run_until(time + self.period);
         }
@@ -200,16 +285,15 @@ impl CoSimulation {
         let traces = self
             .apps
             .iter()
-            .enumerate()
-            .map(|(index, app)| {
-                let series = &points[index];
-                let threshold = app.spec().threshold;
+            .zip(points)
+            .map(|(app, series)| {
+                let threshold = app.spec().threshold * self.threshold_scale;
                 let norms: Vec<f64> = series.iter().map(|p| p.norm).collect();
                 let response_time = cps_control::settling_index(&norms, threshold)
                     .map(|k| k as f64 * self.period);
                 AppTrace {
                     name: app.name().to_string(),
-                    points: series.clone(),
+                    points: series,
                     deadline: app.spec().deadline,
                     response_time,
                 }
@@ -232,11 +316,14 @@ impl CoSimulation {
         self.slot_count
     }
 
-    fn runtime_slot_of(&self, app_index: usize) -> Option<usize> {
-        self.runtime
-            .slot_holders()
-            .iter()
-            .position(|holder| *holder == Some(app_index))
+    /// Number of applications in the fleet.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The currently configured threshold scale (1.0 = as designed).
+    pub fn threshold_scale(&self) -> f64 {
+        self.threshold_scale
     }
 }
 
@@ -270,6 +357,58 @@ mod tests {
 
     fn summary(trace: &CoSimTrace) -> Vec<(String, Option<f64>, f64)> {
         trace.apps.iter().map(|a| (a.name.clone(), a.response_time, a.deadline)).collect()
+    }
+
+    #[test]
+    fn reset_and_rerun_reproduces_the_trace() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        let mut cosim =
+            CoSimulation::new(apps, &allocation, FlexRayConfig::paper_case_study()).unwrap();
+        cosim.inject_disturbances().unwrap();
+        let first = cosim.run(2.0).unwrap();
+
+        cosim.reset().unwrap();
+        cosim.inject_disturbances().unwrap();
+        let second = cosim.run(2.0).unwrap();
+
+        assert_eq!(first.apps, second.apps);
+        assert_eq!(first.slot_occupancy, second.slot_occupancy);
+        assert_eq!(first.bus_statistics, second.bus_statistics);
+    }
+
+    #[test]
+    fn scaled_disturbances_and_thresholds() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        let mut cosim =
+            CoSimulation::new(apps, &allocation, FlexRayConfig::paper_case_study()).unwrap();
+        assert_eq!(cosim.threshold_scale(), 1.0);
+        assert_eq!(cosim.app_count(), 6);
+
+        // A vanishing disturbance never leaves the steady state.
+        cosim.inject_disturbances_scaled(0.0).unwrap();
+        let trace = cosim.run(1.0).unwrap();
+        assert!(trace
+            .apps
+            .iter()
+            .all(|a| a.points.iter().all(|p| p.mode == CommunicationMode::EventTriggered)));
+
+        // A huge threshold scale keeps every loop in ET despite a real
+        // disturbance.
+        cosim.reset().unwrap();
+        cosim.set_threshold_scale(1e6).unwrap();
+        cosim.inject_disturbances().unwrap();
+        let trace = cosim.run(1.0).unwrap();
+        assert!(trace
+            .apps
+            .iter()
+            .all(|a| a.points.iter().all(|p| p.mode == CommunicationMode::EventTriggered)));
+        assert!(cosim.set_threshold_scale(0.0).is_err());
     }
 
     #[test]

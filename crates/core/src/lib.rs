@@ -18,8 +18,11 @@
 //! 4. [`AllocationRuntime`] — the Figure 1 dynamic resource-allocation scheme
 //!    (ET by default, TT slot on demand, non-preemptive priority arbitration).
 //! 5. [`CoSimulation`] — plant/runtime/FlexRay co-simulation reproducing the
-//!    responses of Figure 5.
-//! 6. [`experiments`] — one entry point per table/figure, used by the
+//!    responses of Figure 5, running on allocation-free
+//!    [`cps_control::StepKernel`]s with `reset()`-and-rerun support.
+//! 6. [`ScenarioBatch`] — batched, parallel multi-scenario co-simulation
+//!    for disturbance/threshold sweeps, deterministic across thread counts.
+//! 7. [`experiments`] — one entry point per table/figure, used by the
 //!    examples and the Criterion benches.
 //!
 //! # Example: the headline result
@@ -42,6 +45,7 @@ mod characterize;
 mod cosim;
 mod error;
 mod runtime;
+mod scenario;
 
 pub mod case_study;
 pub mod experiments;
@@ -52,3 +56,4 @@ pub use characterize::{characterize_application, derive_timing_params, fit_non_m
 pub use cosim::{AppTrace, CoSimTrace, CoSimulation, TracePoint};
 pub use error::{CoreError, Result};
 pub use runtime::{AllocationRuntime, AppPhase, RuntimeApp};
+pub use scenario::{ScenarioBatch, ScenarioOutcome, ScenarioSpec};

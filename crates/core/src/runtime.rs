@@ -76,6 +76,40 @@ impl AllocationRuntime {
         &self.phases
     }
 
+    /// Number of applications managed by the runtime.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Returns every application to the steady phase and frees all slots,
+    /// so the runtime can be rerun without reconstruction.
+    pub fn reset(&mut self) {
+        self.phases.fill(AppPhase::Steady);
+        self.holders.fill(None);
+    }
+
+    /// Overrides the switching threshold of one application — the primitive
+    /// behind threshold-sweep scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the index is out of range or
+    /// the threshold is not positive.
+    pub fn set_threshold(&mut self, index: usize, threshold: f64) -> Result<()> {
+        if index >= self.apps.len() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("application index {index} out of range"),
+            });
+        }
+        if !(threshold > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("{}: threshold must be positive", self.apps[index].name),
+            });
+        }
+        self.apps[index].threshold = threshold;
+        Ok(())
+    }
+
     /// Current holder (application index) of each TT slot.
     pub fn slot_holders(&self) -> &[Option<usize>] {
         &self.holders
@@ -96,6 +130,25 @@ impl AllocationRuntime {
     ///
     /// Returns [`CoreError::InvalidConfig`] if `norms` has the wrong length.
     pub fn step(&mut self, norms: &[f64]) -> Result<Vec<CommunicationMode>> {
+        let mut modes = Vec::with_capacity(self.apps.len());
+        self.step_into(norms, &mut modes)?;
+        Ok(modes)
+    }
+
+    /// Allocation-free variant of [`AllocationRuntime::step`]: the modes are
+    /// written into `modes` (cleared first), reusing its capacity. The
+    /// co-simulation engine calls this every period with one long-lived
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `norms` has the wrong length.
+    pub fn step_into(
+        &mut self,
+        norms: &[f64],
+        modes: &mut Vec<CommunicationMode>,
+    ) -> Result<()> {
+        modes.clear();
         if norms.len() != self.apps.len() {
             return Err(CoreError::InvalidConfig {
                 reason: format!(
@@ -151,14 +204,11 @@ impl AllocationRuntime {
             }
         }
         // Communication modes for the upcoming period.
-        Ok(self
-            .phases
-            .iter()
-            .map(|phase| match phase {
-                AppPhase::UsingSlot => CommunicationMode::TimeTriggered,
-                _ => CommunicationMode::EventTriggered,
-            })
-            .collect())
+        modes.extend(self.phases.iter().map(|phase| match phase {
+            AppPhase::UsingSlot => CommunicationMode::TimeTriggered,
+            _ => CommunicationMode::EventTriggered,
+        }));
+        Ok(())
     }
 }
 
@@ -243,6 +293,42 @@ mod tests {
         let modes = runtime.step(&[5.0]).unwrap();
         assert_eq!(modes[0], CommunicationMode::EventTriggered);
         assert_eq!(runtime.phases()[0], AppPhase::Steady);
+    }
+
+    #[test]
+    fn reset_frees_slots_and_steadies_phases() {
+        let mut runtime = two_apps_one_slot();
+        runtime.step(&[0.5, 0.5]).unwrap();
+        assert_eq!(runtime.slot_holders(), &[Some(0)]);
+        runtime.reset();
+        assert_eq!(runtime.slot_holders(), &[None]);
+        assert!(runtime.phases().iter().all(|p| *p == AppPhase::Steady));
+        assert_eq!(runtime.app_count(), 2);
+        // The rerun reproduces the original grant.
+        let modes = runtime.step(&[0.5, 0.5]).unwrap();
+        assert_eq!(modes[0], CommunicationMode::TimeTriggered);
+    }
+
+    #[test]
+    fn step_into_reuses_the_buffer() {
+        let mut runtime = two_apps_one_slot();
+        let mut modes = Vec::new();
+        runtime.step_into(&[0.5, 0.05], &mut modes).unwrap();
+        assert_eq!(modes, vec![CommunicationMode::TimeTriggered, CommunicationMode::EventTriggered]);
+        runtime.step_into(&[0.01, 0.05], &mut modes).unwrap();
+        assert_eq!(modes.len(), 2);
+        assert!(runtime.step_into(&[0.1], &mut modes).is_err());
+    }
+
+    #[test]
+    fn threshold_override() {
+        let mut runtime = two_apps_one_slot();
+        runtime.set_threshold(0, 1.0).unwrap();
+        // Norm 0.5 is now below app 0's threshold: no slot request.
+        let modes = runtime.step(&[0.5, 0.05]).unwrap();
+        assert_eq!(modes[0], CommunicationMode::EventTriggered);
+        assert!(runtime.set_threshold(5, 1.0).is_err());
+        assert!(runtime.set_threshold(0, 0.0).is_err());
     }
 
     #[test]

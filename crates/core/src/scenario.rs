@@ -1,0 +1,329 @@
+//! Batched, parallel multi-scenario co-simulation.
+//!
+//! The paper's design-space questions — how large a disturbance can the
+//! fleet absorb, how tight can the thresholds be, how many TT slots does a
+//! bigger fleet need — all reduce to running *many* co-simulations that
+//! differ only in a few parameters. [`ScenarioBatch`] makes that a
+//! first-class workload: it fans a list of [`ScenarioSpec`]s out over worker
+//! threads, where each worker builds **one** [`CoSimulation`] and then
+//! `reset()`s-and-reruns it per scenario, so the controller design and bus
+//! construction costs are paid once per thread rather than once per
+//! scenario, and every step inside is an allocation-free kernel step.
+//!
+//! Determinism: each scenario is simulated from a full reset, so its
+//! [`ScenarioOutcome`] depends only on its spec. Scenarios are partitioned
+//! into contiguous index chunks and results are stitched back in input
+//! order, which makes the output independent of the worker count — a
+//! property the test suite asserts.
+
+use crate::application::ControlApplication;
+use crate::cosim::{CoSimTrace, CoSimulation};
+use crate::error::{CoreError, Result};
+use cps_control::CommunicationMode;
+use cps_flexray::FlexRayConfig;
+use cps_sched::SlotAllocation;
+
+/// One point of a scenario sweep: how this run differs from the designed
+/// fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Label carried into the outcome (for reports).
+    pub label: String,
+    /// Factor applied to every application's designed disturbance.
+    pub disturbance_scale: f64,
+    /// Factor applied to every application's switching threshold `E_th`.
+    pub threshold_scale: f64,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+}
+
+impl ScenarioSpec {
+    /// The nominal scenario: designed disturbances and thresholds.
+    pub fn nominal(duration: f64) -> Self {
+        ScenarioSpec {
+            label: "nominal".to_string(),
+            disturbance_scale: 1.0,
+            threshold_scale: 1.0,
+            duration,
+        }
+    }
+
+    /// A disturbance sweep: `count` scenarios with the disturbance scaled
+    /// linearly from `lo` to `hi` (inclusive), nominal thresholds.
+    pub fn disturbance_sweep(lo: f64, hi: f64, count: usize, duration: f64) -> Vec<Self> {
+        (0..count)
+            .map(|i| {
+                let t = if count <= 1 { 0.0 } else { i as f64 / (count - 1) as f64 };
+                let scale = lo + t * (hi - lo);
+                ScenarioSpec {
+                    label: format!("disturbance x{scale:.3}"),
+                    disturbance_scale: scale,
+                    threshold_scale: 1.0,
+                    duration,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-scenario summary returned by the batch engine (the full traces stay
+/// inside the workers; summaries keep the batch output small enough to sweep
+/// thousands of scenarios).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Index of the scenario in the input list.
+    pub index: usize,
+    /// Label copied from the spec.
+    pub label: String,
+    /// `true` if every application met its deadline.
+    pub all_deadlines_met: bool,
+    /// Measured response time per application (None = never settled).
+    pub response_times: Vec<Option<f64>>,
+    /// Peak plant-state norm per application over the run.
+    pub peak_norms: Vec<f64>,
+    /// Number of periods each application spent on TT communication.
+    pub tt_periods: Vec<usize>,
+    /// Static-slot transmissions on the bus over the run.
+    pub static_transmissions: u64,
+    /// Dynamic-segment transmissions on the bus over the run.
+    pub dynamic_transmissions: u64,
+}
+
+impl ScenarioOutcome {
+    fn from_trace(index: usize, label: String, trace: &CoSimTrace) -> Self {
+        ScenarioOutcome {
+            index,
+            label,
+            all_deadlines_met: trace.all_deadlines_met(),
+            response_times: trace.apps.iter().map(|a| a.response_time).collect(),
+            peak_norms: trace
+                .apps
+                .iter()
+                .map(|a| a.points.iter().map(|p| p.norm).fold(0.0, f64::max))
+                .collect(),
+            tt_periods: trace
+                .apps
+                .iter()
+                .map(|a| {
+                    a.points.iter().filter(|p| p.mode == CommunicationMode::TimeTriggered).count()
+                })
+                .collect(),
+            static_transmissions: trace.bus_statistics.static_transmissions,
+            dynamic_transmissions: trace.bus_statistics.dynamic_transmissions,
+        }
+    }
+}
+
+/// The parallel scenario engine: a designed fleet plus the bus/allocation
+/// template, fanned out over worker threads.
+#[derive(Debug, Clone)]
+pub struct ScenarioBatch {
+    apps: Vec<ControlApplication>,
+    allocation: SlotAllocation,
+    bus_config: FlexRayConfig,
+    threads: usize,
+}
+
+impl ScenarioBatch {
+    /// Creates the engine. The configuration is validated by building one
+    /// trial co-simulation up front, so `run` cannot fail on template
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoSimulation::new`] validation failures.
+    pub fn new(
+        apps: Vec<ControlApplication>,
+        allocation: SlotAllocation,
+        bus_config: FlexRayConfig,
+    ) -> Result<Self> {
+        CoSimulation::new(apps.clone(), &allocation, bus_config)?;
+        Ok(ScenarioBatch { apps, allocation, bus_config, threads: 0 })
+    }
+
+    /// Sets the worker-thread count; `0` (the default) uses the machine's
+    /// available parallelism. The outcome of a batch is independent of this
+    /// setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count a run will actually use for `scenario_count`
+    /// scenarios.
+    pub fn effective_threads(&self, scenario_count: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        configured.clamp(1, scenario_count.max(1))
+    }
+
+    /// Runs every scenario and returns the outcomes in input order.
+    ///
+    /// Scenarios are split into contiguous chunks, one worker per chunk;
+    /// each worker owns a single `CoSimulation` that it resets between
+    /// scenarios. Results are identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation error in scenario order (invalid
+    /// scenario parameters included); scenarios after the failing one in
+    /// the same chunk are not executed.
+    pub fn run(&self, scenarios: &[ScenarioSpec]) -> Result<Vec<ScenarioOutcome>> {
+        if scenarios.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.effective_threads(scenarios.len());
+        if workers == 1 {
+            let mut engine =
+                CoSimulation::new(self.apps.clone(), &self.allocation, self.bus_config)?;
+            return scenarios
+                .iter()
+                .enumerate()
+                .map(|(index, spec)| run_one(&mut engine, index, spec))
+                .collect();
+        }
+
+        // Contiguous chunks keep the output order (and therefore the result)
+        // independent of scheduling; ceil-sized so every scenario is covered.
+        let chunk_size = scenarios.len().div_ceil(workers);
+        let chunk_results: Vec<Result<Vec<ScenarioOutcome>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = scenarios
+                    .chunks(chunk_size)
+                    .enumerate()
+                    .map(|(chunk_index, chunk)| {
+                        let base = chunk_index * chunk_size;
+                        scope.spawn(move || {
+                            let mut engine = CoSimulation::new(
+                                self.apps.clone(),
+                                &self.allocation,
+                                self.bus_config,
+                            )?;
+                            chunk
+                                .iter()
+                                .enumerate()
+                                .map(|(offset, spec)| run_one(&mut engine, base + offset, spec))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scenario worker must not panic"))
+                    .collect()
+            });
+
+        let mut outcomes = Vec::with_capacity(scenarios.len());
+        for chunk in chunk_results {
+            outcomes.extend(chunk?);
+        }
+        Ok(outcomes)
+    }
+}
+
+fn run_one(engine: &mut CoSimulation, index: usize, spec: &ScenarioSpec) -> Result<ScenarioOutcome> {
+    if !(spec.disturbance_scale.is_finite()) || spec.disturbance_scale < 0.0 {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "{}: disturbance scale must be finite and non-negative, got {}",
+                spec.label, spec.disturbance_scale
+            ),
+        });
+    }
+    if !spec.duration.is_finite() || !(spec.duration > 0.0) {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "{}: duration must be finite and positive, got {}",
+                spec.label, spec.duration
+            ),
+        });
+    }
+    engine.reset()?;
+    engine.set_threshold_scale(spec.threshold_scale)?;
+    engine.inject_disturbances_scaled(spec.disturbance_scale)?;
+    let trace = engine.run(spec.duration)?;
+    Ok(ScenarioOutcome::from_trace(index, spec.label.clone(), &trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+
+    fn batch() -> ScenarioBatch {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        ScenarioBatch::new(apps, allocation, FlexRayConfig::paper_case_study()).unwrap()
+    }
+
+    #[test]
+    fn sweep_constructor_spans_the_range() {
+        let sweep = ScenarioSpec::disturbance_sweep(0.5, 2.0, 4, 1.0);
+        assert_eq!(sweep.len(), 4);
+        assert!((sweep[0].disturbance_scale - 0.5).abs() < 1e-12);
+        assert!((sweep[3].disturbance_scale - 2.0).abs() < 1e-12);
+        let single = ScenarioSpec::disturbance_sweep(0.5, 2.0, 1, 1.0);
+        assert!((single[0].disturbance_scale - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcomes_are_independent_of_thread_count() {
+        let batch = batch();
+        let scenarios = ScenarioSpec::disturbance_sweep(0.2, 1.5, 6, 1.5);
+        let serial = batch.clone().with_threads(1).run(&scenarios).unwrap();
+        let parallel = batch.clone().with_threads(3).run(&scenarios).unwrap();
+        let oversubscribed = batch.with_threads(16).run(&scenarios).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, oversubscribed);
+        assert_eq!(serial.len(), 6);
+        for (index, outcome) in serial.iter().enumerate() {
+            assert_eq!(outcome.index, index);
+            assert_eq!(outcome.response_times.len(), 6);
+        }
+    }
+
+    #[test]
+    fn nominal_scenario_matches_direct_cosimulation() {
+        let batch = batch();
+        let outcomes = batch.run(&[ScenarioSpec::nominal(2.0)]).unwrap();
+        assert_eq!(outcomes.len(), 1);
+
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        let mut cosim =
+            CoSimulation::new(apps, &allocation, FlexRayConfig::paper_case_study()).unwrap();
+        cosim.inject_disturbances().unwrap();
+        let trace = cosim.run(2.0).unwrap();
+        let direct = ScenarioOutcome::from_trace(0, "nominal".to_string(), &trace);
+        assert_eq!(outcomes[0], direct);
+    }
+
+    #[test]
+    fn empty_and_invalid_batches() {
+        let batch = batch();
+        assert!(batch.run(&[]).unwrap().is_empty());
+        let bad = ScenarioSpec {
+            label: "bad".to_string(),
+            disturbance_scale: -1.0,
+            threshold_scale: 1.0,
+            duration: 1.0,
+        };
+        assert!(batch.run(std::slice::from_ref(&bad)).is_err());
+        let endless = ScenarioSpec {
+            label: "endless".to_string(),
+            disturbance_scale: 1.0,
+            threshold_scale: 1.0,
+            duration: f64::INFINITY,
+        };
+        assert!(batch.run(std::slice::from_ref(&endless)).is_err());
+        assert_eq!(batch.effective_threads(0), 1);
+        assert!(batch.effective_threads(100) >= 1);
+    }
+}

@@ -79,7 +79,7 @@ pub fn worst_case_dynamic_latency(
         // report infinity so callers can flag the configuration.
         return Ok(f64::INFINITY);
     } else {
-        (target.dynamic_minislots + per_cycle_free - 1) / per_cycle_free
+        target.dynamic_minislots.div_ceil(per_cycle_free)
     };
     // One initial cycle may be lost because the payload arrives after the
     // dynamic segment of the current cycle has started.

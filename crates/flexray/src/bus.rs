@@ -274,6 +274,18 @@ impl FlexRayBus {
     pub fn latencies_of(&self, frame_id: u32) -> Vec<f64> {
         self.log.iter().filter(|t| t.frame_id == frame_id).map(Transmission::latency).collect()
     }
+
+    /// Rewinds the bus to time zero: pending payloads, the transmission log,
+    /// the usage counters and the cycle counter are cleared. Registered
+    /// frames are kept (their current segment assignment included), so a
+    /// simulation can be rerun without rebuilding the bus — the primitive
+    /// behind `CoSimulation::reset` and the scenario batch engine.
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        self.log.clear();
+        self.statistics = BusStatistics::default();
+        self.completed_cycles = 0;
+    }
 }
 
 #[cfg(test)]
@@ -391,6 +403,25 @@ mod tests {
         assert_eq!(txs.len(), 1);
         // The latency is measured from the *fresh* queueing instant.
         assert!((txs[0].queued_at - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_rewinds_but_keeps_frames() {
+        let mut bus = paper_bus();
+        bus.register_frame(Frame::static_slot(1, "c1", 0, 1).unwrap()).unwrap();
+        bus.queue_message(1, 0.0).unwrap();
+        bus.run_cycle();
+        assert_eq!(bus.statistics().static_transmissions, 1);
+        bus.reset();
+        assert_eq!(bus.time(), 0.0);
+        assert_eq!(bus.statistics(), BusStatistics::default());
+        assert!(bus.transmissions().is_empty());
+        assert!(bus.frame(1).is_some(), "registered frames survive a reset");
+        // The rerun reproduces the original timeline exactly.
+        bus.queue_message(1, 0.0).unwrap();
+        let txs = bus.run_cycle();
+        assert_eq!(txs.len(), 1);
+        assert!((txs[0].completed_at - 0.0002).abs() < 1e-12);
     }
 
     #[test]

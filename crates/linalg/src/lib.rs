@@ -8,7 +8,12 @@
 //! raw throughput. It provides exactly the operations the rest of the
 //! workspace needs:
 //!
-//! * [`Matrix`] — dense row-major matrices with shape-checked arithmetic.
+//! * [`Matrix`] — dense row-major matrices with shape-checked arithmetic,
+//!   plus a two-tier in-place API for hot paths: validated `matvec_into` /
+//!   `matmul_into` / `add_assign_scaled` entry points over debug-asserted
+//!   `matvec_kernel` / `matmul_kernel` / [`axpy`] inner loops that simulation
+//!   kernels call on pre-allocated workspaces (validate once, then
+//!   allocation-free).
 //! * [`Lu`] / [`solve`] / [`inverse`] / [`determinant`] — LU factorisation
 //!   with partial pivoting.
 //! * [`Qr`] / [`polyfit`] — Householder QR and least-squares fitting.
@@ -55,6 +60,6 @@ pub use error::{LinalgError, Result};
 pub use expm::{discretize_zoh, expm, input_integral};
 pub use lu::{determinant, inverse, solve, Lu};
 pub use lyapunov::{is_positive_definite, is_schur_stable_lyapunov, solve_discrete_lyapunov};
-pub use matrix::{dot, vec_norm, Matrix};
+pub use matrix::{axpy, dot, vec_norm, Matrix};
 pub use qr::{polyfit, polyval, Qr};
 pub use riccati::{dlqr, solve_dare, DareOptions, LqrSolution};

@@ -24,7 +24,6 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// # Ok::<(), cps_linalg::LinalgError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -204,25 +203,8 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions differ.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
-        if self.cols != rhs.rows {
-            return Err(LinalgError::ShapeMismatch {
-                left: self.shape(),
-                right: rhs.shape(),
-                op: "matmul",
-            });
-        }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += aik * rhs[(k, j)];
-                }
-            }
-        }
+        self.matmul_into(rhs, &mut out)?;
         Ok(out)
     }
 
@@ -232,6 +214,29 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // In-place / workspace tier.
+    //
+    // The `*_into` entry points validate shapes once and then delegate to
+    // the `*_kernel` inner loops, which only `debug_assert!` their
+    // preconditions. Hot paths (the simulation kernels in `cps-control` and
+    // the scenario engine in `cps-core`) validate at construction time and
+    // call the kernels directly on pre-allocated buffers, so the per-step
+    // cost is a bare fused multiply-add loop with no heap traffic.
+    // ------------------------------------------------------------------
+
+    /// Writes `self * v` into `out` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()` or
+    /// `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if v.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 left: self.shape(),
@@ -239,15 +244,98 @@ impl Matrix {
                 op: "matvec",
             });
         }
-        let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let mut acc = 0.0;
-            for j in 0..self.cols {
-                acc += self[(i, j)] * v[j];
-            }
-            out[i] = acc;
+        if out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (out.len(), 1),
+                op: "matvec_into (output)",
+            });
         }
-        Ok(out)
+        self.matvec_kernel(v, out);
+        Ok(())
+    }
+
+    /// Unvalidated inner loop of [`Matrix::matvec_into`]: `out = self * v`.
+    ///
+    /// Shapes are only `debug_assert!`ed; callers are expected to have
+    /// validated them once up front (release builds index safely through
+    /// iterators either way — this crate forbids `unsafe`).
+    #[inline]
+    pub fn matvec_kernel(&self, v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.cols, "matvec_kernel: input length");
+        debug_assert_eq!(out.len(), self.rows, "matvec_kernel: output length");
+        for (row, slot) in self.data.chunks_exact(self.cols).zip(out.iter_mut()) {
+            let mut acc = 0.0;
+            for (a, x) in row.iter().zip(v) {
+                acc += a * x;
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Writes `self * rhs` into `out` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions differ
+    /// or `out` does not have shape `(self.rows(), rhs.cols())`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.rows, rhs.cols),
+                right: out.shape(),
+                op: "matmul_into (output)",
+            });
+        }
+        self.matmul_kernel(rhs, out);
+        Ok(())
+    }
+
+    /// Unvalidated inner loop of [`Matrix::matmul_into`]: `out = self * rhs`.
+    ///
+    /// The accumulation runs branch-free over dense rows: for the 2–6 state
+    /// matrices of this workspace a zero-skip test costs more in mispredicts
+    /// than the multiply it saves (the sparse-aware variant this replaced
+    /// lost on every case-study shape).
+    #[inline]
+    pub fn matmul_kernel(&self, rhs: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(self.cols, rhs.rows, "matmul_kernel: inner dimensions");
+        debug_assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_kernel: output shape");
+        let n = rhs.cols;
+        for (a_row, out_row) in
+            self.data.chunks_exact(self.cols).zip(out.data.chunks_exact_mut(n))
+        {
+            out_row.fill(0.0);
+            for (aik, b_row) in a_row.iter().zip(rhs.data.chunks_exact(n)) {
+                for (o, b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+    }
+
+    /// In-place scaled accumulation `self += factor * rhs` (a matrix axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign_scaled(&mut self, rhs: &Matrix, factor: f64) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "add_assign_scaled",
+            });
+        }
+        axpy(&mut self.data, factor, &rhs.data);
+        Ok(())
     }
 
     /// Element-wise sum `self + rhs`.
@@ -563,6 +651,19 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// Vector axpy `y += a * x`, the allocation-free building block of the
+/// in-place tier.
+///
+/// Lengths are only `debug_assert!`ed — validate once before entering a hot
+/// loop (the `zip` stops at the shorter slice in release builds).
+#[inline]
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    debug_assert_eq!(y.len(), x.len(), "axpy requires equal lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +730,56 @@ mod tests {
         let a = sample();
         let b = Matrix::zeros(3, 2);
         assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_validates() {
+        let a = sample();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Re-running into the same workspace overwrites, not accumulates.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        let mut wrong = Matrix::zeros(3, 2);
+        assert!(a.matmul_into(&b, &mut wrong).is_err());
+        assert!(a.matmul_into(&Matrix::zeros(3, 2), &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_handles_zero_entries_densely() {
+        // The old inner loop special-cased zero entries; the dense kernel
+        // must produce the same products for sparse inputs.
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[14.0, 16.0], &[0.0, 0.0]]).unwrap());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_and_validates() {
+        let a = sample();
+        let v = [1.0, -1.0];
+        let mut out = [0.0f64; 2];
+        a.matvec_into(&v, &mut out).unwrap();
+        assert_eq!(out.to_vec(), a.matvec(&v).unwrap());
+        let mut short = [0.0f64; 1];
+        assert!(a.matvec_into(&v, &mut short).is_err());
+        assert!(a.matvec_into(&[1.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn add_assign_scaled_is_axpy() {
+        let mut a = sample();
+        let b = Matrix::identity(2);
+        a.add_assign_scaled(&b, -2.0).unwrap();
+        assert_eq!(a, Matrix::from_rows(&[&[-1.0, 2.0], &[3.0, 2.0]]).unwrap());
+        assert!(a.add_assign_scaled(&Matrix::zeros(3, 3), 1.0).is_err());
+
+        let mut y = vec![1.0, 2.0];
+        axpy(&mut y, 0.5, &[2.0, 4.0]);
+        assert_eq!(y, vec![2.0, 4.0]);
     }
 
     #[test]

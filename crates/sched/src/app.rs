@@ -99,6 +99,9 @@ impl AppTimingParams {
     /// # Errors
     ///
     /// Same validation as [`AppTimingParams::new`], plus `ξ′ᴹ ≥ ξᴹ`.
+    // One argument per Table-I column; bundling them would only obscure the
+    // correspondence with the paper.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_explicit_conservative_dwell(
         name: impl Into<String>,
         inter_arrival: f64,

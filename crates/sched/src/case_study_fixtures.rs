@@ -16,6 +16,8 @@ use crate::app::AppTimingParams;
 /// Never panics: the published values satisfy all validation invariants,
 /// which is itself covered by a test.
 pub fn paper_table1() -> Vec<AppTimingParams> {
+    // name, r, xi_d, xi_tt, xi_et, xi_m, k_p, xi'_m — one tuple per row.
+    #[allow(clippy::type_complexity)]
     let rows: [(&str, f64, f64, f64, f64, f64, f64, f64); 6] = [
         // name,  r,     xi_d, xi_tt, xi_et, xi_m, k_p,  xi'_m
         ("C1", 200.0, 9.5, 1.68, 11.62, 5.30, 2.27, 6.59),

@@ -166,7 +166,7 @@ impl ConservativeMonotonicModel {
     /// Returns [`SchedError::InvalidParameter`] unless both are positive and
     /// finite.
     pub fn new(xi_prime_m: f64, xi_et: f64) -> Result<Self> {
-        if !(xi_prime_m > 0.0 && xi_et > 0.0) || !xi_prime_m.is_finite() || !xi_et.is_finite() {
+        if !(xi_prime_m > 0.0 && xi_et > 0.0 && xi_prime_m.is_finite() && xi_et.is_finite()) {
             return Err(SchedError::InvalidParameter {
                 reason: "conservative model requires positive finite parameters".to_string(),
             });
@@ -211,7 +211,7 @@ impl SimpleMonotonicModel {
     ///
     /// Returns [`SchedError::InvalidParameter`] unless `0 < ξᵀᵀ ≤ ξᴱᵀ`.
     pub fn new(xi_tt: f64, xi_et: f64) -> Result<Self> {
-        if !(xi_tt > 0.0 && xi_et >= xi_tt) || !xi_tt.is_finite() || !xi_et.is_finite() {
+        if !(xi_tt > 0.0 && xi_et >= xi_tt && xi_tt.is_finite() && xi_et.is_finite()) {
             return Err(SchedError::InvalidParameter {
                 reason: "simple model requires 0 < xi_tt <= xi_et".to_string(),
             });

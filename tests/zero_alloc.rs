@@ -1,0 +1,90 @@
+//! Proof that the kernel hot path is allocation-free: a counting global
+//! allocator observes zero new allocations across hundreds of thousands of
+//! `StepKernel::step`s, norm reads, scaled disturbance injections and
+//! `AllocationRuntime::step_into` calls.
+//!
+//! This file must stay a single-test binary: the allocation counter is
+//! global to the process, and a concurrently running second test would
+//! perturb it.
+
+use automotive_cps::core::{case_study, AllocationRuntime, RuntimeApp};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Wraps the system allocator and counts every allocation/reallocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn kernel_and_runtime_hot_paths_do_not_allocate() {
+    // Construction (design, matrices, buffers) may allocate freely.
+    let apps = case_study::derived_fleet().expect("fleet design");
+    let mut kernels: Vec<_> =
+        apps.iter().map(|app| app.kernel().expect("kernel compiles")).collect();
+    let disturbances: Vec<Vec<f64>> =
+        apps.iter().map(|app| app.spec().disturbance.clone()).collect();
+    let mut runtime = AllocationRuntime::new(
+        apps.iter()
+            .enumerate()
+            .map(|(index, app)| RuntimeApp {
+                name: app.name().to_string(),
+                threshold: app.spec().threshold,
+                slot: Some(index % 3),
+                priority: app.spec().deadline,
+            })
+            .collect(),
+        3,
+    )
+    .expect("runtime");
+    let mut norms = vec![0.0; kernels.len()];
+    let mut modes = Vec::with_capacity(kernels.len());
+    // Warm both paths once so lazily grown capacity is in place.
+    runtime.step_into(&norms, &mut modes).expect("warm-up step");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut checksum = 0.0;
+    for round in 0..10_000 {
+        if round % 128 == 0 {
+            for (kernel, disturbance) in kernels.iter_mut().zip(&disturbances) {
+                kernel.inject_disturbance_scaled(disturbance, 1.0).expect("inject");
+            }
+        }
+        for (norm, kernel) in norms.iter_mut().zip(&kernels) {
+            *norm = kernel.state_norm();
+        }
+        runtime.step_into(&norms, &mut modes).expect("runtime step");
+        for (kernel, mode) in kernels.iter_mut().zip(&modes) {
+            kernel.step(*mode);
+        }
+        checksum += norms[0];
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "the kernel/runtime hot path performed {} heap allocations over 10k periods",
+        after - before
+    );
+}
