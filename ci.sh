@@ -3,6 +3,8 @@
 #
 #   ./ci.sh          full pipeline: release build, tests, clippy, bench smoke
 #   ./ci.sh quick    build + tests only
+#   ./ci.sh perf     run the perf bench set and (re)write BENCH_results.json,
+#                    the machine-readable perf trajectory (bench -> ns/iter)
 #
 # Everything runs offline: the two external dev-dependencies (criterion,
 # proptest) are API-compatible shims vendored under crates/compat/.
@@ -11,6 +13,21 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
+
+if [[ "${1:-}" == "perf" ]]; then
+    step "perf bench set -> BENCH_results.json"
+    rm -f BENCH_results.json
+    export CPS_BENCH_JSON="$PWD/BENCH_results.json"
+    cargo bench -p cps-bench \
+        --bench fleet_design \
+        --bench characterize \
+        --bench kernel_step \
+        --bench scenario_throughput
+    echo
+    echo "BENCH_results.json:"
+    cat BENCH_results.json
+    exit 0
+fi
 
 step "cargo build --release (workspace)"
 cargo build --release --workspace

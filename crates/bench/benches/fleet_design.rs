@@ -1,0 +1,77 @@
+//! Fleet-design performance benchmark: the design tier introduced by the
+//! shared-immutable [`DesignedFleet`] split.
+//!
+//! Measures the three rungs of the design-cost ladder:
+//!
+//! * `design_controllers` — full controller synthesis of the six-application
+//!   derived fleet (pole placement / DARE, discretisation, kernel fusion).
+//! * `engine_spinup_clone_baseline` — what a scenario worker used to pay:
+//!   deep-clone every [`cps_core::ControlApplication`], re-validate, rebuild.
+//! * `engine_spinup_shared` — what a worker pays now: a [`CoSimulation`]
+//!   over the `Arc`-shared design (mutable scratch only).
+//!
+//! Plus the linalg design tier: the workspace DARE solver against the
+//! allocating reference path.
+
+use cps_core::{case_study, CoSimulation, DesignedFleet};
+use cps_flexray::FlexRayConfig;
+use cps_linalg::{
+    solve_dare, solve_dare_reference, solve_dare_with, DareOptions, Matrix, RiccatiWorkspace,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let apps = case_study::derived_fleet().expect("fleet design");
+    let table = case_study::derive_table(&apps).expect("table derivation");
+    let allocation = cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default())
+        .expect("allocation");
+    let bus = FlexRayConfig::paper_case_study();
+    let fleet = Arc::new(
+        DesignedFleet::new(apps.clone(), allocation.clone(), bus).expect("fleet freeze"),
+    );
+
+    let mut group = c.benchmark_group("fleet_design");
+    group.sample_size(10);
+    group.bench_function("design_controllers", |b| {
+        b.iter(|| case_study::derived_fleet().expect("fleet design"))
+    });
+    group.bench_function("engine_spinup_clone_baseline", |b| {
+        b.iter(|| {
+            CoSimulation::new(apps.clone(), &allocation, bus).expect("engine over cloned fleet")
+        })
+    });
+    group.bench_function("engine_spinup_shared", |b| {
+        b.iter(|| fleet.engine().expect("engine over shared fleet"))
+    });
+    group.finish();
+
+    // Workspace vs allocating DARE on a representative delay-augmented
+    // double integrator (3 augmented states, 1 input).
+    let a = Matrix::from_rows(&[&[1.0, 0.02, 0.0002], &[0.0, 1.0, 0.02], &[0.0, 0.0, 0.0]])
+        .expect("static");
+    let b_mat = Matrix::column(&[0.0, 0.0, 1.0]).expect("static");
+    let q = Matrix::identity(3);
+    let r = Matrix::from_rows(&[&[0.1]]).expect("static");
+    let options = DareOptions::default();
+    let reference = solve_dare_reference(&a, &b_mat, &q, &r, options).expect("dare");
+    assert_eq!(solve_dare(&a, &b_mat, &q, &r, options).expect("dare"), reference);
+
+    let mut group = c.benchmark_group("dare");
+    group.sample_size(10);
+    group.bench_function("solve_workspace", |b| {
+        let mut workspace = RiccatiWorkspace::new(3, 1);
+        b.iter(|| {
+            black_box(
+                solve_dare_with(&a, &b_mat, &q, &r, options, &mut workspace).expect("dare"),
+            )
+        })
+    });
+    group.bench_function("solve_reference_alloc", |b| {
+        b.iter(|| black_box(solve_dare_reference(&a, &b_mat, &q, &r, options).expect("dare")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,6 +12,15 @@
 //! * `fig5_cosim` — experiment E5 (Figure 5 co-simulation).
 //! * `ablation_fixed_point`, `ablation_allocation`, `ablation_segments` —
 //!   ablations A1–A3.
+//! * `kernel_step`, `scenario_throughput`, `fleet_design`, `characterize` —
+//!   the perf benches: fused step kernel vs. the seed path, batched scenario
+//!   throughput, design-tier costs (controller synthesis, shared vs. cloned
+//!   engine spin-up, workspace vs. allocating DARE) and kernel-based vs.
+//!   full-horizon characterisation.
+//!
+//! `./ci.sh perf` runs the perf set with `CPS_BENCH_JSON` pointed at
+//! `BENCH_results.json`, maintaining the repository's machine-readable
+//! performance trajectory (bench name → mean ns/iter).
 //!
 //! The library part only hosts shared helpers for the bench targets.
 

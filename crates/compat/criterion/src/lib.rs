@@ -13,6 +13,13 @@
 //! mean and maximum are reported. Passing `--test` on the command line (what
 //! `cargo bench -- --test` forwards) runs every benchmark body exactly once
 //! as a smoke test, which CI uses.
+//!
+//! Machine-readable results: when the `CPS_BENCH_JSON` environment variable
+//! names a file, every measured benchmark merges its mean ns/iter into that
+//! file as a flat JSON object (`{"group/bench": ns, ...}`). Bench targets
+//! run as separate processes, so the file is re-read and re-written per
+//! result; `ci.sh perf` uses this to maintain `BENCH_results.json`, the
+//! repository's performance trajectory.
 
 use std::time::{Duration, Instant};
 
@@ -196,6 +203,48 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F)
         per_iter_ns.len(),
         iterations,
     );
+    record_json_result(id, mean);
+}
+
+/// Merges `id -> mean_ns` into the flat JSON map named by `CPS_BENCH_JSON`
+/// (no-op when the variable is unset). The file is always rewritten in the
+/// exact format this function produces, so re-reading it only has to parse
+/// `"key": value` lines; benchmark ids never contain quotes or backslashes.
+fn record_json_result(id: &str, mean_ns: f64) {
+    let Ok(path) = std::env::var("CPS_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let _ = std::fs::write(&path, merge_json(&existing, id, mean_ns));
+}
+
+/// Pure merge step behind [`record_json_result`]: parses the flat map (in
+/// the format this function itself emits), upserts `id`, and renders the
+/// updated JSON object.
+fn merge_json(existing: &str, id: &str, mean_ns: f64) -> String {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    for line in existing.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some((key, value)) =
+            line.strip_prefix('"').and_then(|rest| rest.split_once("\": "))
+        {
+            if let Ok(ns) = value.trim().parse::<f64>() {
+                entries.push((key.to_string(), ns));
+            }
+        }
+    }
+    match entries.iter_mut().find(|(key, _)| key == id) {
+        Some(entry) => entry.1 = mean_ns,
+        None => entries.push((id.to_string(), mean_ns)),
+    }
+    let mut out = String::from("{\n");
+    for (index, (key, ns)) in entries.iter().enumerate() {
+        let separator = if index + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!("\"{key}\": {ns:.2}{separator}\n"));
+    }
+    out.push_str("}\n");
+    out
 }
 
 fn format_ns(ns: f64) -> String {
@@ -249,6 +298,23 @@ mod tests {
         let mut bencher = Bencher { iterations: 5, elapsed: Duration::ZERO };
         bencher.iter(|| count += 1);
         assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn merge_json_upserts_and_roundtrips() {
+        let first = merge_json("", "group/bench", 123.456);
+        assert!(first.starts_with("{\n"));
+        assert!(first.contains("\"group/bench\": 123.46"));
+        // Upsert keeps one entry per id, adds new ones, preserves order.
+        let second = merge_json(&first, "other/bench", 9.0);
+        let third = merge_json(&second, "group/bench", 50.0);
+        assert!(third.contains("\"group/bench\": 50.00"));
+        assert!(third.contains("\"other/bench\": 9.00"));
+        assert_eq!(third.matches("group/bench").count(), 1);
+        assert!(third.find("group/bench").unwrap() < third.find("other/bench").unwrap());
+        // The output stays parseable by its own reader.
+        let fourth = merge_json(&third, "third", 1.0);
+        assert_eq!(fourth.lines().count(), 5); // {, 3 entries, }
     }
 
     #[test]

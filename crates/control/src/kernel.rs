@@ -28,28 +28,29 @@ use crate::error::{ControlError, Result};
 use crate::lqr::StateFeedbackController;
 use crate::sim::CommunicationMode;
 use cps_linalg::Matrix;
+use std::sync::Arc;
 
-/// A precompiled closed-loop stepper for one application: the fused ET and
-/// TT closed-loop matrices plus the augmented state and its scratch buffer.
-#[derive(Debug, Clone)]
-pub struct StepKernel {
+/// The immutable, shareable half of a [`StepKernel`]: the two fused
+/// closed-loop matrices of one application plus the validated dimensions.
+///
+/// Compiling these matrices costs two augmented-matrix products; an
+/// `Arc<KernelMatrices>` lets a designed fleet pay that cost once and hand
+/// every scenario worker a [`StepKernel`] whose construction is just two
+/// state-buffer allocations ([`KernelMatrices::kernel`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMatrices {
     /// Fused ET closed-loop matrix `A₁ = A_aug − B_aug·K_ET`.
     et: Matrix,
     /// Fused TT closed-loop matrix `A₂ = A_aug − B_aug·K_TT`.
     tt: Matrix,
-    /// Augmented state `z = [x; u_prev]`.
-    z: Vec<f64>,
-    /// Workspace for the next state (swapped with `z` every step).
-    z_next: Vec<f64>,
     plant_order: usize,
     inputs: usize,
     period: f64,
-    time: f64,
 }
 
-impl StepKernel {
-    /// Compiles the kernel from the ET/TT models and controllers of one
-    /// application, starting at the origin.
+impl KernelMatrices {
+    /// Compiles the fused closed-loop matrices from the ET/TT models and
+    /// controllers of one application.
     ///
     /// All validation happens here: the models must describe the same plant
     /// with the same sampling period, and each gain must match its model's
@@ -59,7 +60,7 @@ impl StepKernel {
     ///
     /// Returns [`ControlError::InvalidModel`] on any dimension or period
     /// mismatch.
-    pub fn new(
+    pub fn compile(
         et_system: &DelayedLtiSystem,
         tt_system: &DelayedLtiSystem,
         et_controller: &StateFeedbackController,
@@ -80,27 +81,18 @@ impl StepKernel {
         // `closed_loop` validates the gain shape against the augmented order.
         let et = et_system.closed_loop(et_controller.gain())?;
         let tt = tt_system.closed_loop(tt_controller.gain())?;
-        let order = et_system.augmented_order();
-        Ok(StepKernel {
+        Ok(KernelMatrices {
             et,
             tt,
-            z: vec![0.0; order],
-            z_next: vec![0.0; order],
             plant_order: et_system.plant_order(),
             inputs: et_system.inputs(),
             period: et_system.period(),
-            time: 0.0,
         })
     }
 
-    /// Sampling period of the loop in seconds.
-    pub fn period(&self) -> f64 {
-        self.period
-    }
-
-    /// Current simulation time in seconds.
-    pub fn time(&self) -> f64 {
-        self.time
+    /// Dimension of the augmented state the matrices act on.
+    pub fn augmented_order(&self) -> usize {
+        self.plant_order + self.inputs
     }
 
     /// Number of physical plant states.
@@ -113,20 +105,9 @@ impl StepKernel {
         self.inputs
     }
 
-    /// The physical plant state `x` (the head of the augmented state).
-    pub fn state(&self) -> &[f64] {
-        &self.z[..self.plant_order]
-    }
-
-    /// The input applied during the most recent step (the tail of the
-    /// augmented state).
-    pub fn previous_input(&self) -> &[f64] {
-        &self.z[self.plant_order..]
-    }
-
-    /// The full augmented state `z = [x; u_prev]`.
-    pub fn augmented_state(&self) -> &[f64] {
-        &self.z
+    /// Sampling period of the loop in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
     }
 
     /// The fused closed-loop matrix of `mode`.
@@ -137,10 +118,107 @@ impl StepKernel {
         }
     }
 
+    /// Builds a fresh stepper (state at the origin) sharing these matrices:
+    /// the whole per-worker construction cost is two state buffers.
+    pub fn kernel(self: &Arc<Self>) -> StepKernel {
+        let order = self.augmented_order();
+        StepKernel {
+            matrices: Arc::clone(self),
+            z: vec![0.0; order],
+            z_next: vec![0.0; order],
+            time: 0.0,
+        }
+    }
+}
+
+/// A precompiled closed-loop stepper for one application: the
+/// ([`Arc`]-shared) fused ET and TT closed-loop matrices plus the augmented
+/// state and its scratch buffer.
+#[derive(Debug, Clone)]
+pub struct StepKernel {
+    /// The immutable fused matrices, shared between all steppers of the
+    /// same application design.
+    matrices: Arc<KernelMatrices>,
+    /// Augmented state `z = [x; u_prev]`.
+    z: Vec<f64>,
+    /// Workspace for the next state (swapped with `z` every step).
+    z_next: Vec<f64>,
+    time: f64,
+}
+
+impl StepKernel {
+    /// Compiles the kernel from the ET/TT models and controllers of one
+    /// application, starting at the origin.
+    ///
+    /// Equivalent to [`KernelMatrices::compile`] followed by
+    /// [`KernelMatrices::kernel`]; use the two-step form when many steppers
+    /// must share one compilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] on any dimension or period
+    /// mismatch.
+    pub fn new(
+        et_system: &DelayedLtiSystem,
+        tt_system: &DelayedLtiSystem,
+        et_controller: &StateFeedbackController,
+        tt_controller: &StateFeedbackController,
+    ) -> Result<Self> {
+        let matrices =
+            KernelMatrices::compile(et_system, tt_system, et_controller, tt_controller)?;
+        Ok(Arc::new(matrices).kernel())
+    }
+
+    /// The shared fused matrices this stepper runs on.
+    pub fn matrices(&self) -> &Arc<KernelMatrices> {
+        &self.matrices
+    }
+
+    /// Sampling period of the loop in seconds.
+    pub fn period(&self) -> f64 {
+        self.matrices.period
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Number of physical plant states.
+    pub fn plant_order(&self) -> usize {
+        self.matrices.plant_order
+    }
+
+    /// Number of control inputs.
+    pub fn inputs(&self) -> usize {
+        self.matrices.inputs
+    }
+
+    /// The physical plant state `x` (the head of the augmented state).
+    pub fn state(&self) -> &[f64] {
+        &self.z[..self.matrices.plant_order]
+    }
+
+    /// The input applied during the most recent step (the tail of the
+    /// augmented state).
+    pub fn previous_input(&self) -> &[f64] {
+        &self.z[self.matrices.plant_order..]
+    }
+
+    /// The full augmented state `z = [x; u_prev]`.
+    pub fn augmented_state(&self) -> &[f64] {
+        &self.z
+    }
+
+    /// The fused closed-loop matrix of `mode`.
+    pub fn closed_loop(&self, mode: CommunicationMode) -> &Matrix {
+        self.matrices.closed_loop(mode)
+    }
+
     /// Norm of the physical plant state (the quantity compared with `E_th`).
     #[inline]
     pub fn state_norm(&self) -> f64 {
-        plant_state_norm(&self.z, self.plant_order)
+        plant_state_norm(&self.z, self.matrices.plant_order)
     }
 
     /// Adds a disturbance to the plant state (instantaneous state jump, the
@@ -162,12 +240,12 @@ impl StepKernel {
     /// Returns [`ControlError::InvalidModel`] if the disturbance has the
     /// wrong dimension.
     pub fn inject_disturbance_scaled(&mut self, disturbance: &[f64], scale: f64) -> Result<()> {
-        if disturbance.len() != self.plant_order {
+        if disturbance.len() != self.matrices.plant_order {
             return Err(ControlError::InvalidModel {
                 reason: format!(
                     "disturbance has length {} but the plant has {} states",
                     disturbance.len(),
-                    self.plant_order
+                    self.matrices.plant_order
                 ),
             });
         }
@@ -191,12 +269,12 @@ impl StepKernel {
     #[inline]
     pub fn step(&mut self, mode: CommunicationMode) {
         let a_cl = match mode {
-            CommunicationMode::EventTriggered => &self.et,
-            CommunicationMode::TimeTriggered => &self.tt,
+            CommunicationMode::EventTriggered => &self.matrices.et,
+            CommunicationMode::TimeTriggered => &self.matrices.tt,
         };
         a_cl.matvec_kernel(&self.z, &mut self.z_next);
         std::mem::swap(&mut self.z, &mut self.z_next);
-        self.time += self.period;
+        self.time += self.matrices.period;
     }
 
     /// Runs `steps` consecutive steps in a fixed mode and returns the final
@@ -286,6 +364,35 @@ mod tests {
         assert_eq!(kernel.time(), 0.0);
         assert!(kernel.inject_disturbance(&[1.0]).is_err());
         assert!(kernel.inject_disturbance_scaled(&[1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn kernels_from_shared_matrices_are_independent_but_share_storage() {
+        let plant = plants::servo_rig_upright();
+        let et_sys = DelayedLtiSystem::from_continuous(&plant, 0.02, 0.02).unwrap();
+        let tt_sys = DelayedLtiSystem::from_continuous(&plant, 0.02, 0.0007).unwrap();
+        let et = crate::lqr::design_by_pole_placement(&et_sys, &[-0.7, -0.8, -40.0]).unwrap();
+        let tt = crate::lqr::design_by_pole_placement(&tt_sys, &[-6.0, -8.0, -40.0]).unwrap();
+        let matrices =
+            Arc::new(KernelMatrices::compile(&et_sys, &tt_sys, &et, &tt).unwrap());
+        assert_eq!(matrices.augmented_order(), 3);
+        assert_eq!(matrices.plant_order(), 2);
+        assert_eq!(matrices.inputs(), 1);
+        assert!((matrices.period() - 0.02).abs() < 1e-15);
+
+        let mut first = matrices.kernel();
+        let mut second = matrices.kernel();
+        assert!(Arc::ptr_eq(first.matrices(), second.matrices()));
+        assert!(Arc::ptr_eq(first.matrices(), &matrices));
+
+        // Independent state, identical dynamics.
+        first.inject_disturbance(&[0.3, 0.0]).unwrap();
+        second.inject_disturbance(&[0.3, 0.0]).unwrap();
+        first.step(CommunicationMode::TimeTriggered);
+        assert!((first.time() - 0.02).abs() < 1e-15);
+        assert_eq!(second.time(), 0.0);
+        second.step(CommunicationMode::TimeTriggered);
+        assert_eq!(first.augmented_state(), second.augmented_state());
     }
 
     #[test]

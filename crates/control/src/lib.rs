@@ -78,7 +78,7 @@ pub use continuous::ContinuousStateSpace;
 pub use delayed::{plant_state_norm, DelayedLtiSystem};
 pub use discrete::DiscreteStateSpace;
 pub use error::{ControlError, Result};
-pub use kernel::StepKernel;
+pub use kernel::{KernelMatrices, StepKernel};
 pub use lqr::{
     design_by_pole_placement, design_lqr, design_switched_pair, LqrWeights,
     StateFeedbackController, SwitchedControllerPair,
@@ -89,6 +89,7 @@ pub use response::{
 };
 pub use sim::{CommunicationMode, PlantSimulator, SimSample};
 pub use switched::{
-    characterize_dwell_vs_wait, dwell_steps, switched_norm_trajectory, CharacterizationConfig,
-    DwellWaitCurve, DwellWaitPoint, SaturatedSwitchedModel,
+    characterize_dwell_vs_wait, characterize_dwell_vs_wait_reference, dwell_steps,
+    power_norm_bound, switched_norm_trajectory, CharacterizationConfig, DwellWaitCurve,
+    DwellWaitPoint, SaturatedSwitchedModel, SwitchedKernel,
 };

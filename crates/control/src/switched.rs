@@ -15,7 +15,7 @@
 //! paper's central observation is that this map is *not* monotone in
 //! `k_wait`.
 
-use crate::delayed::DelayedLtiSystem;
+use crate::delayed::{plant_state_norm, DelayedLtiSystem};
 use crate::error::{ControlError, Result};
 use crate::response::{norm_trajectory, settling_index};
 use cps_linalg::{vec_norm, Matrix};
@@ -160,6 +160,265 @@ pub fn dwell_steps(
     Ok(settle.saturating_sub(wait_steps))
 }
 
+/// Safety factor applied to the analytical early-exit bounds: stopping is
+/// only allowed when the guaranteed tail norm is clearly below the
+/// threshold, so floating-point rounding in the simulated trajectory cannot
+/// disagree with the proof.
+const EARLY_EXIT_SAFETY: f64 = 0.999;
+
+/// Maximum number of matrix powers examined by [`power_norm_bound`] before
+/// giving up (the bound then degrades to `∞` and early exit is disabled —
+/// results stay exact, only the shortcut is lost).
+const POWER_BOUND_MAX_POWERS: usize = 50_000;
+
+/// Upper bound on `sup_{j ≥ 1} ‖Aʲ‖₂` via Frobenius norms of successive
+/// powers: powers are multiplied out until one has Frobenius norm below 1;
+/// by submultiplicativity every later power is then dominated by an earlier
+/// one, so the running maximum is a true supremum bound. Returns `∞` if no
+/// contracting power is found within [`POWER_BOUND_MAX_POWERS`] (e.g. an
+/// unstable or marginally stable matrix).
+///
+/// # Errors
+///
+/// Returns [`ControlError::InvalidModel`] if `a` is not square.
+pub fn power_norm_bound(a: &Matrix) -> Result<f64> {
+    if !a.is_square() {
+        return Err(ControlError::InvalidModel {
+            reason: format!("power norm bound needs a square matrix, got {:?}", a.shape()),
+        });
+    }
+    // ρ(A) ≥ 1 means no power ever contracts — skip the power iteration
+    // entirely instead of grinding to the cap.
+    if let Ok(rho) = cps_linalg::spectral_radius(a) {
+        if rho >= 1.0 {
+            return Ok(f64::INFINITY);
+        }
+    }
+    let mut power = a.clone();
+    let mut next = Matrix::zeros(a.rows(), a.cols());
+    let mut bound = 1.0f64;
+    for _ in 0..POWER_BOUND_MAX_POWERS {
+        let norm = power.frobenius_norm();
+        if !norm.is_finite() {
+            return Ok(f64::INFINITY);
+        }
+        bound = bound.max(norm);
+        if norm < 1.0 {
+            return Ok(bound);
+        }
+        power.matmul_into(a, &mut next)?;
+        std::mem::swap(&mut power, &mut next);
+    }
+    Ok(f64::INFINITY)
+}
+
+/// The state machinery a [`settle_driver`] run drives: one switched
+/// simulation (linear or saturated) exposing its current plant norm, its
+/// provable-settling test and one step of its dynamics.
+trait SettleSim {
+    /// Plant-state norm of the current sample.
+    fn plant_norm(&self) -> f64;
+    /// Whether the remaining trajectory is provably settled, given that the
+    /// mode is fixed to ET (`true`) / TT (`false`) for the rest of the run.
+    fn provably_settled(&self, et_mode: bool, threshold: f64) -> bool;
+    /// Advances one sampling period (`et_phase` selects the pre-switch
+    /// dynamics).
+    fn advance(&mut self, et_phase: bool);
+}
+
+/// The settle loop shared by every switched simulation: simulate until the
+/// trajectory is provably settled (early exit) or the horizon cap is hit,
+/// tracking the last threshold violation. Returns the settling index with
+/// exactly the semantics of simulating the full horizon and applying
+/// [`settling_index`] (`None` = not settled within `horizon`); with
+/// `record` set, the visited plant-state norms are appended (the buffer is
+/// cleared first, reusing its capacity).
+///
+/// `k_switch` must already be clamped to `horizon` by the caller (after
+/// loading the initial state).
+fn settle_driver<S: SettleSim>(
+    sim: &mut S,
+    threshold: f64,
+    k_switch: usize,
+    horizon: usize,
+    mut record: Option<&mut Vec<f64>>,
+) -> Option<usize> {
+    if let Some(buffer) = record.as_deref_mut() {
+        buffer.clear();
+    }
+    // The mode is fixed for the rest of the run from `fixed_from` on; only
+    // then can a tail bound prove settling.
+    let et_fixed = k_switch >= horizon;
+    let fixed_from = if et_fixed { 0 } else { k_switch };
+    let mut last_above: Option<usize> = None;
+    for index in 0..=horizon {
+        let norm = sim.plant_norm();
+        if let Some(buffer) = record.as_deref_mut() {
+            buffer.push(norm);
+        }
+        if norm > threshold {
+            last_above = Some(index);
+        } else if index >= fixed_from && sim.provably_settled(et_fixed, threshold) {
+            // Every future plant norm is provably ≤ threshold: settled.
+            break;
+        }
+        if index == horizon {
+            break;
+        }
+        sim.advance(index < k_switch);
+    }
+    match last_above {
+        None => Some(0),
+        Some(index) if index < horizon => Some(index + 1),
+        Some(_) => None,
+    }
+}
+
+/// Allocation-free switched settling engine: the scratch-buffer machinery of
+/// [`StepKernel`](crate::StepKernel) applied to the dwell/wait
+/// characterisation, with analytically justified early exit.
+///
+/// Construction validates the matrix pair once and precomputes the
+/// [`power_norm_bound`] of each mode; every subsequent
+/// [`SwitchedKernel::settle_steps`] / [`SwitchedKernel::dwell_steps`] call
+/// is a bare `matvec_kernel` loop on two pre-allocated state buffers that
+/// stops as soon as the remaining trajectory is *provably* settled, instead
+/// of simulating a fixed full horizon and scanning backwards. Results are
+/// identical to the full-horizon reference path point for point.
+#[derive(Debug)]
+pub struct SwitchedKernel<'m> {
+    a1: &'m Matrix,
+    a2: &'m Matrix,
+    plant_order: usize,
+    /// `sup_{j≥1} ‖A₁ʲ‖` bound for runs that never switch.
+    et_bound: f64,
+    /// `sup_{j≥1} ‖A₂ʲ‖` bound for the post-switch tail.
+    tt_bound: f64,
+    z: Vec<f64>,
+    z_next: Vec<f64>,
+}
+
+impl<'m> SwitchedKernel<'m> {
+    /// Validates the switched pair and precomputes the early-exit bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] if the matrices have different
+    /// shapes, are not square, or `plant_order` exceeds the state dimension.
+    pub fn new(a1: &'m Matrix, a2: &'m Matrix, plant_order: usize) -> Result<Self> {
+        if a1.shape() != a2.shape() || !a1.is_square() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "switched dynamics must share a square shape, got {:?} and {:?}",
+                    a1.shape(),
+                    a2.shape()
+                ),
+            });
+        }
+        if plant_order > a1.cols() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "plant order {} exceeds the state dimension {}",
+                    plant_order,
+                    a1.cols()
+                ),
+            });
+        }
+        let et_bound = power_norm_bound(a1)?;
+        let tt_bound = power_norm_bound(a2)?;
+        let order = a1.cols();
+        Ok(SwitchedKernel {
+            a1,
+            a2,
+            plant_order,
+            et_bound,
+            tt_bound,
+            z: vec![0.0; order],
+            z_next: vec![0.0; order],
+        })
+    }
+
+    /// Settling index of the switched trajectory (`k_switch` samples under
+    /// `A₁`, then `A₂`): the first sample from which the plant-state norm
+    /// stays at or below `threshold` for good, or `None` if the trajectory
+    /// does not settle within `horizon` samples — exactly the semantics of
+    /// simulating the full horizon and applying
+    /// [`settling_index`](crate::settling_index).
+    ///
+    /// With `record` set, the plant-state norms visited up to the stopping
+    /// point are appended (the buffer is cleared first; its capacity is
+    /// reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidModel`] if `initial_state` has the
+    /// wrong length or `threshold` is not positive.
+    pub fn settle_steps(
+        &mut self,
+        initial_state: &[f64],
+        threshold: f64,
+        k_switch: usize,
+        horizon: usize,
+        record: Option<&mut Vec<f64>>,
+    ) -> Result<Option<usize>> {
+        if initial_state.len() != self.z.len() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "initial state has length {} but the system has {} states",
+                    initial_state.len(),
+                    self.z.len()
+                ),
+            });
+        }
+        if !(threshold > 0.0) {
+            return Err(ControlError::InvalidModel {
+                reason: format!("threshold must be positive, got {threshold}"),
+            });
+        }
+        self.z.copy_from_slice(initial_state);
+        Ok(settle_driver(self, threshold, k_switch.min(horizon), horizon, record))
+    }
+
+    /// Dwell time (in samples) for a single wait time, with early exit —
+    /// the allocation-free equivalent of the free-function [`dwell_steps`].
+    ///
+    /// # Errors
+    ///
+    /// * As [`SwitchedKernel::settle_steps`].
+    /// * [`ControlError::HorizonExceeded`] if the switched trajectory does
+    ///   not settle within `horizon` samples.
+    pub fn dwell_steps(
+        &mut self,
+        initial_state: &[f64],
+        threshold: f64,
+        wait_steps: usize,
+        horizon: usize,
+    ) -> Result<usize> {
+        let settle = self
+            .settle_steps(initial_state, threshold, wait_steps, horizon, None)?
+            .ok_or(ControlError::HorizonExceeded { what: "switched settling", steps: horizon })?;
+        Ok(settle.saturating_sub(wait_steps))
+    }
+}
+
+impl SettleSim for SwitchedKernel<'_> {
+    fn plant_norm(&self) -> f64 {
+        plant_state_norm(&self.z, self.plant_order)
+    }
+
+    fn provably_settled(&self, et_mode: bool, threshold: f64) -> bool {
+        let bound = if et_mode { self.et_bound } else { self.tt_bound };
+        // Every future plant norm is ≤ bound·‖z‖.
+        vec_norm(&self.z) * bound <= threshold * EARLY_EXIT_SAFETY
+    }
+
+    fn advance(&mut self, et_phase: bool) {
+        let dynamics = if et_phase { self.a1 } else { self.a2 };
+        dynamics.matvec_kernel(&self.z, &mut self.z_next);
+        std::mem::swap(&mut self.z, &mut self.z_next);
+    }
+}
+
 /// Parameters of a dwell/wait characterisation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CharacterizationConfig {
@@ -214,6 +473,12 @@ impl CharacterizationConfig {
 /// `a1` is the ET closed loop, `a2` the TT closed loop, both on the same
 /// (delay-augmented) state.
 ///
+/// Built on the [`SwitchedKernel`] scratch-buffer machinery: every settling
+/// computation is allocation-free and exits as soon as settling is provable,
+/// instead of simulating the configured horizon in full (`config.horizon`
+/// acts as an upper cap only). The curve is identical to
+/// [`characterize_dwell_vs_wait_reference`] point for point.
+///
 /// # Errors
 ///
 /// * Propagates simulation failures.
@@ -226,11 +491,58 @@ pub fn characterize_dwell_vs_wait(
 ) -> Result<DwellWaitCurve> {
     config.validate()?;
     let x0 = &config.initial_state;
-    let n = config.plant_order;
+    let mut kernel = SwitchedKernel::new(a1, a2, config.plant_order)?;
 
     // Pure-mode settling times: xi_et is also the upper end of the sweep,
     // because waiting longer than xi_et means the disturbance is rejected
-    // entirely on ET communication.
+    // entirely on ET communication. The pure-ET norms are recorded because
+    // every sweep point reports the norm at its switching instant.
+    let xi_tt_steps = kernel
+        .settle_steps(x0, config.threshold, 0, config.horizon, None)?
+        .ok_or(ControlError::HorizonExceeded { what: "pure TT settling", steps: config.horizon })?;
+    let mut et_norms = Vec::new();
+    let xi_et_steps = kernel
+        .settle_steps(x0, config.threshold, config.horizon, config.horizon, Some(&mut et_norms))?
+        .ok_or(ControlError::HorizonExceeded { what: "pure ET settling", steps: config.horizon })?;
+
+    let mut points = Vec::with_capacity(xi_et_steps + 1);
+    for wait in 0..=xi_et_steps {
+        let dwell = kernel.dwell_steps(x0, config.threshold, wait, config.horizon)?;
+        let norms_before = &et_norms[wait.min(et_norms.len() - 1)];
+        points.push(DwellWaitPoint {
+            wait_time: wait as f64 * config.period,
+            wait_steps: wait,
+            dwell_time: dwell as f64 * config.period,
+            dwell_steps: dwell,
+            norm_at_switch: *norms_before,
+        });
+    }
+    Ok(DwellWaitCurve {
+        points,
+        xi_tt: xi_tt_steps as f64 * config.period,
+        xi_et: xi_et_steps as f64 * config.period,
+        period: config.period,
+    })
+}
+
+/// The original full-horizon characterisation: every settling computation
+/// simulates `config.horizon` samples through the allocating trajectory
+/// path and scans for the settling index afterwards. Kept as the numerical
+/// reference (and benchmark baseline) for [`characterize_dwell_vs_wait`],
+/// which must reproduce it point for point.
+///
+/// # Errors
+///
+/// As [`characterize_dwell_vs_wait`].
+pub fn characterize_dwell_vs_wait_reference(
+    a1: &Matrix,
+    a2: &Matrix,
+    config: &CharacterizationConfig,
+) -> Result<DwellWaitCurve> {
+    config.validate()?;
+    let x0 = &config.initial_state;
+    let n = config.plant_order;
+
     let tt_norms = norm_trajectory(a2, x0, n, config.horizon)?;
     let xi_tt_steps = settling_index(&tt_norms, config.threshold)
         .ok_or(ControlError::HorizonExceeded { what: "pure TT settling", steps: config.horizon })?;
@@ -382,12 +694,69 @@ impl SaturatedSwitchedModel {
     /// `config.initial_state` must be the *plant* state here (the previous
     /// input always starts at zero).
     ///
+    /// Runs on pre-allocated scratch buffers with early-exit settling
+    /// detection: a run stops as soon as the tail is provably settled *and*
+    /// provably free of actuator saturation (so the linear tail bound
+    /// applies); `config.horizon` caps each run instead of sizing it. The
+    /// curve matches [`SaturatedSwitchedModel::characterize_reference`]
+    /// point for point.
+    ///
     /// # Errors
     ///
     /// * Propagates simulation failures and configuration validation.
     /// * [`ControlError::HorizonExceeded`] if either pure-mode response fails
     ///   to settle within the configured horizon.
     pub fn characterize(&self, config: &CharacterizationConfig) -> Result<DwellWaitCurve> {
+        config.validate()?;
+        let x0 = &config.initial_state;
+        let threshold = config.threshold;
+        let mut sim = SaturatedSim::new(self)?;
+
+        let xi_tt_steps = sim.settle_steps(x0, threshold, 0, config.horizon, None)?.ok_or(
+            ControlError::HorizonExceeded { what: "pure TT settling", steps: config.horizon },
+        )?;
+        let mut et_norms = Vec::new();
+        let xi_et_steps = sim
+            .settle_steps(x0, threshold, config.horizon, config.horizon, Some(&mut et_norms))?
+            .ok_or(ControlError::HorizonExceeded {
+                what: "pure ET settling",
+                steps: config.horizon,
+            })?;
+
+        let mut points = Vec::with_capacity(xi_et_steps + 1);
+        for wait in 0..=xi_et_steps {
+            let settle = sim.settle_steps(x0, threshold, wait, config.horizon, None)?.ok_or(
+                ControlError::HorizonExceeded { what: "switched settling", steps: config.horizon },
+            )?;
+            let dwell = settle.saturating_sub(wait);
+            points.push(DwellWaitPoint {
+                wait_time: wait as f64 * config.period,
+                wait_steps: wait,
+                dwell_time: dwell as f64 * config.period,
+                dwell_steps: dwell,
+                norm_at_switch: et_norms[wait.min(et_norms.len() - 1)],
+            });
+        }
+        Ok(DwellWaitCurve {
+            points,
+            xi_tt: xi_tt_steps as f64 * config.period,
+            xi_et: xi_et_steps as f64 * config.period,
+            period: config.period,
+        })
+    }
+
+    /// The original full-horizon characterisation through the allocating
+    /// [`SaturatedSwitchedModel::switched_norms`] path, kept as the
+    /// numerical reference (and benchmark baseline) for
+    /// [`SaturatedSwitchedModel::characterize`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SaturatedSwitchedModel::characterize`].
+    pub fn characterize_reference(
+        &self,
+        config: &CharacterizationConfig,
+    ) -> Result<DwellWaitCurve> {
         config.validate()?;
         let x0 = &config.initial_state;
         let threshold = config.threshold;
@@ -422,6 +791,133 @@ impl SaturatedSwitchedModel {
             xi_et: xi_et_steps as f64 * config.period,
             period: config.period,
         })
+    }
+}
+
+/// Scratch-buffer simulator for the saturated switched loop: the
+/// allocation-free twin of [`SaturatedSwitchedModel::switched_norms`], with
+/// the same early-exit machinery as [`SwitchedKernel`] extended by a
+/// saturation guard (the linear tail bound is only valid once every future
+/// input is provably inside the actuator limit).
+#[derive(Debug)]
+struct SaturatedSim<'a> {
+    model: &'a SaturatedSwitchedModel,
+    /// Plant state.
+    x: Vec<f64>,
+    x_next: Vec<f64>,
+    /// Current (clamped) input and the input applied one period ago.
+    u: Vec<f64>,
+    u_prev: Vec<f64>,
+    /// Augmented state scratch handed to the gain.
+    aug: Vec<f64>,
+    /// The three matvec partials of the delayed-plant step.
+    free: Vec<f64>,
+    fresh: Vec<f64>,
+    stale: Vec<f64>,
+    /// `sup_{j≥1} ‖A₁ʲ‖` / `sup_{j≥1} ‖A₂ʲ‖` of the *linear* closed loops.
+    et_bound: f64,
+    tt_bound: f64,
+    /// Frobenius norms of the feedback gains (for the saturation guard).
+    et_gain_norm: f64,
+    tt_gain_norm: f64,
+}
+
+impl<'a> SaturatedSim<'a> {
+    fn new(model: &'a SaturatedSwitchedModel) -> Result<Self> {
+        let n = model.plant_order();
+        let m = model.et_system.inputs();
+        let et_closed = model.et_system.closed_loop(&model.et_gain)?;
+        let tt_closed = model.tt_system.closed_loop(&model.tt_gain)?;
+        Ok(SaturatedSim {
+            model,
+            x: vec![0.0; n],
+            x_next: vec![0.0; n],
+            u: vec![0.0; m],
+            u_prev: vec![0.0; m],
+            aug: vec![0.0; n + m],
+            free: vec![0.0; n],
+            fresh: vec![0.0; n],
+            stale: vec![0.0; n],
+            et_bound: power_norm_bound(&et_closed)?,
+            tt_bound: power_norm_bound(&tt_closed)?,
+            et_gain_norm: model.et_gain.frobenius_norm(),
+            tt_gain_norm: model.tt_gain.frobenius_norm(),
+        })
+    }
+
+    /// Settling index of the saturated switched trajectory — the semantics
+    /// of running [`SaturatedSwitchedModel::switched_norms`] over the full
+    /// horizon and applying [`settling_index`], computed without allocating
+    /// and with provable early exit. With `record` set, the visited
+    /// plant-state norms are appended (buffer cleared first).
+    fn settle_steps(
+        &mut self,
+        x0: &[f64],
+        threshold: f64,
+        k_switch: usize,
+        horizon: usize,
+        record: Option<&mut Vec<f64>>,
+    ) -> Result<Option<usize>> {
+        if x0.len() != self.x.len() {
+            return Err(ControlError::InvalidModel {
+                reason: format!("initial state has length {}, expected {}", x0.len(), self.x.len()),
+            });
+        }
+        self.x.copy_from_slice(x0);
+        self.u_prev.fill(0.0);
+        Ok(settle_driver(self, threshold, k_switch.min(horizon), horizon, record))
+    }
+}
+
+impl SettleSim for SaturatedSim<'_> {
+    fn plant_norm(&self) -> f64 {
+        vec_norm(&self.x)
+    }
+
+    fn provably_settled(&self, et_mode: bool, threshold: f64) -> bool {
+        let (bound, gain_norm) = if et_mode {
+            (self.et_bound, self.et_gain_norm)
+        } else {
+            (self.tt_bound, self.tt_gain_norm)
+        };
+        // Norm of the full augmented state [x; u_prev].
+        let z_norm = (self.x.iter().map(|v| v * v).sum::<f64>()
+            + self.u_prev.iter().map(|v| v * v).sum::<f64>())
+        .sqrt();
+        // Settled only if every future input also stays strictly inside the
+        // actuator limit, so the loop evolves linearly and every future
+        // plant norm is ≤ bound·‖z‖ ≤ threshold.
+        let tail = bound * z_norm;
+        tail <= threshold * EARLY_EXIT_SAFETY
+            && gain_norm * tail <= self.model.input_limit * EARLY_EXIT_SAFETY
+    }
+
+    fn advance(&mut self, et_phase: bool) {
+        let n = self.x.len();
+        let limit = self.model.input_limit;
+        let (system, gain) = if et_phase {
+            (&self.model.et_system, &self.model.et_gain)
+        } else {
+            (&self.model.tt_system, &self.model.tt_gain)
+        };
+        // u = clamp(−K·[x; u_prev]).
+        self.aug[..n].copy_from_slice(&self.x);
+        self.aug[n..].copy_from_slice(&self.u_prev);
+        gain.matvec_kernel(&self.aug, &mut self.u);
+        for value in &mut self.u {
+            *value = (-*value).clamp(-limit, limit);
+        }
+        // x⁺ = Φ·x + Γ₀·u + Γ₁·u_prev.
+        system.phi().matvec_kernel(&self.x, &mut self.free);
+        system.gamma0().matvec_kernel(&self.u, &mut self.fresh);
+        system.gamma1().matvec_kernel(&self.u_prev, &mut self.stale);
+        for (((next, a), b), c) in
+            self.x_next.iter_mut().zip(&self.free).zip(&self.fresh).zip(&self.stale)
+        {
+            *next = a + b + c;
+        }
+        std::mem::swap(&mut self.x, &mut self.x_next);
+        std::mem::swap(&mut self.u_prev, &mut self.u);
     }
 }
 
@@ -561,6 +1057,109 @@ mod tests {
         // over the threshold when it takes over a nearly settled state).
         assert!((curve.points[0].dwell_time - curve.xi_tt).abs() < 1e-9);
         assert!(curve.points.last().unwrap().dwell_time < curve.max_dwell() / 2.0);
+    }
+
+    #[test]
+    fn fast_linear_characterization_matches_reference_point_for_point() {
+        let (a1, a2) = rig_linear_loops();
+        let config = servo_config();
+        let fast = characterize_dwell_vs_wait(&a1, &a2, &config).unwrap();
+        let reference = characterize_dwell_vs_wait_reference(&a1, &a2, &config).unwrap();
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn fast_saturated_characterization_matches_reference_point_for_point() {
+        let model = rig_model();
+        let config = CharacterizationConfig {
+            period: 0.02,
+            threshold: 0.1,
+            initial_state: vec![45.0_f64.to_radians(), 0.0],
+            plant_order: 2,
+            horizon: 10_000,
+        };
+        let fast = model.characterize(&config).unwrap();
+        let reference = model.characterize_reference(&config).unwrap();
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn power_norm_bound_properties() {
+        // Contraction: the bound is max(1, ‖A‖_F, ...) and finite.
+        let a = Matrix::diagonal(&[0.5]).unwrap();
+        let bound = power_norm_bound(&a).unwrap();
+        assert!((1.0..=1.5).contains(&bound));
+        // Non-normal transient growth is captured.
+        let transient = Matrix::from_rows(&[&[0.5, 10.0], &[0.0, 0.5]]).unwrap();
+        let bound = power_norm_bound(&transient).unwrap();
+        assert!(bound >= 10.0);
+        // Unstable matrices degrade to infinity (early exit disabled).
+        let unstable = Matrix::diagonal(&[1.1]).unwrap();
+        assert_eq!(power_norm_bound(&unstable).unwrap(), f64::INFINITY);
+        // Marginally stable: identity never contracts.
+        assert_eq!(power_norm_bound(&Matrix::identity(2)).unwrap(), f64::INFINITY);
+        assert!(power_norm_bound(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn switched_kernel_matches_allocating_dwell_steps() {
+        let (a1, a2) = rig_linear_loops();
+        let config = servo_config();
+        let mut kernel = SwitchedKernel::new(&a1, &a2, config.plant_order).unwrap();
+        for wait in [0usize, 5, 50, 200] {
+            let fast = kernel
+                .dwell_steps(&config.initial_state, config.threshold, wait, config.horizon)
+                .unwrap();
+            let reference = dwell_steps(
+                &a1,
+                &a2,
+                &config.initial_state,
+                config.plant_order,
+                config.threshold,
+                wait,
+                config.horizon,
+            )
+            .unwrap();
+            assert_eq!(fast, reference, "wait = {wait}");
+        }
+        // Validation paths.
+        assert!(kernel.dwell_steps(&[1.0], 0.1, 0, 100).is_err());
+        assert!(kernel
+            .settle_steps(&config.initial_state, -1.0, 0, 100, None)
+            .is_err());
+        assert!(SwitchedKernel::new(&a1, &Matrix::identity(2), 2).is_err());
+        assert!(SwitchedKernel::new(&a1, &a2, 9).is_err());
+        // Unstable pair: settle within a short horizon fails like the
+        // reference.
+        let unstable = Matrix::diagonal(&[1.05]).unwrap();
+        let mut diverging = SwitchedKernel::new(&unstable, &unstable, 1).unwrap();
+        assert_eq!(diverging.settle_steps(&[1.0], 0.1, 0, 50, None).unwrap(), None);
+        assert!(matches!(
+            diverging.dwell_steps(&[1.0], 0.1, 0, 50),
+            Err(ControlError::HorizonExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn switched_kernel_recording_matches_norm_trajectory_prefix() {
+        let (a1, a2) = rig_linear_loops();
+        let config = servo_config();
+        let mut kernel = SwitchedKernel::new(&a1, &a2, 2).unwrap();
+        let mut recorded = Vec::new();
+        let settle = kernel
+            .settle_steps(
+                &config.initial_state,
+                config.threshold,
+                config.horizon,
+                config.horizon,
+                Some(&mut recorded),
+            )
+            .unwrap()
+            .unwrap();
+        let reference =
+            norm_trajectory(&a1, &config.initial_state, 2, config.horizon).unwrap();
+        assert!(recorded.len() > settle);
+        assert_eq!(recorded, reference[..recorded.len()]);
     }
 
     #[test]

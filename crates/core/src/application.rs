@@ -3,9 +3,10 @@
 
 use crate::error::{CoreError, Result};
 use cps_control::{
-    design_by_pole_placement, design_lqr, ContinuousStateSpace, DelayedLtiSystem, LqrWeights,
-    PlantSimulator, SaturatedSwitchedModel, StateFeedbackController, StepKernel,
+    design_by_pole_placement, design_lqr, ContinuousStateSpace, DelayedLtiSystem, KernelMatrices,
+    LqrWeights, PlantSimulator, SaturatedSwitchedModel, StateFeedbackController, StepKernel,
 };
+use std::sync::Arc;
 
 /// How the ET/TT state-feedback controllers of an application are designed.
 #[derive(Debug, Clone)]
@@ -55,7 +56,10 @@ pub struct ApplicationSpec {
     pub input_limit: Option<f64>,
 }
 
-/// A built application: the spec plus all derived design artefacts.
+/// A built application: the spec plus all derived design artefacts,
+/// including the precompiled fused closed-loop matrices every simulation
+/// kernel of this design shares (an `Arc`, so clones of the application and
+/// all kernels spawned from it reference one compilation).
 #[derive(Debug, Clone)]
 pub struct ControlApplication {
     spec: ApplicationSpec,
@@ -63,6 +67,7 @@ pub struct ControlApplication {
     tt_system: DelayedLtiSystem,
     et_controller: StateFeedbackController,
     tt_controller: StateFeedbackController,
+    kernel_matrices: Arc<KernelMatrices>,
 }
 
 impl ControlApplication {
@@ -121,7 +126,20 @@ impl ControlApplication {
                 design_by_pole_placement(&tt_system, tt_poles)?,
             ),
         };
-        Ok(ControlApplication { spec, et_system, tt_system, et_controller, tt_controller })
+        let kernel_matrices = Arc::new(KernelMatrices::compile(
+            &et_system,
+            &tt_system,
+            &et_controller,
+            &tt_controller,
+        )?);
+        Ok(ControlApplication {
+            spec,
+            et_system,
+            tt_system,
+            et_controller,
+            tt_controller,
+            kernel_matrices,
+        })
     }
 
     /// The application's specification.
@@ -189,20 +207,23 @@ impl ControlApplication {
         )?)
     }
 
+    /// The precompiled fused closed-loop matrices of this design, shared by
+    /// every kernel spawned from it.
+    pub fn kernel_matrices(&self) -> &Arc<KernelMatrices> {
+        &self.kernel_matrices
+    }
+
     /// A fresh allocation-free step kernel for this application (state at
     /// the origin) — the handle the co-simulation engine and the scenario
-    /// batch runner drive.
+    /// batch runner drive. The fused matrices were compiled once at design
+    /// time and are shared, so this costs only two state buffers.
     ///
     /// # Errors
     ///
-    /// Propagates kernel-construction failures.
+    /// Infallible since the matrices are precompiled; the `Result` is kept
+    /// for interface stability.
     pub fn kernel(&self) -> Result<StepKernel> {
-        Ok(StepKernel::new(
-            &self.et_system,
-            &self.tt_system,
-            &self.et_controller,
-            &self.tt_controller,
-        )?)
+        Ok(self.kernel_matrices.kernel())
     }
 }
 

@@ -6,9 +6,13 @@ use crate::error::{CoreError, Result};
 use cps_control::{characterize_dwell_vs_wait, CharacterizationConfig, DwellWaitCurve};
 use cps_sched::{AppTimingParams, DwellTimeModel, NonMonotonicModel};
 
-/// Default simulation horizon (in samples) for every settling computation:
-/// 3000 samples at the 20 ms case-study period cover a 60 s transient, an
-/// order of magnitude beyond the slowest ET response in the repository.
+/// Default simulation horizon *cap* (in samples) for every settling
+/// computation: 3000 samples at the 20 ms case-study period cover a 60 s
+/// transient, an order of magnitude beyond the slowest ET response in the
+/// repository. Since the characterisation pipeline runs on the early-exit
+/// kernel machinery, this is only the upper bound at which a loop is
+/// declared non-settling — settled runs stop as soon as settling is
+/// provable, typically one to two orders of magnitude earlier.
 const DEFAULT_HORIZON: usize = 3_000;
 
 /// Characterises the dwell-time / wait-time relation of an application by

@@ -9,10 +9,12 @@
 
 use crate::application::ControlApplication;
 use crate::error::{CoreError, Result};
-use crate::runtime::{AllocationRuntime, RuntimeApp};
+use crate::fleet::DesignedFleet;
+use crate::runtime::AllocationRuntime;
 use cps_control::{CommunicationMode, StepKernel};
 use cps_flexray::{FlexRayBus, FlexRayConfig, Frame, LatencyStats, Segment};
 use cps_sched::SlotAllocation;
+use std::sync::Arc;
 
 /// One record of one application's trajectory.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,30 +79,38 @@ impl CoSimTrace {
 
 /// The co-simulation engine.
 ///
-/// Each application's closed loop is stepped by a precompiled, allocation-free
-/// [`StepKernel`]; the per-period scratch buffers (plant-state norms and
-/// granted modes) are owned by the engine and reused across steps and runs.
-/// [`CoSimulation::reset`] rewinds everything to time zero without
-/// reconstruction, so repeated runs — the fig5 bench, Monte-Carlo disturbance
-/// sweeps, fleet dimensioning — pay the design cost once.
+/// The engine is the *mutable* half of a fleet: it shares the immutable
+/// [`DesignedFleet`] (designed controllers, fused kernel matrices, bus/slot
+/// configuration) through an [`Arc`] and owns only scratch state — kernel
+/// state buffers, runtime phases, the bus, and the per-period norm/mode
+/// buffers. Each application's closed loop is stepped by a precompiled,
+/// allocation-free [`StepKernel`]; [`CoSimulation::reset`] rewinds
+/// everything to time zero without reconstruction, so repeated runs — the
+/// fig5 bench, Monte-Carlo disturbance sweeps, fleet dimensioning — pay the
+/// design cost once, and parallel scenario workers spin up for the price of
+/// a handful of buffers ([`DesignedFleet::engine`]).
 #[derive(Debug)]
 pub struct CoSimulation {
-    apps: Vec<ControlApplication>,
+    fleet: Arc<DesignedFleet>,
     kernels: Vec<StepKernel>,
     runtime: AllocationRuntime,
     bus: FlexRayBus,
     period: f64,
-    slot_count: usize,
     threshold_scale: f64,
     /// Scratch: plant-state norms of the current period.
     norms: Vec<f64>,
     /// Scratch: communication modes granted for the current period.
     modes: Vec<CommunicationMode>,
+    /// Scratch: per-app slot assignment staged by [`CoSimulation::set_allocation`].
+    slot_scratch: Vec<Option<usize>>,
 }
 
 impl CoSimulation {
     /// Builds the engine from designed applications and an offline slot
     /// allocation (application order must match the allocation's indices).
+    ///
+    /// Convenience for [`DesignedFleet::new`] + [`DesignedFleet::engine`];
+    /// use the two-step form when several engines should share one design.
     ///
     /// # Errors
     ///
@@ -112,55 +122,70 @@ impl CoSimulation {
         allocation: &SlotAllocation,
         bus_config: FlexRayConfig,
     ) -> Result<Self> {
-        if apps.is_empty() {
-            return Err(CoreError::InvalidConfig {
-                reason: "co-simulation needs at least one application".to_string(),
-            });
-        }
-        let period = apps[0].spec().period;
-        if apps.iter().any(|a| (a.spec().period - period).abs() > 1e-12) {
-            return Err(CoreError::InvalidConfig {
-                reason: "all applications must share the sampling period".to_string(),
-            });
-        }
-        let slot_count = allocation.slot_count();
-        if slot_count > bus_config.static_slot_count {
-            return Err(CoreError::InvalidConfig {
-                reason: format!(
-                    "allocation needs {slot_count} static slots but the bus offers only {}",
-                    bus_config.static_slot_count
-                ),
-            });
-        }
-        let mut runtime_apps = Vec::with_capacity(apps.len());
-        let mut kernels = Vec::with_capacity(apps.len());
-        let mut bus = FlexRayBus::new(bus_config)?;
-        for (index, app) in apps.iter().enumerate() {
-            let slot = allocation.slot_of(index);
-            runtime_apps.push(RuntimeApp {
-                name: app.name().to_string(),
-                threshold: app.spec().threshold,
-                slot,
-                priority: app.spec().deadline,
-            });
+        let fleet = Arc::new(DesignedFleet::new(apps, allocation.clone(), bus_config)?);
+        CoSimulation::from_fleet(fleet)
+    }
+
+    /// Builds an engine over a shared fleet design: only the mutable scratch
+    /// (kernel state buffers, runtime, bus) is constructed here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus-construction failures.
+    pub fn from_fleet(fleet: Arc<DesignedFleet>) -> Result<Self> {
+        let mut kernels = Vec::with_capacity(fleet.app_count());
+        let mut bus = FlexRayBus::new(fleet.bus_config())?;
+        for (index, app) in fleet.apps().iter().enumerate() {
             kernels.push(app.kernel()?);
             // Every application's control signal is a bus frame; it starts in
             // the dynamic segment and is moved into its TT slot on demand.
             bus.register_frame(Frame::dynamic(index as u32 + 1, app.name(), 2)?)?;
         }
-        let runtime = AllocationRuntime::new(runtime_apps, slot_count)?;
-        let app_count = apps.len();
+        let runtime = AllocationRuntime::new(fleet.runtime_apps().to_vec(), fleet.slot_count())?;
+        let app_count = fleet.app_count();
+        let period = fleet.period();
         Ok(CoSimulation {
-            apps,
+            fleet,
             kernels,
             runtime,
             bus,
             period,
-            slot_count,
             threshold_scale: 1.0,
             norms: vec![0.0; app_count],
             modes: Vec::with_capacity(app_count),
+            slot_scratch: vec![None; app_count],
         })
+    }
+
+    /// The shared fleet design this engine runs on.
+    pub fn fleet(&self) -> &Arc<DesignedFleet> {
+        &self.fleet
+    }
+
+    /// Replaces the engine's slot map with `allocation` — the primitive
+    /// behind slot-allocation sweep scenarios. All runtime phases and slot
+    /// grants are cleared (call after [`CoSimulation::reset`], before
+    /// injecting disturbances); the designed thresholds and the configured
+    /// threshold scale are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the allocation needs more
+    /// static slots than the bus offers.
+    pub fn set_allocation(&mut self, allocation: &SlotAllocation) -> Result<()> {
+        let slot_count = allocation.slot_count();
+        if slot_count > self.fleet.bus_config().static_slot_count {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "allocation needs {slot_count} static slots but the bus offers only {}",
+                    self.fleet.bus_config().static_slot_count
+                ),
+            });
+        }
+        for (index, slot) in self.slot_scratch.iter_mut().enumerate() {
+            *slot = allocation.slot_of(index);
+        }
+        self.runtime.set_allocation(&self.slot_scratch, slot_count)
     }
 
     /// Rewinds the engine to time zero without reconstruction: every kernel
@@ -177,7 +202,7 @@ impl CoSimulation {
         }
         self.runtime.reset();
         self.bus.reset();
-        for index in 0..self.apps.len() {
+        for index in 0..self.fleet.app_count() {
             self.bus.reassign_frame(index as u32 + 1, Segment::Dynamic)?;
         }
         Ok(())
@@ -196,8 +221,9 @@ impl CoSimulation {
                 reason: format!("threshold scale must be positive and finite, got {scale}"),
             });
         }
-        for (index, app) in self.apps.iter().enumerate() {
-            self.runtime.set_threshold(index, app.spec().threshold * scale)?;
+        let CoSimulation { fleet, runtime, .. } = self;
+        for (index, app) in fleet.apps().iter().enumerate() {
+            runtime.set_threshold(index, app.spec().threshold * scale)?;
         }
         self.threshold_scale = scale;
         Ok(())
@@ -220,8 +246,37 @@ impl CoSimulation {
     ///
     /// Propagates simulator errors.
     pub fn inject_disturbances_scaled(&mut self, scale: f64) -> Result<()> {
-        for (app, kernel) in self.apps.iter().zip(&mut self.kernels) {
+        let CoSimulation { fleet, kernels, .. } = self;
+        for (app, kernel) in fleet.apps().iter().zip(kernels) {
             kernel.inject_disturbance_scaled(&app.spec().disturbance, scale)?;
+        }
+        Ok(())
+    }
+
+    /// Injects one disturbance vector per application (scaled by `scale`),
+    /// overriding the designed disturbances — the primitive behind per-app
+    /// disturbance-vector scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the number of vectors does
+    /// not match the fleet; per-vector dimension errors are propagated.
+    pub fn inject_disturbance_vectors(
+        &mut self,
+        disturbances: &[Vec<f64>],
+        scale: f64,
+    ) -> Result<()> {
+        if disturbances.len() != self.kernels.len() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "expected {} disturbance vectors, got {}",
+                    self.kernels.len(),
+                    disturbances.len()
+                ),
+            });
+        }
+        for (kernel, disturbance) in self.kernels.iter_mut().zip(disturbances) {
+            kernel.inject_disturbance_scaled(disturbance, scale)?;
         }
         Ok(())
     }
@@ -238,10 +293,11 @@ impl CoSimulation {
             });
         }
         let steps = (duration / self.period).ceil() as usize;
+        let app_count = self.fleet.app_count();
         // Not `vec![Vec::with_capacity(steps); n]`: cloning a Vec drops its
         // capacity, which would leave all but one buffer unsized.
         let mut points: Vec<Vec<TracePoint>> =
-            (0..self.apps.len()).map(|_| Vec::with_capacity(steps)).collect();
+            (0..app_count).map(|_| Vec::with_capacity(steps)).collect();
         let mut occupancy = Vec::with_capacity(steps);
 
         for step in 0..steps {
@@ -283,7 +339,8 @@ impl CoSimulation {
         }
 
         let traces = self
-            .apps
+            .fleet
+            .apps()
             .iter()
             .zip(points)
             .map(|(app, series)| {
@@ -299,7 +356,7 @@ impl CoSimulation {
                 }
             })
             .collect();
-        let bus_latencies = (0..self.apps.len())
+        let bus_latencies = (0..app_count)
             .map(|index| LatencyStats::from_latencies(&self.bus.latencies_of(index as u32 + 1)))
             .collect();
         Ok(CoSimTrace {
@@ -311,14 +368,15 @@ impl CoSimulation {
         })
     }
 
-    /// Number of TT slots managed by the runtime.
+    /// Number of TT slots managed by the runtime (follows the allocation
+    /// set with [`CoSimulation::set_allocation`]).
     pub fn slot_count(&self) -> usize {
-        self.slot_count
+        self.runtime.slot_holders().len()
     }
 
     /// Number of applications in the fleet.
     pub fn app_count(&self) -> usize {
-        self.apps.len()
+        self.fleet.app_count()
     }
 
     /// The currently configured threshold scale (1.0 = as designed).

@@ -1,0 +1,184 @@
+//! The shared-immutable design artifact of a fleet: designed controllers,
+//! precompiled fused step-kernel matrices, slot allocation and bus
+//! configuration, validated once and shared (via [`Arc`]) by every
+//! co-simulation engine spawned from it.
+//!
+//! The design-space workloads of Section V — slot-map sweeps, threshold
+//! re-design, growing fleets — run *many* engines over one design.
+//! [`DesignedFleet`] splits the expensive immutable part (controller
+//! synthesis, closed-loop fusion, configuration validation) from the cheap
+//! mutable part ([`CoSimulation`] scratch state), so spinning up a worker
+//! engine costs a handful of buffer allocations instead of a full redesign
+//! or a deep clone of every [`ControlApplication`].
+
+use crate::application::ControlApplication;
+use crate::cosim::CoSimulation;
+use crate::error::{CoreError, Result};
+use crate::runtime::RuntimeApp;
+use cps_flexray::FlexRayConfig;
+use cps_sched::SlotAllocation;
+use std::sync::Arc;
+
+/// An immutable, validated fleet design: applications (with their
+/// precompiled kernel matrices), the offline slot allocation and the bus
+/// configuration. Construct once, wrap in an [`Arc`], and spawn as many
+/// engines as needed via [`DesignedFleet::engine`].
+#[derive(Debug)]
+pub struct DesignedFleet {
+    apps: Vec<ControlApplication>,
+    allocation: SlotAllocation,
+    bus_config: FlexRayConfig,
+    /// Per-application runtime configuration derived from the allocation,
+    /// cloned into each engine's mutable runtime.
+    runtime_apps: Vec<RuntimeApp>,
+    period: f64,
+}
+
+impl DesignedFleet {
+    /// Validates and freezes a fleet design (application order must match
+    /// the allocation's indices).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] if the applications use different
+    ///   sampling periods, the fleet is empty, or the bus does not offer
+    ///   enough static slots for the allocation.
+    pub fn new(
+        apps: Vec<ControlApplication>,
+        allocation: SlotAllocation,
+        bus_config: FlexRayConfig,
+    ) -> Result<Self> {
+        if apps.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "a fleet needs at least one application".to_string(),
+            });
+        }
+        let period = apps[0].spec().period;
+        if apps.iter().any(|a| (a.spec().period - period).abs() > 1e-12) {
+            return Err(CoreError::InvalidConfig {
+                reason: "all applications must share the sampling period".to_string(),
+            });
+        }
+        if allocation.slot_count() > bus_config.static_slot_count {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "allocation needs {} static slots but the bus offers only {}",
+                    allocation.slot_count(),
+                    bus_config.static_slot_count
+                ),
+            });
+        }
+        let runtime_apps = apps
+            .iter()
+            .enumerate()
+            .map(|(index, app)| RuntimeApp {
+                name: app.name().to_string(),
+                threshold: app.spec().threshold,
+                slot: allocation.slot_of(index),
+                priority: app.spec().deadline,
+            })
+            .collect();
+        Ok(DesignedFleet { apps, allocation, bus_config, runtime_apps, period })
+    }
+
+    /// The designed applications, in allocation order.
+    pub fn apps(&self) -> &[ControlApplication] {
+        &self.apps
+    }
+
+    /// Number of applications in the fleet.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The offline slot allocation the fleet was designed with.
+    pub fn allocation(&self) -> &SlotAllocation {
+        &self.allocation
+    }
+
+    /// The FlexRay bus configuration.
+    pub fn bus_config(&self) -> FlexRayConfig {
+        self.bus_config
+    }
+
+    /// Sampling period shared by every application, in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Number of TT slots in the designed allocation.
+    pub fn slot_count(&self) -> usize {
+        self.allocation.slot_count()
+    }
+
+    /// Per-application runtime configuration derived from the designed
+    /// allocation.
+    pub(crate) fn runtime_apps(&self) -> &[RuntimeApp] {
+        &self.runtime_apps
+    }
+
+    /// Spawns a co-simulation engine over this design: the engine holds
+    /// only mutable scratch (kernel states, runtime phases, bus state) and
+    /// shares everything immutable through the [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus-construction failures.
+    pub fn engine(self: &Arc<Self>) -> Result<CoSimulation> {
+        CoSimulation::from_fleet(Arc::clone(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+
+    fn designed() -> Arc<DesignedFleet> {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        Arc::new(
+            DesignedFleet::new(apps, allocation, FlexRayConfig::paper_case_study()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn engines_share_the_design() {
+        let fleet = designed();
+        let engine_a = fleet.engine().unwrap();
+        let engine_b = fleet.engine().unwrap();
+        assert!(Arc::ptr_eq(engine_a.fleet(), &fleet));
+        assert!(Arc::ptr_eq(engine_a.fleet(), engine_b.fleet()));
+        // 1 local + 2 engines — no hidden deep clones of the design.
+        assert_eq!(Arc::strong_count(&fleet), 3);
+        assert_eq!(fleet.app_count(), 6);
+        assert!(fleet.slot_count() >= 1);
+        assert!((fleet.period() - case_study::CASE_STUDY_PERIOD).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_mirrors_the_engine_rules() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        // Empty fleet.
+        assert!(DesignedFleet::new(
+            vec![],
+            allocation.clone(),
+            FlexRayConfig::paper_case_study()
+        )
+        .is_err());
+        // Bus with too few static slots.
+        let tiny_bus = FlexRayConfig {
+            cycle_length: 0.005,
+            static_slot_count: 0,
+            static_slot_length: 0.0002,
+            minislot_count: 60,
+            minislot_length: 0.00005,
+        };
+        assert!(DesignedFleet::new(apps, allocation, tiny_bus).is_err());
+    }
+}

@@ -17,12 +17,16 @@
 //!    derived fleet exercising the pipeline end to end.
 //! 4. [`AllocationRuntime`] — the Figure 1 dynamic resource-allocation scheme
 //!    (ET by default, TT slot on demand, non-preemptive priority arbitration).
-//! 5. [`CoSimulation`] — plant/runtime/FlexRay co-simulation reproducing the
+//! 5. [`DesignedFleet`] — the shared-immutable design artifact (designed
+//!    controllers, fused kernel matrices, bus/slot configuration) that any
+//!    number of engines reference through an `Arc`.
+//! 6. [`CoSimulation`] — plant/runtime/FlexRay co-simulation reproducing the
 //!    responses of Figure 5, running on allocation-free
 //!    [`cps_control::StepKernel`]s with `reset()`-and-rerun support.
-//! 6. [`ScenarioBatch`] — batched, parallel multi-scenario co-simulation
-//!    for disturbance/threshold sweeps, deterministic across thread counts.
-//! 7. [`experiments`] — one entry point per table/figure, used by the
+//! 7. [`ScenarioBatch`] — batched, parallel multi-scenario co-simulation
+//!    for disturbance / threshold / per-app-disturbance / slot-map sweeps,
+//!    deterministic across thread counts.
+//! 8. [`experiments`] — one entry point per table/figure, used by the
 //!    examples and the Criterion benches.
 //!
 //! # Example: the headline result
@@ -44,6 +48,7 @@ mod application;
 mod characterize;
 mod cosim;
 mod error;
+mod fleet;
 mod runtime;
 mod scenario;
 
@@ -55,5 +60,6 @@ pub use case_study::CaseStudyOutcome;
 pub use characterize::{characterize_application, derive_timing_params, fit_non_monotonic};
 pub use cosim::{AppTrace, CoSimTrace, CoSimulation, TracePoint};
 pub use error::{CoreError, Result};
+pub use fleet::DesignedFleet;
 pub use runtime::{AllocationRuntime, AppPhase, RuntimeApp};
 pub use scenario::{ScenarioBatch, ScenarioOutcome, ScenarioSpec};

@@ -115,6 +115,51 @@ impl AllocationRuntime {
         &self.holders
     }
 
+    /// Replaces every application's slot assignment and the slot count in
+    /// one atomic step — the primitive behind slot-map sweep scenarios.
+    /// All phases return to steady and every slot is freed (a slot map only
+    /// changes between runs); thresholds are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the assignment list does not
+    /// cover every application or references a slot out of range; the
+    /// runtime is left unchanged on error.
+    pub fn set_allocation(
+        &mut self,
+        assignments: &[Option<usize>],
+        slot_count: usize,
+    ) -> Result<()> {
+        if assignments.len() != self.apps.len() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "expected {} slot assignments, got {}",
+                    self.apps.len(),
+                    assignments.len()
+                ),
+            });
+        }
+        for (app, assignment) in self.apps.iter().zip(assignments) {
+            if let Some(slot) = assignment {
+                if *slot >= slot_count {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!(
+                            "{} references slot {slot} but only {slot_count} slots exist",
+                            app.name
+                        ),
+                    });
+                }
+            }
+        }
+        for (app, assignment) in self.apps.iter_mut().zip(assignments) {
+            app.slot = *assignment;
+        }
+        self.holders.clear();
+        self.holders.resize(slot_count, None);
+        self.phases.fill(AppPhase::Steady);
+        Ok(())
+    }
+
     /// Advances the scheme by one sampling period given the current
     /// plant-state norms, returning the communication mode each application
     /// must use for the upcoming period.

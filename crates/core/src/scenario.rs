@@ -19,9 +19,11 @@
 use crate::application::ControlApplication;
 use crate::cosim::{CoSimTrace, CoSimulation};
 use crate::error::{CoreError, Result};
+use crate::fleet::DesignedFleet;
 use cps_control::CommunicationMode;
 use cps_flexray::FlexRayConfig;
 use cps_sched::SlotAllocation;
+use std::sync::Arc;
 
 /// One point of a scenario sweep: how this run differs from the designed
 /// fleet.
@@ -29,23 +31,49 @@ use cps_sched::SlotAllocation;
 pub struct ScenarioSpec {
     /// Label carried into the outcome (for reports).
     pub label: String,
-    /// Factor applied to every application's designed disturbance.
+    /// Factor applied to every application's disturbance (the designed
+    /// vectors, or [`ScenarioSpec::disturbances`] when set).
     pub disturbance_scale: f64,
     /// Factor applied to every application's switching threshold `E_th`.
     pub threshold_scale: f64,
     /// Simulated duration in seconds.
     pub duration: f64,
+    /// Per-application disturbance vectors overriding the designed ones
+    /// (one vector per application, each matching its plant order).
+    pub disturbances: Option<Vec<Vec<f64>>>,
+    /// Slot-map override: run this scenario under a different offline slot
+    /// allocation than the fleet was designed with.
+    pub allocation: Option<SlotAllocation>,
 }
 
 impl ScenarioSpec {
-    /// The nominal scenario: designed disturbances and thresholds.
+    /// The nominal scenario: designed disturbances, thresholds and slot map.
     pub fn nominal(duration: f64) -> Self {
         ScenarioSpec {
             label: "nominal".to_string(),
             disturbance_scale: 1.0,
             threshold_scale: 1.0,
             duration,
+            disturbances: None,
+            allocation: None,
         }
+    }
+
+    /// Returns the scenario with per-application disturbance vectors
+    /// replacing the designed ones (still subject to
+    /// [`ScenarioSpec::disturbance_scale`]).
+    #[must_use]
+    pub fn with_disturbances(mut self, disturbances: Vec<Vec<f64>>) -> Self {
+        self.disturbances = Some(disturbances);
+        self
+    }
+
+    /// Returns the scenario running under `allocation` instead of the
+    /// fleet's designed slot map.
+    #[must_use]
+    pub fn with_allocation(mut self, allocation: SlotAllocation) -> Self {
+        self.allocation = Some(allocation);
+        self
     }
 
     /// A disturbance sweep: `count` scenarios with the disturbance scaled
@@ -53,17 +81,82 @@ impl ScenarioSpec {
     pub fn disturbance_sweep(lo: f64, hi: f64, count: usize, duration: f64) -> Vec<Self> {
         (0..count)
             .map(|i| {
-                let t = if count <= 1 { 0.0 } else { i as f64 / (count - 1) as f64 };
-                let scale = lo + t * (hi - lo);
+                let scale = lerp(lo, hi, i, count);
                 ScenarioSpec {
                     label: format!("disturbance x{scale:.3}"),
                     disturbance_scale: scale,
-                    threshold_scale: 1.0,
-                    duration,
+                    ..ScenarioSpec::nominal(duration)
                 }
             })
             .collect()
     }
+
+    /// A threshold sweep: `count` scenarios with every switching threshold
+    /// `E_th` scaled linearly from `lo` to `hi` (inclusive), nominal
+    /// disturbances.
+    pub fn threshold_sweep(lo: f64, hi: f64, count: usize, duration: f64) -> Vec<Self> {
+        (0..count)
+            .map(|i| {
+                let scale = lerp(lo, hi, i, count);
+                ScenarioSpec {
+                    label: format!("threshold x{scale:.3}"),
+                    threshold_scale: scale,
+                    ..ScenarioSpec::nominal(duration)
+                }
+            })
+            .collect()
+    }
+
+    /// The full disturbance × threshold grid (row-major: the threshold axis
+    /// varies fastest), rounding out the sweep helpers for two-axis
+    /// design-space exploration.
+    pub fn grid(
+        disturbance_scales: &[f64],
+        threshold_scales: &[f64],
+        duration: f64,
+    ) -> Vec<Self> {
+        disturbance_scales
+            .iter()
+            .flat_map(|&disturbance| {
+                threshold_scales.iter().map(move |&threshold| ScenarioSpec {
+                    label: format!("disturbance x{disturbance:.3} / threshold x{threshold:.3}"),
+                    disturbance_scale: disturbance,
+                    threshold_scale: threshold,
+                    ..ScenarioSpec::nominal(duration)
+                })
+            })
+            .collect()
+    }
+
+    /// A slot-map sweep: one nominal scenario per candidate allocation —
+    /// the workload that makes the shared-immutable fleet design pay off,
+    /// since every scenario re-plumbs the runtime's slot map.
+    pub fn slot_map_sweep(
+        allocations: impl IntoIterator<Item = SlotAllocation>,
+        duration: f64,
+    ) -> Vec<Self> {
+        allocations
+            .into_iter()
+            .enumerate()
+            .map(|(index, allocation)| {
+                ScenarioSpec {
+                    label: format!(
+                        "slot map #{index} ({} slots, {} model)",
+                        allocation.slot_count(),
+                        allocation.model
+                    ),
+                    ..ScenarioSpec::nominal(duration)
+                }
+                .with_allocation(allocation)
+            })
+            .collect()
+    }
+}
+
+/// Linear interpolation over `count` inclusive sweep points.
+fn lerp(lo: f64, hi: f64, index: usize, count: usize) -> f64 {
+    let t = if count <= 1 { 0.0 } else { index as f64 / (count - 1) as f64 };
+    lo + t * (hi - lo)
 }
 
 /// Per-scenario summary returned by the batch engine (the full traces stay
@@ -114,31 +207,46 @@ impl ScenarioOutcome {
     }
 }
 
-/// The parallel scenario engine: a designed fleet plus the bus/allocation
-/// template, fanned out over worker threads.
+/// The parallel scenario engine: an [`Arc`]-shared [`DesignedFleet`] fanned
+/// out over worker threads. Workers never clone the designed
+/// [`ControlApplication`]s — each one spawns a [`CoSimulation`] holding only
+/// mutable scratch over the shared design.
 #[derive(Debug, Clone)]
 pub struct ScenarioBatch {
-    apps: Vec<ControlApplication>,
-    allocation: SlotAllocation,
-    bus_config: FlexRayConfig,
+    fleet: Arc<DesignedFleet>,
     threads: usize,
 }
 
 impl ScenarioBatch {
-    /// Creates the engine. The configuration is validated by building one
-    /// trial co-simulation up front, so `run` cannot fail on template
-    /// errors.
+    /// Creates the engine from fleet parts. Convenience for
+    /// [`DesignedFleet::new`] + [`ScenarioBatch::from_fleet`].
     ///
     /// # Errors
     ///
-    /// Propagates [`CoSimulation::new`] validation failures.
+    /// Propagates fleet validation failures.
     pub fn new(
         apps: Vec<ControlApplication>,
         allocation: SlotAllocation,
         bus_config: FlexRayConfig,
     ) -> Result<Self> {
-        CoSimulation::new(apps.clone(), &allocation, bus_config)?;
-        Ok(ScenarioBatch { apps, allocation, bus_config, threads: 0 })
+        ScenarioBatch::from_fleet(Arc::new(DesignedFleet::new(apps, allocation, bus_config)?))
+    }
+
+    /// Creates the engine over an existing shared design. The configuration
+    /// is validated by building one trial engine up front, so `run` cannot
+    /// fail on template errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction failures.
+    pub fn from_fleet(fleet: Arc<DesignedFleet>) -> Result<Self> {
+        fleet.engine()?;
+        Ok(ScenarioBatch { fleet, threads: 0 })
+    }
+
+    /// The shared fleet design the batch fans out.
+    pub fn fleet(&self) -> &Arc<DesignedFleet> {
+        &self.fleet
     }
 
     /// Sets the worker-thread count; `0` (the default) uses the machine's
@@ -177,8 +285,7 @@ impl ScenarioBatch {
         }
         let workers = self.effective_threads(scenarios.len());
         if workers == 1 {
-            let mut engine =
-                CoSimulation::new(self.apps.clone(), &self.allocation, self.bus_config)?;
+            let mut engine = self.fleet.engine()?;
             return scenarios
                 .iter()
                 .enumerate()
@@ -197,11 +304,9 @@ impl ScenarioBatch {
                     .map(|(chunk_index, chunk)| {
                         let base = chunk_index * chunk_size;
                         scope.spawn(move || {
-                            let mut engine = CoSimulation::new(
-                                self.apps.clone(),
-                                &self.allocation,
-                                self.bus_config,
-                            )?;
+                            // Worker start-up: mutable scratch only, the
+                            // design is shared through the Arc.
+                            let mut engine = self.fleet.engine()?;
                             chunk
                                 .iter()
                                 .enumerate()
@@ -242,8 +347,15 @@ fn run_one(engine: &mut CoSimulation, index: usize, spec: &ScenarioSpec) -> Resu
         });
     }
     engine.reset()?;
+    // The engine is reused across scenarios, so the slot map must be
+    // (re)applied every time: the override if present, else the design's.
+    let fleet = Arc::clone(engine.fleet());
+    engine.set_allocation(spec.allocation.as_ref().unwrap_or_else(|| fleet.allocation()))?;
     engine.set_threshold_scale(spec.threshold_scale)?;
-    engine.inject_disturbances_scaled(spec.disturbance_scale)?;
+    match &spec.disturbances {
+        None => engine.inject_disturbances_scaled(spec.disturbance_scale)?,
+        Some(vectors) => engine.inject_disturbance_vectors(vectors, spec.disturbance_scale)?,
+    }
     let trace = engine.run(spec.duration)?;
     Ok(ScenarioOutcome::from_trace(index, spec.label.clone(), &trace))
 }
@@ -269,6 +381,92 @@ mod tests {
         assert!((sweep[3].disturbance_scale - 2.0).abs() < 1e-12);
         let single = ScenarioSpec::disturbance_sweep(0.5, 2.0, 1, 1.0);
         assert!((single[0].disturbance_scale - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_sweep_and_grid_constructors() {
+        let sweep = ScenarioSpec::threshold_sweep(0.5, 1.5, 3, 1.0);
+        assert_eq!(sweep.len(), 3);
+        assert!((sweep[0].threshold_scale - 0.5).abs() < 1e-12);
+        assert!((sweep[1].threshold_scale - 1.0).abs() < 1e-12);
+        assert!((sweep[2].threshold_scale - 1.5).abs() < 1e-12);
+        assert!(sweep.iter().all(|s| s.disturbance_scale == 1.0));
+
+        let grid = ScenarioSpec::grid(&[0.5, 2.0], &[0.8, 1.0, 1.2], 1.0);
+        assert_eq!(grid.len(), 6);
+        // Row-major: the threshold axis varies fastest.
+        assert!((grid[0].disturbance_scale - 0.5).abs() < 1e-12);
+        assert!((grid[0].threshold_scale - 0.8).abs() < 1e-12);
+        assert!((grid[2].threshold_scale - 1.2).abs() < 1e-12);
+        assert!((grid[3].disturbance_scale - 2.0).abs() < 1e-12);
+        // All labels are distinct.
+        let labels: std::collections::HashSet<_> = grid.iter().map(|s| &s.label).collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn slot_map_sweep_and_disturbance_override_change_the_outcome() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let nominal_allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        // A contention-free allocation: every application owns its own slot
+        // (the paper's bus offers enough static slots for the fleet).
+        let dedicated = cps_sched::SlotAllocation {
+            slots: (0..apps.len()).map(|index| vec![index]).collect(),
+            model: nominal_allocation.model,
+            method: nominal_allocation.method,
+        };
+        assert!(
+            dedicated.slot_count()
+                <= FlexRayConfig::paper_case_study().static_slot_count
+        );
+        let batch = batch();
+
+        let scenarios = ScenarioSpec::slot_map_sweep(
+            [nominal_allocation.clone(), dedicated.clone()],
+            2.0,
+        );
+        assert_eq!(scenarios.len(), 2);
+        let outcomes = batch.run(&scenarios).unwrap();
+        // The nominal slot map reproduces the nominal scenario exactly.
+        let nominal = batch.run(&[ScenarioSpec::nominal(2.0)]).unwrap();
+        assert_eq!(outcomes[0].response_times, nominal[0].response_times);
+        assert_eq!(outcomes[0].tt_periods, nominal[0].tt_periods);
+        // Removing all slot contention changes the TT usage pattern.
+        assert_ne!(outcomes[1].tt_periods, outcomes[0].tt_periods);
+
+        // Per-app disturbance vectors: zero disturbance everywhere keeps
+        // every loop in ET; hitting only the first app leaves the others
+        // untouched.
+        let fleet_orders: Vec<usize> =
+            batch.fleet().apps().iter().map(|a| a.spec().plant.order()).collect();
+        let zeros: Vec<Vec<f64>> =
+            fleet_orders.iter().map(|&order| vec![0.0; order]).collect();
+        let mut first_only = zeros.clone();
+        first_only[0] = batch.fleet().apps()[0].spec().disturbance.clone();
+        let outcomes = batch
+            .run(&[
+                ScenarioSpec::nominal(1.0).with_disturbances(zeros),
+                ScenarioSpec::nominal(1.0).with_disturbances(first_only),
+            ])
+            .unwrap();
+        assert!(outcomes[0].peak_norms.iter().all(|&n| n == 0.0));
+        assert!(outcomes[1].peak_norms[0] > 0.0);
+        assert!(outcomes[1].peak_norms[1..].iter().all(|&n| n == 0.0));
+
+        // Wrong vector count is rejected.
+        let bad = ScenarioSpec::nominal(1.0).with_disturbances(vec![vec![0.0]]);
+        assert!(batch.run(std::slice::from_ref(&bad)).is_err());
+        // An allocation the bus cannot host is rejected.
+        let slots_offered = FlexRayConfig::paper_case_study().static_slot_count;
+        let too_wide = cps_sched::SlotAllocation {
+            slots: (0..slots_offered + 1).map(|i| vec![i % apps.len()]).collect(),
+            model: nominal_allocation.model,
+            method: nominal_allocation.method,
+        };
+        let bad = ScenarioSpec::nominal(1.0).with_allocation(too_wide);
+        assert!(batch.run(std::slice::from_ref(&bad)).is_err());
     }
 
     #[test]
@@ -312,15 +510,13 @@ mod tests {
         let bad = ScenarioSpec {
             label: "bad".to_string(),
             disturbance_scale: -1.0,
-            threshold_scale: 1.0,
-            duration: 1.0,
+            ..ScenarioSpec::nominal(1.0)
         };
         assert!(batch.run(std::slice::from_ref(&bad)).is_err());
         let endless = ScenarioSpec {
             label: "endless".to_string(),
-            disturbance_scale: 1.0,
-            threshold_scale: 1.0,
             duration: f64::INFINITY,
+            ..ScenarioSpec::nominal(1.0)
         };
         assert!(batch.run(std::slice::from_ref(&endless)).is_err());
         assert_eq!(batch.effective_threads(0), 1);

@@ -34,39 +34,112 @@ pub fn expm(a: &Matrix) -> Result<Matrix> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape(), op: "expm" });
     }
+    let mut workspace = ExpmWorkspace::new(a.rows());
+    expm_with(a, &mut workspace)
+}
+
+/// Pre-allocated temporaries for [`expm_with`], sized once for `n × n`
+/// matrices: the scaled input, the Padé term ping-pong pair, the
+/// numerator/denominator accumulators, the squaring scratch and the reusable
+/// LU factorisation of the Padé denominator. Design loops that discretise
+/// many plants of the same order reuse one workspace instead of allocating
+/// ~30 temporaries per exponential; only the returned result is allocated.
+#[derive(Debug, Clone)]
+pub struct ExpmWorkspace {
+    scaled: Matrix,
+    term: Matrix,
+    term_next: Matrix,
+    numerator: Matrix,
+    denominator: Matrix,
+    square: Matrix,
+    lu: Lu,
+    column: Vec<f64>,
+    solution: Vec<f64>,
+}
+
+impl ExpmWorkspace {
+    /// Allocates a workspace for `n × n` exponentials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        ExpmWorkspace {
+            scaled: Matrix::zeros(n, n),
+            term: Matrix::zeros(n, n),
+            term_next: Matrix::zeros(n, n),
+            numerator: Matrix::zeros(n, n),
+            denominator: Matrix::zeros(n, n),
+            square: Matrix::zeros(n, n),
+            lu: Lu::workspace(n),
+            column: vec![0.0; n],
+            solution: vec![0.0; n],
+        }
+    }
+}
+
+/// [`expm`] with a caller-provided [`ExpmWorkspace`]; every inner operation
+/// is the in-place twin of the allocating original, so the result is
+/// bit-identical to [`expm`].
+///
+/// # Errors
+///
+/// As [`expm`]; additionally [`LinalgError::ShapeMismatch`] if the workspace
+/// was sized for a different order.
+pub fn expm_with(a: &Matrix, workspace: &mut ExpmWorkspace) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape(), op: "expm" });
+    }
     if !a.is_finite() {
         return Err(LinalgError::InvalidArgument {
             reason: "matrix contains non-finite entries".to_string(),
         });
     }
     let n = a.rows();
+    if workspace.term.shape() != (n, n) {
+        return Err(LinalgError::ShapeMismatch {
+            left: (n, n),
+            right: workspace.term.shape(),
+            op: "expm workspace",
+        });
+    }
     let norm = a.inf_norm();
+    let ws = workspace;
 
     // Scale so that the norm is below 0.5, compute the Padé approximant,
     // then square back.
     let mut squarings = 0u32;
-    let mut scaled = a.clone();
+    ws.scaled.copy_from(a)?;
     if norm > 0.5 {
         squarings = (norm / 0.5).log2().ceil() as u32;
-        scaled = a.scale(1.0 / f64::powi(2.0, squarings as i32));
+        ws.scaled.scale_assign(1.0 / f64::powi(2.0, squarings as i32));
     }
 
     // Padé(6,6): p(A) / q(A) with q(A) = p(-A).
     const PADE_COEFFS: [f64; 7] =
         [1.0, 0.5, 0.1136363636363636, 0.015151515151515152, 0.0012626262626262627, 6.313131313131313e-5, 1.5031265031265032e-6];
-    let mut term = Matrix::identity(n);
-    let mut numerator = Matrix::identity(n).scale(PADE_COEFFS[0]);
-    let mut denominator = Matrix::identity(n).scale(PADE_COEFFS[0]);
+    for r in 0..n {
+        for c in 0..n {
+            ws.term[(r, c)] = if r == c { 1.0 } else { 0.0 };
+        }
+    }
+    ws.numerator.copy_from(&ws.term)?;
+    ws.denominator.copy_from(&ws.term)?;
     let mut sign = 1.0;
     for &coeff in PADE_COEFFS.iter().skip(1) {
-        term = term.matmul(&scaled)?;
+        let ExpmWorkspace { scaled, term, term_next, .. } = ws;
+        term.matmul_into(scaled, term_next)?;
+        std::mem::swap(&mut ws.term, &mut ws.term_next);
         sign = -sign;
-        numerator = numerator.add_matrix(&term.scale(coeff))?;
-        denominator = denominator.add_matrix(&term.scale(coeff * sign))?;
+        ws.numerator.add_assign_scaled(&ws.term, coeff)?;
+        ws.denominator.add_assign_scaled(&ws.term, coeff * sign)?;
     }
-    let mut result = Lu::decompose(&denominator)?.solve_matrix(&numerator)?;
+    ws.lu.refactor(&ws.denominator)?;
+    let mut result = Matrix::zeros(n, n);
+    ws.lu.solve_matrix_into(&ws.numerator, &mut result, &mut ws.column, &mut ws.solution)?;
     for _ in 0..squarings {
-        result = result.matmul(&result)?;
+        result.matmul_into(&result, &mut ws.square)?;
+        std::mem::swap(&mut result, &mut ws.square);
     }
     Ok(result)
 }
@@ -186,6 +259,21 @@ mod tests {
         let e = expm(&a).unwrap();
         assert!((e[(0, 0)] - 5f64.exp()).abs() / 5f64.exp() < 1e-9);
         assert!((e[(1, 1)] - (-5f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expm_with_workspace_is_bit_identical_and_reusable() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[-4.0, -0.8]]).unwrap();
+        let big = Matrix::diagonal(&[5.0, -5.0]).unwrap();
+        let reference_a = expm(&a).unwrap();
+        let reference_big = expm(&big).unwrap();
+        let mut ws = ExpmWorkspace::new(2);
+        assert_eq!(expm_with(&a, &mut ws).unwrap(), reference_a);
+        assert_eq!(expm_with(&big, &mut ws).unwrap(), reference_big);
+        assert_eq!(expm_with(&a, &mut ws).unwrap(), reference_a);
+        // Wrong workspace order is rejected.
+        let mut wrong = ExpmWorkspace::new(3);
+        assert!(expm_with(&a, &mut wrong).is_err());
     }
 
     #[test]

@@ -57,9 +57,12 @@ pub mod eig;
 
 pub use eig::{eigenvalues, is_hurwitz_stable, is_schur_stable, spectral_radius, Complex};
 pub use error::{LinalgError, Result};
-pub use expm::{discretize_zoh, expm, input_integral};
+pub use expm::{discretize_zoh, expm, expm_with, input_integral, ExpmWorkspace};
 pub use lu::{determinant, inverse, solve, Lu};
 pub use lyapunov::{is_positive_definite, is_schur_stable_lyapunov, solve_discrete_lyapunov};
 pub use matrix::{axpy, dot, vec_norm, Matrix};
 pub use qr::{polyfit, polyval, Qr};
-pub use riccati::{dlqr, solve_dare, DareOptions, LqrSolution};
+pub use riccati::{
+    dlqr, dlqr_with, solve_dare, solve_dare_reference, solve_dare_with, DareOptions, LqrSolution,
+    RiccatiWorkspace,
+};

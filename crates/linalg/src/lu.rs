@@ -48,10 +48,56 @@ impl Lu {
             return Err(LinalgError::NotSquare { shape: a.shape(), op: "lu" });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
+        let mut factors = Lu {
+            lu: a.clone(),
+            perm: (0..n).collect(),
+            perm_sign: 1.0,
+        };
+        factors.eliminate()?;
+        Ok(factors)
+    }
 
+    /// Creates an unfactored workspace for `n × n` systems, to be filled by
+    /// [`Lu::refactor`]. Using the workspace before a successful `refactor`
+    /// yields a singularity error (the stored matrix is all-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (propagated from [`Matrix::zeros`]).
+    pub fn workspace(n: usize) -> Self {
+        Lu { lu: Matrix::zeros(n, n), perm: (0..n).collect(), perm_sign: 1.0 }
+    }
+
+    /// Re-factors `a` into this workspace without allocating, producing the
+    /// same factors (bit for bit) as [`Lu::decompose`].
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a` does not match the workspace
+    ///   dimension.
+    /// * [`LinalgError::Singular`] as in [`Lu::decompose`].
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
+        if a.shape() != self.lu.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.lu.shape(),
+                right: a.shape(),
+                op: "lu refactor",
+            });
+        }
+        self.lu.copy_from(a)?;
+        for (index, slot) in self.perm.iter_mut().enumerate() {
+            *slot = index;
+        }
+        self.perm_sign = 1.0;
+        self.eliminate()
+    }
+
+    /// Gaussian elimination with partial pivoting on the stored matrix.
+    fn eliminate(&mut self) -> Result<()> {
+        let n = self.lu.rows();
+        let lu = &mut self.lu;
+        let perm = &mut self.perm;
+        let perm_sign = &mut self.perm_sign;
         for k in 0..n {
             // Find the pivot row for column k.
             let mut pivot_row = k;
@@ -73,7 +119,7 @@ impl Lu {
                     lu[(pivot_row, c)] = tmp;
                 }
                 perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
+                *perm_sign = -*perm_sign;
             }
             // Eliminate below the pivot.
             for r in (k + 1)..n {
@@ -84,7 +130,7 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -107,8 +153,33 @@ impl Lu {
                 op: "lu solve",
             });
         }
+        let mut x = vec![0.0; n];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer without allocating.
+    ///
+    /// Produces exactly the values of [`Lu::solve`] (it is the shared
+    /// substitution routine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` or `x` differs from the
+    /// matrix dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n || x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len().max(x.len()), 1),
+                op: "lu solve_into",
+            });
+        }
         // Apply the permutation, then forward- and back-substitute.
-        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for (slot, &source) in x.iter_mut().zip(&self.perm) {
+            *slot = b[source];
+        }
         for i in 1..n {
             let mut acc = x[i];
             for j in 0..i {
@@ -123,7 +194,7 @@ impl Lu {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A X = B` column by column.
@@ -142,14 +213,59 @@ impl Lu {
             });
         }
         let mut out = Matrix::zeros(n, b.cols());
+        let mut column = vec![0.0; n];
+        let mut solution = vec![0.0; n];
+        self.solve_matrix_into(b, &mut out, &mut column, &mut solution)?;
+        Ok(out)
+    }
+
+    /// Solves `A X = B` into `out` without allocating, using two
+    /// caller-provided length-`n` scratch vectors (`column` holds the current
+    /// right-hand side, `solution` the substitution result). Produces exactly
+    /// the values of [`Lu::solve_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on any dimension mismatch.
+    pub fn solve_matrix_into(
+        &self,
+        b: &Matrix,
+        out: &mut Matrix,
+        column: &mut [f64],
+        solution: &mut [f64],
+    ) -> Result<()> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "lu solve_matrix",
+            });
+        }
+        if out.shape() != b.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: b.shape(),
+                right: out.shape(),
+                op: "lu solve_matrix_into (output)",
+            });
+        }
+        if column.len() != n || solution.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, 1),
+                right: (column.len().max(solution.len()), 1),
+                op: "lu solve_matrix_into (scratch)",
+            });
+        }
         for c in 0..b.cols() {
-            let col = b.col(c);
-            let x = self.solve(&col)?;
-            for (r, value) in x.into_iter().enumerate() {
+            for (r, slot) in column.iter_mut().enumerate() {
+                *slot = b[(r, c)];
+            }
+            self.solve_into(column, solution)?;
+            for (r, &value) in solution.iter().enumerate() {
                 out[(r, c)] = value;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Determinant of the original matrix.
@@ -268,6 +384,42 @@ mod tests {
         assert!((x[0] - 3.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
         assert!((determinant(&a).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_workspace_matches_decompose() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 2.0], &[3.0, 1.0, 1.0]]).unwrap();
+        let mut ws = Lu::workspace(3);
+        // An unfactored workspace (all-zero matrix) reports singularity.
+        assert!(ws.clone().refactor(&Matrix::zeros(3, 3)).is_err());
+        for matrix in [&a, &b, &a] {
+            ws.refactor(matrix).unwrap();
+            let fresh = Lu::decompose(matrix).unwrap();
+            assert_eq!(ws.lu, fresh.lu);
+            assert_eq!(ws.perm, fresh.perm);
+            assert_eq!(ws.perm_sign, fresh.perm_sign);
+        }
+        assert!(ws.refactor(&Matrix::identity(2)).is_err());
+
+        // solve_into / solve_matrix_into reproduce the allocating solves.
+        let rhs = [1.0, -2.0, 0.5];
+        let mut x = [0.0; 3];
+        ws.refactor(&a).unwrap();
+        ws.solve_into(&rhs, &mut x).unwrap();
+        assert_eq!(x.to_vec(), ws.solve(&rhs).unwrap());
+        assert!(ws.solve_into(&rhs, &mut [0.0; 2]).is_err());
+
+        let b_rhs = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0], &[1.0, 2.0]]).unwrap();
+        let mut out = Matrix::zeros(3, 2);
+        let (mut col, mut sol) = ([0.0; 3], [0.0; 3]);
+        ws.solve_matrix_into(&b_rhs, &mut out, &mut col, &mut sol).unwrap();
+        assert_eq!(out, ws.solve_matrix(&b_rhs).unwrap());
+        let mut wrong = Matrix::zeros(2, 2);
+        assert!(ws.solve_matrix_into(&b_rhs, &mut wrong, &mut col, &mut sol).is_err());
+        assert!(ws
+            .solve_matrix_into(&b_rhs, &mut out, &mut [0.0; 2], &mut sol)
+            .is_err());
     }
 
     #[test]

@@ -321,6 +321,45 @@ impl Matrix {
         }
     }
 
+    /// Overwrites `self` with the entries of `src` without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) -> Result<()> {
+        if self.shape() != src.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: src.shape(),
+                op: "copy_from",
+            });
+        }
+        self.data.copy_from_slice(&src.data);
+        Ok(())
+    }
+
+    /// Writes the transpose of `self` into `out` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `out` does not have shape
+    /// `(self.cols(), self.rows())`.
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<()> {
+        if out.shape() != (self.cols, self.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.cols, self.rows),
+                right: out.shape(),
+                op: "transpose_into (output)",
+            });
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        Ok(())
+    }
+
     /// In-place scaled accumulation `self += factor * rhs` (a matrix axpy).
     ///
     /// # Errors
@@ -376,6 +415,14 @@ impl Matrix {
     pub fn scale(&self, factor: f64) -> Matrix {
         let data = self.data.iter().map(|a| a * factor).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scales every entry in place (`self *= factor`), the allocation-free
+    /// twin of [`Matrix::scale`].
+    pub fn scale_assign(&mut self, factor: f64) {
+        for value in &mut self.data {
+            *value *= factor;
+        }
     }
 
     /// Sum of the diagonal entries.
@@ -770,6 +817,22 @@ mod tests {
     }
 
     #[test]
+    fn copy_from_and_transpose_into() {
+        let a = sample();
+        let mut dst = Matrix::zeros(2, 2);
+        dst.copy_from(&a).unwrap();
+        assert_eq!(dst, a);
+        assert!(dst.copy_from(&Matrix::zeros(3, 2)).is_err());
+
+        let rect = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let mut t = Matrix::zeros(3, 2);
+        rect.transpose_into(&mut t).unwrap();
+        assert_eq!(t, rect.transpose());
+        let mut wrong = Matrix::zeros(2, 3);
+        assert!(rect.transpose_into(&mut wrong).is_err());
+    }
+
+    #[test]
     fn add_assign_scaled_is_axpy() {
         let mut a = sample();
         let b = Matrix::identity(2);
@@ -800,6 +863,9 @@ mod tests {
         let diff = sum.sub_matrix(&b).unwrap();
         assert!(diff.approx_eq(&a, 1e-12));
         assert_eq!(a.scale(2.0)[(1, 1)], 8.0);
+        let mut scaled = a.clone();
+        scaled.scale_assign(2.0);
+        assert_eq!(scaled, a.scale(2.0));
         assert!(a.add_matrix(&Matrix::zeros(3, 3)).is_err());
     }
 

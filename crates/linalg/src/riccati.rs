@@ -47,12 +47,35 @@ pub fn solve_dare(
     r: &Matrix,
     options: DareOptions,
 ) -> Result<Matrix> {
+    let mut workspace = RiccatiWorkspace::new(a.rows().max(1), b.cols().max(1));
+    solve_dare_with(a, b, q, r, options, &mut workspace)
+}
+
+/// [`solve_dare`] with a caller-provided [`RiccatiWorkspace`], so repeated
+/// designs in a sweep reuse one set of temporaries instead of allocating ~9
+/// matrices per Riccati iteration. Produces exactly the values of
+/// [`solve_dare_reference`] (every inner operation is the in-place variant of
+/// the corresponding allocating one).
+///
+/// # Errors
+///
+/// As [`solve_dare`]; additionally [`LinalgError::ShapeMismatch`] if the
+/// workspace was sized for different dimensions.
+pub fn solve_dare_with(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    options: DareOptions,
+    workspace: &mut RiccatiWorkspace,
+) -> Result<Matrix> {
     validate_lqr_shapes(a, b, q, r)?;
+    workspace.check(a.rows(), b.cols())?;
     let mut p = q.clone();
     for iteration in 0..options.max_iterations {
-        let next = riccati_step(a, b, q, r, &p)?;
-        let delta = next.sub_matrix(&p)?.max_abs();
-        p = next;
+        riccati_step_into(a, b, q, r, &p, workspace)?;
+        let delta = max_abs_difference(&workspace.next, &p);
+        p.copy_from(&workspace.next)?;
         if delta < options.tolerance {
             // Symmetrise to clean up round-off before returning.
             return p.add_matrix(&p.transpose()).map(|s| s.scale(0.5));
@@ -71,9 +94,174 @@ pub fn solve_dare(
     })
 }
 
-/// One step of the Riccati recursion:
-/// `P⁺ = AᵀPA − AᵀPB (R + BᵀPB)⁻¹ BᵀPA + Q`.
-fn riccati_step(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix, p: &Matrix) -> Result<Matrix> {
+/// The original, allocating DARE recursion, kept as the numerical reference
+/// for the workspace path: `solve_dare` must reproduce its output bit for
+/// bit (asserted by the test suite and measurable by the design benches).
+///
+/// # Errors
+///
+/// As [`solve_dare`].
+pub fn solve_dare_reference(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    options: DareOptions,
+) -> Result<Matrix> {
+    validate_lqr_shapes(a, b, q, r)?;
+    let mut p = q.clone();
+    for iteration in 0..options.max_iterations {
+        let next = riccati_step_reference(a, b, q, r, &p)?;
+        let delta = next.sub_matrix(&p)?.max_abs();
+        p = next;
+        if delta < options.tolerance {
+            return p.add_matrix(&p.transpose()).map(|s| s.scale(0.5));
+        }
+        if !p.is_finite() {
+            return Err(LinalgError::NotConverged {
+                algorithm: "dare value iteration",
+                iterations: iteration + 1,
+            });
+        }
+    }
+    Err(LinalgError::NotConverged {
+        algorithm: "dare value iteration",
+        iterations: options.max_iterations,
+    })
+}
+
+/// `max |left - right|` without materialising the difference matrix; the
+/// shapes are validated by the callers.
+fn max_abs_difference(left: &Matrix, right: &Matrix) -> f64 {
+    left.as_slice()
+        .iter()
+        .zip(right.as_slice())
+        .fold(0.0, |acc, (l, r)| acc.max((l - r).abs()))
+}
+
+/// Pre-allocated temporaries for [`riccati_step_into`] / [`solve_dare_with`]
+/// / [`dlqr_with`], sized once for an `n`-state, `m`-input problem.
+///
+/// One workspace serves any number of designs with the same dimensions —
+/// the sweep workloads (threshold re-design, fleet variants) construct it
+/// once per thread.
+#[derive(Debug, Clone)]
+pub struct RiccatiWorkspace {
+    /// `Aᵀ` (n × n).
+    at: Matrix,
+    /// `Bᵀ` (m × n).
+    bt: Matrix,
+    /// `P·A` (n × n).
+    pa: Matrix,
+    /// `P·B` (n × m).
+    pb: Matrix,
+    /// `Bᵀ·P·B` (m × m).
+    btpb: Matrix,
+    /// `R + Bᵀ·P·B` (m × m).
+    gram: Matrix,
+    /// `Bᵀ·P·A` (m × n).
+    btpa: Matrix,
+    /// `(R + BᵀPB)⁻¹·BᵀPA` (m × n).
+    gain: Matrix,
+    /// `Aᵀ·P·A` (n × n).
+    atpa: Matrix,
+    /// `Aᵀ·P·B` (n × m).
+    atpb: Matrix,
+    /// `AᵀPB·gain` (n × n).
+    correction: Matrix,
+    /// The next Riccati iterate (n × n).
+    next: Matrix,
+    /// `Bᵀ·P` (m × n), used by the final gain computation of [`dlqr_with`].
+    btp: Matrix,
+    /// Reusable LU factorisation of the Gram matrix.
+    lu: Lu,
+    /// Column scratch for the matrix solve.
+    column: Vec<f64>,
+    /// Solution scratch for the matrix solve.
+    solution: Vec<f64>,
+}
+
+impl RiccatiWorkspace {
+    /// Allocates a workspace for an `n`-state, `m`-input problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `m == 0`.
+    pub fn new(n: usize, m: usize) -> Self {
+        RiccatiWorkspace {
+            at: Matrix::zeros(n, n),
+            bt: Matrix::zeros(m, n),
+            pa: Matrix::zeros(n, n),
+            pb: Matrix::zeros(n, m),
+            btpb: Matrix::zeros(m, m),
+            gram: Matrix::zeros(m, m),
+            btpa: Matrix::zeros(m, n),
+            gain: Matrix::zeros(m, n),
+            atpa: Matrix::zeros(n, n),
+            atpb: Matrix::zeros(n, m),
+            correction: Matrix::zeros(n, n),
+            next: Matrix::zeros(n, n),
+            btp: Matrix::zeros(m, n),
+            lu: Lu::workspace(m),
+            column: vec![0.0; m],
+            solution: vec![0.0; m],
+        }
+    }
+
+    /// Verifies the workspace was sized for an `n`-state, `m`-input problem.
+    fn check(&self, n: usize, m: usize) -> Result<()> {
+        if self.at.shape() != (n, n) || self.bt.shape() != (m, n) {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, m),
+                right: (self.at.rows(), self.bt.rows()),
+                op: "riccati workspace",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One step of the Riccati recursion written into `workspace.next`:
+/// `P⁺ = AᵀPA − AᵀPB (R + BᵀPB)⁻¹ BᵀPA + Q`, allocation-free.
+///
+/// Every operation is the `_into` twin of the allocating op in
+/// [`riccati_step_reference`], so the result is bit-identical.
+fn riccati_step_into(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    p: &Matrix,
+    ws: &mut RiccatiWorkspace,
+) -> Result<()> {
+    a.transpose_into(&mut ws.at)?;
+    b.transpose_into(&mut ws.bt)?;
+    p.matmul_into(a, &mut ws.pa)?;
+    p.matmul_into(b, &mut ws.pb)?;
+    ws.bt.matmul_into(&ws.pb, &mut ws.btpb)?;
+    ws.gram.copy_from(r)?;
+    ws.gram.add_assign_scaled(&ws.btpb, 1.0)?;
+    ws.bt.matmul_into(&ws.pa, &mut ws.btpa)?;
+    ws.lu.refactor(&ws.gram)?;
+    ws.lu.solve_matrix_into(&ws.btpa, &mut ws.gain, &mut ws.column, &mut ws.solution)?;
+    ws.at.matmul_into(&ws.pa, &mut ws.atpa)?;
+    ws.at.matmul_into(&ws.pb, &mut ws.atpb)?;
+    ws.atpb.matmul_into(&ws.gain, &mut ws.correction)?;
+    ws.next.copy_from(&ws.atpa)?;
+    ws.next.add_assign_scaled(&ws.correction, -1.0)?;
+    ws.next.add_assign_scaled(q, 1.0)?;
+    Ok(())
+}
+
+/// One step of the Riccati recursion, allocating (~9 temporaries): the
+/// reference semantics for [`riccati_step_into`].
+fn riccati_step_reference(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    p: &Matrix,
+) -> Result<Matrix> {
     let at = a.transpose();
     let bt = b.transpose();
     let pa = p.matmul(a)?;
@@ -129,12 +317,38 @@ pub fn dlqr(
     r: &Matrix,
     options: DareOptions,
 ) -> Result<LqrSolution> {
-    let p = solve_dare(a, b, q, r, options)?;
-    let bt = b.transpose();
-    let gram = r.add_matrix(&bt.matmul(&p)?.matmul(b)?)?;
-    let rhs = bt.matmul(&p)?.matmul(a)?;
-    let gain = Lu::decompose(&gram)?.solve_matrix(&rhs)?;
-    Ok(LqrSolution { gain, cost: p })
+    let mut workspace = RiccatiWorkspace::new(a.rows().max(1), b.cols().max(1));
+    dlqr_with(a, b, q, r, options, &mut workspace)
+}
+
+/// [`dlqr`] with a caller-provided [`RiccatiWorkspace`]: repeated syntheses
+/// (threshold sweeps, fleet-variant design loops) share one set of
+/// temporaries across all Riccati iterations and the final gain computation.
+///
+/// # Errors
+///
+/// As [`dlqr`].
+pub fn dlqr_with(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    options: DareOptions,
+    workspace: &mut RiccatiWorkspace,
+) -> Result<LqrSolution> {
+    let p = solve_dare_with(a, b, q, r, options, workspace)?;
+    let ws = workspace;
+    // gram = R + (BᵀP)·B, rhs = (BᵀP)·A — the same associativity as the
+    // original allocating path, so gains are unchanged bit for bit.
+    b.transpose_into(&mut ws.bt)?;
+    ws.bt.matmul_into(&p, &mut ws.btp)?;
+    ws.btp.matmul_into(b, &mut ws.btpb)?;
+    ws.gram.copy_from(r)?;
+    ws.gram.add_assign_scaled(&ws.btpb, 1.0)?;
+    ws.btp.matmul_into(a, &mut ws.btpa)?;
+    ws.lu.refactor(&ws.gram)?;
+    ws.lu.solve_matrix_into(&ws.btpa, &mut ws.gain, &mut ws.column, &mut ws.solution)?;
+    Ok(LqrSolution { gain: ws.gain.clone(), cost: p })
 }
 
 fn validate_lqr_shapes(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix) -> Result<()> {
@@ -182,9 +396,46 @@ mod tests {
         let p = solve_dare(&a, &b, &q, &r, DareOptions::default()).unwrap();
 
         // Residual of the DARE must be tiny.
-        let next = riccati_step(&a, &b, &q, &r, &p).unwrap();
+        let next = riccati_step_reference(&a, &b, &q, &r, &p).unwrap();
         assert!(next.sub_matrix(&p).unwrap().max_abs() < 1e-8);
         assert!(p.is_symmetric(1e-9));
+
+        // The workspace path must be bit-identical to the allocating
+        // reference path — every `_into` op mirrors its allocating twin.
+        let reference = solve_dare_reference(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        assert_eq!(p, reference, "workspace DARE must match the allocating path bit for bit");
+
+        // A single workspace step matches a single reference step exactly.
+        let mut ws = RiccatiWorkspace::new(2, 1);
+        riccati_step_into(&a, &b, &q, &r, &p, &mut ws).unwrap();
+        assert_eq!(ws.next, next);
+
+        // And the workspace is reusable across designs without drift.
+        let p_again = solve_dare_with(&a, &b, &q, &r, DareOptions::default(), &mut ws).unwrap();
+        assert_eq!(p_again, p);
+    }
+
+    #[test]
+    fn workspace_dimension_mismatch_is_rejected() {
+        let (a, b) = double_integrator(0.05);
+        let q = Matrix::identity(2);
+        let r = Matrix::from_rows(&[&[0.5]]).unwrap();
+        let mut wrong = RiccatiWorkspace::new(3, 1);
+        assert!(solve_dare_with(&a, &b, &q, &r, DareOptions::default(), &mut wrong).is_err());
+        assert!(dlqr_with(&a, &b, &q, &r, DareOptions::default(), &mut wrong).is_err());
+    }
+
+    #[test]
+    fn workspace_dlqr_matches_one_shot_dlqr() {
+        let (a, b) = double_integrator(0.02);
+        let q = Matrix::identity(2);
+        let r = Matrix::from_rows(&[&[0.1]]).unwrap();
+        let one_shot = dlqr(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        let mut ws = RiccatiWorkspace::new(2, 1);
+        let first = dlqr_with(&a, &b, &q, &r, DareOptions::default(), &mut ws).unwrap();
+        let second = dlqr_with(&a, &b, &q, &r, DareOptions::default(), &mut ws).unwrap();
+        assert_eq!(one_shot, first);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -107,6 +107,55 @@ impl Default for AllocatorConfig {
     }
 }
 
+impl AllocatorConfig {
+    /// The full safe sweep matrix over this configuration's `max_slots`:
+    /// every packing strategy crossed with every *safe* dwell-time model and
+    /// both wait-time methods (the unsafe simple monotonic model is
+    /// excluded — it can certify allocations that miss deadlines). The
+    /// slot-map sweep workloads feed this into [`allocation_sweep`].
+    pub fn sweep_matrix(&self) -> Vec<AllocatorConfig> {
+        let mut configs = Vec::new();
+        for strategy in [
+            AllocationStrategy::NextFit,
+            AllocationStrategy::FirstFit,
+            AllocationStrategy::BestFit,
+        ] {
+            for model in [ModelKind::NonMonotonic, ModelKind::ConservativeMonotonic] {
+                for method in [WaitTimeMethod::ClosedFormBound, WaitTimeMethod::ExactFixedPoint] {
+                    configs.push(AllocatorConfig {
+                        model,
+                        method,
+                        strategy,
+                        max_slots: self.max_slots,
+                    });
+                }
+            }
+        }
+        configs
+    }
+}
+
+/// Slot-map sweep plumbing: runs the allocator once per configuration and
+/// returns the *distinct* feasible slot maps in input order (configurations
+/// that fail — unschedulable application, too few slots — are skipped, and
+/// allocations with identical slot structure are deduplicated). The result
+/// feeds directly into per-scenario slot-map overrides in the co-simulation
+/// layer.
+pub fn allocation_sweep(
+    apps: &[AppTimingParams],
+    configs: &[AllocatorConfig],
+) -> Vec<SlotAllocation> {
+    let mut distinct: Vec<SlotAllocation> = Vec::new();
+    for config in configs {
+        if let Ok(allocation) = allocate_slots(apps, config) {
+            if !distinct.iter().any(|existing| existing.slots == allocation.slots) {
+                distinct.push(allocation);
+            }
+        }
+    }
+    distinct
+}
+
 /// Allocates the applications to TT slots with the configured greedy
 /// strategy, processing them in priority order (decreasing priority, i.e.
 /// increasing deadline) exactly as in the paper's case study.
@@ -254,6 +303,32 @@ mod tests {
         // Paper: S1 = {C3, C6}, then C2, C4, C5, C1 each alone.
         assert_eq!(allocation.slots[0], vec![2, 5]);
         assert_eq!(allocation.slots.len(), 5);
+    }
+
+    #[test]
+    fn allocation_sweep_yields_distinct_feasible_slot_maps() {
+        let apps = paper_table1();
+        let configs = AllocatorConfig::default().sweep_matrix();
+        // 3 strategies × 2 safe models × 2 wait-time methods.
+        assert_eq!(configs.len(), 12);
+        assert!(configs.iter().all(|c| c.model != ModelKind::SimpleMonotonic));
+
+        let allocations = allocation_sweep(&apps, &configs);
+        assert!(!allocations.is_empty());
+        // Every returned slot map is feasible and they are pairwise distinct.
+        for (index, allocation) in allocations.iter().enumerate() {
+            assert!(allocation.verify(&apps).unwrap());
+            for other in &allocations[index + 1..] {
+                assert_ne!(allocation.slots, other.slots);
+            }
+        }
+        // The paper's 3-slot and 5-slot maps are both in the sweep.
+        assert!(allocations.iter().any(|a| a.slot_count() == 3));
+        assert!(allocations.iter().any(|a| a.slot_count() == 5));
+        // Infeasible configurations are skipped, not fatal.
+        let strangled = AllocatorConfig { max_slots: 1, ..AllocatorConfig::default() };
+        let few = allocation_sweep(&apps, &strangled.sweep_matrix());
+        assert!(few.iter().all(|a| a.slot_count() <= 1));
     }
 
     #[test]

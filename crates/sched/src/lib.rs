@@ -51,7 +51,9 @@ mod wait_time;
 
 pub mod case_study_fixtures;
 
-pub use allocation::{allocate_slots, AllocationStrategy, AllocatorConfig, SlotAllocation};
+pub use allocation::{
+    allocate_slots, allocation_sweep, AllocationStrategy, AllocatorConfig, SlotAllocation,
+};
 pub use app::{priority_order, AppTimingParams};
 pub use dwell::{
     dwell_for, max_dwell_for, ConservativeMonotonicModel, DwellTimeModel, ModelKind,

@@ -1,15 +1,22 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! paper's analytical invariants.
 
+use automotive_cps::control::{
+    characterize_dwell_vs_wait, characterize_dwell_vs_wait_reference, design_by_pole_placement,
+    plants, CharacterizationConfig, ContinuousStateSpace, DelayedLtiSystem,
+};
+use automotive_cps::core::{case_study, CoSimulation, ControlApplication, ScenarioBatch, ScenarioSpec};
+use automotive_cps::flexray::FlexRayConfig;
 use automotive_cps::linalg::{
     discretize_zoh, dlqr, expm, inverse, solve, spectral_radius, DareOptions, Matrix,
 };
 use automotive_cps::sched::{
     allocate_slots, max_wait_time_bound, max_wait_time_fixed_point, AllocatorConfig,
     AppTimingParams, ConservativeMonotonicModel, DwellTimeModel, ModelKind, NonMonotonicModel,
-    SimpleMonotonicModel,
+    SimpleMonotonicModel, SlotAllocation,
 };
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 /// Strategy for well-conditioned small matrices (entries in [-3, 3]).
 fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
@@ -167,5 +174,135 @@ proptest! {
             prop_assert!(conservative.verify(&apps).expect("verification runs"));
             prop_assert!(non_monotonic.slot_count() <= conservative.slot_count());
         }
+    }
+}
+
+/// One of the 2-state single-input case-study plants, selected by index.
+fn stable_case_study_plant(index: usize) -> ContinuousStateSpace {
+    match index {
+        0 => plants::servo_position(),
+        1 => plants::dc_motor_speed(),
+        2 => plants::lane_keeping(),
+        _ => plants::throttle_control(),
+    }
+}
+
+/// Shared fixture for the batch-equivalence property: the derived fleet is
+/// designed and characterised once per test process.
+fn batch_fixture() -> &'static (Vec<ControlApplication>, SlotAllocation, ScenarioBatch) {
+    static FIXTURE: OnceLock<(Vec<ControlApplication>, SlotAllocation, ScenarioBatch)> =
+        OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let apps = case_study::derived_fleet().expect("fleet design");
+        let table = case_study::derive_table(&apps).expect("table derivation");
+        let allocation = allocate_slots(&table, &AllocatorConfig::default()).expect("allocation");
+        let batch = ScenarioBatch::new(
+            apps.clone(),
+            allocation.clone(),
+            FlexRayConfig::paper_case_study(),
+        )
+        .expect("batch template");
+        (apps, allocation, batch)
+    })
+}
+
+// The characterisation / co-simulation properties below simulate whole
+// transients per case, so they run fewer cases than the analytical block
+// above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // --- characterization and the shared-immutable fleet ------------------
+
+    #[test]
+    fn kernel_characterization_with_early_exit_matches_full_horizon_curve(
+        plant_index in 0usize..4,
+        et_fast in -1.2f64..-0.6,
+        et_spread in 0.05f64..0.4,
+        tt_fast in -8.0f64..-4.0,
+        tt_spread in 0.5f64..2.0,
+        disturbance in 0.3f64..1.0,
+    ) {
+        let plant = stable_case_study_plant(plant_index);
+        let h = case_study::CASE_STUDY_PERIOD;
+        let et_sys = DelayedLtiSystem::from_continuous(&plant, h, h).expect("ET model");
+        let tt_sys = DelayedLtiSystem::from_continuous(&plant, h, case_study::CASE_STUDY_TT_DELAY)
+            .expect("TT model");
+        let et = design_by_pole_placement(&et_sys, &[et_fast, et_fast - et_spread, -40.0])
+            .expect("ET design");
+        let tt = design_by_pole_placement(&tt_sys, &[tt_fast, tt_fast - tt_spread, -40.0])
+            .expect("TT design");
+        let config = CharacterizationConfig {
+            period: h,
+            threshold: case_study::CASE_STUDY_THRESHOLD,
+            initial_state: vec![disturbance, 0.0, 0.0],
+            plant_order: 2,
+            horizon: 1_500,
+        };
+        let fast = characterize_dwell_vs_wait(et.closed_loop(), tt.closed_loop(), &config)
+            .expect("kernel path");
+        let reference =
+            characterize_dwell_vs_wait_reference(et.closed_loop(), tt.closed_loop(), &config)
+                .expect("full-horizon reference");
+        prop_assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn arc_shared_batch_reproduces_per_worker_clone_outcomes(
+        scale in 0.2f64..2.0,
+        threshold_scale in 0.6f64..1.6,
+        threads in 1usize..5,
+    ) {
+        let (apps, allocation, batch) = batch_fixture();
+        let duration = 1.5;
+        let spec = ScenarioSpec {
+            label: "case".to_string(),
+            disturbance_scale: scale,
+            threshold_scale,
+            ..ScenarioSpec::nominal(duration)
+        };
+        let outcomes = batch
+            .clone()
+            .with_threads(threads)
+            .run(std::slice::from_ref(&spec))
+            .expect("shared-fleet batch");
+        prop_assert_eq!(outcomes.len(), 1);
+
+        // The pre-refactor worker behaviour: deep-clone the designed
+        // applications into a private engine and simulate the scenario.
+        let mut engine =
+            CoSimulation::new(apps.clone(), allocation, FlexRayConfig::paper_case_study())
+                .expect("per-clone engine");
+        engine.set_threshold_scale(threshold_scale).expect("threshold");
+        engine.inject_disturbances_scaled(scale).expect("disturbances");
+        let trace = engine.run(duration).expect("run");
+
+        let outcome = &outcomes[0];
+        prop_assert_eq!(outcome.all_deadlines_met, trace.all_deadlines_met());
+        let response_times: Vec<Option<f64>> =
+            trace.apps.iter().map(|a| a.response_time).collect();
+        prop_assert_eq!(&outcome.response_times, &response_times);
+        let peak_norms: Vec<f64> = trace
+            .apps
+            .iter()
+            .map(|a| a.points.iter().map(|p| p.norm).fold(0.0, f64::max))
+            .collect();
+        prop_assert_eq!(&outcome.peak_norms, &peak_norms);
+        let tt_periods: Vec<usize> = trace
+            .apps
+            .iter()
+            .map(|a| {
+                a.points
+                    .iter()
+                    .filter(|p| p.mode == automotive_cps::control::CommunicationMode::TimeTriggered)
+                    .count()
+            })
+            .collect();
+        prop_assert_eq!(&outcome.tt_periods, &tt_periods);
+        prop_assert_eq!(outcome.static_transmissions, trace.bus_statistics.static_transmissions);
+        prop_assert_eq!(
+            outcome.dynamic_transmissions,
+            trace.bus_statistics.dynamic_transmissions
+        );
     }
 }

@@ -15,16 +15,27 @@ fn sixty_four_scenarios_are_thread_count_independent() {
         .expect("batch template");
 
     let mut scenarios = ScenarioSpec::disturbance_sweep(0.05, 2.5, 60, 2.0);
-    // Mix in threshold variations so the sweep covers both scenario axes.
-    for threshold_scale in [0.5, 0.8, 1.5, 3.0] {
-        scenarios.push(ScenarioSpec {
-            label: format!("threshold x{threshold_scale}"),
-            disturbance_scale: 1.0,
-            threshold_scale,
-            duration: 2.0,
-        });
-    }
-    assert!(scenarios.len() >= 64);
+    // Mix in the other sweep axes so the batch covers every scenario kind:
+    // threshold scaling, the disturbance × threshold grid, per-application
+    // disturbance vectors and slot-map overrides.
+    scenarios.extend(ScenarioSpec::threshold_sweep(0.5, 3.0, 4, 2.0));
+    scenarios.extend(ScenarioSpec::grid(&[0.5, 1.5], &[0.8, 1.2], 2.0));
+    let per_app: Vec<Vec<f64>> = batch
+        .fleet()
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(index, app)| {
+            app.spec().disturbance.iter().map(|d| d * (index as f64 + 1.0) * 0.25).collect()
+        })
+        .collect();
+    scenarios.push(ScenarioSpec::nominal(2.0).with_disturbances(per_app));
+    let sweep_allocations = automotive_cps::sched::allocation_sweep(
+        &table,
+        &AllocatorConfig::default().sweep_matrix(),
+    );
+    scenarios.extend(ScenarioSpec::slot_map_sweep(sweep_allocations, 2.0));
+    assert!(scenarios.len() >= 64, "got {} scenarios", scenarios.len());
 
     let serial = batch.clone().with_threads(1).run(&scenarios).expect("serial run");
     let four = batch.clone().with_threads(4).run(&scenarios).expect("4-thread run");
@@ -47,4 +58,36 @@ fn sixty_four_scenarios_are_thread_count_independent() {
     if let (Some(fast), Some(slow)) = (serial[0].response_times[0], serial[59].response_times[0]) {
         assert!(fast <= slow);
     }
+}
+
+#[test]
+fn workers_share_one_designed_fleet_instead_of_cloning_applications() {
+    use std::sync::Arc;
+
+    let apps = case_study::derived_fleet().expect("fleet design");
+    let table = case_study::derive_table(&apps).expect("table derivation");
+    let allocation = allocate_slots(&table, &AllocatorConfig::default()).expect("allocation");
+    let batch = ScenarioBatch::new(apps, allocation, FlexRayConfig::paper_case_study())
+        .expect("batch template");
+
+    // Worker start-up is an engine over the *same* fleet allocation — the
+    // designed ControlApplications are referenced, never cloned.
+    let engine = batch.fleet().engine().expect("worker engine");
+    assert!(Arc::ptr_eq(engine.fleet(), batch.fleet()));
+
+    // Every kernel a worker drives shares the matrices compiled at design
+    // time: spawning two kernels from one application reuses one Arc.
+    let app = &batch.fleet().apps()[0];
+    let kernel_a = app.kernel().expect("kernel");
+    let kernel_b = app.kernel().expect("kernel");
+    assert!(Arc::ptr_eq(kernel_a.matrices(), app.kernel_matrices()));
+    assert!(Arc::ptr_eq(kernel_a.matrices(), kernel_b.matrices()));
+
+    // Cloning the batch (what `run` does implicitly per worker scope) only
+    // bumps the design's reference count.
+    let before = Arc::strong_count(batch.fleet());
+    let clone = batch.clone();
+    assert_eq!(Arc::strong_count(batch.fleet()), before + 1);
+    drop(clone);
+    assert_eq!(Arc::strong_count(batch.fleet()), before);
 }

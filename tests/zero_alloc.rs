@@ -1,12 +1,14 @@
-//! Proof that the kernel hot path is allocation-free: a counting global
+//! Proof that the kernel hot paths are allocation-free: a counting global
 //! allocator observes zero new allocations across hundreds of thousands of
 //! `StepKernel::step`s, norm reads, scaled disturbance injections and
-//! `AllocationRuntime::step_into` calls.
+//! `AllocationRuntime::step_into` calls — and across the characterization
+//! inner loop (`SwitchedKernel::dwell_steps` sweeps) after warm-up.
 //!
 //! This file must stay a single-test binary: the allocation counter is
 //! global to the process, and a concurrently running second test would
 //! perturb it.
 
+use automotive_cps::control::SwitchedKernel;
 use automotive_cps::core::{case_study, AllocationRuntime, RuntimeApp};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -85,6 +87,37 @@ fn kernel_and_runtime_hot_paths_do_not_allocate() {
         after - before,
         0,
         "the kernel/runtime hot path performed {} heap allocations over 10k periods",
+        after - before
+    );
+
+    // Characterization inner loop: dwell computations over the switched
+    // kernel. Construction (closed loops, power-norm bounds, scratch) may
+    // allocate; the per-wait dwell sweep afterwards must not.
+    let servo = &apps[2];
+    let a1 = servo.et_controller().closed_loop().clone();
+    let a2 = servo.tt_controller().closed_loop().clone();
+    let mut initial = servo.spec().disturbance.clone();
+    initial.extend(std::iter::repeat(0.0).take(servo.spec().plant.inputs()));
+    let threshold = servo.spec().threshold;
+    let mut switched =
+        SwitchedKernel::new(&a1, &a2, servo.spec().plant.order()).expect("switched kernel");
+    // Warm-up pass.
+    switched.dwell_steps(&initial, threshold, 0, 3_000).expect("warm-up dwell");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut dwell_sum = 0usize;
+    for wait in 0..400 {
+        dwell_sum += switched
+            .dwell_steps(&initial, threshold, wait, 3_000)
+            .expect("dwell computation");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(dwell_sum > 0, "the sweep must observe non-trivial dwell times");
+    assert_eq!(
+        after - before,
+        0,
+        "the characterization inner loop performed {} heap allocations over 400 dwell sweeps",
         after - before
     );
 }
