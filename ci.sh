@@ -3,8 +3,11 @@
 #
 #   ./ci.sh          full pipeline: release build, tests, clippy, bench smoke
 #   ./ci.sh quick    build + tests only
-#   ./ci.sh perf     run the perf bench set and (re)write BENCH_results.json,
-#                    the machine-readable perf trajectory (bench -> ns/iter)
+#   ./ci.sh perf     run the perf bench set and append this commit's results
+#                    to BENCH_results.json, the machine-readable perf
+#                    trajectory ({"<git describe>": {bench -> ns/iter}, ...});
+#                    re-running the same commit upserts its own entries, other
+#                    commits' history is never touched
 #
 # Everything runs offline: the two external dev-dependencies (criterion,
 # proptest) are API-compatible shims vendored under crates/compat/.
@@ -15,14 +18,21 @@ cd "$(dirname "$0")"
 step() { printf '\n==> %s\n' "$*"; }
 
 if [[ "${1:-}" == "perf" ]]; then
-    step "perf bench set -> BENCH_results.json"
-    rm -f BENCH_results.json
+    # History key: honour an explicit CPS_BENCH_KEY, else `git describe`.
+    # The canonical flow keys results to the commit that produced them:
+    # commit the code first, run `./ci.sh perf` on the clean tree, then
+    # commit BENCH_results.json (a `-dirty` key means the numbers came from
+    # an uncommitted state and should be re-measured before committing).
+    CPS_BENCH_KEY="${CPS_BENCH_KEY:-$(git describe --always --dirty 2>/dev/null || echo unversioned)}"
+    step "perf bench set -> BENCH_results.json (history key: $CPS_BENCH_KEY)"
     export CPS_BENCH_JSON="$PWD/BENCH_results.json"
+    export CPS_BENCH_KEY
     cargo bench -p cps-bench \
         --bench fleet_design \
         --bench characterize \
         --bench kernel_step \
-        --bench scenario_throughput
+        --bench scenario_throughput \
+        --bench allocation_opt
     echo
     echo "BENCH_results.json:"
     cat BENCH_results.json
@@ -34,6 +44,17 @@ cargo build --release --workspace
 
 step "cargo test -q (workspace)"
 cargo test -q --workspace
+
+# The exact-allocator oracle suite is the safety net behind every optimality
+# claim in the repo; fail loudly if it ever stops being collected (renamed
+# target, filtered out, accidentally deleted) instead of silently passing.
+step "oracle suite is collected (tests/allocation_optimal.rs)"
+# (plain grep, not -q: early exit would break the pipe under pipefail)
+if ! cargo test -q -p automotive-cps --test allocation_optimal -- --list \
+        | grep ": test" > /dev/null; then
+    echo "ERROR: the allocation_optimal oracle suite was skipped or is empty" >&2
+    exit 1
+fi
 
 if [[ "${1:-}" == "quick" ]]; then
     echo "quick mode: skipping clippy and bench smoke"

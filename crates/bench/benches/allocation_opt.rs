@@ -1,0 +1,73 @@
+//! Perf bench — cost of the *exact* branch-and-bound slot allocation
+//! versus the greedy heuristic sweep it upgrades.
+//!
+//! The solver is seeded with the best greedy allocation, so its cost is the
+//! greedy sweep plus the proof of optimality; the interesting quantity is
+//! how that proof scales with fleet size. `solve` benches run on a
+//! pre-constructed solver (`solve_in_place` is allocation-free and
+//! idempotent), mirroring how the design-space sweeps reuse one solver per
+//! fleet.
+
+use cps_bench::synthetic_fleet;
+use cps_sched::case_study_fixtures::paper_table1;
+use cps_sched::{
+    allocation_sweep, AllocatorConfig, AppTimingParams, OptimalAllocator,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let apps = paper_table1();
+    let config = AllocatorConfig::default();
+
+    // Correctness gates: the solver must reproduce the paper's 3-slot
+    // optimum and never lose to the greedy sweep.
+    let mut solver = OptimalAllocator::new(&apps, &config).expect("solver");
+    let optimal = solver.solve().expect("feasible");
+    assert_eq!(optimal.slot_count(), 3);
+    assert!(optimal.verify(&apps).expect("verification runs"));
+    let greedy_best = allocation_sweep(&apps, &config.sweep_matrix())
+        .iter()
+        .map(cps_sched::SlotAllocation::slot_count)
+        .min()
+        .expect("sweep is non-empty");
+    assert!(optimal.slot_count() <= greedy_best);
+    println!(
+        "\n=== Exact slot allocation ===\npaper Table I: optimal {} slots ({} search nodes), greedy best {}",
+        optimal.slot_count(),
+        solver.nodes_explored(),
+        greedy_best
+    );
+
+    let mut group = c.benchmark_group("allocation_opt");
+    group.bench_function("paper_table1_branch_and_bound", |b| {
+        b.iter(|| solver.solve_in_place().expect("feasible"))
+    });
+    group.bench_function("paper_table1_greedy_sweep_baseline", |b| {
+        b.iter(|| allocation_sweep(&apps, &config.sweep_matrix()))
+    });
+    group.bench_function("paper_table1_solver_construction", |b| {
+        b.iter(|| OptimalAllocator::new(&apps, &config).expect("solver"))
+    });
+
+    // Scaling: synthetic fleets (deterministic seed) with the slot budget
+    // opened up to the fleet size so the search space, not the cap, binds.
+    for size in [6usize, 8, 10] {
+        let fleet: Vec<AppTimingParams> = synthetic_fleet(size, 42);
+        let sized = AllocatorConfig { max_slots: size, ..config };
+        let mut solver = OptimalAllocator::new(&fleet, &sized).expect("solver");
+        let slots = solver.solve_in_place().expect("synthetic fleets are schedulable");
+        println!(
+            "synthetic fleet n={size}: optimal {slots} slots, {} search nodes",
+            solver.nodes_explored()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("synthetic_branch_and_bound", size),
+            &size,
+            |b, _| b.iter(|| solver.solve_in_place().expect("feasible")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

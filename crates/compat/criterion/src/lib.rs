@@ -16,9 +16,15 @@
 //!
 //! Machine-readable results: when the `CPS_BENCH_JSON` environment variable
 //! names a file, every measured benchmark merges its mean ns/iter into that
-//! file as a flat JSON object (`{"group/bench": ns, ...}`). Bench targets
-//! run as separate processes, so the file is re-read and re-written per
-//! result; `ci.sh perf` uses this to maintain `BENCH_results.json`, the
+//! file as a flat JSON object (`{"group/bench": ns, ...}`). When
+//! `CPS_BENCH_KEY` is additionally set (ci.sh exports `git describe
+//! --always --dirty`), results are nested one level deeper under that key
+//! (`{"<commit>": {"group/bench": ns, ...}, ...}`), turning the file into a
+//! per-commit performance *history*: re-running a commit upserts its own
+//! entries, new commits append, old commits are never touched. Legacy flat
+//! entries are preserved under the key `"unkeyed"`. Bench targets run as
+//! separate processes, so the file is re-read and re-written per result;
+//! `ci.sh perf` uses this to maintain `BENCH_results.json`, the
 //! repository's performance trajectory.
 
 use std::time::{Duration, Instant};
@@ -206,34 +212,68 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F)
     record_json_result(id, mean);
 }
 
-/// Merges `id -> mean_ns` into the flat JSON map named by `CPS_BENCH_JSON`
-/// (no-op when the variable is unset). The file is always rewritten in the
-/// exact format this function produces, so re-reading it only has to parse
-/// `"key": value` lines; benchmark ids never contain quotes or backslashes.
+/// Merges `id -> mean_ns` into the JSON file named by `CPS_BENCH_JSON`
+/// (no-op when the variable is unset). With `CPS_BENCH_KEY` set, the entry
+/// is nested under that key (per-commit history); otherwise the file is the
+/// legacy flat map. The file is always rewritten in the exact format the
+/// merge functions produce, so re-reading it only has to parse
+/// `"key": value` / `"key": {` lines; benchmark ids and history keys never
+/// contain quotes or backslashes.
 fn record_json_result(id: &str, mean_ns: f64) {
     let Ok(path) = std::env::var("CPS_BENCH_JSON") else { return };
     if path.is_empty() {
         return;
     }
     let existing = std::fs::read_to_string(&path).unwrap_or_default();
-    let _ = std::fs::write(&path, merge_json(&existing, id, mean_ns));
+    let merged = match std::env::var("CPS_BENCH_KEY") {
+        Ok(key) if !key.is_empty() => merge_json_keyed(&existing, &key, id, mean_ns),
+        // No key, but the file already carries per-commit history: record
+        // under "unkeyed" rather than flattening (and thereby destroying)
+        // the committed trajectory.
+        _ if is_keyed(&existing) => merge_json_keyed(&existing, "unkeyed", id, mean_ns),
+        _ => merge_json(&existing, id, mean_ns),
+    };
+    let _ = std::fs::write(&path, merged);
 }
 
-/// Pure merge step behind [`record_json_result`]: parses the flat map (in
-/// the format this function itself emits), upserts `id`, and renders the
-/// updated JSON object.
-fn merge_json(existing: &str, id: &str, mean_ns: f64) -> String {
-    let mut entries: Vec<(String, f64)> = Vec::new();
+/// Whether the existing results file is in the keyed per-commit format.
+fn is_keyed(existing: &str) -> bool {
+    existing.lines().any(|line| line.trim().trim_end_matches(',').ends_with("\": {"))
+}
+
+/// Parses the (flat or keyed) line format the merge functions emit into
+/// `(history_key, bench_id, mean_ns)` triples; flat entries carry the key
+/// `"unkeyed"`.
+fn parse_entries(existing: &str) -> Vec<(String, String, f64)> {
+    let mut entries: Vec<(String, String, f64)> = Vec::new();
+    let mut group: Option<String> = None;
     for line in existing.lines() {
         let line = line.trim().trim_end_matches(',');
-        if let Some((key, value)) =
-            line.strip_prefix('"').and_then(|rest| rest.split_once("\": "))
+        if line == "{" || line == "}" {
+            continue;
+        }
+        if let Some(key) = line.strip_prefix('"').and_then(|rest| rest.strip_suffix("\": {")) {
+            group = Some(key.to_string());
+            continue;
+        }
+        if let Some((key, value)) = line.strip_prefix('"').and_then(|rest| rest.split_once("\": "))
         {
             if let Ok(ns) = value.trim().parse::<f64>() {
-                entries.push((key.to_string(), ns));
+                let group = group.clone().unwrap_or_else(|| "unkeyed".to_string());
+                entries.push((group, key.to_string(), ns));
             }
         }
     }
+    entries
+}
+
+/// Pure merge step for the legacy flat map: upserts `id` and renders the
+/// updated JSON object. Only called on flat input —
+/// [`record_json_result`] routes keyed files through
+/// [`merge_json_keyed`] even when `CPS_BENCH_KEY` is unset.
+fn merge_json(existing: &str, id: &str, mean_ns: f64) -> String {
+    let mut entries: Vec<(String, f64)> =
+        parse_entries(existing).into_iter().map(|(_, key, ns)| (key, ns)).collect();
     match entries.iter_mut().find(|(key, _)| key == id) {
         Some(entry) => entry.1 = mean_ns,
         None => entries.push((id.to_string(), mean_ns)),
@@ -242,6 +282,38 @@ fn merge_json(existing: &str, id: &str, mean_ns: f64) -> String {
     for (index, (key, ns)) in entries.iter().enumerate() {
         let separator = if index + 1 < entries.len() { "," } else { "" };
         out.push_str(&format!("\"{key}\": {ns:.2}{separator}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pure merge step for the keyed history: upserts `(history_key, id)`,
+/// preserving every other commit's entries and the first-seen order of both
+/// keys and benchmarks.
+fn merge_json_keyed(existing: &str, history_key: &str, id: &str, mean_ns: f64) -> String {
+    let mut entries = parse_entries(existing);
+    match entries.iter_mut().find(|(group, key, _)| group == history_key && key == id) {
+        Some(entry) => entry.2 = mean_ns,
+        None => entries.push((history_key.to_string(), id.to_string(), mean_ns)),
+    }
+    // Group order = first appearance.
+    let mut groups: Vec<&str> = Vec::new();
+    for (group, _, _) in &entries {
+        if !groups.iter().any(|existing| existing == group) {
+            groups.push(group);
+        }
+    }
+    let mut out = String::from("{\n");
+    for (group_index, group) in groups.iter().enumerate() {
+        out.push_str(&format!("\"{group}\": {{\n"));
+        let members: Vec<&(String, String, f64)> =
+            entries.iter().filter(|(g, _, _)| g == group).collect();
+        for (index, (_, key, ns)) in members.iter().enumerate() {
+            let separator = if index + 1 < members.len() { "," } else { "" };
+            out.push_str(&format!("\"{key}\": {ns:.2}{separator}\n"));
+        }
+        let separator = if group_index + 1 < groups.len() { "," } else { "" };
+        out.push_str(&format!("}}{separator}\n"));
     }
     out.push_str("}\n");
     out
@@ -315,6 +387,60 @@ mod tests {
         // The output stays parseable by its own reader.
         let fourth = merge_json(&third, "third", 1.0);
         assert_eq!(fourth.lines().count(), 5); // {, 3 entries, }
+    }
+
+    #[test]
+    fn merge_json_keyed_appends_history_and_upserts_within_a_key() {
+        // First commit.
+        let a = merge_json_keyed("", "abc1234", "g/bench", 100.0);
+        assert!(a.contains("\"abc1234\": {"));
+        assert!(a.contains("\"g/bench\": 100.00"));
+        // Second benchmark of the same commit.
+        let b = merge_json_keyed(&a, "abc1234", "g/other", 7.5);
+        assert_eq!(b.matches("abc1234").count(), 1);
+        assert!(b.contains("\"g/other\": 7.50"));
+        // A new commit appends; the old commit's entries survive untouched.
+        let c = merge_json_keyed(&b, "def5678", "g/bench", 90.0);
+        assert!(c.contains("\"abc1234\": {"));
+        assert!(c.contains("\"def5678\": {"));
+        assert!(c.contains("\"g/bench\": 100.00"));
+        assert!(c.contains("\"g/bench\": 90.00"));
+        assert!(c.find("abc1234").unwrap() < c.find("def5678").unwrap());
+        // Re-running a commit upserts only its own entry.
+        let d = merge_json_keyed(&c, "abc1234", "g/bench", 110.0);
+        assert!(d.contains("\"g/bench\": 110.00"));
+        assert!(d.contains("\"g/bench\": 90.00"));
+        assert!(!d.contains("100.00"));
+        // The output stays parseable by its own reader.
+        let entries = parse_entries(&d);
+        assert_eq!(entries.len(), 3);
+        assert!(entries.contains(&("abc1234".to_string(), "g/bench".to_string(), 110.0)));
+        assert!(entries.contains(&("abc1234".to_string(), "g/other".to_string(), 7.5)));
+        assert!(entries.contains(&("def5678".to_string(), "g/bench".to_string(), 90.0)));
+    }
+
+    #[test]
+    fn legacy_flat_results_migrate_under_the_unkeyed_key() {
+        let flat = merge_json("", "g/bench", 123.0);
+        let keyed = merge_json_keyed(&flat, "abc1234", "g/new", 1.0);
+        let entries = parse_entries(&keyed);
+        assert!(entries.contains(&("unkeyed".to_string(), "g/bench".to_string(), 123.0)));
+        assert!(entries.contains(&("abc1234".to_string(), "g/new".to_string(), 1.0)));
+    }
+
+    #[test]
+    fn keyed_history_is_detected_and_never_flattened() {
+        let flat = merge_json("", "g/bench", 123.0);
+        assert!(!is_keyed(&flat));
+        let keyed = merge_json_keyed(&flat, "abc1234", "g/new", 1.0);
+        assert!(is_keyed(&keyed));
+        // A keyless run against a keyed file must land under "unkeyed"
+        // (this is what record_json_result does when CPS_BENCH_KEY is
+        // unset), preserving every commit's history.
+        let merged = merge_json_keyed(&keyed, "unkeyed", "g/bench", 50.0);
+        let entries = parse_entries(&merged);
+        assert!(entries.contains(&("unkeyed".to_string(), "g/bench".to_string(), 50.0)));
+        assert!(entries.contains(&("abc1234".to_string(), "g/new".to_string(), 1.0)));
     }
 
     #[test]

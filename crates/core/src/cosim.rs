@@ -77,6 +77,21 @@ impl CoSimTrace {
     }
 }
 
+/// Frame size (in payload words) of every application's control message.
+const CONTROL_FRAME_PAYLOAD: usize = 2;
+
+/// Registers one bus frame per application (frame id = application index
+/// plus one). Every control signal starts in the dynamic segment and is
+/// moved into its TT slot on demand; used by engine construction *and* by
+/// per-scenario bus rebuilds, so an overridden-then-restored bus is
+/// registered identically to the original.
+fn register_fleet_frames(bus: &mut FlexRayBus, apps: &[ControlApplication]) -> Result<()> {
+    for (index, app) in apps.iter().enumerate() {
+        bus.register_frame(Frame::dynamic(index as u32 + 1, app.name(), CONTROL_FRAME_PAYLOAD)?)?;
+    }
+    Ok(())
+}
+
 /// The co-simulation engine.
 ///
 /// The engine is the *mutable* half of a fleet: it shares the immutable
@@ -95,6 +110,9 @@ pub struct CoSimulation {
     kernels: Vec<StepKernel>,
     runtime: AllocationRuntime,
     bus: FlexRayBus,
+    /// Bus configuration the engine currently runs on (the fleet's design
+    /// unless overridden by [`CoSimulation::set_bus_config`]).
+    bus_config: FlexRayConfig,
     period: f64,
     threshold_scale: f64,
     /// Scratch: plant-state norms of the current period.
@@ -135,20 +153,20 @@ impl CoSimulation {
     pub fn from_fleet(fleet: Arc<DesignedFleet>) -> Result<Self> {
         let mut kernels = Vec::with_capacity(fleet.app_count());
         let mut bus = FlexRayBus::new(fleet.bus_config())?;
-        for (index, app) in fleet.apps().iter().enumerate() {
+        register_fleet_frames(&mut bus, fleet.apps())?;
+        for app in fleet.apps() {
             kernels.push(app.kernel()?);
-            // Every application's control signal is a bus frame; it starts in
-            // the dynamic segment and is moved into its TT slot on demand.
-            bus.register_frame(Frame::dynamic(index as u32 + 1, app.name(), 2)?)?;
         }
         let runtime = AllocationRuntime::new(fleet.runtime_apps().to_vec(), fleet.slot_count())?;
         let app_count = fleet.app_count();
         let period = fleet.period();
+        let bus_config = fleet.bus_config();
         Ok(CoSimulation {
             fleet,
             kernels,
             runtime,
             bus,
+            bus_config,
             period,
             threshold_scale: 1.0,
             norms: vec![0.0; app_count],
@@ -174,11 +192,11 @@ impl CoSimulation {
     /// static slots than the bus offers.
     pub fn set_allocation(&mut self, allocation: &SlotAllocation) -> Result<()> {
         let slot_count = allocation.slot_count();
-        if slot_count > self.fleet.bus_config().static_slot_count {
+        if slot_count > self.bus_config.static_slot_count {
             return Err(CoreError::InvalidConfig {
                 reason: format!(
                     "allocation needs {slot_count} static slots but the bus offers only {}",
-                    self.fleet.bus_config().static_slot_count
+                    self.bus_config.static_slot_count
                 ),
             });
         }
@@ -186,6 +204,36 @@ impl CoSimulation {
             *slot = allocation.slot_of(index);
         }
         self.runtime.set_allocation(&self.slot_scratch, slot_count)
+    }
+
+    /// Replaces the engine's FlexRay configuration — the primitive behind
+    /// bus-configuration sweep scenarios (cycle length, static-segment
+    /// size). A no-op when `config` already matches the active
+    /// configuration; otherwise the bus is rebuilt from scratch (every frame
+    /// back in the dynamic segment, statistics cleared), so call it right
+    /// after [`CoSimulation::reset`] and follow with
+    /// [`CoSimulation::set_allocation`] to (re)validate the slot map against
+    /// the new static segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cps_flexray::FlexRayConfig::validate`] failures and
+    /// frame-registration errors; the previous bus stays active on error.
+    pub fn set_bus_config(&mut self, config: FlexRayConfig) -> Result<()> {
+        if config == self.bus_config {
+            return Ok(());
+        }
+        let mut bus = FlexRayBus::new(config)?;
+        register_fleet_frames(&mut bus, self.fleet.apps())?;
+        self.bus = bus;
+        self.bus_config = config;
+        Ok(())
+    }
+
+    /// The bus configuration the engine currently runs on (the fleet's
+    /// design unless overridden by [`CoSimulation::set_bus_config`]).
+    pub fn bus_config(&self) -> FlexRayConfig {
+        self.bus_config
     }
 
     /// Rewinds the engine to time zero without reconstruction: every kernel
@@ -467,6 +515,60 @@ mod tests {
             .iter()
             .all(|a| a.points.iter().all(|p| p.mode == CommunicationMode::EventTriggered)));
         assert!(cosim.set_threshold_scale(0.0).is_err());
+    }
+
+    #[test]
+    fn bus_config_override_rebuilds_and_restores() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        let mut cosim =
+            CoSimulation::new(apps, &allocation, FlexRayConfig::paper_case_study()).unwrap();
+        assert_eq!(cosim.bus_config(), FlexRayConfig::paper_case_study());
+
+        cosim.inject_disturbances().unwrap();
+        let nominal = cosim.run(1.0).unwrap();
+
+        // Override with a wider static segment, rerun, then restore: the
+        // restored engine reproduces the nominal trace bit for bit.
+        let wide = FlexRayConfig {
+            cycle_length: 0.010,
+            static_slot_count: 10,
+            ..FlexRayConfig::paper_case_study()
+        };
+        cosim.reset().unwrap();
+        cosim.set_bus_config(wide).unwrap();
+        assert_eq!(cosim.bus_config(), wide);
+        cosim.set_allocation(&allocation).unwrap();
+        cosim.inject_disturbances().unwrap();
+        let overridden = cosim.run(1.0).unwrap();
+        // The trajectory is bus-independent; the bus statistics are not.
+        assert_eq!(nominal.apps, overridden.apps);
+        assert!(overridden.bus_statistics.cycles < nominal.bus_statistics.cycles);
+
+        cosim.reset().unwrap();
+        cosim.set_bus_config(FlexRayConfig::paper_case_study()).unwrap();
+        cosim.set_allocation(&allocation).unwrap();
+        cosim.inject_disturbances().unwrap();
+        let restored = cosim.run(1.0).unwrap();
+        assert_eq!(nominal.apps, restored.apps);
+        assert_eq!(nominal.bus_statistics, restored.bus_statistics);
+
+        // An invalid configuration is rejected and the active bus is kept.
+        let invalid = FlexRayConfig { cycle_length: -1.0, ..FlexRayConfig::paper_case_study() };
+        assert!(cosim.set_bus_config(invalid).is_err());
+        assert_eq!(cosim.bus_config(), FlexRayConfig::paper_case_study());
+        // An allocation wider than the active static segment is rejected.
+        let narrow = FlexRayConfig {
+            static_slot_count: 1,
+            ..FlexRayConfig::paper_case_study()
+        };
+        cosim.reset().unwrap();
+        cosim.set_bus_config(narrow).unwrap();
+        if allocation.slot_count() > 1 {
+            assert!(cosim.set_allocation(&allocation).is_err());
+        }
     }
 
     #[test]

@@ -81,6 +81,38 @@ impl DesignedFleet {
         Ok(DesignedFleet { apps, allocation, bus_config, runtime_apps, period })
     }
 
+    /// The exact design path: characterises every application
+    /// ([`crate::derive_timing_params`]), solves the slot allocation with
+    /// the branch-and-bound optimum of
+    /// [`cps_sched::allocate_slots_optimal`] — capped by the bus's static
+    /// segment — and freezes the fleet. The result provably uses the
+    /// minimum number of TT slots for the derived timing table under the
+    /// given dwell model and wait-time method (`config.strategy` is
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// * Characterisation failures from [`crate::derive_timing_params`].
+    /// * [`cps_sched::SchedError::NoFeasibleAllocation`] (wrapped in
+    ///   [`CoreError::Sched`]) if no slot map fits the bus.
+    /// * The same validation failures as [`DesignedFleet::new`].
+    pub fn design_optimal(
+        apps: Vec<ControlApplication>,
+        config: &cps_sched::AllocatorConfig,
+        bus_config: FlexRayConfig,
+    ) -> Result<Self> {
+        let table = apps
+            .iter()
+            .map(crate::characterize::derive_timing_params)
+            .collect::<Result<Vec<_>>>()?;
+        let budgeted = cps_sched::AllocatorConfig {
+            max_slots: config.max_slots.min(bus_config.static_slot_count),
+            ..*config
+        };
+        let allocation = cps_sched::allocate_slots_optimal(&table, &budgeted)?;
+        DesignedFleet::new(apps, allocation, bus_config)
+    }
+
     /// The designed applications, in allocation order.
     pub fn apps(&self) -> &[ControlApplication] {
         &self.apps
@@ -156,6 +188,36 @@ mod tests {
         assert_eq!(fleet.app_count(), 6);
         assert!(fleet.slot_count() >= 1);
         assert!((fleet.period() - case_study::CASE_STUDY_PERIOD).abs() < 1e-15);
+    }
+
+    #[test]
+    fn design_optimal_never_uses_more_slots_than_the_greedy_design() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let config = cps_sched::AllocatorConfig::default();
+        let greedy = cps_sched::allocate_slots(&table, &config).unwrap();
+        let fleet = Arc::new(
+            DesignedFleet::design_optimal(apps, &config, FlexRayConfig::paper_case_study())
+                .unwrap(),
+        );
+        assert!(fleet.slot_count() <= greedy.slot_count());
+        assert!(fleet.allocation().verify(&table).unwrap());
+        // The optimal design is a drop-in fleet: engines spawn and run.
+        let mut engine = fleet.engine().unwrap();
+        engine.inject_disturbances().unwrap();
+        let trace = engine.run(1.0).unwrap();
+        assert_eq!(trace.apps.len(), fleet.app_count());
+
+        // A bus with a single static slot caps the search; the derived
+        // fleet needs more than one slot, so the design must fail cleanly.
+        let apps = case_study::derived_fleet().unwrap();
+        let tiny_bus = FlexRayConfig {
+            static_slot_count: 1,
+            ..FlexRayConfig::paper_case_study()
+        };
+        if fleet.slot_count() > 1 {
+            assert!(DesignedFleet::design_optimal(apps, &config, tiny_bus).is_err());
+        }
     }
 
     #[test]

@@ -19,13 +19,16 @@
 //!    (ET by default, TT slot on demand, non-preemptive priority arbitration).
 //! 5. [`DesignedFleet`] — the shared-immutable design artifact (designed
 //!    controllers, fused kernel matrices, bus/slot configuration) that any
-//!    number of engines reference through an `Arc`.
+//!    number of engines reference through an `Arc`; its
+//!    [`DesignedFleet::design_optimal`] path dimensions the slot map with
+//!    the exact branch-and-bound allocator instead of a greedy heuristic.
 //! 6. [`CoSimulation`] — plant/runtime/FlexRay co-simulation reproducing the
 //!    responses of Figure 5, running on allocation-free
 //!    [`cps_control::StepKernel`]s with `reset()`-and-rerun support.
 //! 7. [`ScenarioBatch`] — batched, parallel multi-scenario co-simulation
-//!    for disturbance / threshold / per-app-disturbance / slot-map sweeps,
-//!    deterministic across thread counts.
+//!    for disturbance / threshold / per-app-disturbance / slot-map /
+//!    bus-configuration ([`BusConfigSweep`]) sweeps, deterministic across
+//!    thread counts.
 //! 8. [`experiments`] — one entry point per table/figure, used by the
 //!    examples and the Criterion benches.
 //!
@@ -62,4 +65,4 @@ pub use cosim::{AppTrace, CoSimTrace, CoSimulation, TracePoint};
 pub use error::{CoreError, Result};
 pub use fleet::DesignedFleet;
 pub use runtime::{AllocationRuntime, AppPhase, RuntimeApp};
-pub use scenario::{ScenarioBatch, ScenarioOutcome, ScenarioSpec};
+pub use scenario::{BusConfigSweep, ScenarioBatch, ScenarioOutcome, ScenarioSpec};

@@ -44,6 +44,11 @@ pub struct ScenarioSpec {
     /// Slot-map override: run this scenario under a different offline slot
     /// allocation than the fleet was designed with.
     pub allocation: Option<SlotAllocation>,
+    /// Bus-configuration override: run this scenario on a different FlexRay
+    /// cycle (cycle length, static-segment size) than the fleet was
+    /// designed for. Usually paired with [`ScenarioSpec::allocation`] so the
+    /// slot map fits the overridden static segment.
+    pub bus_config: Option<FlexRayConfig>,
 }
 
 impl ScenarioSpec {
@@ -56,6 +61,7 @@ impl ScenarioSpec {
             duration,
             disturbances: None,
             allocation: None,
+            bus_config: None,
         }
     }
 
@@ -73,6 +79,14 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_allocation(mut self, allocation: SlotAllocation) -> Self {
         self.allocation = Some(allocation);
+        self
+    }
+
+    /// Returns the scenario running on `bus_config` instead of the fleet's
+    /// designed FlexRay cycle.
+    #[must_use]
+    pub fn with_bus_config(mut self, bus_config: FlexRayConfig) -> Self {
+        self.bus_config = Some(bus_config);
         self
     }
 
@@ -157,6 +171,119 @@ impl ScenarioSpec {
 fn lerp(lo: f64, hi: f64, index: usize, count: usize) -> f64 {
     let t = if count <= 1 { 0.0 } else { index as f64 / (count - 1) as f64 };
     lo + t * (hi - lo)
+}
+
+/// The bus-configuration design-space axis: a cross product of cycle lengths
+/// and static-segment sizes over a base FlexRay configuration, expanded into
+/// per-bus slot-map candidates (every greedy heuristic of
+/// [`cps_sched::AllocatorConfig::sweep_matrix`] *plus* the exact
+/// branch-and-bound optimum) and from there into [`ScenarioSpec`]s.
+///
+/// This rounds out the sweep constructors: where
+/// [`ScenarioSpec::slot_map_sweep`] varies only the slot map on the designed
+/// bus, `BusConfigSweep` varies the bus itself — how short can the cycle be,
+/// how few static slots does the fleet really need — with the allocator
+/// re-run under each candidate bus's slot budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusConfigSweep {
+    /// Base configuration supplying the parameters that are not swept.
+    pub base: FlexRayConfig,
+    /// Candidate cycle lengths in seconds (empty = keep the base value).
+    pub cycle_lengths: Vec<f64>,
+    /// Candidate static-segment sizes in slots (empty = keep the base value).
+    pub static_slot_counts: Vec<usize>,
+}
+
+impl BusConfigSweep {
+    /// A sweep that (so far) only contains the base configuration.
+    pub fn new(base: FlexRayConfig) -> Self {
+        BusConfigSweep { base, cycle_lengths: Vec::new(), static_slot_counts: Vec::new() }
+    }
+
+    /// Sets the cycle-length axis.
+    #[must_use]
+    pub fn with_cycle_lengths(mut self, cycle_lengths: Vec<f64>) -> Self {
+        self.cycle_lengths = cycle_lengths;
+        self
+    }
+
+    /// Sets the static-segment-size axis.
+    #[must_use]
+    pub fn with_static_slot_counts(mut self, static_slot_counts: Vec<usize>) -> Self {
+        self.static_slot_counts = static_slot_counts;
+        self
+    }
+
+    /// The *valid* bus configurations of the sweep, row-major with the
+    /// static-slot axis varying fastest. Combinations whose segments do not
+    /// fit the cycle (or that fail any other
+    /// [`FlexRayConfig::validate`] rule) are skipped, mirroring how
+    /// [`cps_sched::allocation_sweep`] skips infeasible allocator
+    /// configurations.
+    pub fn configs(&self) -> Vec<FlexRayConfig> {
+        let cycles: &[f64] =
+            if self.cycle_lengths.is_empty() { &[self.base.cycle_length] } else { &self.cycle_lengths };
+        let slot_counts: &[usize] = if self.static_slot_counts.is_empty() {
+            &[self.base.static_slot_count]
+        } else {
+            &self.static_slot_counts
+        };
+        let mut configs = Vec::with_capacity(cycles.len() * slot_counts.len());
+        for &cycle_length in cycles {
+            for &static_slot_count in slot_counts {
+                let candidate =
+                    FlexRayConfig { cycle_length, static_slot_count, ..self.base };
+                if candidate.validate().is_ok() {
+                    configs.push(candidate);
+                }
+            }
+        }
+        configs
+    }
+
+    /// Expands the sweep into scenarios: for every valid bus configuration,
+    /// the allocator matrix (all greedy heuristics, deduplicated) *and* the
+    /// exact branch-and-bound optimum are solved under that bus's static
+    /// slot budget, and each distinct feasible slot map becomes one nominal
+    /// scenario pinned to that bus. Bus configurations for which no feasible
+    /// slot map exists are skipped.
+    pub fn scenarios(
+        &self,
+        table: &[cps_sched::AppTimingParams],
+        allocator: &cps_sched::AllocatorConfig,
+        duration: f64,
+    ) -> Vec<ScenarioSpec> {
+        let mut scenarios = Vec::new();
+        for bus in self.configs() {
+            let budgeted = cps_sched::AllocatorConfig {
+                max_slots: allocator.max_slots.min(bus.static_slot_count),
+                ..*allocator
+            };
+            let mut maps = cps_sched::allocation_sweep(table, &budgeted.sweep_matrix());
+            if let Ok(optimal) = cps_sched::allocate_slots_optimal(table, &budgeted) {
+                if !maps.iter().any(|existing| existing.slots == optimal.slots) {
+                    maps.push(optimal);
+                }
+            }
+            for (index, allocation) in maps.into_iter().enumerate() {
+                scenarios.push(
+                    ScenarioSpec {
+                        label: format!(
+                            "cycle {:.1} ms / {} static slots · slot map #{index} ({} slots, {} model)",
+                            bus.cycle_length * 1e3,
+                            bus.static_slot_count,
+                            allocation.slot_count(),
+                            allocation.model
+                        ),
+                        ..ScenarioSpec::nominal(duration)
+                    }
+                    .with_allocation(allocation)
+                    .with_bus_config(bus),
+                );
+            }
+        }
+        scenarios
+    }
 }
 
 /// Per-scenario summary returned by the batch engine (the full traces stay
@@ -347,9 +474,12 @@ fn run_one(engine: &mut CoSimulation, index: usize, spec: &ScenarioSpec) -> Resu
         });
     }
     engine.reset()?;
-    // The engine is reused across scenarios, so the slot map must be
-    // (re)applied every time: the override if present, else the design's.
+    // The engine is reused across scenarios, so the bus configuration and
+    // slot map must be (re)applied every time: the override if present, else
+    // the design's. The bus goes first so the slot map is validated against
+    // the static segment it will actually run on.
     let fleet = Arc::clone(engine.fleet());
+    engine.set_bus_config(spec.bus_config.unwrap_or_else(|| fleet.bus_config()))?;
     engine.set_allocation(spec.allocation.as_ref().unwrap_or_else(|| fleet.allocation()))?;
     engine.set_threshold_scale(spec.threshold_scale)?;
     match &spec.disturbances {
@@ -467,6 +597,77 @@ mod tests {
         };
         let bad = ScenarioSpec::nominal(1.0).with_allocation(too_wide);
         assert!(batch.run(std::slice::from_ref(&bad)).is_err());
+    }
+
+    #[test]
+    fn bus_config_sweep_expands_and_changes_the_outcome() {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let batch = batch();
+        let base = FlexRayConfig::paper_case_study();
+
+        // The axis expands into valid configurations only: a 1 ms cycle
+        // cannot host the paper's 2 ms static segment and is skipped.
+        let sweep = BusConfigSweep::new(base)
+            .with_cycle_lengths(vec![0.001, 0.005, 0.010])
+            .with_static_slot_counts(vec![6, 10]);
+        let configs = sweep.configs();
+        assert_eq!(configs.len(), 4);
+        assert!(configs.iter().all(|c| c.validate().is_ok()));
+        assert!(configs.iter().all(|c| c.cycle_length >= 0.005));
+
+        // Scenario expansion: every scenario pins a bus and a slot map that
+        // fits it; labels are unique.
+        let scenarios =
+            sweep.scenarios(&table, &cps_sched::AllocatorConfig::default(), 1.0);
+        assert!(!scenarios.is_empty());
+        for spec in &scenarios {
+            let bus = spec.bus_config.expect("bus pinned");
+            let allocation = spec.allocation.as_ref().expect("slot map pinned");
+            assert!(allocation.slot_count() <= bus.static_slot_count);
+        }
+        let labels: std::collections::HashSet<_> =
+            scenarios.iter().map(|s| &s.label).collect();
+        assert_eq!(labels.len(), scenarios.len());
+        // The branch-and-bound optimum is part of every bus's candidate set.
+        let optimal = cps_sched::allocate_slots_optimal(
+            &table,
+            &cps_sched::AllocatorConfig::default(),
+        )
+        .unwrap();
+        assert!(scenarios
+            .iter()
+            .any(|s| s.allocation.as_ref().unwrap().slot_count() == optimal.slot_count()));
+
+        // Running under the base bus with the designed allocation matches
+        // the nominal scenario bit for bit; a starved dynamic segment (two
+        // minislots = one ET frame per cycle) builds a backlog and delivers
+        // strictly fewer ET messages inside the window.
+        let fleet_allocation = batch.fleet().allocation().clone();
+        let same_bus = ScenarioSpec::nominal(2.0)
+            .with_bus_config(base)
+            .with_allocation(fleet_allocation.clone());
+        let starved_bus = ScenarioSpec::nominal(2.0)
+            .with_bus_config(FlexRayConfig { minislot_count: 2, ..base })
+            .with_allocation(fleet_allocation);
+        let outcomes =
+            batch.run(&[ScenarioSpec::nominal(2.0), same_bus, starved_bus]).unwrap();
+        assert_eq!(outcomes[0].response_times, outcomes[1].response_times);
+        assert_eq!(outcomes[0].static_transmissions, outcomes[1].static_transmissions);
+        assert_eq!(outcomes[0].dynamic_transmissions, outcomes[1].dynamic_transmissions);
+        assert!(outcomes[2].dynamic_transmissions < outcomes[0].dynamic_transmissions);
+
+        // An invalid override is rejected, and the engine recovers for the
+        // next scenario in the chunk (single worker: same engine).
+        let bad_bus = ScenarioSpec::nominal(1.0)
+            .with_bus_config(FlexRayConfig { cycle_length: -1.0, ..base });
+        assert!(batch.run(std::slice::from_ref(&bad_bus)).is_err());
+        let recovered = batch
+            .clone()
+            .with_threads(1)
+            .run(&[ScenarioSpec::nominal(2.0)])
+            .unwrap();
+        assert_eq!(recovered[0].response_times, outcomes[0].response_times);
     }
 
     #[test]

@@ -131,6 +131,16 @@ impl AppTimingParams {
     pub fn has_higher_priority_than(&self, other: &AppTimingParams) -> bool {
         self.deadline < other.deadline
     }
+
+    /// The *total* priority order used by every interference analysis:
+    /// deadline first, name as the deterministic tie-break. All analysis
+    /// paths (the `InterferenceContext` reference and the branch-and-bound
+    /// solver's streaming replica) must use this one predicate so their
+    /// verdicts stay bit-for-bit identical.
+    pub fn outranks(&self, other: &AppTimingParams) -> bool {
+        self.has_higher_priority_than(other)
+            || (!other.has_higher_priority_than(self) && self.name < other.name)
+    }
 }
 
 /// Sorts applications by decreasing priority (increasing deadline), returning

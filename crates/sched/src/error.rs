@@ -36,6 +36,14 @@ pub enum SchedError {
         /// Name of the first application that could not be placed.
         application: String,
     },
+    /// The exact branch-and-bound search proved that no feasible slot
+    /// allocation exists within the configured maximum (unlike
+    /// [`SchedError::InsufficientSlots`], no single application is to blame:
+    /// the verdict is about the whole fleet).
+    NoFeasibleAllocation {
+        /// Maximum number of slots the search was allowed to open.
+        max_slots: usize,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -53,6 +61,10 @@ impl fmt::Display for SchedError {
             SchedError::InsufficientSlots { available, application } => write!(
                 f,
                 "application {application} cannot be placed within {available} TT slots"
+            ),
+            SchedError::NoFeasibleAllocation { max_slots } => write!(
+                f,
+                "no feasible slot allocation exists within {max_slots} TT slots"
             ),
         }
     }
@@ -78,6 +90,9 @@ mod tests {
         assert!(e.to_string().contains("99"));
         let e = SchedError::InsufficientSlots { available: 3, application: "C4".into() };
         assert!(e.to_string().contains("3 TT slots"));
+        let e = SchedError::NoFeasibleAllocation { max_slots: 4 };
+        assert!(e.to_string().contains("no feasible slot allocation"));
+        assert!(e.to_string().contains("4 TT slots"));
     }
 
     #[test]

@@ -1,0 +1,660 @@
+//! Exact TT-slot allocation by branch-and-bound (the design-space companion
+//! to the greedy heuristics of [`crate::allocate_slots`]).
+//!
+//! Minimising the number of TT slots generalises bin packing and is NP-hard,
+//! but the fleets the paper dimensions are small (a handful to a few dozen
+//! applications), so an exact search is practical — and it turns the
+//! heuristic sweep into a provable tool: every greedy answer becomes an upper
+//! bound the solver must meet or beat.
+//!
+//! # Search space
+//!
+//! Applications are processed in the same deterministic priority order as the
+//! greedy allocator (increasing deadline, name tie-break). A node of the
+//! search tree is a partial assignment of the first `k` applications to
+//! slots; application `k` branches over every currently open slot (in
+//! creation order) and, last, over opening a new slot. Because applications
+//! arrive in a fixed order and a new slot is always the next unused index,
+//! every set partition of the fleet is enumerated exactly once (the standard
+//! restricted-growth canonical form), so slot-relabelling symmetries are
+//! never explored.
+//!
+//! # Feasibility is a property of *final* slot contents
+//!
+//! The non-monotonic dwell curve means schedulability is **not** monotone
+//! under adding applications to a slot: the extra interference increases a
+//! member's maximum wait time, and on the falling segment of the curve a
+//! larger wait can *reduce* the total response `ξ(k̂) = k̂ + k_dw(k̂)` (or push
+//! it past ξᴱᵀ, where the response caps at ξᴱᵀ). A sound exact solver may
+//! therefore only prune a branch when a slot is **dead** — provably
+//! unschedulable for *every* superset of its current members — and must
+//! verify full schedulability at the leaves. Deadness uses two monotone
+//! facts proved in the paper's analysis:
+//!
+//! * the maximum wait time of a member only grows as applications join its
+//!   slot (more blocking, more interference, larger utilisation `m`), and an
+//!   overloaded slot (`m ≥ 1`) can never recover;
+//! * the response at any *future* wait `w′ ≥ w` is bounded below by
+//!   `min_{t ≥ w} ξ(t)`, which is attained at a segment endpoint of the
+//!   piecewise-linear dwell model (the current wait, the peak `k_p`, or
+//!   ξᴱᵀ).
+//!
+//! If that floor already exceeds a member's deadline, no completion can fix
+//! the slot and the branch is cut.
+//!
+//! # Lower bound (slot-demand relaxation)
+//!
+//! For the lowest-priority member `i` of a feasible slot `S`, the paper's
+//! Eq. (19) requires `m = Σ_{j∈S∖{i}} ξᴹⱼ/rⱼ < 1`, hence every feasible slot
+//! carries total demand `Σ_{j∈S} uⱼ < 1 + uᵢ ≤ 1 + u_max` with
+//! `uⱼ = ξᴹⱼ/rⱼ`. Relaxing schedulability to this scalar capacity yields a
+//! bin-packing bound: with `D` the demand of the unassigned applications and
+//! `R` the residual capacity of the open slots, at least
+//! `⌈(D − R)/(1 + u_max)⌉` further slots are needed. Nodes whose open-slot
+//! count plus this bound cannot beat the incumbent are cut.
+//!
+//! The incumbent is seeded with the best feasible greedy allocation
+//! (next-fit, first-fit and best-fit under the same model and wait-time
+//! method), so the search is pure improvement: it returns a strictly better
+//! allocation or proves the greedy one optimal.
+//!
+//! # Determinism and allocation-freedom
+//!
+//! Branching order, priority order and tie-breaks are all deterministic, so
+//! the returned allocation is a pure function of the inputs. After
+//! [`OptimalAllocator::new`] returns, [`OptimalAllocator::solve_in_place`]
+//! performs no heap allocation: slot membership, status flags and the best
+//! assignment live in buffers sized at construction, and the per-node
+//! schedulability check and bound stream over those buffers (verified by the
+//! workspace's counting-allocator test).
+
+use crate::allocation::{AllocationStrategy, AllocatorConfig, SlotAllocation};
+use crate::app::{priority_order, AppTimingParams};
+use crate::dwell::{dwell_for, max_dwell_for, ModelKind};
+use crate::error::{Result, SchedError};
+use crate::schedulability::WaitTimeMethod;
+use crate::wait_time::MAX_FIXED_POINT_ITERATIONS;
+
+/// Verdict of the allocation-free per-slot analysis at a search node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotStatus {
+    /// Every member currently meets its deadline.
+    Feasible,
+    /// Some member misses its deadline, but a future addition could still
+    /// repair it (the dwell curve is non-monotonic).
+    Infeasible,
+    /// Provably unschedulable for every superset of the current members.
+    Dead,
+}
+
+/// Exact minimum-slot allocator: a reusable branch-and-bound search over slot
+/// assignments for one fleet under one [`AllocatorConfig`].
+///
+/// Construction validates the fleet, precomputes the priority order and
+/// per-application demands, and seeds the incumbent with the best greedy
+/// allocation. [`OptimalAllocator::solve_in_place`] then runs the exact
+/// search without allocating; [`OptimalAllocator::best_allocation`]
+/// materialises the result. The `strategy` field of the configuration is
+/// ignored — the solver searches over *all* packings.
+#[derive(Debug)]
+pub struct OptimalAllocator<'a> {
+    apps: &'a [AppTimingParams],
+    model: ModelKind,
+    method: WaitTimeMethod,
+    max_slots: usize,
+    /// Applications in decreasing priority (the branching order).
+    order: Vec<usize>,
+    /// Per-application slot demand `uᵢ = ξᴹᵢ/rᵢ` under the active model.
+    demand: Vec<f64>,
+    /// Capacity `1 + u_max` of the demand relaxation.
+    capacity: f64,
+    /// `suffix_demand[k]` = total demand of `order[k..]`.
+    suffix_demand: Vec<f64>,
+    /// Slot pool: `slots[..used]` are the open slots of the current node.
+    slots: Vec<Vec<usize>>,
+    status: Vec<SlotStatus>,
+    /// Demand load `Σ uⱼ` of each open slot, recomputed exactly whenever a
+    /// slot's membership changes (no incremental float drift) so the bound
+    /// only pays O(open slots) per node.
+    load: Vec<f64>,
+    used: usize,
+    /// Best known solution (`best_used` slots in `best_slots[..best_used]`);
+    /// `usize::MAX` when none is known.
+    best_slots: Vec<Vec<usize>>,
+    best_used: usize,
+    /// The greedy seed the incumbent is (re)initialised from.
+    seed_slots: Vec<Vec<usize>>,
+    seed_used: usize,
+    /// Search-tree nodes expanded by the last `solve_in_place`.
+    nodes: u64,
+}
+
+impl<'a> OptimalAllocator<'a> {
+    /// Builds a solver for the fleet under the given configuration
+    /// (`config.strategy` is ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidParameter`] if `apps` is empty or
+    /// `config.max_slots` is zero.
+    pub fn new(apps: &'a [AppTimingParams], config: &AllocatorConfig) -> Result<Self> {
+        if apps.is_empty() {
+            return Err(SchedError::InvalidParameter {
+                reason: "cannot allocate an empty application set".to_string(),
+            });
+        }
+        if config.max_slots == 0 {
+            return Err(SchedError::InvalidParameter {
+                reason: "max_slots must be at least one".to_string(),
+            });
+        }
+        let order = priority_order(apps);
+        let demand: Vec<f64> =
+            apps.iter().map(|app| max_dwell_for(app, config.model) / app.inter_arrival).collect();
+        let capacity = 1.0 + demand.iter().copied().fold(0.0, f64::max);
+        let mut suffix_demand = vec![0.0; apps.len() + 1];
+        for k in (0..apps.len()).rev() {
+            suffix_demand[k] = suffix_demand[k + 1] + demand[order[k]];
+        }
+        let pool = config.max_slots.min(apps.len());
+        let make_pool = || -> Vec<Vec<usize>> {
+            (0..pool).map(|_| Vec::with_capacity(apps.len())).collect()
+        };
+
+        let mut solver = OptimalAllocator {
+            apps,
+            model: config.model,
+            method: config.method,
+            max_slots: config.max_slots,
+            order,
+            demand,
+            capacity,
+            suffix_demand,
+            slots: make_pool(),
+            status: vec![SlotStatus::Feasible; pool],
+            load: vec![0.0; pool],
+            used: 0,
+            best_slots: make_pool(),
+            best_used: usize::MAX,
+            seed_slots: make_pool(),
+            seed_used: usize::MAX,
+            nodes: 0,
+        };
+        solver.seed_incumbent(config);
+        Ok(solver)
+    }
+
+    /// Runs the greedy strategies under the solver's model/method and stores
+    /// the best feasible allocation as the incumbent seed.
+    fn seed_incumbent(&mut self, config: &AllocatorConfig) {
+        for strategy in [
+            AllocationStrategy::NextFit,
+            AllocationStrategy::FirstFit,
+            AllocationStrategy::BestFit,
+        ] {
+            let candidate = crate::allocation::allocate_slots(
+                self.apps,
+                &AllocatorConfig { strategy, ..*config },
+            );
+            if let Ok(allocation) = candidate {
+                if allocation.slot_count() < self.seed_used.min(self.seed_slots.len() + 1) {
+                    self.seed_used = allocation.slot_count();
+                    for (buffer, slot) in self.seed_slots.iter_mut().zip(&allocation.slots) {
+                        buffer.clear();
+                        buffer.extend_from_slice(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The slot count of the greedy seed, if any greedy strategy succeeded.
+    pub fn greedy_bound(&self) -> Option<usize> {
+        (self.seed_used != usize::MAX).then_some(self.seed_used)
+    }
+
+    /// Number of search-tree nodes expanded by the last
+    /// [`OptimalAllocator::solve_in_place`].
+    pub fn nodes_explored(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Runs the exact search and returns the minimum number of TT slots, or
+    /// `None` if no feasible allocation within `max_slots` exists. Performs
+    /// no heap allocation; the result is stored internally and can be
+    /// materialised with [`OptimalAllocator::best_allocation`].
+    pub fn solve_in_place(&mut self) -> Option<usize> {
+        // Re-seed the incumbent from the greedy solution so repeated solves
+        // are idempotent.
+        self.best_used = self.seed_used;
+        if self.seed_used != usize::MAX {
+            let OptimalAllocator { seed_slots, best_slots, .. } = self;
+            for (best, seed) in best_slots.iter_mut().zip(&*seed_slots).take(self.seed_used) {
+                best.clear();
+                best.extend_from_slice(seed);
+            }
+        }
+        self.used = 0;
+        self.nodes = 0;
+        self.search(0);
+        (self.best_used != usize::MAX).then_some(self.best_used)
+    }
+
+    /// Materialises the best allocation found by the last solve.
+    pub fn best_allocation(&self) -> Option<SlotAllocation> {
+        (self.best_used != usize::MAX).then(|| SlotAllocation {
+            slots: self.best_slots[..self.best_used].to_vec(),
+            model: self.model,
+            method: self.method,
+        })
+    }
+
+    /// Convenience: solve and materialise.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoFeasibleAllocation`] if the exhausted search proves
+    /// no feasible allocation exists within `max_slots`.
+    pub fn solve(&mut self) -> Result<SlotAllocation> {
+        match self.solve_in_place() {
+            Some(_) => Ok(self.best_allocation().expect("solution recorded")),
+            None => Err(SchedError::NoFeasibleAllocation { max_slots: self.max_slots }),
+        }
+    }
+
+    /// Depth-first branch-and-bound over restricted-growth assignments.
+    fn search(&mut self, depth: usize) {
+        self.nodes += 1;
+        // Bound: every completion opens at least `extra_slots_bound` more
+        // slots, so cut when even that cannot beat the incumbent.
+        let floor = self.used + self.extra_slots_bound(depth);
+        if self.best_used != usize::MAX && floor >= self.best_used {
+            return;
+        }
+        if depth == self.order.len() {
+            if self.status[..self.used].iter().all(|&s| s == SlotStatus::Feasible)
+                && (self.best_used == usize::MAX || self.used < self.best_used)
+            {
+                self.best_used = self.used;
+                let OptimalAllocator { slots, best_slots, .. } = self;
+                for (best, slot) in best_slots.iter_mut().zip(&*slots).take(self.used) {
+                    best.clear();
+                    best.extend_from_slice(slot);
+                }
+            }
+            return;
+        }
+        let app = self.order[depth];
+
+        // Existing slots, in creation order (deterministic tie-breaking).
+        for s in 0..self.used {
+            self.slots[s].push(app);
+            let saved_status = self.status[s];
+            let saved_load = self.load[s];
+            self.status[s] = self.slot_status(s);
+            self.load[s] = self.slot_load(s);
+            if self.status[s] != SlotStatus::Dead {
+                self.search(depth + 1);
+            }
+            self.status[s] = saved_status;
+            self.load[s] = saved_load;
+            self.slots[s].pop();
+        }
+
+        // Open a new slot (canonical: always the next unused index).
+        if self.used < self.slots.len() {
+            let s = self.used;
+            self.slots[s].clear();
+            self.slots[s].push(app);
+            let saved_status = self.status[s];
+            self.status[s] = self.slot_status(s);
+            self.load[s] = self.demand[app];
+            self.used += 1;
+            if self.status[s] != SlotStatus::Dead {
+                self.search(depth + 1);
+            }
+            self.used -= 1;
+            self.status[s] = saved_status;
+            self.slots[s].pop();
+        }
+    }
+
+    /// Exact demand load of open slot `s` (summed in member order).
+    fn slot_load(&self, s: usize) -> f64 {
+        self.slots[s].iter().map(|&i| self.demand[i]).sum()
+    }
+
+    /// Demand-relaxation lower bound on the number of *additional* slots any
+    /// completion of the current node must open for `order[depth..]`.
+    fn extra_slots_bound(&self, depth: usize) -> usize {
+        let remaining = self.suffix_demand[depth];
+        if remaining <= 0.0 {
+            return 0;
+        }
+        let mut residual = 0.0;
+        for s in 0..self.used {
+            residual += (self.capacity - self.load[s]).max(0.0);
+        }
+        if remaining <= residual {
+            return 0;
+        }
+        ((remaining - residual) / self.capacity).ceil() as usize
+    }
+
+    /// Allocation-free analysis of open slot `s`: mirrors
+    /// [`crate::analyze_slot`] member for member (identical accumulation
+    /// order, so the verdict is bit-for-bit the one `SlotAllocation::verify`
+    /// computes), and additionally detects dead slots.
+    fn slot_status(&self, s: usize) -> SlotStatus {
+        let members = &self.slots[s];
+        let mut feasible = true;
+        for &index in members {
+            match member_response(self.apps, members, index, self.model, self.method) {
+                MemberResponse::Overloaded => return SlotStatus::Dead,
+                MemberResponse::Diverged => return SlotStatus::Dead,
+                MemberResponse::Finite { wait, response } => {
+                    let app = &self.apps[index];
+                    if response > app.deadline {
+                        feasible = false;
+                        // Dead only if no future wait can repair the member:
+                        // waits only grow, and the response floor over
+                        // [wait, ∞) is attained at a segment endpoint.
+                        if min_future_response(app, self.model, wait) > app.deadline {
+                            return SlotStatus::Dead;
+                        }
+                    }
+                }
+            }
+        }
+        if feasible {
+            SlotStatus::Feasible
+        } else {
+            SlotStatus::Infeasible
+        }
+    }
+}
+
+/// Outcome of the streaming per-member analysis.
+enum MemberResponse {
+    /// Higher-priority utilisation `m ≥ 1`: unbounded wait, permanently
+    /// unschedulable (matches the infinite response `analyze_slot` reports).
+    Overloaded,
+    /// The exact fixed-point iteration did not converge (cannot happen for
+    /// `m < 1`; treated as unschedulable, matching the defensive bound).
+    Diverged,
+    /// Finite maximum wait time and worst-case response.
+    Finite { wait: f64, response: f64 },
+}
+
+/// Streaming replica of [`crate::analyze_application`] for one member of a
+/// candidate slot: same formulas, same accumulation order over the slot
+/// members, no heap allocation. Keeping the float operation order identical
+/// makes the verdicts bit-compatible with the `InterferenceContext` path.
+fn member_response(
+    apps: &[AppTimingParams],
+    slot: &[usize],
+    index: usize,
+    kind: ModelKind,
+    method: WaitTimeMethod,
+) -> MemberResponse {
+    let subject = &apps[index];
+    // One pass in slot order mirrors `InterferenceContext::for_application`:
+    // `higher_priority` entries are visited in the same order, so the
+    // utilisation and interference sums round identically.
+    let mut blocking: f64 = 0.0;
+    let mut utilization: f64 = 0.0;
+    let mut interference_sum: f64 = 0.0;
+    for &other_index in slot {
+        if other_index == index {
+            continue;
+        }
+        let other = &apps[other_index];
+        let dwell_bound = max_dwell_for(other, kind);
+        if other.outranks(subject) {
+            utilization += dwell_bound / other.inter_arrival;
+            interference_sum += dwell_bound;
+        } else {
+            blocking = blocking.max(dwell_bound);
+        }
+    }
+    if utilization >= 1.0 {
+        return MemberResponse::Overloaded;
+    }
+    let wait = match method {
+        WaitTimeMethod::ClosedFormBound => {
+            let a_prime = blocking + interference_sum;
+            a_prime / (1.0 - utilization)
+        }
+        WaitTimeMethod::ExactFixedPoint => {
+            // The monotone iteration of Eq. (5), started (like the reference
+            // implementation) from one pending request per higher-priority
+            // application on top of the blocking term.
+            let mut wait = blocking + interference_sum;
+            let mut converged = None;
+            for _ in 0..MAX_FIXED_POINT_ITERATIONS {
+                // `request_function`: blocking + Σ ⌈w/rⱼ⌉·ξᴹⱼ, higher-priority
+                // terms summed in slot order.
+                let mut interference = 0.0;
+                for &other_index in slot {
+                    if other_index == index {
+                        continue;
+                    }
+                    let other = &apps[other_index];
+                    if other.outranks(subject) {
+                        let dwell_bound = max_dwell_for(other, kind);
+                        interference += (wait / other.inter_arrival).ceil().max(0.0) * dwell_bound;
+                    }
+                }
+                let next = blocking + interference;
+                if (next - wait).abs() < 1e-12 {
+                    converged = Some(next);
+                    break;
+                }
+                wait = next;
+            }
+            match converged {
+                Some(wait) => wait,
+                None => return MemberResponse::Diverged,
+            }
+        }
+    };
+    let dwell = dwell_for(subject, kind, wait);
+    let response = if wait >= subject.xi_et { subject.xi_et } else { wait + dwell };
+    MemberResponse::Finite { wait, response }
+}
+
+/// Floor of the worst-case response over every wait `t ≥ wait`:
+/// `min_{t ≥ wait} ξ(t)` with `ξ(t) = t + k_dw(t)` for `t < ξᴱᵀ` and
+/// `ξ(t) = ξᴱᵀ` beyond. All three analytical dwell models are piecewise
+/// linear with breakpoints at most `{k_p, ξᴱᵀ}`, so the minimum over the
+/// tail is attained at `wait` itself, at a breakpoint to its right, or at
+/// the ξᴱᵀ cap.
+fn min_future_response(app: &AppTimingParams, kind: ModelKind, wait: f64) -> f64 {
+    let response_at = |t: f64| {
+        if t >= app.xi_et {
+            app.xi_et
+        } else {
+            t + dwell_for(app, kind, t)
+        }
+    };
+    let mut floor = response_at(wait).min(app.xi_et);
+    if app.k_p > wait {
+        floor = floor.min(response_at(app.k_p));
+    }
+    floor
+}
+
+/// Allocates the applications to TT slots with the *minimum possible* slot
+/// count under the configured dwell model and wait-time method
+/// (`config.strategy` is ignored): an exact branch-and-bound search whose
+/// result never uses more slots than any greedy strategy.
+///
+/// Unlike the greedy [`crate::allocate_slots`] — which requires every
+/// application to be schedulable on a dedicated slot because it only ever
+/// *adds* blocking — the exact search also finds allocations in which an
+/// application is only schedulable thanks to its slot mates (possible under
+/// the non-monotonic dwell curve).
+///
+/// # Errors
+///
+/// * [`SchedError::InvalidParameter`] if `apps` is empty or `max_slots` is
+///   zero.
+/// * [`SchedError::NoFeasibleAllocation`] if the exhausted search proves no
+///   feasible allocation within `config.max_slots` slots exists.
+pub fn allocate_slots_optimal(
+    apps: &[AppTimingParams],
+    config: &AllocatorConfig,
+) -> Result<SlotAllocation> {
+    OptimalAllocator::new(apps, config)?.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::allocate_slots;
+    use crate::case_study_fixtures::paper_table1;
+    use crate::schedulability::is_slot_schedulable;
+
+    fn configs() -> Vec<AllocatorConfig> {
+        let mut out = Vec::new();
+        for model in [ModelKind::NonMonotonic, ModelKind::ConservativeMonotonic] {
+            for method in [WaitTimeMethod::ClosedFormBound, WaitTimeMethod::ExactFixedPoint] {
+                out.push(AllocatorConfig { model, method, ..AllocatorConfig::default() });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn paper_case_study_optima_match_the_greedy_headline() {
+        let apps = paper_table1();
+        for config in configs() {
+            let optimal = allocate_slots_optimal(&apps, &config).unwrap();
+            let greedy = allocate_slots(&apps, &config).unwrap();
+            assert!(optimal.verify(&apps).unwrap());
+            assert!(optimal.slot_count() <= greedy.slot_count());
+        }
+        // The paper's greedy 3-slot result is already optimal.
+        let optimal = allocate_slots_optimal(&apps, &AllocatorConfig::default()).unwrap();
+        assert_eq!(optimal.slot_count(), 3);
+    }
+
+    #[test]
+    fn streaming_member_analysis_matches_reference_analysis() {
+        let apps = paper_table1();
+        let slots: Vec<Vec<usize>> =
+            vec![vec![2, 5], vec![1, 3], vec![4, 0], vec![0, 1, 2, 3, 4, 5], vec![3]];
+        for model in
+            [ModelKind::NonMonotonic, ModelKind::ConservativeMonotonic, ModelKind::SimpleMonotonic]
+        {
+            for method in [WaitTimeMethod::ClosedFormBound, WaitTimeMethod::ExactFixedPoint] {
+                for slot in &slots {
+                    let mut streaming = true;
+                    for &index in slot {
+                        match member_response(&apps, slot, index, model, method) {
+                            MemberResponse::Finite { response, .. } => {
+                                if response > apps[index].deadline {
+                                    streaming = false;
+                                }
+                            }
+                            _ => streaming = false,
+                        }
+                    }
+                    let reference = is_slot_schedulable(&apps, slot, model, method).unwrap();
+                    assert_eq!(
+                        streaming, reference,
+                        "slot {slot:?} model {model:?} method {method:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solver_is_idempotent_and_counts_nodes() {
+        let apps = paper_table1();
+        let config = AllocatorConfig::default();
+        let mut solver = OptimalAllocator::new(&apps, &config).unwrap();
+        assert_eq!(solver.greedy_bound(), Some(3));
+        let first = solver.solve_in_place();
+        let nodes = solver.nodes_explored();
+        let allocation_a = solver.best_allocation().unwrap();
+        let second = solver.solve_in_place();
+        let allocation_b = solver.best_allocation().unwrap();
+        assert_eq!(first, Some(3));
+        assert_eq!(first, second);
+        assert_eq!(allocation_a, allocation_b);
+        assert_eq!(nodes, solver.nodes_explored());
+        assert!(nodes > 0);
+    }
+
+    #[test]
+    fn infeasible_fleets_report_no_feasible_allocation() {
+        let apps = paper_table1();
+        let config = AllocatorConfig {
+            model: ModelKind::ConservativeMonotonic,
+            max_slots: 3,
+            ..AllocatorConfig::default()
+        };
+        // The conservative model needs 5 slots; 3 are offered.
+        assert!(matches!(
+            allocate_slots_optimal(&apps, &config),
+            Err(SchedError::NoFeasibleAllocation { max_slots: 3 })
+        ));
+        // An application that can never meet its deadline poisons every
+        // partition.
+        let impossible =
+            vec![AppTimingParams::new("X", 10.0, 0.2, 0.39, 3.97, 0.64, 0.69).unwrap()];
+        assert!(allocate_slots_optimal(&impossible, &AllocatorConfig::default()).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let apps = paper_table1();
+        assert!(allocate_slots_optimal(&[], &AllocatorConfig::default()).is_err());
+        assert!(allocate_slots_optimal(
+            &apps,
+            &AllocatorConfig { max_slots: 0, ..AllocatorConfig::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_application_needs_one_slot() {
+        let apps = vec![AppTimingParams::new("X", 10.0, 2.0, 0.39, 3.97, 0.64, 0.69).unwrap()];
+        let allocation = allocate_slots_optimal(&apps, &AllocatorConfig::default()).unwrap();
+        assert_eq!(allocation.slot_count(), 1);
+        assert_eq!(allocation.slots[0], vec![0]);
+    }
+
+    #[test]
+    fn min_future_response_is_a_true_floor() {
+        let apps = paper_table1();
+        for app in &apps {
+            for kind in [
+                ModelKind::NonMonotonic,
+                ModelKind::ConservativeMonotonic,
+                ModelKind::SimpleMonotonic,
+            ] {
+                for start in 0..40 {
+                    let wait = start as f64 * 0.33;
+                    let floor = min_future_response(app, kind, wait);
+                    // Sample the tail densely; the floor must bound it below.
+                    for extra in 0..200 {
+                        let t = wait + extra as f64 * 0.1;
+                        let response = if t >= app.xi_et {
+                            app.xi_et
+                        } else {
+                            t + dwell_for(app, kind, t)
+                        };
+                        assert!(
+                            floor <= response + 1e-9,
+                            "{} {kind:?}: floor {floor} exceeds response {response} at t={t}",
+                            app.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

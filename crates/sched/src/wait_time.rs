@@ -68,9 +68,7 @@ impl InterferenceContext {
             }
             let other = &apps[other_index];
             let dwell_bound = max_dwell_for(other, kind);
-            let other_is_higher = other.has_higher_priority_than(subject)
-                || (!subject.has_higher_priority_than(other) && other.name < subject.name);
-            if other_is_higher {
+            if other.outranks(subject) {
                 higher_priority.push((dwell_bound, other.inter_arrival));
             } else {
                 blocking = blocking.max(dwell_bound);
@@ -147,8 +145,10 @@ pub fn max_wait_time_lower_bound(
     Ok(ctx.blocking / (1.0 - m))
 }
 
-/// Maximum number of fixed-point iterations before declaring divergence.
-const MAX_FIXED_POINT_ITERATIONS: usize = 10_000;
+/// Maximum number of fixed-point iterations before declaring divergence
+/// (shared with the branch-and-bound solver's streaming analysis so both
+/// paths agree on the divergence budget).
+pub(crate) const MAX_FIXED_POINT_ITERATIONS: usize = 10_000;
 
 /// Exact maximum wait time: the least fixed point of the paper's Eq. (5),
 /// computed by the standard monotone iteration `w ← f(w)` starting from the

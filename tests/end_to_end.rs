@@ -1,11 +1,14 @@
 //! Cross-crate integration tests: the complete co-design flow from plant
-//! models to TT-slot dimensioning and co-simulation.
+//! models to TT-slot dimensioning and co-simulation — including the golden
+//! fixture that pins the paper's case-study pipeline bit for bit.
 
-use automotive_cps::core::{case_study, experiments};
+use automotive_cps::core::{case_study, experiments, CoSimulation};
 use automotive_cps::flexray::{FlexRayBus, FlexRayConfig, Frame};
 use automotive_cps::sched::{
-    analyze_slot, DwellTimeModel, ModelKind, NonMonotonicModel, WaitTimeMethod,
+    allocate_slots, allocate_slots_optimal, analyze_slot, AllocatorConfig, DwellTimeModel,
+    ModelKind, NonMonotonicModel, SlotAllocation, WaitTimeMethod,
 };
+use std::fmt::Write as _;
 
 #[test]
 fn headline_result_3_vs_5_slots() {
@@ -87,6 +90,138 @@ fn published_response_times_are_consistent_with_the_dwell_model() {
         assert!((model.dwell(app.k_p) - app.xi_m).abs() < 1e-9);
         assert!(model.dwell(app.xi_et) < 1e-9);
     }
+}
+
+/// Renders one `f64` as its exact bit pattern — the fixture must replay bit
+/// for bit, not to a tolerance.
+fn hex(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+fn render_slot_map(label: &str, allocation: &SlotAllocation, out: &mut String) {
+    let slots: Vec<String> = allocation
+        .slots
+        .iter()
+        .map(|slot| {
+            slot.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+        })
+        .collect();
+    writeln!(out, "slot_map {label} {}", slots.join("|")).expect("string write");
+}
+
+/// Computes the golden end-to-end outputs of the paper's case-study fleet:
+/// slot maps (greedy and branch-and-bound optimal under both safe models),
+/// per-application maximum wait times and worst-case responses on the
+/// optimal map, and the settled co-simulation trajectories of the derived
+/// fleet (subsampled plant-state norms, measured response times, TT usage,
+/// bus counters) — every float as its exact bit pattern.
+fn render_golden_fixture() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Golden case-study fixture. Regenerate with:\n\
+         #   CPS_GOLDEN_REGEN=1 cargo test --test end_to_end golden_fixture\n",
+    );
+
+    // --- published Table I: slot maps -------------------------------------
+    let apps = case_study::paper_table1();
+    for (label, model) in [
+        ("non_monotonic", ModelKind::NonMonotonic),
+        ("conservative", ModelKind::ConservativeMonotonic),
+    ] {
+        let config = AllocatorConfig { model, ..AllocatorConfig::default() };
+        let greedy = allocate_slots(&apps, &config).expect("greedy allocation");
+        let optimal = allocate_slots_optimal(&apps, &config).expect("optimal allocation");
+        render_slot_map(&format!("greedy_{label}"), &greedy, &mut out);
+        render_slot_map(&format!("optimal_{label}"), &optimal, &mut out);
+
+        // Wait times and worst-case responses of every application on its
+        // slot of the optimal map.
+        for slot in &optimal.slots {
+            let analysis = analyze_slot(&apps, slot, model, WaitTimeMethod::ClosedFormBound)
+                .expect("analysis runs");
+            for result in &analysis.analyses {
+                writeln!(
+                    out,
+                    "analysis {label} {} wait {} response {}",
+                    result.application,
+                    hex(result.max_wait_time),
+                    hex(result.worst_case_response_time)
+                )
+                .expect("string write");
+            }
+        }
+    }
+
+    // --- derived fleet: characterised table and settled trajectories ------
+    let fleet = case_study::derived_fleet().expect("fleet design");
+    let table = case_study::derive_table(&fleet).expect("characterisation");
+    for row in &table {
+        writeln!(
+            out,
+            "table {} xi_tt {} xi_et {} xi_m {} k_p {}",
+            row.name,
+            hex(row.xi_tt),
+            hex(row.xi_et),
+            hex(row.xi_m),
+            hex(row.k_p)
+        )
+        .expect("string write");
+    }
+    let allocation = allocate_slots(&table, &AllocatorConfig::default()).expect("allocation");
+    render_slot_map("derived_non_monotonic", &allocation, &mut out);
+
+    let mut cosim = CoSimulation::new(fleet, &allocation, FlexRayConfig::paper_case_study())
+        .expect("engine builds");
+    cosim.inject_disturbances().expect("disturbances");
+    let trace = cosim.run(4.0).expect("co-simulation runs");
+    for app in &trace.apps {
+        let response = app
+            .response_time
+            .map(hex)
+            .unwrap_or_else(|| "none".to_string());
+        let tt_periods = app
+            .points
+            .iter()
+            .filter(|p| p.mode == automotive_cps::control::CommunicationMode::TimeTriggered)
+            .count();
+        writeln!(out, "trace {} response {response} tt_periods {tt_periods}", app.name)
+            .expect("string write");
+        let norms: Vec<String> =
+            app.points.iter().step_by(10).map(|p| hex(p.norm)).collect();
+        writeln!(out, "trace_norms {} {}", app.name, norms.join(",")).expect("string write");
+    }
+    writeln!(
+        out,
+        "bus static {} dynamic {} cycles {}",
+        trace.bus_statistics.static_transmissions,
+        trace.bus_statistics.dynamic_transmissions,
+        trace.bus_statistics.cycles
+    )
+    .expect("string write");
+    out
+}
+
+#[test]
+fn golden_fixture_replays_bit_identically() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/case_study_golden.txt");
+    let rendered = render_golden_fixture();
+    if std::env::var("CPS_GOLDEN_REGEN").is_ok() {
+        std::fs::write(path, &rendered).expect("fixture written");
+        return;
+    }
+    let committed = std::fs::read_to_string(path)
+        .expect("committed fixture exists (regenerate with CPS_GOLDEN_REGEN=1)");
+    // Compare line by line for a readable diff on mismatch.
+    for (index, (got, want)) in rendered.lines().zip(committed.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "golden fixture diverges at line {} — the end-to-end pipeline no longer \
+             replays bit-identically",
+            index + 1
+        );
+    }
+    assert_eq!(rendered.lines().count(), committed.lines().count());
 }
 
 #[test]

@@ -11,9 +11,10 @@ use automotive_cps::linalg::{
     discretize_zoh, dlqr, expm, inverse, solve, spectral_radius, DareOptions, Matrix,
 };
 use automotive_cps::sched::{
-    allocate_slots, max_wait_time_bound, max_wait_time_fixed_point, AllocatorConfig,
-    AppTimingParams, ConservativeMonotonicModel, DwellTimeModel, ModelKind, NonMonotonicModel,
-    SimpleMonotonicModel, SlotAllocation,
+    allocate_slots, allocate_slots_optimal, max_wait_time_bound, max_wait_time_fixed_point,
+    AllocationStrategy, AllocatorConfig, AppTimingParams, ConservativeMonotonicModel,
+    DwellTimeModel, ModelKind, NonMonotonicModel, SimpleMonotonicModel, SlotAllocation,
+    WaitTimeMethod,
 };
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -173,6 +174,68 @@ proptest! {
             prop_assert!(non_monotonic.verify(&apps).expect("verification runs"));
             prop_assert!(conservative.verify(&apps).expect("verification runs"));
             prop_assert!(non_monotonic.slot_count() <= conservative.slot_count());
+        }
+    }
+
+    #[test]
+    fn optimal_allocation_is_a_verified_lower_bound_on_every_heuristic(
+        apps in proptest::collection::vec(timing_params(), 1..6),
+    ) {
+        // Unique names keep priorities (and therefore the analysis)
+        // deterministic.
+        let apps: Vec<AppTimingParams> = apps
+            .into_iter()
+            .enumerate()
+            .map(|(index, mut app)| {
+                app.name = format!("P{index}");
+                app
+            })
+            .collect();
+        for model in [ModelKind::NonMonotonic, ModelKind::ConservativeMonotonic] {
+            for method in [WaitTimeMethod::ClosedFormBound, WaitTimeMethod::ExactFixedPoint] {
+                let base = AllocatorConfig {
+                    model,
+                    method,
+                    max_slots: apps.len(),
+                    ..AllocatorConfig::default()
+                };
+                let optimal = allocate_slots_optimal(&apps, &base);
+                let mut any_greedy = false;
+                for strategy in [
+                    AllocationStrategy::NextFit,
+                    AllocationStrategy::FirstFit,
+                    AllocationStrategy::BestFit,
+                ] {
+                    if let Ok(greedy) =
+                        allocate_slots(&apps, &AllocatorConfig { strategy, ..base })
+                    {
+                        any_greedy = true;
+                        match &optimal {
+                            // The exact minimum never exceeds any
+                            // heuristic's count under the same model and
+                            // method.
+                            Ok(optimal) => prop_assert!(
+                                optimal.slot_count() <= greedy.slot_count(),
+                                "{model:?}/{method:?}/{strategy}: optimal {} > greedy {}",
+                                optimal.slot_count(),
+                                greedy.slot_count()
+                            ),
+                            Err(e) => prop_assert!(
+                                false,
+                                "{model:?}/{method:?}/{strategy}: greedy found a map but the exact search failed: {e}"
+                            ),
+                        }
+                    }
+                }
+                if let Ok(optimal) = &optimal {
+                    // The returned map passes the reference verification.
+                    prop_assert!(optimal.verify(&apps).expect("verification runs"));
+                } else {
+                    // The exact search may only fail when every greedy
+                    // heuristic failed too.
+                    prop_assert!(!any_greedy, "{model:?}/{method:?}: greedy found a map the exact search missed");
+                }
+            }
         }
     }
 }

@@ -1,8 +1,12 @@
 //! Proof that the kernel hot paths are allocation-free: a counting global
 //! allocator observes zero new allocations across hundreds of thousands of
 //! `StepKernel::step`s, norm reads, scaled disturbance injections and
-//! `AllocationRuntime::step_into` calls — and across the characterization
-//! inner loop (`SwitchedKernel::dwell_steps` sweeps) after warm-up.
+//! `AllocationRuntime::step_into` calls — across the characterization
+//! inner loop (`SwitchedKernel::dwell_steps` sweeps) after warm-up — and
+//! across the branch-and-bound slot-allocation search: every inner node
+//! evaluation (streaming schedulability check plus demand bound) and the
+//! full `OptimalAllocator::solve_in_place` run on buffers sized at
+//! construction.
 //!
 //! This file must stay a single-test binary: the allocation counter is
 //! global to the process, and a concurrently running second test would
@@ -10,6 +14,7 @@
 
 use automotive_cps::control::SwitchedKernel;
 use automotive_cps::core::{case_study, AllocationRuntime, RuntimeApp};
+use automotive_cps::sched::{AllocatorConfig, ModelKind, OptimalAllocator, WaitTimeMethod};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -120,4 +125,38 @@ fn kernel_and_runtime_hot_paths_do_not_allocate() {
         "the characterization inner loop performed {} heap allocations over 400 dwell sweeps",
         after - before
     );
+
+    // Branch-and-bound slot allocation: construction (priority order,
+    // demand table, slot pool, greedy incumbent seed) may allocate; the
+    // search itself — every inner node's schedulability check and
+    // demand-relaxation bound included — must not. Solved repeatedly to
+    // amplify any per-node allocation, across both wait-time methods and
+    // both safe dwell models.
+    let table = case_study::paper_table1();
+    for model in [ModelKind::NonMonotonic, ModelKind::ConservativeMonotonic] {
+        for method in [WaitTimeMethod::ClosedFormBound, WaitTimeMethod::ExactFixedPoint] {
+            let config = AllocatorConfig { model, method, ..AllocatorConfig::default() };
+            let mut solver = OptimalAllocator::new(&table, &config).expect("solver builds");
+            // Warm-up solve (also proves idempotence below).
+            let warm = solver.solve_in_place().expect("paper fleet is schedulable");
+
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            let mut slots_checksum = 0usize;
+            for _ in 0..200 {
+                slots_checksum +=
+                    solver.solve_in_place().expect("paper fleet is schedulable");
+            }
+            let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+            assert_eq!(slots_checksum, warm * 200, "solver must be deterministic");
+            assert!(solver.nodes_explored() > 0);
+            assert_eq!(
+                after - before,
+                0,
+                "the branch-and-bound search performed {} heap allocations over 200 \
+                 solves ({model:?}/{method:?})",
+                after - before
+            );
+        }
+    }
 }
