@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # CI pipeline for the automotive CPS reproduction workspace.
 #
-#   ./ci.sh          full pipeline: release build, tests, clippy, bench smoke
-#   ./ci.sh quick    build + tests only
-#   ./ci.sh perf     run the perf bench set and append this commit's results
-#                    to BENCH_results.json, the machine-readable perf
-#                    trajectory ({"<git describe>": {bench -> ns/iter}, ...});
-#                    re-running the same commit upserts its own entries, other
-#                    commits' history is never touched
+#   ./ci.sh             full pipeline: release build, tests, clippy, bench smoke
+#   ./ci.sh quick       build + tests only
+#   ./ci.sh perf        run the perf bench set and append this commit's results
+#                       to BENCH_results.json, the machine-readable perf
+#                       trajectory ({"<git describe>": {bench -> ns/iter}, ...});
+#                       re-running the same commit upserts its own entries,
+#                       other commits' history is never touched
+#   ./ci.sh perf-check  read the keyed history and compare this commit's
+#                       entries against the previous key: fails when any
+#                       benchmark's mean regressed by more than
+#                       CPS_PERF_CHECK_THRESHOLD percent (default 25).
+#                       Run `./ci.sh perf` first so the current commit has
+#                       entries to check.
 #
 # Everything runs offline: the two external dev-dependencies (criterion,
 # proptest) are API-compatible shims vendored under crates/compat/.
@@ -36,6 +42,63 @@ if [[ "${1:-}" == "perf" ]]; then
     echo
     echo "BENCH_results.json:"
     cat BENCH_results.json
+    exit 0
+fi
+
+if [[ "${1:-}" == "perf-check" ]]; then
+    # Same key resolution as `./ci.sh perf`, so check follows record.
+    CPS_BENCH_KEY="${CPS_BENCH_KEY:-$(git describe --always --dirty 2>/dev/null || echo unversioned)}"
+    step "perf-check: $CPS_BENCH_KEY vs previous key in BENCH_results.json"
+    CPS_BENCH_KEY="$CPS_BENCH_KEY" python3 - <<'PYEOF'
+import json, os, sys
+
+threshold = float(os.environ.get("CPS_PERF_CHECK_THRESHOLD", "25"))
+key = os.environ["CPS_BENCH_KEY"]
+try:
+    with open("BENCH_results.json") as handle:
+        history = json.load(handle)  # insertion order == recording order
+except FileNotFoundError:
+    sys.exit("BENCH_results.json not found - run ./ci.sh perf first")
+
+keys = list(history)
+if key not in keys:
+    sys.exit(
+        f"no entries for {key!r} in BENCH_results.json "
+        f"(have: {', '.join(keys)}) - run ./ci.sh perf on this commit first"
+    )
+previous_keys = keys[: keys.index(key)]
+if not previous_keys:
+    print(f"{key} is the oldest key in the history - nothing to compare against")
+    sys.exit(0)
+previous = previous_keys[-1]
+
+current_set = history[key]
+previous_set = history[previous]
+shared = [name for name in current_set if name in previous_set]
+if not shared:
+    sys.exit(f"no benchmarks shared between {key!r} and {previous!r}")
+
+regressions = []
+print(f"comparing {len(shared)} benchmarks: {key} (current) vs {previous} (previous)")
+for name in shared:
+    now, then = current_set[name], previous_set[name]
+    change = (now - then) / then * 100.0
+    marker = ""
+    if change > threshold:
+        marker = f"  <-- REGRESSION (> {threshold:.0f}%)"
+        regressions.append((name, change))
+    print(f"  {name:<55} {then:>14.2f} -> {now:>14.2f} ns/iter  {change:+7.1f}%{marker}")
+only_new = sorted(set(current_set) - set(previous_set))
+if only_new:
+    print(f"new benchmarks (no history yet): {', '.join(only_new)}")
+
+if regressions:
+    print(f"\nFAIL: {len(regressions)} mean regression(s) beyond {threshold:.0f}%:")
+    for name, change in regressions:
+        print(f"  {name}: {change:+.1f}%")
+    sys.exit(1)
+print(f"\nperf-check passed: no mean regression beyond {threshold:.0f}%")
+PYEOF
     exit 0
 fi
 

@@ -1,10 +1,22 @@
 //! Fleet-design performance benchmark: the design tier introduced by the
-//! shared-immutable [`DesignedFleet`] split.
+//! shared-immutable [`DesignedFleet`] split and the fleet-level
+//! [`FleetDesigner`] pipeline.
 //!
-//! Measures the three rungs of the design-cost ladder:
+//! Measures the rungs of the design-cost ladder:
 //!
 //! * `design_controllers` — full controller synthesis of the six-application
-//!   derived fleet (pole placement / DARE, discretisation, kernel fusion).
+//!   derived fleet (pole placement / DARE, discretisation, kernel fusion),
+//!   now routed through the workspace-threaded designer.
+//! * `designer_sequential_24` / `designer_parallel_24` — fleet-design
+//!   throughput on a 24-application scaled fleet, one worker vs the
+//!   machine's available parallelism (on the single-core CI container both
+//!   run the same sequential path; re-measure on a multi-core host for the
+//!   speed-up).
+//! * `bus_sweep_shared_characterization` vs
+//!   `bus_sweep_recharacterize_baseline` — the bus-configuration sweep with
+//!   one shared characterisation pass ([`BusConfigSweep::scenarios_for`])
+//!   against the naive flow that re-characterises the fleet for every
+//!   candidate bus (what sweeping without the designer costs).
 //! * `engine_spinup_clone_baseline` — what a scenario worker used to pay:
 //!   deep-clone every [`cps_core::ControlApplication`], re-validate, rebuild.
 //! * `engine_spinup_shared` — what a worker pays now: a [`CoSimulation`]
@@ -13,7 +25,7 @@
 //! Plus the linalg design tier: the workspace DARE solver against the
 //! allocating reference path.
 
-use cps_core::{case_study, CoSimulation, DesignedFleet};
+use cps_core::{case_study, BusConfigSweep, CoSimulation, DesignedFleet, FleetDesigner};
 use cps_flexray::FlexRayConfig;
 use cps_linalg::{
     solve_dare, solve_dare_reference, solve_dare_with, DareOptions, Matrix, RiccatiWorkspace,
@@ -36,6 +48,55 @@ fn bench(c: &mut Criterion) {
     group.bench_function("design_controllers", |b| {
         b.iter(|| case_study::derived_fleet().expect("fleet design"))
     });
+
+    // 24-application fleet-design throughput: one worker against the
+    // machine's available parallelism, bit-identical outputs.
+    let specs24 = case_study::scaled_fleet_specs(24);
+    let sequential = FleetDesigner::sequential();
+    let parallel = FleetDesigner::new();
+    group.bench_function("designer_sequential_24", |b| {
+        b.iter(|| sequential.design(specs24.clone()).expect("24-app design"))
+    });
+    group.bench_function("designer_parallel_24", |b| {
+        b.iter(|| parallel.design(specs24.clone()).expect("24-app design"))
+    });
+
+    // Bus-configuration sweep: the designer characterises the fleet once
+    // and reuses the timing table for every candidate bus; the baseline
+    // re-runs the dwell/wait characterisation per candidate — the cost the
+    // sweep paid before characterisation sharing.
+    let allocator = cps_sched::AllocatorConfig::default();
+    let sweep = BusConfigSweep::new(bus)
+        .with_cycle_lengths(vec![0.005, 0.010])
+        .with_static_slot_counts(vec![6, 10]);
+    let bus_count = sweep.configs().len();
+    assert!(bus_count >= 4, "the sweep must span several candidate buses");
+    let shared = sweep
+        .scenarios_for(&parallel, &apps, &allocator, 1.0)
+        .expect("sweep expansion");
+    assert!(!shared.is_empty());
+    group.bench_function("bus_sweep_shared_characterization", |b| {
+        b.iter(|| {
+            sweep
+                .scenarios_for(&parallel, &apps, &allocator, 1.0)
+                .expect("sweep expansion")
+        })
+    });
+    group.bench_function("bus_sweep_recharacterize_baseline", |b| {
+        b.iter(|| {
+            // One fresh characterisation plus that bus's own expansion per
+            // candidate, as a sweep without the shared pass would pay.
+            sweep
+                .configs()
+                .into_iter()
+                .map(|bus_config| {
+                    let table = case_study::derive_table(&apps).expect("characterisation");
+                    BusConfigSweep::new(bus_config).scenarios(&table, &allocator, 1.0).len()
+                })
+                .sum::<usize>()
+        })
+    });
+
     group.bench_function("engine_spinup_clone_baseline", |b| {
         b.iter(|| {
             CoSimulation::new(apps.clone(), &allocation, bus).expect("engine over cloned fleet")

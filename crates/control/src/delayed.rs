@@ -25,8 +25,9 @@
 //! augmented state and can be switched freely.
 
 use crate::continuous::ContinuousStateSpace;
+use crate::design::DesignWorkspace;
 use crate::error::{ControlError, Result};
-use cps_linalg::{expm, input_integral, vec_norm, Matrix};
+use cps_linalg::{expm_with, input_integral_with, vec_norm, Matrix};
 
 /// Sampled plant with a constant sensor-to-actuator delay (paper Eq. (1)).
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +56,24 @@ impl DelayedLtiSystem {
         period: f64,
         delay: f64,
     ) -> Result<Self> {
+        Self::from_continuous_with(plant, period, delay, &mut DesignWorkspace::new())
+    }
+
+    /// [`DelayedLtiSystem::from_continuous`] with a caller-provided
+    /// [`DesignWorkspace`], so a fleet-design loop shares the matrix
+    /// exponential temporaries across all of its discretisations. Produces
+    /// exactly the model of [`DelayedLtiSystem::from_continuous`] (every
+    /// inner operation is the workspace twin of the allocating one).
+    ///
+    /// # Errors
+    ///
+    /// As [`DelayedLtiSystem::from_continuous`].
+    pub fn from_continuous_with(
+        plant: &ContinuousStateSpace,
+        period: f64,
+        delay: f64,
+        workspace: &mut DesignWorkspace,
+    ) -> Result<Self> {
         if !(period > 0.0) || !period.is_finite() {
             return Err(ControlError::InvalidModel {
                 reason: format!("sampling period must be positive and finite, got {period}"),
@@ -69,9 +88,10 @@ impl DelayedLtiSystem {
         }
         let a = plant.a();
         let b = plant.b();
-        let phi = expm(&a.scale(period))?;
-        let gamma0 = input_integral(a, b, 0.0, period - delay)?;
-        let gamma1 = input_integral(a, b, period - delay, period)?;
+        let phi = expm_with(&a.scale(period), workspace.expm(plant.order()))?;
+        let aug = workspace.expm(plant.order() + plant.inputs());
+        let gamma0 = input_integral_with(a, b, 0.0, period - delay, aug)?;
+        let gamma1 = input_integral_with(a, b, period - delay, period, aug)?;
         Ok(DelayedLtiSystem {
             phi,
             gamma0,

@@ -14,6 +14,11 @@
 //!   controller design and switching analysis.
 //! * [`design_lqr`] / [`design_switched_pair`] / [`place_poles`] — synthesis
 //!   of the event-triggered and time-triggered state-feedback controllers.
+//! * [`DesignWorkspace`] — the dimension-keyed solver-workspace bundle a
+//!   fleet-design worker threads through every discretisation and synthesis
+//!   via the `_with` variants ([`DelayedLtiSystem::from_continuous_with`],
+//!   [`design_lqr_with`], [`design_switched_pair_with`]), bit-identical to
+//!   the one-shot paths.
 //! * [`response_metrics`] / [`response_time`] — settling-time metrics (ξᵀᵀ,
 //!   ξᴱᵀ).
 //! * [`characterize_dwell_vs_wait`] — the switched-system sweep behind the
@@ -63,6 +68,7 @@
 
 mod continuous;
 mod delayed;
+mod design;
 mod discrete;
 mod error;
 mod kernel;
@@ -76,12 +82,13 @@ pub mod plants;
 
 pub use continuous::ContinuousStateSpace;
 pub use delayed::{plant_state_norm, DelayedLtiSystem};
+pub use design::DesignWorkspace;
 pub use discrete::DiscreteStateSpace;
 pub use error::{ControlError, Result};
 pub use kernel::{KernelMatrices, StepKernel};
 pub use lqr::{
-    design_by_pole_placement, design_lqr, design_switched_pair, LqrWeights,
-    StateFeedbackController, SwitchedControllerPair,
+    design_by_pole_placement, design_lqr, design_lqr_with, design_switched_pair,
+    design_switched_pair_with, LqrWeights, StateFeedbackController, SwitchedControllerPair,
 };
 pub use pole_placement::place_poles;
 pub use response::{

@@ -6,8 +6,9 @@
 //! infinite-horizon discrete LQR on the delay-augmented system.
 
 use crate::delayed::DelayedLtiSystem;
+use crate::design::DesignWorkspace;
 use crate::error::{ControlError, Result};
-use cps_linalg::{dlqr, is_schur_stable, DareOptions, Matrix};
+use cps_linalg::{dlqr_with, is_schur_stable, DareOptions, Matrix};
 
 /// Weights for the LQR synthesis on the delay-augmented system.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +96,22 @@ pub fn design_lqr(
     system: &DelayedLtiSystem,
     weights: &LqrWeights,
 ) -> Result<StateFeedbackController> {
+    design_lqr_with(system, weights, &mut DesignWorkspace::new())
+}
+
+/// [`design_lqr`] with a caller-provided [`DesignWorkspace`]: repeated
+/// syntheses (fleet design, threshold sweeps) share one set of Riccati
+/// temporaries across every DARE iteration and gain computation. Produces
+/// exactly the controller of [`design_lqr`].
+///
+/// # Errors
+///
+/// As [`design_lqr`].
+pub fn design_lqr_with(
+    system: &DelayedLtiSystem,
+    weights: &LqrWeights,
+    workspace: &mut DesignWorkspace,
+) -> Result<StateFeedbackController> {
     let n = system.plant_order();
     let m = system.inputs();
     if weights.state.shape() != (n, n) {
@@ -120,9 +137,11 @@ pub fn design_lqr(
     q.set_block(0, 0, &weights.state)?;
     q.set_block(n, n, &Matrix::identity(m).scale(weights.previous_input.max(1e-9)))?;
 
-    let solution = dlqr(&a, &b, &q, &weights.input, DareOptions::default()).map_err(|e| {
-        ControlError::DesignFailed { reason: format!("riccati recursion failed: {e}") }
-    })?;
+    let riccati = workspace.riccati(system.augmented_order(), m);
+    let solution =
+        dlqr_with(&a, &b, &q, &weights.input, DareOptions::default(), riccati).map_err(|e| {
+            ControlError::DesignFailed { reason: format!("riccati recursion failed: {e}") }
+        })?;
     let closed_loop = a.sub_matrix(&b.matmul(&solution.gain)?)?;
     if !is_schur_stable(&closed_loop)? {
         return Err(ControlError::DesignFailed {
@@ -188,10 +207,38 @@ pub fn design_switched_pair(
     et_weights: &LqrWeights,
     tt_weights: &LqrWeights,
 ) -> Result<SwitchedControllerPair> {
-    let et_system = DelayedLtiSystem::from_continuous(plant, period, et_delay)?;
-    let tt_system = DelayedLtiSystem::from_continuous(plant, period, tt_delay)?;
-    let et = design_lqr(&et_system, et_weights)?;
-    let tt = design_lqr(&tt_system, tt_weights)?;
+    design_switched_pair_with(
+        plant,
+        period,
+        et_delay,
+        tt_delay,
+        et_weights,
+        tt_weights,
+        &mut DesignWorkspace::new(),
+    )
+}
+
+/// [`design_switched_pair`] with a caller-provided [`DesignWorkspace`]: both
+/// discretisations and both LQR syntheses run on one set of solver
+/// temporaries, the shape a fleet-level design loop fans out per worker.
+/// Produces exactly the pair of [`design_switched_pair`].
+///
+/// # Errors
+///
+/// As [`design_switched_pair`].
+pub fn design_switched_pair_with(
+    plant: &crate::continuous::ContinuousStateSpace,
+    period: f64,
+    et_delay: f64,
+    tt_delay: f64,
+    et_weights: &LqrWeights,
+    tt_weights: &LqrWeights,
+    workspace: &mut DesignWorkspace,
+) -> Result<SwitchedControllerPair> {
+    let et_system = DelayedLtiSystem::from_continuous_with(plant, period, et_delay, workspace)?;
+    let tt_system = DelayedLtiSystem::from_continuous_with(plant, period, tt_delay, workspace)?;
+    let et = design_lqr_with(&et_system, et_weights, workspace)?;
+    let tt = design_lqr_with(&tt_system, tt_weights, workspace)?;
     Ok(SwitchedControllerPair { et, tt, et_system, tt_system })
 }
 

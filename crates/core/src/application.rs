@@ -3,8 +3,9 @@
 
 use crate::error::{CoreError, Result};
 use cps_control::{
-    design_by_pole_placement, design_lqr, ContinuousStateSpace, DelayedLtiSystem, KernelMatrices,
-    LqrWeights, PlantSimulator, SaturatedSwitchedModel, StateFeedbackController, StepKernel,
+    design_by_pole_placement, design_lqr_with, ContinuousStateSpace, DelayedLtiSystem,
+    DesignWorkspace, KernelMatrices, LqrWeights, PlantSimulator, SaturatedSwitchedModel,
+    StateFeedbackController, StepKernel,
 };
 use std::sync::Arc;
 
@@ -73,6 +74,11 @@ pub struct ControlApplication {
 impl ControlApplication {
     /// Designs the ET and TT controllers for the given specification.
     ///
+    /// This is the one-application entry point of the fleet design pipeline:
+    /// it routes through [`crate::FleetDesigner`], so the synthesis runs on
+    /// the same workspace-threaded path as a full fleet design (and is
+    /// bit-identical to it).
+    ///
     /// # Errors
     ///
     /// * [`CoreError::InvalidConfig`] if the specification is inconsistent
@@ -80,6 +86,19 @@ impl ControlApplication {
     ///   disturbance inter-arrival time, ...).
     /// * Control-design failures are propagated.
     pub fn design(spec: ApplicationSpec) -> Result<Self> {
+        crate::designer::FleetDesigner::sequential().design_one(spec)
+    }
+
+    /// [`ControlApplication::design`] with a caller-provided
+    /// [`DesignWorkspace`]: the shape the fleet designer threads through its
+    /// workers, sharing discretisation and Riccati temporaries across every
+    /// application of a fleet. Produces exactly the artifacts of
+    /// [`ControlApplication::design`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ControlApplication::design`].
+    pub fn design_with(spec: ApplicationSpec, workspace: &mut DesignWorkspace) -> Result<Self> {
         if spec.disturbance.len() != spec.plant.order() {
             return Err(CoreError::InvalidConfig {
                 reason: format!(
@@ -115,12 +134,15 @@ impl ControlApplication {
                 });
             }
         }
-        let et_system = DelayedLtiSystem::from_continuous(&spec.plant, spec.period, spec.et_delay)?;
-        let tt_system = DelayedLtiSystem::from_continuous(&spec.plant, spec.period, spec.tt_delay)?;
+        let et_system =
+            DelayedLtiSystem::from_continuous_with(&spec.plant, spec.period, spec.et_delay, workspace)?;
+        let tt_system =
+            DelayedLtiSystem::from_continuous_with(&spec.plant, spec.period, spec.tt_delay, workspace)?;
         let (et_controller, tt_controller) = match &spec.controllers {
-            ControllerSpec::Lqr { et_weights, tt_weights } => {
-                (design_lqr(&et_system, et_weights)?, design_lqr(&tt_system, tt_weights)?)
-            }
+            ControllerSpec::Lqr { et_weights, tt_weights } => (
+                design_lqr_with(&et_system, et_weights, workspace)?,
+                design_lqr_with(&tt_system, tt_weights, workspace)?,
+            ),
             ControllerSpec::PolePlacement { et_poles, tt_poles } => (
                 design_by_pole_placement(&et_system, et_poles)?,
                 design_by_pole_placement(&tt_system, tt_poles)?,

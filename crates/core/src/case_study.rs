@@ -4,7 +4,6 @@
 //! "3 slots vs. 5 slots (+67 %)" result.
 
 use crate::application::{ApplicationSpec, ControlApplication, ControllerSpec};
-use crate::characterize::derive_timing_params;
 use crate::error::Result;
 use cps_control::plants;
 use cps_sched::{
@@ -70,20 +69,11 @@ pub const CASE_STUDY_TT_DELAY: f64 = 0.0007;
 /// Switching threshold E_th used throughout the case study.
 pub const CASE_STUDY_THRESHOLD: f64 = 0.1;
 
-/// Builds the six-application synthetic fleet used for the *derived* variant
-/// of the case study: standard automotive plants, a deliberately
-/// bandwidth-limited (pole-placed) design for the event-triggered loop and a
-/// fast design for the time-triggered loop.
-///
-/// The paper does not publish its plant models, so this fleet exercises the
-/// complete pipeline (plant → controllers → characterisation → Table-I
-/// parameters → allocation → co-simulation) on equivalent dynamics; the exact
-/// published Table I is available separately via [`paper_table1`].
-///
-/// # Errors
-///
-/// Propagates controller-design failures.
-pub fn derived_fleet() -> Result<Vec<ControlApplication>> {
+/// The specifications of the six-application synthetic fleet used for the
+/// *derived* variant of the case study: standard automotive plants, a
+/// deliberately bandwidth-limited (pole-placed) design for the
+/// event-triggered loop and a fast design for the time-triggered loop.
+pub fn derived_fleet_specs() -> Vec<ApplicationSpec> {
     struct FleetEntry {
         name: &'static str,
         plant: cps_control::ContinuousStateSpace,
@@ -151,36 +141,66 @@ pub fn derived_fleet() -> Result<Vec<ControlApplication>> {
     ];
     entries
         .into_iter()
-        .map(|entry| {
-            ControlApplication::design(ApplicationSpec {
-                name: entry.name.to_string(),
-                plant: entry.plant,
-                period: CASE_STUDY_PERIOD,
-                et_delay: CASE_STUDY_PERIOD,
-                tt_delay: CASE_STUDY_TT_DELAY,
-                threshold: CASE_STUDY_THRESHOLD,
-                disturbance: entry.disturbance,
-                deadline: entry.deadline,
-                inter_arrival: entry.inter_arrival,
-                controllers: ControllerSpec::PolePlacement {
-                    et_poles: entry.et_poles,
-                    tt_poles: entry.tt_poles,
-                },
-                input_limit: None,
-            })
+        .map(|entry| ApplicationSpec {
+            name: entry.name.to_string(),
+            plant: entry.plant,
+            period: CASE_STUDY_PERIOD,
+            et_delay: CASE_STUDY_PERIOD,
+            tt_delay: CASE_STUDY_TT_DELAY,
+            threshold: CASE_STUDY_THRESHOLD,
+            disturbance: entry.disturbance,
+            deadline: entry.deadline,
+            inter_arrival: entry.inter_arrival,
+            controllers: ControllerSpec::PolePlacement {
+                et_poles: entry.et_poles,
+                tt_poles: entry.tt_poles,
+            },
+            input_limit: None,
         })
         .collect()
 }
 
+/// A fleet of `count` specifications cycling through the six case-study
+/// entries with unique names — the scaling axis for fleet-design throughput
+/// studies (the `fleet_design` bench designs a 24-application fleet built
+/// this way).
+pub fn scaled_fleet_specs(count: usize) -> Vec<ApplicationSpec> {
+    let base = derived_fleet_specs();
+    (0..count)
+        .map(|index| {
+            let mut spec = base[index % base.len()].clone();
+            spec.name = format!("{}-{}", spec.name, index / base.len());
+            spec
+        })
+        .collect()
+}
+
+/// Builds the six-application synthetic derived fleet through the
+/// [`crate::FleetDesigner`] pipeline.
+///
+/// The paper does not publish its plant models, so this fleet exercises the
+/// complete pipeline (plant → controllers → characterisation → Table-I
+/// parameters → allocation → co-simulation) on equivalent dynamics; the exact
+/// published Table I is available separately via [`paper_table1`].
+///
+/// # Errors
+///
+/// Propagates controller-design failures.
+pub fn derived_fleet() -> Result<Vec<ControlApplication>> {
+    crate::designer::FleetDesigner::new().design(derived_fleet_specs())
+}
+
 /// Derives a Table-I-style parameter set for a fleet of designed applications
 /// by characterising each one's dwell/wait curve and fitting the
-/// non-monotonic model.
+/// non-monotonic model — routed through the parallel
+/// [`crate::FleetDesigner::characterize`] pass (bit-identical to the
+/// sequential per-application path for any worker count).
 ///
 /// # Errors
 ///
 /// Propagates characterisation failures.
 pub fn derive_table(fleet: &[ControlApplication]) -> Result<Vec<AppTimingParams>> {
-    fleet.iter().map(derive_timing_params).collect()
+    crate::designer::FleetDesigner::new().characterize(fleet)
 }
 
 #[cfg(test)]

@@ -1,0 +1,290 @@
+//! The fleet-level design pipeline: one workspace-threaded, parallel
+//! designer behind every design entry point.
+//!
+//! The paper's resource-efficient flow is fleet-scoped — controllers, dwell
+//! characterisation and slot allocation are co-designed for the whole
+//! application set — yet the seed synthesised one application at a time with
+//! private solver temporaries. [`FleetDesigner`] makes the design path a
+//! first-class pipeline, mirroring what [`crate::ScenarioBatch`] did for the
+//! simulation path:
+//!
+//! * **Workspace-threaded:** every controller synthesis runs through one
+//!   [`cps_control::DesignWorkspace`] bundle per worker (Riccati, matrix
+//!   exponential and LU temporaries, pooled by dimension), so a fleet design
+//!   allocates solver scratch once per worker instead of once per
+//!   discretisation/DARE call.
+//! * **Parallel:** independent application designs (and the dwell/wait
+//!   characterisations feeding the slot allocator) fan out across
+//!   `std::thread::scope` workers over contiguous index chunks, exactly like
+//!   the scenario batch engine.
+//! * **Deterministic:** results are stitched back in input order and the
+//!   workspace path is bit-identical to the allocating reference path, so
+//!   the designed artifacts are **bit-for-bit independent of the worker
+//!   count** — the property the parity suite (`tests/fleet_designer.rs`)
+//!   asserts on the paper fleet and on random stable plants.
+//!
+//! Every design entry point routes through this pipeline:
+//! [`crate::ControlApplication::design`] (a one-application fleet),
+//! [`crate::DesignedFleet::design`] / [`crate::DesignedFleet::design_optimal`]
+//! (characterisation computed once, shared by the greedy incumbent and the
+//! exact branch-and-bound search), and
+//! [`crate::BusConfigSweep::scenarios_for`] (characterisation computed once
+//! and reused across every candidate bus instead of re-derived per
+//! configuration).
+//!
+//! Note: the container this repository grows in is single-core, so the
+//! parallel fan-out degenerates to the sequential path there; the speedup
+//! claim of the `fleet_design` bench should be re-measured on a multi-core
+//! host (see ROADMAP).
+
+use crate::application::{ApplicationSpec, ControlApplication};
+use crate::characterize::derive_timing_params;
+use crate::error::Result;
+use crate::fleet::DesignedFleet;
+use cps_control::DesignWorkspace;
+use cps_flexray::FlexRayConfig;
+use cps_sched::{AllocatorConfig, AppTimingParams};
+
+/// The reusable fleet-design pipeline: owns the worker policy and threads
+/// one [`DesignWorkspace`] bundle per worker through every synthesis.
+///
+/// The designer is cheap to construct (workspaces are allocated inside the
+/// workers, per run); clone-free and stateless between runs, one instance
+/// can drive any number of fleets.
+#[derive(Debug, Clone)]
+pub struct FleetDesigner {
+    threads: usize,
+}
+
+impl Default for FleetDesigner {
+    fn default() -> Self {
+        FleetDesigner::new()
+    }
+}
+
+impl FleetDesigner {
+    /// A designer using the machine's available parallelism.
+    pub fn new() -> Self {
+        FleetDesigner { threads: 0 }
+    }
+
+    /// A designer that always runs on the calling thread (the retained
+    /// sequential path; still workspace-threaded).
+    pub fn sequential() -> Self {
+        FleetDesigner { threads: 1 }
+    }
+
+    /// Sets the worker-thread count; `0` (the default) uses the machine's
+    /// available parallelism. The designed artifacts are bit-identical for
+    /// any setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count a run will actually use for `item_count` independent
+    /// design items.
+    pub fn effective_threads(&self, item_count: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        configured.clamp(1, item_count.max(1))
+    }
+
+    /// Designs every application of the fleet through the shared pipeline
+    /// and returns them in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first design error in input order (specs after the
+    /// failing one in the same chunk are not designed).
+    pub fn design(&self, specs: Vec<ApplicationSpec>) -> Result<Vec<ControlApplication>> {
+        self.run(specs, |workspace, spec| ControlApplication::design_with(spec, workspace))
+    }
+
+    /// Designs a single application (a one-application fleet) on the calling
+    /// thread — the routing target of [`ControlApplication::design`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates design failures.
+    pub fn design_one(&self, spec: ApplicationSpec) -> Result<ControlApplication> {
+        ControlApplication::design_with(spec, &mut DesignWorkspace::new())
+    }
+
+    /// Characterises every application (dwell/wait curve, non-monotonic
+    /// model fit) and returns the fleet's Table-I rows in input order — the
+    /// single characterisation pass shared by the greedy allocator seed, the
+    /// exact branch-and-bound search and every candidate bus of a
+    /// [`crate::BusConfigSweep`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first characterisation error in input order.
+    pub fn characterize(&self, apps: &[ControlApplication]) -> Result<Vec<AppTimingParams>> {
+        // Same fan-out machinery as `design`; characterisation builds its
+        // own switched-kernel scratch, so the per-worker workspace bundle
+        // goes unused (it is two empty `Vec`s until first touched).
+        self.run(apps.iter().collect(), |_, app| derive_timing_params(app))
+    }
+
+    /// The full greedy design flow: design the applications, characterise
+    /// them once, allocate TT slots with the configured greedy strategy
+    /// (capped by the bus's static segment) and freeze the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design, characterisation, allocation and fleet-validation
+    /// failures.
+    pub fn design_fleet(
+        &self,
+        specs: Vec<ApplicationSpec>,
+        config: &AllocatorConfig,
+        bus_config: FlexRayConfig,
+    ) -> Result<DesignedFleet> {
+        let apps = self.design(specs)?;
+        let table = self.characterize(&apps)?;
+        let allocation = cps_sched::allocate_slots(&table, &budgeted(config, &bus_config))?;
+        DesignedFleet::new(apps, allocation, bus_config)
+    }
+
+    /// The full exact design flow: like [`FleetDesigner::design_fleet`] but
+    /// the slot map is the provable minimum of
+    /// [`cps_sched::allocate_slots_optimal`]; the single characterisation
+    /// pass feeds both the greedy incumbent seed and the exact search
+    /// (`config.strategy` is ignored).
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetDesigner::design_fleet`], with
+    /// [`cps_sched::SchedError::NoFeasibleAllocation`] when no slot map fits
+    /// the bus.
+    pub fn design_fleet_optimal(
+        &self,
+        specs: Vec<ApplicationSpec>,
+        config: &AllocatorConfig,
+        bus_config: FlexRayConfig,
+    ) -> Result<DesignedFleet> {
+        let apps = self.design(specs)?;
+        self.freeze_optimal(apps, config, bus_config)
+    }
+
+    /// The exact allocation-and-freeze tail shared with
+    /// [`DesignedFleet::design_optimal`]: characterise once, solve the
+    /// branch-and-bound optimum under the bus budget, validate.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetDesigner::design_fleet_optimal`].
+    pub(crate) fn freeze_optimal(
+        &self,
+        apps: Vec<ControlApplication>,
+        config: &AllocatorConfig,
+        bus_config: FlexRayConfig,
+    ) -> Result<DesignedFleet> {
+        let table = self.characterize(&apps)?;
+        let allocation = cps_sched::allocate_slots_optimal(&table, &budgeted(config, &bus_config))?;
+        DesignedFleet::new(apps, allocation, bus_config)
+    }
+
+    /// Fans `items` out over the configured workers, one [`DesignWorkspace`]
+    /// per worker, contiguous chunks, results stitched in input order.
+    fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut DesignWorkspace, T) -> Result<R> + Sync,
+    {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.effective_threads(items.len());
+        if workers == 1 {
+            let mut workspace = DesignWorkspace::new();
+            return items.into_iter().map(|item| f(&mut workspace, item)).collect();
+        }
+
+        // Contiguous chunks keep the output order (and therefore the result)
+        // independent of scheduling; ceil-sized so every item is covered.
+        let chunk_size = items.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let f = &f;
+        let chunk_results: Vec<Result<Vec<R>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        // Worker start-up: one workspace bundle, reused for
+                        // every design in the chunk.
+                        let mut workspace = DesignWorkspace::new();
+                        chunk.into_iter().map(|item| f(&mut workspace, item)).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("design worker must not panic"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        for chunk in chunk_results {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+}
+
+/// The allocator configuration capped by the bus's static segment.
+fn budgeted(config: &AllocatorConfig, bus_config: &FlexRayConfig) -> AllocatorConfig {
+    AllocatorConfig { max_slots: config.max_slots.min(bus_config.static_slot_count), ..*config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+
+    #[test]
+    fn empty_inputs_short_circuit() {
+        let designer = FleetDesigner::new();
+        assert!(designer.design(Vec::new()).unwrap().is_empty());
+        assert!(designer.characterize(&[]).unwrap().is_empty());
+        assert_eq!(designer.effective_threads(0), 1);
+        assert!(designer.effective_threads(100) >= 1);
+        assert_eq!(FleetDesigner::sequential().effective_threads(100), 1);
+    }
+
+    #[test]
+    fn design_errors_surface_in_input_order() {
+        let mut specs = case_study::derived_fleet_specs();
+        specs[1].deadline = -1.0; // invalid
+        specs[4].threshold = 0.0; // also invalid, but later in input order
+        let err = FleetDesigner::new().with_threads(3).design(specs).unwrap_err();
+        assert!(err.to_string().contains("deadline"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn design_fleet_flows_end_to_end() {
+        let designer = FleetDesigner::new().with_threads(2);
+        let config = AllocatorConfig::default();
+        let bus = cps_flexray::FlexRayConfig::paper_case_study();
+        let greedy =
+            designer.design_fleet(case_study::derived_fleet_specs(), &config, bus).unwrap();
+        let optimal = designer
+            .design_fleet_optimal(case_study::derived_fleet_specs(), &config, bus)
+            .unwrap();
+        assert_eq!(greedy.app_count(), 6);
+        assert!(optimal.slot_count() <= greedy.slot_count());
+    }
+}

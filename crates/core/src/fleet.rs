@@ -81,14 +81,34 @@ impl DesignedFleet {
         Ok(DesignedFleet { apps, allocation, bus_config, runtime_apps, period })
     }
 
-    /// The exact design path: characterises every application
-    /// ([`crate::derive_timing_params`]), solves the slot allocation with
-    /// the branch-and-bound optimum of
-    /// [`cps_sched::allocate_slots_optimal`] — capped by the bus's static
-    /// segment — and freezes the fleet. The result provably uses the
-    /// minimum number of TT slots for the derived timing table under the
-    /// given dwell model and wait-time method (`config.strategy` is
-    /// ignored).
+    /// The full greedy design flow from bare specifications, routed through
+    /// the [`crate::FleetDesigner`] pipeline: controllers are synthesised on
+    /// the workspace-threaded parallel path, the fleet is characterised
+    /// **once**, the configured greedy allocator packs the TT slots (capped
+    /// by the bus's static segment) and the result is frozen.
+    ///
+    /// # Errors
+    ///
+    /// * Design/characterisation failures from the pipeline.
+    /// * Allocation failures from [`cps_sched::allocate_slots`].
+    /// * The same validation failures as [`DesignedFleet::new`].
+    pub fn design(
+        specs: Vec<crate::application::ApplicationSpec>,
+        config: &cps_sched::AllocatorConfig,
+        bus_config: FlexRayConfig,
+    ) -> Result<Self> {
+        crate::designer::FleetDesigner::new().design_fleet(specs, config, bus_config)
+    }
+
+    /// The exact design path, routed through the [`crate::FleetDesigner`]
+    /// pipeline: characterises every application **once** (in parallel),
+    /// then solves the slot allocation with the branch-and-bound optimum of
+    /// [`cps_sched::allocate_slots_optimal`] — the same characterisation
+    /// pass feeds the greedy incumbent seed and the exact search — capped by
+    /// the bus's static segment, and freezes the fleet. The result provably
+    /// uses the minimum number of TT slots for the derived timing table
+    /// under the given dwell model and wait-time method (`config.strategy`
+    /// is ignored).
     ///
     /// # Errors
     ///
@@ -101,16 +121,7 @@ impl DesignedFleet {
         config: &cps_sched::AllocatorConfig,
         bus_config: FlexRayConfig,
     ) -> Result<Self> {
-        let table = apps
-            .iter()
-            .map(crate::characterize::derive_timing_params)
-            .collect::<Result<Vec<_>>>()?;
-        let budgeted = cps_sched::AllocatorConfig {
-            max_slots: config.max_slots.min(bus_config.static_slot_count),
-            ..*config
-        };
-        let allocation = cps_sched::allocate_slots_optimal(&table, &budgeted)?;
-        DesignedFleet::new(apps, allocation, bus_config)
+        crate::designer::FleetDesigner::new().freeze_optimal(apps, config, bus_config)
     }
 
     /// The designed applications, in allocation order.

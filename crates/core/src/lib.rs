@@ -17,19 +17,25 @@
 //!    derived fleet exercising the pipeline end to end.
 //! 4. [`AllocationRuntime`] — the Figure 1 dynamic resource-allocation scheme
 //!    (ET by default, TT slot on demand, non-preemptive priority arbitration).
-//! 5. [`DesignedFleet`] — the shared-immutable design artifact (designed
+//! 5. [`FleetDesigner`] — the fleet-level design pipeline behind every
+//!    design entry point: one [`cps_control::DesignWorkspace`] bundle per
+//!    worker, independent application designs and characterisations fanned
+//!    out across `std::thread::scope`, bit-identical for any worker count.
+//! 6. [`DesignedFleet`] — the shared-immutable design artifact (designed
 //!    controllers, fused kernel matrices, bus/slot configuration) that any
 //!    number of engines reference through an `Arc`; its
-//!    [`DesignedFleet::design_optimal`] path dimensions the slot map with
-//!    the exact branch-and-bound allocator instead of a greedy heuristic.
-//! 6. [`CoSimulation`] — plant/runtime/FlexRay co-simulation reproducing the
+//!    [`DesignedFleet::design`] / [`DesignedFleet::design_optimal`] paths
+//!    run the designer pipeline end to end (the latter dimensions the slot
+//!    map with the exact branch-and-bound allocator, reusing one
+//!    characterisation pass for the greedy incumbent and the exact search).
+//! 7. [`CoSimulation`] — plant/runtime/FlexRay co-simulation reproducing the
 //!    responses of Figure 5, running on allocation-free
 //!    [`cps_control::StepKernel`]s with `reset()`-and-rerun support.
-//! 7. [`ScenarioBatch`] — batched, parallel multi-scenario co-simulation
+//! 8. [`ScenarioBatch`] — batched, parallel multi-scenario co-simulation
 //!    for disturbance / threshold / per-app-disturbance / slot-map /
 //!    bus-configuration ([`BusConfigSweep`]) sweeps, deterministic across
 //!    thread counts.
-//! 8. [`experiments`] — one entry point per table/figure, used by the
+//! 9. [`experiments`] — one entry point per table/figure, used by the
 //!    examples and the Criterion benches.
 //!
 //! # Example: the headline result
@@ -50,6 +56,7 @@
 mod application;
 mod characterize;
 mod cosim;
+mod designer;
 mod error;
 mod fleet;
 mod runtime;
@@ -62,6 +69,7 @@ pub use application::{ApplicationSpec, ControlApplication, ControllerSpec};
 pub use case_study::CaseStudyOutcome;
 pub use characterize::{characterize_application, derive_timing_params, fit_non_monotonic};
 pub use cosim::{AppTrace, CoSimTrace, CoSimulation, TracePoint};
+pub use designer::FleetDesigner;
 pub use error::{CoreError, Result};
 pub use fleet::DesignedFleet;
 pub use runtime::{AllocationRuntime, AppPhase, RuntimeApp};

@@ -284,6 +284,29 @@ impl BusConfigSweep {
         }
         scenarios
     }
+
+    /// Expands the sweep for a designed fleet through the
+    /// [`crate::FleetDesigner`] pipeline: the fleet is characterised
+    /// **once** (in parallel) and that single timing table is reused for
+    /// every candidate bus's allocator matrix and branch-and-bound optimum —
+    /// controllers are never re-synthesised and the dwell/wait curves never
+    /// re-simulated per bus, which is what makes wide bus-dimensioning
+    /// sweeps cheap (the `fleet_design` bench pins the speed-up over
+    /// re-characterising per candidate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation failures.
+    pub fn scenarios_for(
+        &self,
+        designer: &crate::designer::FleetDesigner,
+        apps: &[ControlApplication],
+        allocator: &cps_sched::AllocatorConfig,
+        duration: f64,
+    ) -> Result<Vec<ScenarioSpec>> {
+        let table = designer.characterize(apps)?;
+        Ok(self.scenarios(&table, allocator, duration))
+    }
 }
 
 /// Per-scenario summary returned by the batch engine (the full traces stay

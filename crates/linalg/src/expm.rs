@@ -58,6 +58,11 @@ pub struct ExpmWorkspace {
 }
 
 impl ExpmWorkspace {
+    /// Matrix order `n` the workspace was sized for.
+    pub fn dim(&self) -> usize {
+        self.term.rows()
+    }
+
     /// Allocates a workspace for `n × n` exponentials.
     ///
     /// # Panics
@@ -87,6 +92,21 @@ impl ExpmWorkspace {
 /// As [`expm`]; additionally [`LinalgError::ShapeMismatch`] if the workspace
 /// was sized for a different order.
 pub fn expm_with(a: &Matrix, workspace: &mut ExpmWorkspace) -> Result<Matrix> {
+    let mut result = Matrix::zeros(a.rows().max(1), a.cols().max(1));
+    expm_into(a, workspace, &mut result)?;
+    Ok(result)
+}
+
+/// [`expm_with`] writing the exponential into a caller-provided output
+/// matrix: with a warm workspace the call performs no heap allocation at
+/// all (the designer's steady-state loop, proved by `tests/zero_alloc.rs`).
+/// Produces exactly the values of [`expm`].
+///
+/// # Errors
+///
+/// As [`expm_with`]; additionally [`LinalgError::ShapeMismatch`] if `out`
+/// has the wrong shape.
+pub fn expm_into(a: &Matrix, workspace: &mut ExpmWorkspace, out: &mut Matrix) -> Result<()> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape(), op: "expm" });
     }
@@ -101,6 +121,13 @@ pub fn expm_with(a: &Matrix, workspace: &mut ExpmWorkspace) -> Result<Matrix> {
             left: (n, n),
             right: workspace.term.shape(),
             op: "expm workspace",
+        });
+    }
+    if out.shape() != (n, n) {
+        return Err(LinalgError::ShapeMismatch {
+            left: (n, n),
+            right: out.shape(),
+            op: "expm output",
         });
     }
     let norm = a.inf_norm();
@@ -135,13 +162,12 @@ pub fn expm_with(a: &Matrix, workspace: &mut ExpmWorkspace) -> Result<Matrix> {
         ws.denominator.add_assign_scaled(&ws.term, coeff * sign)?;
     }
     ws.lu.refactor(&ws.denominator)?;
-    let mut result = Matrix::zeros(n, n);
-    ws.lu.solve_matrix_into(&ws.numerator, &mut result, &mut ws.column, &mut ws.solution)?;
+    ws.lu.solve_matrix_into(&ws.numerator, out, &mut ws.column, &mut ws.solution)?;
     for _ in 0..squarings {
-        result.matmul_into(&result, &mut ws.square)?;
-        std::mem::swap(&mut result, &mut ws.square);
+        out.matmul_into(out, &mut ws.square)?;
+        std::mem::swap(out, &mut ws.square);
     }
-    Ok(result)
+    Ok(())
 }
 
 /// Zero-order-hold discretisation of the continuous-time pair `(A, B)` over a
@@ -161,6 +187,25 @@ pub fn expm_with(a: &Matrix, workspace: &mut ExpmWorkspace) -> Result<Matrix> {
 ///   than `a`.
 /// * [`LinalgError::InvalidArgument`] if `dt` is not positive and finite.
 pub fn discretize_zoh(a: &Matrix, b: &Matrix, dt: f64) -> Result<(Matrix, Matrix)> {
+    let mut workspace = ExpmWorkspace::new((a.rows() + b.cols()).max(1));
+    discretize_zoh_with(a, b, dt, &mut workspace)
+}
+
+/// [`discretize_zoh`] with a caller-provided [`ExpmWorkspace`] sized for the
+/// augmented order `n + m`, so design loops that discretise many plants of
+/// the same order share one set of exponential temporaries. Produces exactly
+/// the values of [`discretize_zoh`].
+///
+/// # Errors
+///
+/// As [`discretize_zoh`]; additionally [`LinalgError::ShapeMismatch`] if the
+/// workspace was sized for a different augmented order.
+pub fn discretize_zoh_with(
+    a: &Matrix,
+    b: &Matrix,
+    dt: f64,
+    workspace: &mut ExpmWorkspace,
+) -> Result<(Matrix, Matrix)> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape(), op: "discretize_zoh" });
     }
@@ -182,7 +227,7 @@ pub fn discretize_zoh(a: &Matrix, b: &Matrix, dt: f64) -> Result<(Matrix, Matrix
     let mut aug = Matrix::zeros(n + m, n + m);
     aug.set_block(0, 0, &a.scale(dt))?;
     aug.set_block(0, n, &b.scale(dt))?;
-    let exp_aug = expm(&aug)?;
+    let exp_aug = expm_with(&aug, workspace)?;
     let phi = exp_aug.block(0, 0, n, n)?;
     let gamma = exp_aug.block(0, n, n, m)?;
     Ok((phi, gamma))
@@ -200,6 +245,25 @@ pub fn discretize_zoh(a: &Matrix, b: &Matrix, dt: f64) -> Result<(Matrix, Matrix
 /// Same conditions as [`discretize_zoh`], plus
 /// [`LinalgError::InvalidArgument`] if `t0 > t1` or `t0 < 0`.
 pub fn input_integral(a: &Matrix, b: &Matrix, t0: f64, t1: f64) -> Result<Matrix> {
+    let mut workspace = ExpmWorkspace::new((a.rows() + b.cols()).max(1));
+    input_integral_with(a, b, t0, t1, &mut workspace)
+}
+
+/// [`input_integral`] with a caller-provided [`ExpmWorkspace`] sized for the
+/// augmented order `n + m` (shared by the two inner discretisations).
+/// Produces exactly the values of [`input_integral`].
+///
+/// # Errors
+///
+/// As [`input_integral`]; additionally [`LinalgError::ShapeMismatch`] if the
+/// workspace was sized for a different augmented order.
+pub fn input_integral_with(
+    a: &Matrix,
+    b: &Matrix,
+    t0: f64,
+    t1: f64,
+    workspace: &mut ExpmWorkspace,
+) -> Result<Matrix> {
     if t0 < 0.0 || t0 > t1 || !t0.is_finite() || !t1.is_finite() {
         return Err(LinalgError::InvalidArgument {
             reason: format!("integral bounds must satisfy 0 <= t0 <= t1, got [{t0}, {t1}]"),
@@ -216,11 +280,11 @@ pub fn input_integral(a: &Matrix, b: &Matrix, t0: f64, t1: f64) -> Result<Matrix
         return Ok(Matrix::zeros(a.rows(), b.cols()));
     }
     // ∫_{t0}^{t1} e^{A s} ds B = ∫_0^{t1} ... − ∫_0^{t0} ...
-    let (_, g1) = discretize_zoh(a, b, t1)?;
+    let (_, g1) = discretize_zoh_with(a, b, t1, workspace)?;
     if t0 == 0.0 {
         return Ok(g1);
     }
-    let (_, g0) = discretize_zoh(a, b, t0)?;
+    let (_, g0) = discretize_zoh_with(a, b, t0, workspace)?;
     g1.sub_matrix(&g0)
 }
 

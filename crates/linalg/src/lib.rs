@@ -57,12 +57,15 @@ pub mod eig;
 
 pub use eig::{eigenvalues, is_hurwitz_stable, is_schur_stable, spectral_radius, Complex};
 pub use error::{LinalgError, Result};
-pub use expm::{discretize_zoh, expm, expm_with, input_integral, ExpmWorkspace};
+pub use expm::{
+    discretize_zoh, discretize_zoh_with, expm, expm_into, expm_with, input_integral,
+    input_integral_with, ExpmWorkspace,
+};
 pub use lu::{determinant, inverse, solve, Lu};
 pub use lyapunov::{is_positive_definite, is_schur_stable_lyapunov, solve_discrete_lyapunov};
 pub use matrix::{axpy, dot, vec_norm, Matrix};
 pub use qr::{polyfit, polyval, Qr};
 pub use riccati::{
-    dlqr, dlqr_with, solve_dare, solve_dare_reference, solve_dare_with, DareOptions, LqrSolution,
-    RiccatiWorkspace,
+    dlqr, dlqr_with, solve_dare, solve_dare_in_place, solve_dare_reference, solve_dare_with,
+    DareOptions, LqrSolution, RiccatiWorkspace,
 };

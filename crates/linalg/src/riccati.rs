@@ -69,19 +69,47 @@ pub fn solve_dare_with(
     options: DareOptions,
     workspace: &mut RiccatiWorkspace,
 ) -> Result<Matrix> {
+    solve_dare_in_place(a, b, q, r, options, workspace)?;
+    Ok(workspace.p.clone())
+}
+
+/// [`solve_dare_with`] without materialising the result: the stabilising
+/// solution is left in the workspace ([`RiccatiWorkspace::solution`]), so the
+/// steady-state design loop — warm workspace, repeated solves — performs no
+/// heap allocation at all (proved by `tests/zero_alloc.rs`). Produces exactly
+/// the values of [`solve_dare_reference`].
+///
+/// # Errors
+///
+/// As [`solve_dare_with`].
+pub fn solve_dare_in_place(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    options: DareOptions,
+    workspace: &mut RiccatiWorkspace,
+) -> Result<()> {
     validate_lqr_shapes(a, b, q, r)?;
     workspace.check(a.rows(), b.cols())?;
-    let mut p = q.clone();
+    workspace.p.copy_from(q)?;
     for iteration in 0..options.max_iterations {
-        riccati_step_into(a, b, q, r, &p, workspace)?;
-        let delta = max_abs_difference(&workspace.next, &p);
-        p.copy_from(&workspace.next)?;
+        riccati_step_into(a, b, q, r, workspace)?;
+        let ws = &mut *workspace;
+        let delta = max_abs_difference(&ws.next, &ws.p);
+        ws.p.copy_from(&ws.next)?;
         if delta < options.tolerance {
-            // Symmetrise to clean up round-off before returning.
-            return p.add_matrix(&p.transpose()).map(|s| s.scale(0.5));
+            // Symmetrise to clean up round-off before returning; the in-place
+            // ops reproduce `(P + Pᵀ) · 0.5` of the reference path bit for
+            // bit (`x + 1.0·y` is exactly `x + y`).
+            let RiccatiWorkspace { p, pt, .. } = ws;
+            p.transpose_into(pt)?;
+            p.add_assign_scaled(pt, 1.0)?;
+            p.scale_assign(0.5);
+            return Ok(());
         }
         // Guard against runaway divergence early.
-        if !p.is_finite() {
+        if !ws.p.is_finite() {
             return Err(LinalgError::NotConverged {
                 algorithm: "dare value iteration",
                 iterations: iteration + 1,
@@ -173,6 +201,12 @@ pub struct RiccatiWorkspace {
     next: Matrix,
     /// `Bᵀ·P` (m × n), used by the final gain computation of [`dlqr_with`].
     btp: Matrix,
+    /// The current Riccati iterate; after a successful
+    /// [`solve_dare_in_place`] it holds the stabilising DARE solution
+    /// ([`RiccatiWorkspace::solution`]).
+    p: Matrix,
+    /// `Pᵀ` scratch for the final in-place symmetrisation (n × n).
+    pt: Matrix,
     /// Reusable LU factorisation of the Gram matrix.
     lu: Lu,
     /// Column scratch for the matrix solve.
@@ -202,10 +236,23 @@ impl RiccatiWorkspace {
             correction: Matrix::zeros(n, n),
             next: Matrix::zeros(n, n),
             btp: Matrix::zeros(m, n),
+            p: Matrix::zeros(n, n),
+            pt: Matrix::zeros(n, n),
             lu: Lu::workspace(m),
             column: vec![0.0; m],
             solution: vec![0.0; m],
         }
+    }
+
+    /// Dimensions `(n, m)` the workspace was sized for.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.at.rows(), self.bt.rows())
+    }
+
+    /// The DARE solution left behind by the last successful
+    /// [`solve_dare_in_place`] (all-zero before the first solve).
+    pub fn solution(&self) -> &Matrix {
+        &self.p
     }
 
     /// Verifies the workspace was sized for an `n`-state, `m`-input problem.
@@ -221,7 +268,8 @@ impl RiccatiWorkspace {
     }
 }
 
-/// One step of the Riccati recursion written into `workspace.next`:
+/// One step of the Riccati recursion, reading the current iterate from
+/// `ws.p` and writing the next one into `ws.next`:
 /// `P⁺ = AᵀPA − AᵀPB (R + BᵀPB)⁻¹ BᵀPA + Q`, allocation-free.
 ///
 /// Every operation is the `_into` twin of the allocating op in
@@ -231,25 +279,43 @@ fn riccati_step_into(
     b: &Matrix,
     q: &Matrix,
     r: &Matrix,
-    p: &Matrix,
-    ws: &mut RiccatiWorkspace,
+    workspace: &mut RiccatiWorkspace,
 ) -> Result<()> {
-    a.transpose_into(&mut ws.at)?;
-    b.transpose_into(&mut ws.bt)?;
-    p.matmul_into(a, &mut ws.pa)?;
-    p.matmul_into(b, &mut ws.pb)?;
-    ws.bt.matmul_into(&ws.pb, &mut ws.btpb)?;
-    ws.gram.copy_from(r)?;
-    ws.gram.add_assign_scaled(&ws.btpb, 1.0)?;
-    ws.bt.matmul_into(&ws.pa, &mut ws.btpa)?;
-    ws.lu.refactor(&ws.gram)?;
-    ws.lu.solve_matrix_into(&ws.btpa, &mut ws.gain, &mut ws.column, &mut ws.solution)?;
-    ws.at.matmul_into(&ws.pa, &mut ws.atpa)?;
-    ws.at.matmul_into(&ws.pb, &mut ws.atpb)?;
-    ws.atpb.matmul_into(&ws.gain, &mut ws.correction)?;
-    ws.next.copy_from(&ws.atpa)?;
-    ws.next.add_assign_scaled(&ws.correction, -1.0)?;
-    ws.next.add_assign_scaled(q, 1.0)?;
+    let RiccatiWorkspace {
+        at,
+        bt,
+        pa,
+        pb,
+        btpb,
+        gram,
+        btpa,
+        gain,
+        atpa,
+        atpb,
+        correction,
+        next,
+        p,
+        lu,
+        column,
+        solution,
+        ..
+    } = workspace;
+    a.transpose_into(at)?;
+    b.transpose_into(bt)?;
+    p.matmul_into(a, pa)?;
+    p.matmul_into(b, pb)?;
+    bt.matmul_into(pb, btpb)?;
+    gram.copy_from(r)?;
+    gram.add_assign_scaled(btpb, 1.0)?;
+    bt.matmul_into(pa, btpa)?;
+    lu.refactor(gram)?;
+    lu.solve_matrix_into(btpa, gain, column, solution)?;
+    at.matmul_into(pa, atpa)?;
+    at.matmul_into(pb, atpb)?;
+    atpb.matmul_into(gain, correction)?;
+    next.copy_from(atpa)?;
+    next.add_assign_scaled(correction, -1.0)?;
+    next.add_assign_scaled(q, 1.0)?;
     Ok(())
 }
 
@@ -336,19 +402,20 @@ pub fn dlqr_with(
     options: DareOptions,
     workspace: &mut RiccatiWorkspace,
 ) -> Result<LqrSolution> {
-    let p = solve_dare_with(a, b, q, r, options, workspace)?;
-    let ws = workspace;
+    solve_dare_in_place(a, b, q, r, options, workspace)?;
     // gram = R + (BᵀP)·B, rhs = (BᵀP)·A — the same associativity as the
     // original allocating path, so gains are unchanged bit for bit.
-    b.transpose_into(&mut ws.bt)?;
-    ws.bt.matmul_into(&p, &mut ws.btp)?;
-    ws.btp.matmul_into(b, &mut ws.btpb)?;
-    ws.gram.copy_from(r)?;
-    ws.gram.add_assign_scaled(&ws.btpb, 1.0)?;
-    ws.btp.matmul_into(a, &mut ws.btpa)?;
-    ws.lu.refactor(&ws.gram)?;
-    ws.lu.solve_matrix_into(&ws.btpa, &mut ws.gain, &mut ws.column, &mut ws.solution)?;
-    Ok(LqrSolution { gain: ws.gain.clone(), cost: p })
+    let RiccatiWorkspace { bt, btp, btpb, gram, btpa, gain, p, lu, column, solution, .. } =
+        workspace;
+    b.transpose_into(bt)?;
+    bt.matmul_into(p, btp)?;
+    btp.matmul_into(b, btpb)?;
+    gram.copy_from(r)?;
+    gram.add_assign_scaled(btpb, 1.0)?;
+    btp.matmul_into(a, btpa)?;
+    lu.refactor(gram)?;
+    lu.solve_matrix_into(btpa, gain, column, solution)?;
+    Ok(LqrSolution { gain: gain.clone(), cost: p.clone() })
 }
 
 fn validate_lqr_shapes(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix) -> Result<()> {
@@ -407,12 +474,17 @@ mod tests {
 
         // A single workspace step matches a single reference step exactly.
         let mut ws = RiccatiWorkspace::new(2, 1);
-        riccati_step_into(&a, &b, &q, &r, &p, &mut ws).unwrap();
+        ws.p.copy_from(&p).unwrap();
+        riccati_step_into(&a, &b, &q, &r, &mut ws).unwrap();
         assert_eq!(ws.next, next);
 
-        // And the workspace is reusable across designs without drift.
+        // And the workspace is reusable across designs without drift; the
+        // in-place variant leaves the same solution in the workspace.
         let p_again = solve_dare_with(&a, &b, &q, &r, DareOptions::default(), &mut ws).unwrap();
         assert_eq!(p_again, p);
+        solve_dare_in_place(&a, &b, &q, &r, DareOptions::default(), &mut ws).unwrap();
+        assert_eq!(ws.solution(), &p);
+        assert_eq!(ws.dims(), (2, 1));
     }
 
     #[test]

@@ -181,11 +181,27 @@ pub fn allocate_slots(
         });
     }
     let order = priority_order(apps);
-    let mut slots: Vec<Vec<usize>> = Vec::new();
+    dedicated_slot_precheck(apps, config, &order)?;
+    allocate_slots_prechecked(apps, config, &order)
+}
 
-    for &app_index in &order {
-        // An application must at least be schedulable alone (its pure-TT
-        // response must meet the deadline), otherwise no allocation exists.
+/// Verifies, in priority order, that every application is at least
+/// schedulable alone on a dedicated TT slot (its pure-TT response meets the
+/// deadline) — the precondition of every greedy strategy. Factored out so
+/// the branch-and-bound incumbent seeding pays this characterisation pass
+/// **once** across all three greedy strategies instead of once per strategy.
+///
+/// # Errors
+///
+/// [`SchedError::InvalidParameter`] naming the first (highest-priority)
+/// application that cannot meet its deadline; analysis errors are
+/// propagated.
+pub(crate) fn dedicated_slot_precheck(
+    apps: &[AppTimingParams],
+    config: &AllocatorConfig,
+    order: &[usize],
+) -> Result<()> {
+    for &app_index in order {
         if !is_slot_schedulable(apps, &[app_index], config.model, config.method)? {
             return Err(SchedError::InvalidParameter {
                 reason: format!(
@@ -194,6 +210,25 @@ pub fn allocate_slots(
                 ),
             });
         }
+    }
+    Ok(())
+}
+
+/// The greedy packing loop of [`allocate_slots`], reusing a precomputed
+/// priority order whose applications passed [`dedicated_slot_precheck`].
+/// Produces exactly the allocation of [`allocate_slots`].
+///
+/// # Errors
+///
+/// [`SchedError::InsufficientSlots`] if more than `config.max_slots` slots
+/// would be required; analysis errors are propagated.
+pub(crate) fn allocate_slots_prechecked(
+    apps: &[AppTimingParams],
+    config: &AllocatorConfig,
+    order: &[usize],
+) -> Result<SlotAllocation> {
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    for &app_index in order {
         let last_slot = slots.len().checked_sub(1);
         let placed_slot = match config.strategy {
             AllocationStrategy::NextFit => {

@@ -186,15 +186,28 @@ impl<'a> OptimalAllocator<'a> {
 
     /// Runs the greedy strategies under the solver's model/method and stores
     /// the best feasible allocation as the incumbent seed.
+    ///
+    /// The solver's priority order and one dedicated-slot feasibility pass
+    /// are shared across all three strategies
+    /// ([`crate::allocation::dedicated_slot_precheck`]), so seeding pays the
+    /// per-application characterisation work once instead of once per
+    /// strategy.
     fn seed_incumbent(&mut self, config: &AllocatorConfig) {
+        if crate::allocation::dedicated_slot_precheck(self.apps, config, &self.order).is_err() {
+            // Some application misses its deadline even alone: no greedy
+            // strategy can succeed (they all require dedicated-slot
+            // feasibility), so the incumbent stays unseeded.
+            return;
+        }
         for strategy in [
             AllocationStrategy::NextFit,
             AllocationStrategy::FirstFit,
             AllocationStrategy::BestFit,
         ] {
-            let candidate = crate::allocation::allocate_slots(
+            let candidate = crate::allocation::allocate_slots_prechecked(
                 self.apps,
                 &AllocatorConfig { strategy, ..*config },
+                &self.order,
             );
             if let Ok(allocation) = candidate {
                 if allocation.slot_count() < self.seed_used.min(self.seed_slots.len() + 1) {
