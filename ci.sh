@@ -23,13 +23,30 @@ cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
 
+# History key for perf/perf-check: `git describe`, with the dirty marker
+# decided while ignoring BENCH_results.json itself — the perf run modifies
+# that file, which must not re-key the very numbers it just recorded.
+# `--untracked-files=no` mirrors `git describe --dirty` semantics (untracked
+# files never mark the tree dirty); the pathspec excludes exactly the
+# results file, nothing that merely contains its name.
+bench_key() {
+    local base
+    base="$(git describe --always 2>/dev/null || echo unversioned)"
+    if git status --porcelain --untracked-files=no -- ':(exclude)BENCH_results.json' \
+            2>/dev/null | grep -q .; then
+        base="$base-dirty"
+    fi
+    echo "$base"
+}
+
 if [[ "${1:-}" == "perf" ]]; then
     # History key: honour an explicit CPS_BENCH_KEY, else `git describe`.
     # The canonical flow keys results to the commit that produced them:
     # commit the code first, run `./ci.sh perf` on the clean tree, then
     # commit BENCH_results.json (a `-dirty` key means the numbers came from
-    # an uncommitted state and should be re-measured before committing).
-    CPS_BENCH_KEY="${CPS_BENCH_KEY:-$(git describe --always --dirty 2>/dev/null || echo unversioned)}"
+    # an uncommitted state and should be re-measured before committing;
+    # BENCH_results.json itself is ignored when deciding dirtiness).
+    CPS_BENCH_KEY="${CPS_BENCH_KEY:-$(bench_key)}"
     step "perf bench set -> BENCH_results.json (history key: $CPS_BENCH_KEY)"
     export CPS_BENCH_JSON="$PWD/BENCH_results.json"
     export CPS_BENCH_KEY
@@ -47,7 +64,7 @@ fi
 
 if [[ "${1:-}" == "perf-check" ]]; then
     # Same key resolution as `./ci.sh perf`, so check follows record.
-    CPS_BENCH_KEY="${CPS_BENCH_KEY:-$(git describe --always --dirty 2>/dev/null || echo unversioned)}"
+    CPS_BENCH_KEY="${CPS_BENCH_KEY:-$(bench_key)}"
     step "perf-check: $CPS_BENCH_KEY vs previous key in BENCH_results.json"
     CPS_BENCH_KEY="$CPS_BENCH_KEY" python3 - <<'PYEOF'
 import json, os, sys
