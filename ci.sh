@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI pipeline for the automotive CPS reproduction workspace.
 #
-#   ./ci.sh             full pipeline: release build, tests, clippy, bench smoke
+#   ./ci.sh             full pipeline: release build, tests, docs gate
+#                       (rustdoc -D warnings + doctests), clippy, bench smoke
 #   ./ci.sh quick       build + tests only
 #   ./ci.sh perf        run the perf bench set and append this commit's results
 #                       to BENCH_results.json, the machine-readable perf
@@ -137,9 +138,16 @@ if ! cargo test -q -p automotive-cps --test allocation_optimal -- --list \
 fi
 
 if [[ "${1:-}" == "quick" ]]; then
-    echo "quick mode: skipping clippy and bench smoke"
+    echo "quick mode: skipping docs gate, clippy and bench smoke"
     exit 0
 fi
+
+# Docs gate: rustdoc must build warning-free (broken intra-doc links, missing
+# docs on public items) and every doctested example must pass — the examples
+# in the crate-level docs and on the main entry points cannot rot.
+step "docs gate: RUSTDOCFLAGS='-D warnings' cargo doc --no-deps + doctests"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+cargo test -q --workspace --doc
 
 step "cargo clippy -D warnings (workspace, all targets)"
 cargo clippy --workspace --all-targets -- -D warnings

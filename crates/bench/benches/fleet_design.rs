@@ -17,6 +17,14 @@
 //!   one shared characterisation pass ([`BusConfigSweep::scenarios_for`])
 //!   against the naive flow that re-characterises the fleet for every
 //!   candidate bus (what sweeping without the designer costs).
+//! * `bus_sweep_fleet_cached` — the same sweep through the fleet's
+//!   computed-once characterisation table
+//!   ([`BusConfigSweep::scenarios_for_fleet`]): repeated sweep *calls* skip
+//!   even the single pass, so the rung measures pure expansion cost.
+//! * `bus_sweep_geometry_3axis` — the full bus design space (cycle length ×
+//!   static-segment size × slot length Ψ) expanded over the cached table,
+//!   with the Ψ-derived per-slot transmission overhead live in both the
+//!   allocator matrix and the branch-and-bound optimum.
 //! * `engine_spinup_clone_baseline` — what a scenario worker used to pay:
 //!   deep-clone every [`cps_core::ControlApplication`], re-validate, rebuild.
 //! * `engine_spinup_shared` — what a worker pays now: a [`CoSimulation`]
@@ -94,6 +102,39 @@ fn bench(c: &mut Criterion) {
                     BusConfigSweep::new(bus_config).scenarios(&table, &allocator, 1.0).len()
                 })
                 .sum::<usize>()
+        })
+    });
+
+    // Fleet-cached characterisation: the first call fills (or the design
+    // flow seeds) the fleet's timing-table cache; every sweep afterwards —
+    // including across calls, which `scenarios_for` cannot avoid re-paying —
+    // runs zero characterisation passes.
+    let cached = sweep
+        .scenarios_for_fleet(&parallel, &fleet, &allocator, 1.0)
+        .expect("cached sweep expansion");
+    assert_eq!(cached, shared, "cached and shared sweeps must expand identically");
+    group.bench_function("bus_sweep_fleet_cached", |b| {
+        b.iter(|| {
+            sweep
+                .scenarios_for_fleet(&parallel, &fleet, &allocator, 1.0)
+                .expect("cached sweep expansion")
+        })
+    });
+
+    // The complete bus design space: slot length Ψ (frame payload geometry)
+    // as the third axis, expanded over the cached table. The Ψ-stretched
+    // candidates re-run the full allocator matrix and the exact search under
+    // their per-slot transmission overhead.
+    let geometry = BusConfigSweep::new(bus)
+        .with_cycle_lengths(vec![0.005, 0.010])
+        .with_static_slot_counts(vec![4, 10])
+        .with_slot_lengths(vec![0.0002, 0.0005]);
+    assert!(geometry.configs().len() > bus_count, "the third axis must widen the sweep");
+    group.bench_function("bus_sweep_geometry_3axis", |b| {
+        b.iter(|| {
+            geometry
+                .scenarios_for_fleet(&parallel, &fleet, &allocator, 1.0)
+                .expect("geometry sweep expansion")
         })
     });
 

@@ -154,7 +154,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification accepted by [`vec`]: a fixed length or a range.
+    /// Length specification accepted by [`vec()`]: a fixed length or a range.
     pub trait IntoSizeRange {
         /// Lower (inclusive) and upper (exclusive) length bounds.
         fn bounds(&self) -> (usize, usize);

@@ -19,6 +19,13 @@
 //!   via the `_with` variants ([`DelayedLtiSystem::from_continuous_with`],
 //!   [`design_lqr_with`], [`design_switched_pair_with`]), bit-identical to
 //!   the one-shot paths.
+//! * [`CharacterizationWorkspace`] — its characterisation-side counterpart:
+//!   a per-worker pool of switched-kernel state buffers, power-bound
+//!   matrices and saturated-sim scratch threaded through
+//!   [`characterize_dwell_vs_wait_with`] /
+//!   [`SaturatedSwitchedModel::characterize_with`], so a warm worker
+//!   re-allocates no simulation scratch per application (bit-identical to
+//!   the one-shot paths).
 //! * [`response_metrics`] / [`response_time`] — settling-time metrics (ξᵀᵀ,
 //!   ξᴱᵀ).
 //! * [`characterize_dwell_vs_wait`] — the switched-system sweep behind the
@@ -96,7 +103,8 @@ pub use response::{
 };
 pub use sim::{CommunicationMode, PlantSimulator, SimSample};
 pub use switched::{
-    characterize_dwell_vs_wait, characterize_dwell_vs_wait_reference, dwell_steps,
-    power_norm_bound, switched_norm_trajectory, CharacterizationConfig, DwellWaitCurve,
-    DwellWaitPoint, SaturatedSwitchedModel, SwitchedKernel,
+    characterize_dwell_vs_wait, characterize_dwell_vs_wait_reference,
+    characterize_dwell_vs_wait_with, dwell_steps, power_norm_bound, switched_norm_trajectory,
+    CharacterizationConfig, CharacterizationWorkspace, DwellWaitCurve, DwellWaitPoint,
+    PooledSwitchedKernel, SaturatedSwitchedModel, SwitchedKernel,
 };

@@ -64,7 +64,7 @@ impl PlantSimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`ControlError::InvalidModel`] if the two models differ in
+    /// Returns [`ControlError::InvalidModel`](crate::ControlError::InvalidModel) if the two models differ in
     /// dimensions or sampling period.
     pub fn new(
         et_system: DelayedLtiSystem,
@@ -113,7 +113,7 @@ impl PlantSimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`ControlError::InvalidModel`] if the disturbance has the
+    /// Returns [`ControlError::InvalidModel`](crate::ControlError::InvalidModel) if the disturbance has the
     /// wrong dimension.
     pub fn inject_disturbance(&mut self, disturbance: &[f64]) -> Result<()> {
         self.kernel.inject_disturbance(disturbance)

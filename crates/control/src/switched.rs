@@ -175,8 +175,8 @@ const POWER_BOUND_MAX_POWERS: usize = 50_000;
 /// powers: powers are multiplied out until one has Frobenius norm below 1;
 /// by submultiplicativity every later power is then dominated by an earlier
 /// one, so the running maximum is a true supremum bound. Returns `∞` if no
-/// contracting power is found within [`POWER_BOUND_MAX_POWERS`] (e.g. an
-/// unstable or marginally stable matrix).
+/// contracting power is found within the iteration budget (e.g. an unstable
+/// or marginally stable matrix).
 ///
 /// # Errors
 ///
@@ -187,6 +187,16 @@ pub fn power_norm_bound(a: &Matrix) -> Result<f64> {
             reason: format!("power norm bound needs a square matrix, got {:?}", a.shape()),
         });
     }
+    let mut power = Matrix::zeros(a.rows(), a.cols());
+    let mut next = Matrix::zeros(a.rows(), a.cols());
+    power_norm_bound_into(a, &mut power, &mut next)
+}
+
+/// The buffer-reusing core of [`power_norm_bound`]: `power` and `next` are
+/// caller-provided `n × n` scratch matrices (their contents are overwritten).
+/// Produces exactly the bound of [`power_norm_bound`]; the characterisation
+/// workspace pools the scratch per matrix order.
+fn power_norm_bound_into(a: &Matrix, power: &mut Matrix, next: &mut Matrix) -> Result<f64> {
     // ρ(A) ≥ 1 means no power ever contracts — skip the power iteration
     // entirely instead of grinding to the cap.
     if let Ok(rho) = cps_linalg::spectral_radius(a) {
@@ -194,8 +204,7 @@ pub fn power_norm_bound(a: &Matrix) -> Result<f64> {
             return Ok(f64::INFINITY);
         }
     }
-    let mut power = a.clone();
-    let mut next = Matrix::zeros(a.rows(), a.cols());
+    power.copy_from(a)?;
     let mut bound = 1.0f64;
     for _ in 0..POWER_BOUND_MAX_POWERS {
         let norm = power.frobenius_norm();
@@ -206,8 +215,8 @@ pub fn power_norm_bound(a: &Matrix) -> Result<f64> {
         if norm < 1.0 {
             return Ok(bound);
         }
-        power.matmul_into(a, &mut next)?;
-        std::mem::swap(&mut power, &mut next);
+        power.matmul_into(a, next)?;
+        std::mem::swap(power, next);
     }
     Ok(f64::INFINITY)
 }
@@ -361,22 +370,7 @@ impl<'m> SwitchedKernel<'m> {
         horizon: usize,
         record: Option<&mut Vec<f64>>,
     ) -> Result<Option<usize>> {
-        if initial_state.len() != self.z.len() {
-            return Err(ControlError::InvalidModel {
-                reason: format!(
-                    "initial state has length {} but the system has {} states",
-                    initial_state.len(),
-                    self.z.len()
-                ),
-            });
-        }
-        if !(threshold > 0.0) {
-            return Err(ControlError::InvalidModel {
-                reason: format!("threshold must be positive, got {threshold}"),
-            });
-        }
-        self.z.copy_from_slice(initial_state);
-        Ok(settle_driver(self, threshold, k_switch.min(horizon), horizon, record))
+        self.drive().settle_steps(initial_state, threshold, k_switch, horizon, record)
     }
 
     /// Dwell time (in samples) for a single wait time, with early exit —
@@ -394,6 +388,77 @@ impl<'m> SwitchedKernel<'m> {
         wait_steps: usize,
         horizon: usize,
     ) -> Result<usize> {
+        self.drive().dwell_steps(initial_state, threshold, wait_steps, horizon)
+    }
+
+    /// The settle-loop view over this kernel's own buffers.
+    fn drive(&mut self) -> SwitchedDrive<'m, '_> {
+        SwitchedDrive {
+            a1: self.a1,
+            a2: self.a2,
+            plant_order: self.plant_order,
+            et_bound: self.et_bound,
+            tt_bound: self.tt_bound,
+            z: &mut self.z,
+            z_next: &mut self.z_next,
+        }
+    }
+}
+
+/// The shared settle-loop state of the linear switched simulation, borrowed
+/// either from a [`SwitchedKernel`]'s own buffers or from the
+/// [`CharacterizationWorkspace`] pool — one [`SettleSim`] implementation
+/// drives both, so the pooled path is bit-identical by construction.
+struct SwitchedDrive<'m, 'b> {
+    a1: &'m Matrix,
+    a2: &'m Matrix,
+    plant_order: usize,
+    et_bound: f64,
+    tt_bound: f64,
+    z: &'b mut Vec<f64>,
+    z_next: &'b mut Vec<f64>,
+}
+
+impl SwitchedDrive<'_, '_> {
+    /// The one validation + settle implementation behind
+    /// [`SwitchedKernel::settle_steps`] and
+    /// [`PooledSwitchedKernel::settle_steps`].
+    fn settle_steps(
+        &mut self,
+        initial_state: &[f64],
+        threshold: f64,
+        k_switch: usize,
+        horizon: usize,
+        record: Option<&mut Vec<f64>>,
+    ) -> Result<Option<usize>> {
+        if initial_state.len() != self.z.len() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "initial state has length {} but the system has {} states",
+                    initial_state.len(),
+                    self.z.len()
+                ),
+            });
+        }
+        if !(threshold > 0.0) {
+            return Err(ControlError::InvalidModel {
+                reason: format!("threshold must be positive, got {threshold}"),
+            });
+        }
+        self.z.copy_from_slice(initial_state);
+        let clamped_switch = k_switch.min(horizon);
+        Ok(settle_driver(self, threshold, clamped_switch, horizon, record))
+    }
+
+    /// The one dwell implementation behind [`SwitchedKernel::dwell_steps`]
+    /// and [`PooledSwitchedKernel::dwell_steps`].
+    fn dwell_steps(
+        &mut self,
+        initial_state: &[f64],
+        threshold: f64,
+        wait_steps: usize,
+        horizon: usize,
+    ) -> Result<usize> {
         let settle = self
             .settle_steps(initial_state, threshold, wait_steps, horizon, None)?
             .ok_or(ControlError::HorizonExceeded { what: "switched settling", steps: horizon })?;
@@ -401,21 +466,294 @@ impl<'m> SwitchedKernel<'m> {
     }
 }
 
-impl SettleSim for SwitchedKernel<'_> {
+impl SettleSim for SwitchedDrive<'_, '_> {
     fn plant_norm(&self) -> f64 {
-        plant_state_norm(&self.z, self.plant_order)
+        plant_state_norm(self.z, self.plant_order)
     }
 
     fn provably_settled(&self, et_mode: bool, threshold: f64) -> bool {
         let bound = if et_mode { self.et_bound } else { self.tt_bound };
         // Every future plant norm is ≤ bound·‖z‖.
-        vec_norm(&self.z) * bound <= threshold * EARLY_EXIT_SAFETY
+        vec_norm(self.z) * bound <= threshold * EARLY_EXIT_SAFETY
     }
 
     fn advance(&mut self, et_phase: bool) {
         let dynamics = if et_phase { self.a1 } else { self.a2 };
-        dynamics.matvec_kernel(&self.z, &mut self.z_next);
-        std::mem::swap(&mut self.z, &mut self.z_next);
+        dynamics.matvec_kernel(self.z, self.z_next);
+        std::mem::swap(self.z, self.z_next);
+    }
+}
+
+/// Switched-state buffer pair of the workspace pool, keyed by the augmented
+/// state order.
+#[derive(Debug)]
+struct StateScratch {
+    z: Vec<f64>,
+    z_next: Vec<f64>,
+}
+
+/// Power-iteration matrix pair of the workspace pool, keyed by matrix order.
+#[derive(Debug)]
+struct PowerScratch {
+    power: Matrix,
+    next: Matrix,
+}
+
+/// Saturated-sim buffer bundle of the workspace pool, keyed by
+/// `(plant_order, inputs)`.
+#[derive(Debug)]
+struct SatBuffers {
+    /// Plant state and its double buffer.
+    x: Vec<f64>,
+    x_next: Vec<f64>,
+    /// Current (clamped) input and the input applied one period ago.
+    u: Vec<f64>,
+    u_prev: Vec<f64>,
+    /// Augmented state scratch handed to the gain.
+    aug: Vec<f64>,
+    /// The three matvec partials of the delayed-plant step.
+    free: Vec<f64>,
+    fresh: Vec<f64>,
+    stale: Vec<f64>,
+}
+
+impl SatBuffers {
+    fn new(plant_order: usize, inputs: usize) -> Self {
+        SatBuffers {
+            x: vec![0.0; plant_order],
+            x_next: vec![0.0; plant_order],
+            u: vec![0.0; inputs],
+            u_prev: vec![0.0; inputs],
+            aug: vec![0.0; plant_order + inputs],
+            free: vec![0.0; plant_order],
+            fresh: vec![0.0; plant_order],
+            stale: vec![0.0; plant_order],
+        }
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        (self.x.len(), self.u.len())
+    }
+}
+
+/// Per-worker pooled characterisation scratch — the characterisation-side
+/// counterpart of [`crate::DesignWorkspace`].
+///
+/// Every dwell/wait characterisation needs the same machinery: the switched
+/// state double-buffers of the settle loop, the matrix pair of the
+/// [`power_norm_bound`] precompute, the saturated-sim buffer bundle of the
+/// rig model and a recording buffer for the pure-ET norm trajectory. The
+/// seed path constructed all of it per application; this pool holds one
+/// entry per distinct dimension (fleets mix first- and second-order plants)
+/// and a design worker threads it through every characterisation, so a
+/// warm worker re-allocates none of the simulation scratch per application —
+/// only the materialised curve (and the eigenvalue temporaries of the
+/// stability pre-check) remain per-app allocations.
+///
+/// Every pooled path is the `_with` twin of its allocating reference and
+/// bit-identical to it (asserted by the characterisation parity tests).
+#[derive(Debug, Default)]
+pub struct CharacterizationWorkspace {
+    /// Switched-state pairs, keyed by augmented order (linear scan: a pool
+    /// holds a handful of entries, a characterisation runs thousands of
+    /// kernel steps per lookup).
+    states: Vec<StateScratch>,
+    /// Power-iteration matrix pairs, keyed by order.
+    powers: Vec<PowerScratch>,
+    /// Saturated-sim bundles, keyed by `(plant_order, inputs)`.
+    saturated: Vec<SatBuffers>,
+    /// Recording buffer for pure-ET norm trajectories.
+    norms: Vec<f64>,
+}
+
+impl CharacterizationWorkspace {
+    /// Creates an empty pool; scratch is allocated on first use per
+    /// dimension.
+    pub fn new() -> Self {
+        CharacterizationWorkspace::default()
+    }
+
+    /// Number of distinct augmented orders the pool holds switched-state
+    /// buffers for.
+    pub fn state_pool_size(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct matrix orders the pool holds power-iteration
+    /// scratch for.
+    pub fn power_pool_size(&self) -> usize {
+        self.powers.len()
+    }
+
+    /// Number of distinct `(plant_order, inputs)` dimensions the pool holds
+    /// saturated-sim buffers for.
+    pub fn saturated_pool_size(&self) -> usize {
+        self.saturated.len()
+    }
+
+    /// [`power_norm_bound`] on the pooled matrix pair for `a`'s order.
+    fn power_norm_bound(&mut self, a: &Matrix) -> Result<f64> {
+        if !a.is_square() {
+            return Err(ControlError::InvalidModel {
+                reason: format!("power norm bound needs a square matrix, got {:?}", a.shape()),
+            });
+        }
+        let order = a.rows();
+        let index = match self.powers.iter().position(|entry| entry.power.rows() == order) {
+            Some(index) => index,
+            None => {
+                self.powers.push(PowerScratch {
+                    power: Matrix::zeros(order, order),
+                    next: Matrix::zeros(order, order),
+                });
+                self.powers.len() - 1
+            }
+        };
+        let entry = &mut self.powers[index];
+        power_norm_bound_into(a, &mut entry.power, &mut entry.next)
+    }
+
+    /// A pooled switched kernel over the matrix pair, plus the pooled
+    /// recording buffer for norm trajectories: the borrowed twin of
+    /// [`SwitchedKernel::new`], with the state buffers and the
+    /// [`power_norm_bound`] scratch coming from the pool. Settling results
+    /// are bit-identical to the owning kernel's.
+    ///
+    /// # Errors
+    ///
+    /// As [`SwitchedKernel::new`].
+    pub fn switched_kernel<'m, 'w>(
+        &'w mut self,
+        a1: &'m Matrix,
+        a2: &'m Matrix,
+        plant_order: usize,
+    ) -> Result<(PooledSwitchedKernel<'m, 'w>, &'w mut Vec<f64>)> {
+        if a1.shape() != a2.shape() || !a1.is_square() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "switched dynamics must share a square shape, got {:?} and {:?}",
+                    a1.shape(),
+                    a2.shape()
+                ),
+            });
+        }
+        if plant_order > a1.cols() {
+            return Err(ControlError::InvalidModel {
+                reason: format!(
+                    "plant order {} exceeds the state dimension {}",
+                    plant_order,
+                    a1.cols()
+                ),
+            });
+        }
+        let et_bound = self.power_norm_bound(a1)?;
+        let tt_bound = self.power_norm_bound(a2)?;
+        let order = a1.cols();
+        let CharacterizationWorkspace { states, norms, .. } = self;
+        let index = match states.iter().position(|entry| entry.z.len() == order) {
+            Some(index) => index,
+            None => {
+                states.push(StateScratch { z: vec![0.0; order], z_next: vec![0.0; order] });
+                states.len() - 1
+            }
+        };
+        let entry = &mut states[index];
+        Ok((
+            PooledSwitchedKernel {
+                a1,
+                a2,
+                plant_order,
+                et_bound,
+                tt_bound,
+                z: &mut entry.z,
+                z_next: &mut entry.z_next,
+            },
+            norms,
+        ))
+    }
+
+    /// The pooled saturated-sim bundle for the given dimensions (borrowed
+    /// alongside the power pool and the norm buffer by
+    /// [`SaturatedSwitchedModel::characterize_with`]).
+    fn saturated_entry(
+        saturated: &mut Vec<SatBuffers>,
+        plant_order: usize,
+        inputs: usize,
+    ) -> &mut SatBuffers {
+        let index = match saturated.iter().position(|entry| entry.dims() == (plant_order, inputs))
+        {
+            Some(index) => index,
+            None => {
+                saturated.push(SatBuffers::new(plant_order, inputs));
+                saturated.len() - 1
+            }
+        };
+        &mut saturated[index]
+    }
+}
+
+/// A [`SwitchedKernel`] whose state buffers live in a
+/// [`CharacterizationWorkspace`] pool: constructed per application (the
+/// matrices and settling bounds are per-design values), but on a warm pool
+/// the construction reuses every simulation buffer, and the settle/dwell
+/// sweeps afterwards are allocation-free — the property the workspace's
+/// counting-allocator test pins.
+#[derive(Debug)]
+pub struct PooledSwitchedKernel<'m, 'w> {
+    a1: &'m Matrix,
+    a2: &'m Matrix,
+    plant_order: usize,
+    et_bound: f64,
+    tt_bound: f64,
+    z: &'w mut Vec<f64>,
+    z_next: &'w mut Vec<f64>,
+}
+
+impl<'m> PooledSwitchedKernel<'m, '_> {
+    /// [`SwitchedKernel::settle_steps`] on the pooled buffers (bit-identical
+    /// results).
+    ///
+    /// # Errors
+    ///
+    /// As [`SwitchedKernel::settle_steps`].
+    pub fn settle_steps(
+        &mut self,
+        initial_state: &[f64],
+        threshold: f64,
+        k_switch: usize,
+        horizon: usize,
+        record: Option<&mut Vec<f64>>,
+    ) -> Result<Option<usize>> {
+        self.drive().settle_steps(initial_state, threshold, k_switch, horizon, record)
+    }
+
+    /// [`SwitchedKernel::dwell_steps`] on the pooled buffers (bit-identical
+    /// results).
+    ///
+    /// # Errors
+    ///
+    /// As [`SwitchedKernel::dwell_steps`].
+    pub fn dwell_steps(
+        &mut self,
+        initial_state: &[f64],
+        threshold: f64,
+        wait_steps: usize,
+        horizon: usize,
+    ) -> Result<usize> {
+        self.drive().dwell_steps(initial_state, threshold, wait_steps, horizon)
+    }
+
+    /// The settle-loop view over the pooled buffers.
+    fn drive(&mut self) -> SwitchedDrive<'m, '_> {
+        SwitchedDrive {
+            a1: self.a1,
+            a2: self.a2,
+            plant_order: self.plant_order,
+            et_bound: self.et_bound,
+            tt_bound: self.tt_bound,
+            z: &mut *self.z,
+            z_next: &mut *self.z_next,
+        }
     }
 }
 
@@ -489,9 +827,29 @@ pub fn characterize_dwell_vs_wait(
     a2: &Matrix,
     config: &CharacterizationConfig,
 ) -> Result<DwellWaitCurve> {
+    characterize_dwell_vs_wait_with(a1, a2, config, &mut CharacterizationWorkspace::new())
+}
+
+/// [`characterize_dwell_vs_wait`] on a caller-provided
+/// [`CharacterizationWorkspace`]: the shape a fleet-design worker threads
+/// through every application it characterises, so the switched-state
+/// buffers, the [`power_norm_bound`] scratch and the ET-norm recording
+/// buffer are allocated once per worker and dimension instead of once per
+/// application. The curve is bit-identical to the one-shot path for any
+/// (warm or cold, shared or private) workspace.
+///
+/// # Errors
+///
+/// As [`characterize_dwell_vs_wait`].
+pub fn characterize_dwell_vs_wait_with(
+    a1: &Matrix,
+    a2: &Matrix,
+    config: &CharacterizationConfig,
+    workspace: &mut CharacterizationWorkspace,
+) -> Result<DwellWaitCurve> {
     config.validate()?;
     let x0 = &config.initial_state;
-    let mut kernel = SwitchedKernel::new(a1, a2, config.plant_order)?;
+    let (mut kernel, et_norms) = workspace.switched_kernel(a1, a2, config.plant_order)?;
 
     // Pure-mode settling times: xi_et is also the upper end of the sweep,
     // because waiting longer than xi_et means the disturbance is rejected
@@ -500,9 +858,8 @@ pub fn characterize_dwell_vs_wait(
     let xi_tt_steps = kernel
         .settle_steps(x0, config.threshold, 0, config.horizon, None)?
         .ok_or(ControlError::HorizonExceeded { what: "pure TT settling", steps: config.horizon })?;
-    let mut et_norms = Vec::new();
     let xi_et_steps = kernel
-        .settle_steps(x0, config.threshold, config.horizon, config.horizon, Some(&mut et_norms))?
+        .settle_steps(x0, config.threshold, config.horizon, config.horizon, Some(&mut *et_norms))?
         .ok_or(ControlError::HorizonExceeded { what: "pure ET settling", steps: config.horizon })?;
 
     let mut points = Vec::with_capacity(xi_et_steps + 1);
@@ -707,17 +1064,43 @@ impl SaturatedSwitchedModel {
     /// * [`ControlError::HorizonExceeded`] if either pure-mode response fails
     ///   to settle within the configured horizon.
     pub fn characterize(&self, config: &CharacterizationConfig) -> Result<DwellWaitCurve> {
+        self.characterize_with(config, &mut CharacterizationWorkspace::new())
+    }
+
+    /// [`SaturatedSwitchedModel::characterize`] on a caller-provided
+    /// [`CharacterizationWorkspace`]: the saturated-sim buffer bundle, the
+    /// [`power_norm_bound`] scratch and the ET-norm recording buffer come
+    /// from the per-worker pool instead of being allocated per application.
+    /// Bit-identical to the one-shot path.
+    ///
+    /// # Errors
+    ///
+    /// As [`SaturatedSwitchedModel::characterize`].
+    pub fn characterize_with(
+        &self,
+        config: &CharacterizationConfig,
+        workspace: &mut CharacterizationWorkspace,
+    ) -> Result<DwellWaitCurve> {
         config.validate()?;
         let x0 = &config.initial_state;
         let threshold = config.threshold;
-        let mut sim = SaturatedSim::new(self)?;
+        let et_closed = self.et_system.closed_loop(&self.et_gain)?;
+        let tt_closed = self.tt_system.closed_loop(&self.tt_gain)?;
+        let et_bound = workspace.power_norm_bound(&et_closed)?;
+        let tt_bound = workspace.power_norm_bound(&tt_closed)?;
+        let CharacterizationWorkspace { saturated, norms: et_norms, .. } = workspace;
+        let buffers = CharacterizationWorkspace::saturated_entry(
+            saturated,
+            self.plant_order(),
+            self.et_system.inputs(),
+        );
+        let mut sim = SaturatedSim::with_buffers(self, buffers, et_bound, tt_bound);
 
         let xi_tt_steps = sim.settle_steps(x0, threshold, 0, config.horizon, None)?.ok_or(
             ControlError::HorizonExceeded { what: "pure TT settling", steps: config.horizon },
         )?;
-        let mut et_norms = Vec::new();
         let xi_et_steps = sim
-            .settle_steps(x0, threshold, config.horizon, config.horizon, Some(&mut et_norms))?
+            .settle_steps(x0, threshold, config.horizon, config.horizon, Some(&mut *et_norms))?
             .ok_or(ControlError::HorizonExceeded {
                 what: "pure ET settling",
                 steps: config.horizon,
@@ -798,22 +1181,13 @@ impl SaturatedSwitchedModel {
 /// allocation-free twin of [`SaturatedSwitchedModel::switched_norms`], with
 /// the same early-exit machinery as [`SwitchedKernel`] extended by a
 /// saturation guard (the linear tail bound is only valid once every future
-/// input is provably inside the actuator limit).
+/// input is provably inside the actuator limit). The buffers are borrowed —
+/// from a one-shot [`SatBuffers`] bundle on the allocating path, or from
+/// the [`CharacterizationWorkspace`] pool on the worker path.
 #[derive(Debug)]
-struct SaturatedSim<'a> {
+struct SaturatedSim<'a, 'b> {
     model: &'a SaturatedSwitchedModel,
-    /// Plant state.
-    x: Vec<f64>,
-    x_next: Vec<f64>,
-    /// Current (clamped) input and the input applied one period ago.
-    u: Vec<f64>,
-    u_prev: Vec<f64>,
-    /// Augmented state scratch handed to the gain.
-    aug: Vec<f64>,
-    /// The three matvec partials of the delayed-plant step.
-    free: Vec<f64>,
-    fresh: Vec<f64>,
-    stale: Vec<f64>,
+    buffers: &'b mut SatBuffers,
     /// `sup_{j≥1} ‖A₁ʲ‖` / `sup_{j≥1} ‖A₂ʲ‖` of the *linear* closed loops.
     et_bound: f64,
     tt_bound: f64,
@@ -822,27 +1196,21 @@ struct SaturatedSim<'a> {
     tt_gain_norm: f64,
 }
 
-impl<'a> SaturatedSim<'a> {
-    fn new(model: &'a SaturatedSwitchedModel) -> Result<Self> {
-        let n = model.plant_order();
-        let m = model.et_system.inputs();
-        let et_closed = model.et_system.closed_loop(&model.et_gain)?;
-        let tt_closed = model.tt_system.closed_loop(&model.tt_gain)?;
-        Ok(SaturatedSim {
+impl<'a, 'b> SaturatedSim<'a, 'b> {
+    fn with_buffers(
+        model: &'a SaturatedSwitchedModel,
+        buffers: &'b mut SatBuffers,
+        et_bound: f64,
+        tt_bound: f64,
+    ) -> Self {
+        SaturatedSim {
             model,
-            x: vec![0.0; n],
-            x_next: vec![0.0; n],
-            u: vec![0.0; m],
-            u_prev: vec![0.0; m],
-            aug: vec![0.0; n + m],
-            free: vec![0.0; n],
-            fresh: vec![0.0; n],
-            stale: vec![0.0; n],
-            et_bound: power_norm_bound(&et_closed)?,
-            tt_bound: power_norm_bound(&tt_closed)?,
+            buffers,
+            et_bound,
+            tt_bound,
             et_gain_norm: model.et_gain.frobenius_norm(),
             tt_gain_norm: model.tt_gain.frobenius_norm(),
-        })
+        }
     }
 
     /// Settling index of the saturated switched trajectory — the semantics
@@ -858,20 +1226,24 @@ impl<'a> SaturatedSim<'a> {
         horizon: usize,
         record: Option<&mut Vec<f64>>,
     ) -> Result<Option<usize>> {
-        if x0.len() != self.x.len() {
+        if x0.len() != self.buffers.x.len() {
             return Err(ControlError::InvalidModel {
-                reason: format!("initial state has length {}, expected {}", x0.len(), self.x.len()),
+                reason: format!(
+                    "initial state has length {}, expected {}",
+                    x0.len(),
+                    self.buffers.x.len()
+                ),
             });
         }
-        self.x.copy_from_slice(x0);
-        self.u_prev.fill(0.0);
+        self.buffers.x.copy_from_slice(x0);
+        self.buffers.u_prev.fill(0.0);
         Ok(settle_driver(self, threshold, k_switch.min(horizon), horizon, record))
     }
 }
 
-impl SettleSim for SaturatedSim<'_> {
+impl SettleSim for SaturatedSim<'_, '_> {
     fn plant_norm(&self) -> f64 {
-        vec_norm(&self.x)
+        vec_norm(&self.buffers.x)
     }
 
     fn provably_settled(&self, et_mode: bool, threshold: f64) -> bool {
@@ -881,8 +1253,8 @@ impl SettleSim for SaturatedSim<'_> {
             (self.tt_bound, self.tt_gain_norm)
         };
         // Norm of the full augmented state [x; u_prev].
-        let z_norm = (self.x.iter().map(|v| v * v).sum::<f64>()
-            + self.u_prev.iter().map(|v| v * v).sum::<f64>())
+        let z_norm = (self.buffers.x.iter().map(|v| v * v).sum::<f64>()
+            + self.buffers.u_prev.iter().map(|v| v * v).sum::<f64>())
         .sqrt();
         // Settled only if every future input also stays strictly inside the
         // actuator limit, so the loop evolves linearly and every future
@@ -893,7 +1265,8 @@ impl SettleSim for SaturatedSim<'_> {
     }
 
     fn advance(&mut self, et_phase: bool) {
-        let n = self.x.len();
+        let buffers = &mut *self.buffers;
+        let n = buffers.x.len();
         let limit = self.model.input_limit;
         let (system, gain) = if et_phase {
             (&self.model.et_system, &self.model.et_gain)
@@ -901,23 +1274,23 @@ impl SettleSim for SaturatedSim<'_> {
             (&self.model.tt_system, &self.model.tt_gain)
         };
         // u = clamp(−K·[x; u_prev]).
-        self.aug[..n].copy_from_slice(&self.x);
-        self.aug[n..].copy_from_slice(&self.u_prev);
-        gain.matvec_kernel(&self.aug, &mut self.u);
-        for value in &mut self.u {
+        buffers.aug[..n].copy_from_slice(&buffers.x);
+        buffers.aug[n..].copy_from_slice(&buffers.u_prev);
+        gain.matvec_kernel(&buffers.aug, &mut buffers.u);
+        for value in &mut buffers.u {
             *value = (-*value).clamp(-limit, limit);
         }
         // x⁺ = Φ·x + Γ₀·u + Γ₁·u_prev.
-        system.phi().matvec_kernel(&self.x, &mut self.free);
-        system.gamma0().matvec_kernel(&self.u, &mut self.fresh);
-        system.gamma1().matvec_kernel(&self.u_prev, &mut self.stale);
+        system.phi().matvec_kernel(&buffers.x, &mut buffers.free);
+        system.gamma0().matvec_kernel(&buffers.u, &mut buffers.fresh);
+        system.gamma1().matvec_kernel(&buffers.u_prev, &mut buffers.stale);
         for (((next, a), b), c) in
-            self.x_next.iter_mut().zip(&self.free).zip(&self.fresh).zip(&self.stale)
+            buffers.x_next.iter_mut().zip(&buffers.free).zip(&buffers.fresh).zip(&buffers.stale)
         {
             *next = a + b + c;
         }
-        std::mem::swap(&mut self.x, &mut self.x_next);
-        std::mem::swap(&mut self.u_prev, &mut self.u);
+        std::mem::swap(&mut buffers.x, &mut buffers.x_next);
+        std::mem::swap(&mut buffers.u_prev, &mut buffers.u);
     }
 }
 
@@ -1057,6 +1430,69 @@ mod tests {
         // over the threshold when it takes over a nearly settled state).
         assert!((curve.points[0].dwell_time - curve.xi_tt).abs() < 1e-9);
         assert!(curve.points.last().unwrap().dwell_time < curve.max_dwell() / 2.0);
+    }
+
+    #[test]
+    fn pooled_characterization_matches_one_shot_and_reuses_scratch() {
+        let (a1, a2) = rig_linear_loops();
+        let config = servo_config();
+        let one_shot = characterize_dwell_vs_wait(&a1, &a2, &config).unwrap();
+
+        let mut ws = CharacterizationWorkspace::new();
+        assert_eq!(ws.state_pool_size(), 0);
+        assert_eq!(ws.power_pool_size(), 0);
+        let pooled = characterize_dwell_vs_wait_with(&a1, &a2, &config, &mut ws).unwrap();
+        assert_eq!(pooled, one_shot);
+        assert_eq!(ws.state_pool_size(), 1);
+        assert_eq!(ws.power_pool_size(), 1);
+
+        // A second characterisation of the same dimensions grows no pools —
+        // the buffers are reused — and stays bit-identical on a warm pool.
+        let warm = characterize_dwell_vs_wait_with(&a1, &a2, &config, &mut ws).unwrap();
+        assert_eq!(warm, one_shot);
+        assert_eq!(ws.state_pool_size(), 1);
+        assert_eq!(ws.power_pool_size(), 1);
+
+        // The pooled kernel handle matches the owning kernel point for point.
+        let mut owning = SwitchedKernel::new(&a1, &a2, config.plant_order).unwrap();
+        let (mut kernel, _norms) = ws.switched_kernel(&a1, &a2, config.plant_order).unwrap();
+        for wait in [0usize, 5, 50, 200] {
+            let pooled = kernel
+                .dwell_steps(&config.initial_state, config.threshold, wait, config.horizon)
+                .unwrap();
+            let reference = owning
+                .dwell_steps(&config.initial_state, config.threshold, wait, config.horizon)
+                .unwrap();
+            assert_eq!(pooled, reference, "wait = {wait}");
+        }
+        // Validation mirrors the owning kernel.
+        assert!(kernel.dwell_steps(&[1.0], 0.1, 0, 100).is_err());
+        assert!(kernel.settle_steps(&config.initial_state, -1.0, 0, 100, None).is_err());
+        assert!(ws.switched_kernel(&a1, &Matrix::identity(2), 2).is_err());
+        assert!(ws.switched_kernel(&a1, &a2, 9).is_err());
+    }
+
+    #[test]
+    fn pooled_saturated_characterization_matches_one_shot() {
+        let model = rig_model();
+        let config = CharacterizationConfig {
+            period: 0.02,
+            threshold: 0.1,
+            initial_state: vec![45.0_f64.to_radians(), 0.0],
+            plant_order: 2,
+            horizon: 10_000,
+        };
+        let one_shot = model.characterize(&config).unwrap();
+        let mut ws = CharacterizationWorkspace::new();
+        let pooled = model.characterize_with(&config, &mut ws).unwrap();
+        assert_eq!(pooled, one_shot);
+        assert_eq!(ws.saturated_pool_size(), 1);
+        assert_eq!(ws.power_pool_size(), 1);
+        // Warm pool: no new entries, identical curve.
+        let warm = model.characterize_with(&config, &mut ws).unwrap();
+        assert_eq!(warm, one_shot);
+        assert_eq!(ws.saturated_pool_size(), 1);
+        assert_eq!(ws.power_pool_size(), 1);
     }
 
     #[test]

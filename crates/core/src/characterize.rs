@@ -3,7 +3,10 @@
 
 use crate::application::ControlApplication;
 use crate::error::{CoreError, Result};
-use cps_control::{characterize_dwell_vs_wait, CharacterizationConfig, DwellWaitCurve};
+use cps_control::{
+    characterize_dwell_vs_wait_with, CharacterizationConfig, CharacterizationWorkspace,
+    DwellWaitCurve,
+};
 use cps_sched::{AppTimingParams, DwellTimeModel, NonMonotonicModel};
 
 /// Default simulation horizon *cap* (in samples) for every settling
@@ -23,6 +26,22 @@ const DEFAULT_HORIZON: usize = 3_000;
 ///
 /// Propagates simulation and configuration failures.
 pub fn characterize_application(app: &ControlApplication) -> Result<DwellWaitCurve> {
+    characterize_application_with(app, &mut CharacterizationWorkspace::new())
+}
+
+/// [`characterize_application`] on a caller-provided
+/// [`CharacterizationWorkspace`]: the shape the fleet designer threads
+/// through its workers, so the switched-kernel / saturated-sim scratch is
+/// pooled per worker instead of rebuilt per application. The curve is
+/// bit-identical to the one-shot path for any workspace state.
+///
+/// # Errors
+///
+/// As [`characterize_application`].
+pub fn characterize_application_with(
+    app: &ControlApplication,
+    workspace: &mut CharacterizationWorkspace,
+) -> Result<DwellWaitCurve> {
     let spec = app.spec();
     if let Some(model) = app.saturated_model()? {
         let config = CharacterizationConfig {
@@ -32,7 +51,7 @@ pub fn characterize_application(app: &ControlApplication) -> Result<DwellWaitCur
             plant_order: spec.plant.order(),
             horizon: DEFAULT_HORIZON,
         };
-        return Ok(model.characterize(&config)?);
+        return Ok(model.characterize_with(&config, workspace)?);
     }
     // Linear path: simulate the delay-augmented closed loops directly.
     let mut initial = spec.disturbance.clone();
@@ -44,10 +63,11 @@ pub fn characterize_application(app: &ControlApplication) -> Result<DwellWaitCur
         plant_order: spec.plant.order(),
         horizon: DEFAULT_HORIZON,
     };
-    Ok(characterize_dwell_vs_wait(
+    Ok(characterize_dwell_vs_wait_with(
         app.et_controller().closed_loop(),
         app.tt_controller().closed_loop(),
         &config,
+        workspace,
     )?)
 }
 
@@ -145,7 +165,20 @@ pub fn fit_non_monotonic(curve: &DwellWaitCurve) -> Result<(f64, f64, f64, f64)>
 ///
 /// Propagates characterisation and fitting failures.
 pub fn derive_timing_params(app: &ControlApplication) -> Result<AppTimingParams> {
-    let curve = characterize_application(app)?;
+    derive_timing_params_with(app, &mut CharacterizationWorkspace::new())
+}
+
+/// [`derive_timing_params`] on a caller-provided
+/// [`CharacterizationWorkspace`] (see [`characterize_application_with`]).
+///
+/// # Errors
+///
+/// As [`derive_timing_params`].
+pub fn derive_timing_params_with(
+    app: &ControlApplication,
+    workspace: &mut CharacterizationWorkspace,
+) -> Result<AppTimingParams> {
+    let curve = characterize_application_with(app, workspace)?;
     let (xi_tt, xi_et, xi_m, k_p) = fit_non_monotonic(&curve)?;
     let spec = app.spec();
     Ok(AppTimingParams::new(

@@ -10,9 +10,11 @@
 //!
 //! * **Workspace-threaded:** every controller synthesis runs through one
 //!   [`cps_control::DesignWorkspace`] bundle per worker (Riccati, matrix
-//!   exponential and LU temporaries, pooled by dimension), so a fleet design
-//!   allocates solver scratch once per worker instead of once per
-//!   discretisation/DARE call.
+//!   exponential and LU temporaries, pooled by dimension), and every
+//!   characterisation through one [`cps_control::CharacterizationWorkspace`]
+//!   (switched-kernel state buffers, power-bound matrices, saturated-sim
+//!   scratch), so a fleet design allocates solver and simulation scratch
+//!   once per worker instead of once per application.
 //! * **Parallel:** independent application designs (and the dwell/wait
 //!   characterisations feeding the slot allocator) fan out across
 //!   `std::thread::scope` workers over contiguous index chunks, exactly like
@@ -38,12 +40,24 @@
 //! host (see ROADMAP).
 
 use crate::application::{ApplicationSpec, ControlApplication};
-use crate::characterize::derive_timing_params;
+use crate::characterize::derive_timing_params_with;
 use crate::error::Result;
 use crate::fleet::DesignedFleet;
-use cps_control::DesignWorkspace;
+use cps_control::{CharacterizationWorkspace, DesignWorkspace};
 use cps_flexray::FlexRayConfig;
 use cps_sched::{AllocatorConfig, AppTimingParams};
+
+/// The scratch bundle one design worker owns and threads through every item
+/// of its chunk: the solver-workspace pool of the synthesis path and the
+/// switched-kernel / saturated-sim pool of the characterisation path. Both
+/// pools are dimension-keyed and re-allocate only when a previously unseen
+/// dimension appears, so a warm worker pays no per-application setup cost
+/// for scratch.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    design: DesignWorkspace,
+    characterization: CharacterizationWorkspace,
+}
 
 /// The reusable fleet-design pipeline: owns the worker policy and threads
 /// one [`DesignWorkspace`] bundle per worker through every synthesis.
@@ -102,7 +116,7 @@ impl FleetDesigner {
     /// Returns the first design error in input order (specs after the
     /// failing one in the same chunk are not designed).
     pub fn design(&self, specs: Vec<ApplicationSpec>) -> Result<Vec<ControlApplication>> {
-        self.run(specs, |workspace, spec| ControlApplication::design_with(spec, workspace))
+        self.run(specs, |scratch, spec| ControlApplication::design_with(spec, &mut scratch.design))
     }
 
     /// Designs a single application (a one-application fleet) on the calling
@@ -125,10 +139,13 @@ impl FleetDesigner {
     ///
     /// Returns the first characterisation error in input order.
     pub fn characterize(&self, apps: &[ControlApplication]) -> Result<Vec<AppTimingParams>> {
-        // Same fan-out machinery as `design`; characterisation builds its
-        // own switched-kernel scratch, so the per-worker workspace bundle
-        // goes unused (it is two empty `Vec`s until first touched).
-        self.run(apps.iter().collect(), |_, app| derive_timing_params(app))
+        // Same fan-out machinery as `design`, threading the worker's pooled
+        // `CharacterizationWorkspace` through every application so the
+        // switched-kernel / saturated-sim scratch is allocated once per
+        // worker and dimension instead of once per application.
+        self.run(apps.iter().collect(), |scratch, app| {
+            derive_timing_params_with(app, &mut scratch.characterization)
+        })
     }
 
     /// The full greedy design flow: design the applications, characterise
@@ -148,7 +165,12 @@ impl FleetDesigner {
         let apps = self.design(specs)?;
         let table = self.characterize(&apps)?;
         let allocation = cps_sched::allocate_slots(&table, &budgeted(config, &bus_config))?;
-        DesignedFleet::new(apps, allocation, bus_config)
+        let fleet = DesignedFleet::new(apps, allocation, bus_config)?;
+        // The pass just computed is the fleet's characterisation table —
+        // seed the computed-once cache so later sweeps skip even the single
+        // pass.
+        fleet.seed_timing_table(table);
+        Ok(fleet)
     }
 
     /// The full exact design flow: like [`FleetDesigner::design_fleet`] but
@@ -187,7 +209,9 @@ impl FleetDesigner {
     ) -> Result<DesignedFleet> {
         let table = self.characterize(&apps)?;
         let allocation = cps_sched::allocate_slots_optimal(&table, &budgeted(config, &bus_config))?;
-        DesignedFleet::new(apps, allocation, bus_config)
+        let fleet = DesignedFleet::new(apps, allocation, bus_config)?;
+        fleet.seed_timing_table(table);
+        Ok(fleet)
     }
 
     /// Fans `items` out over the configured workers, one [`DesignWorkspace`]
@@ -196,15 +220,15 @@ impl FleetDesigner {
     where
         T: Send,
         R: Send,
-        F: Fn(&mut DesignWorkspace, T) -> Result<R> + Sync,
+        F: Fn(&mut WorkerScratch, T) -> Result<R> + Sync,
     {
         if items.is_empty() {
             return Ok(Vec::new());
         }
         let workers = self.effective_threads(items.len());
         if workers == 1 {
-            let mut workspace = DesignWorkspace::new();
-            return items.into_iter().map(|item| f(&mut workspace, item)).collect();
+            let mut scratch = WorkerScratch::default();
+            return items.into_iter().map(|item| f(&mut scratch, item)).collect();
         }
 
         // Contiguous chunks keep the output order (and therefore the result)
@@ -225,10 +249,11 @@ impl FleetDesigner {
                 .into_iter()
                 .map(|chunk| {
                     scope.spawn(move || {
-                        // Worker start-up: one workspace bundle, reused for
-                        // every design in the chunk.
-                        let mut workspace = DesignWorkspace::new();
-                        chunk.into_iter().map(|item| f(&mut workspace, item)).collect()
+                        // Worker start-up: one scratch bundle (solver and
+                        // characterisation pools), reused for every item in
+                        // the chunk.
+                        let mut scratch = WorkerScratch::default();
+                        chunk.into_iter().map(|item| f(&mut scratch, item)).collect()
                     })
                 })
                 .collect();

@@ -18,23 +18,29 @@
 //! 4. [`AllocationRuntime`] — the Figure 1 dynamic resource-allocation scheme
 //!    (ET by default, TT slot on demand, non-preemptive priority arbitration).
 //! 5. [`FleetDesigner`] — the fleet-level design pipeline behind every
-//!    design entry point: one [`cps_control::DesignWorkspace`] bundle per
-//!    worker, independent application designs and characterisations fanned
-//!    out across `std::thread::scope`, bit-identical for any worker count.
+//!    design entry point: one [`cps_control::DesignWorkspace`] +
+//!    [`cps_control::CharacterizationWorkspace`] scratch bundle per worker,
+//!    independent application designs and characterisations fanned out
+//!    across `std::thread::scope`, bit-identical for any worker count.
 //! 6. [`DesignedFleet`] — the shared-immutable design artifact (designed
-//!    controllers, fused kernel matrices, bus/slot configuration) that any
-//!    number of engines reference through an `Arc`; its
-//!    [`DesignedFleet::design`] / [`DesignedFleet::design_optimal`] paths
-//!    run the designer pipeline end to end (the latter dimensions the slot
-//!    map with the exact branch-and-bound allocator, reusing one
-//!    characterisation pass for the greedy incumbent and the exact search).
+//!    controllers, fused kernel matrices, bus/slot configuration, and the
+//!    computed-once `Arc`-shared characterisation table of
+//!    [`DesignedFleet::timing_table`]) that any number of engines reference
+//!    through an `Arc`; its [`DesignedFleet::design`] /
+//!    [`DesignedFleet::design_optimal`] paths run the designer pipeline end
+//!    to end (the latter dimensions the slot map with the exact
+//!    branch-and-bound allocator, reusing one characterisation pass for the
+//!    greedy incumbent, the exact search and the fleet's cached table).
 //! 7. [`CoSimulation`] — plant/runtime/FlexRay co-simulation reproducing the
 //!    responses of Figure 5, running on allocation-free
 //!    [`cps_control::StepKernel`]s with `reset()`-and-rerun support.
 //! 8. [`ScenarioBatch`] — batched, parallel multi-scenario co-simulation
 //!    for disturbance / threshold / per-app-disturbance / slot-map /
-//!    bus-configuration ([`BusConfigSweep`]) sweeps, deterministic across
-//!    thread counts.
+//!    bus-configuration sweeps, deterministic across thread counts.
+//!    [`BusConfigSweep`] spans the full bus design space — cycle length ×
+//!    static-segment size × slot length Ψ (frame payload geometry) — with
+//!    the Ψ-derived per-slot transmission overhead visible to every
+//!    allocator via [`cps_sched::SlotTiming`].
 //! 9. [`experiments`] — one entry point per table/figure, used by the
 //!    examples and the Criterion benches.
 //!
@@ -67,7 +73,10 @@ pub mod experiments;
 
 pub use application::{ApplicationSpec, ControlApplication, ControllerSpec};
 pub use case_study::CaseStudyOutcome;
-pub use characterize::{characterize_application, derive_timing_params, fit_non_monotonic};
+pub use characterize::{
+    characterize_application, characterize_application_with, derive_timing_params,
+    derive_timing_params_with, fit_non_monotonic,
+};
 pub use cosim::{AppTrace, CoSimTrace, CoSimulation, TracePoint};
 pub use designer::FleetDesigner;
 pub use error::{CoreError, Result};

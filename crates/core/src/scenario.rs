@@ -173,8 +173,9 @@ fn lerp(lo: f64, hi: f64, index: usize, count: usize) -> f64 {
     lo + t * (hi - lo)
 }
 
-/// The bus-configuration design-space axis: a cross product of cycle lengths
-/// and static-segment sizes over a base FlexRay configuration, expanded into
+/// The bus-configuration design-space axis: a cross product of cycle
+/// lengths, static-segment sizes and static slot lengths Ψ (equivalently,
+/// frame payload sizes) over a base FlexRay configuration, expanded into
 /// per-bus slot-map candidates (every greedy heuristic of
 /// [`cps_sched::AllocatorConfig::sweep_matrix`] *plus* the exact
 /// branch-and-bound optimum) and from there into [`ScenarioSpec`]s.
@@ -182,22 +183,59 @@ fn lerp(lo: f64, hi: f64, index: usize, count: usize) -> f64 {
 /// This rounds out the sweep constructors: where
 /// [`ScenarioSpec::slot_map_sweep`] varies only the slot map on the designed
 /// bus, `BusConfigSweep` varies the bus itself — how short can the cycle be,
-/// how few static slots does the fleet really need — with the allocator
-/// re-run under each candidate bus's slot budget.
+/// how few static slots does the fleet really need, how much payload can a
+/// frame carry — with the allocator re-run under each candidate bus's slot
+/// budget *and* slot geometry: a longer Ψ both shrinks how many slots fit
+/// the cycle and stretches every per-slot occupancy the wait-time analysis
+/// sees (via [`cps_sched::SlotTiming`], derived relative to the base
+/// configuration's Ψ).
+///
+/// # Example
+///
+/// ```
+/// use cps_core::{case_study, BusConfigSweep};
+/// use cps_flexray::FlexRayConfig;
+///
+/// let base = FlexRayConfig::paper_case_study();
+/// let sweep = BusConfigSweep::new(base)
+///     .with_cycle_lengths(vec![0.005, 0.010])
+///     .with_static_slot_counts(vec![4, 10])
+///     .with_slot_lengths(vec![0.0002, 0.0005]);
+/// // 10 slots of 0.5 ms overflow the 5 ms cycle's static segment, so that
+/// // combination is skipped; the rest survive validation.
+/// let configs = sweep.configs();
+/// assert!(configs.len() < 2 * 2 * 2);
+/// assert!(configs.iter().all(|c| c.validate().is_ok()));
+/// // Expansion packs the published Table-I fleet under every candidate bus.
+/// let table = case_study::paper_table1();
+/// let scenarios = sweep.scenarios(&table, &cps_sched::AllocatorConfig::default(), 1.0);
+/// assert!(!scenarios.is_empty());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct BusConfigSweep {
-    /// Base configuration supplying the parameters that are not swept.
+    /// Base configuration supplying the parameters that are not swept (its
+    /// static slot length is also the Ψ baseline the per-slot transmission
+    /// overhead is measured against).
     pub base: FlexRayConfig,
     /// Candidate cycle lengths in seconds (empty = keep the base value).
     pub cycle_lengths: Vec<f64>,
     /// Candidate static-segment sizes in slots (empty = keep the base value).
     pub static_slot_counts: Vec<usize>,
+    /// Candidate static slot lengths Ψ in seconds (empty = keep the base
+    /// value). Fill from frame payload sizes with
+    /// [`BusConfigSweep::with_payloads`].
+    pub slot_lengths: Vec<f64>,
 }
 
 impl BusConfigSweep {
     /// A sweep that (so far) only contains the base configuration.
     pub fn new(base: FlexRayConfig) -> Self {
-        BusConfigSweep { base, cycle_lengths: Vec::new(), static_slot_counts: Vec::new() }
+        BusConfigSweep {
+            base,
+            cycle_lengths: Vec::new(),
+            static_slot_counts: Vec::new(),
+            slot_lengths: Vec::new(),
+        }
     }
 
     /// Sets the cycle-length axis.
@@ -214,10 +252,37 @@ impl BusConfigSweep {
         self
     }
 
+    /// Sets the slot-length axis: candidate static slot lengths Ψ in
+    /// seconds.
+    #[must_use]
+    pub fn with_slot_lengths(mut self, slot_lengths: Vec<f64>) -> Self {
+        self.slot_lengths = slot_lengths;
+        self
+    }
+
+    /// Sets the slot-length axis from frame payload sizes (16-bit words) at
+    /// the given bit rate, via the FlexRay timing relation
+    /// [`FlexRayConfig::static_slot_length_for_payload`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors (payload too large, bad bit rate).
+    pub fn with_payloads(mut self, payload_words: &[usize], bit_rate: f64) -> Result<Self> {
+        self.slot_lengths = payload_words
+            .iter()
+            .map(|&words| {
+                FlexRayConfig::static_slot_length_for_payload(words, bit_rate)
+                    .map_err(CoreError::FlexRay)
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        Ok(self)
+    }
+
     /// The *valid* bus configurations of the sweep, row-major with the
-    /// static-slot axis varying fastest. Combinations whose segments do not
-    /// fit the cycle (or that fail any other
-    /// [`FlexRayConfig::validate`] rule) are skipped, mirroring how
+    /// slot-length axis varying fastest and the cycle-length axis slowest.
+    /// Combinations whose segments do not fit the cycle (or that fail any
+    /// other [`FlexRayConfig::validate`] rule — e.g. a payload-derived Ψ
+    /// shorter than the minislot) are skipped, mirroring how
     /// [`cps_sched::allocation_sweep`] skips infeasible allocator
     /// configurations.
     pub fn configs(&self) -> Vec<FlexRayConfig> {
@@ -228,27 +293,66 @@ impl BusConfigSweep {
         } else {
             &self.static_slot_counts
         };
-        let mut configs = Vec::with_capacity(cycles.len() * slot_counts.len());
+        let slot_lengths: &[f64] = if self.slot_lengths.is_empty() {
+            &[self.base.static_slot_length]
+        } else {
+            &self.slot_lengths
+        };
+        let mut configs =
+            Vec::with_capacity(cycles.len() * slot_counts.len() * slot_lengths.len());
         for &cycle_length in cycles {
             for &static_slot_count in slot_counts {
-                let candidate =
-                    FlexRayConfig { cycle_length, static_slot_count, ..self.base };
-                if candidate.validate().is_ok() {
-                    configs.push(candidate);
+                for &static_slot_length in slot_lengths {
+                    let candidate = FlexRayConfig {
+                        cycle_length,
+                        static_slot_count,
+                        static_slot_length,
+                        ..self.base
+                    };
+                    if candidate.validate().is_ok() {
+                        configs.push(candidate);
+                    }
                 }
             }
         }
         configs
     }
 
+    /// The per-slot transmission timing a candidate bus presents to the
+    /// wait-time analysis: the occupancy overhead is the slot-length excess
+    /// over the base configuration's Ψ — the geometry the characterisation
+    /// table is assumed to have absorbed — floored at zero (a shorter slot
+    /// cannot undercut the characterised control-layer dwell times — see
+    /// [`cps_sched::SlotTiming`]). [`BusConfigSweep::scenarios_for_fleet`]
+    /// measures against the *fleet's* designed Ψ instead, which is the
+    /// baseline its cached table actually absorbed.
+    pub fn slot_timing_for(&self, bus: &FlexRayConfig) -> cps_sched::SlotTiming {
+        slot_timing_against(self.base.static_slot_length, bus)
+    }
+
     /// Expands the sweep into scenarios: for every valid bus configuration,
     /// the allocator matrix (all greedy heuristics, deduplicated) *and* the
     /// exact branch-and-bound optimum are solved under that bus's static
-    /// slot budget, and each distinct feasible slot map becomes one nominal
-    /// scenario pinned to that bus. Bus configurations for which no feasible
-    /// slot map exists are skipped.
+    /// slot budget *and* slot geometry (the Ψ-derived per-slot transmission
+    /// overhead of [`BusConfigSweep::slot_timing_for`] is visible to every
+    /// heuristic and to the exact search), and each distinct feasible slot
+    /// map becomes one nominal scenario pinned to that bus. Bus
+    /// configurations for which no feasible slot map exists are skipped.
     pub fn scenarios(
         &self,
+        table: &[cps_sched::AppTimingParams],
+        allocator: &cps_sched::AllocatorConfig,
+        duration: f64,
+    ) -> Vec<ScenarioSpec> {
+        self.scenarios_against(self.base.static_slot_length, table, allocator, duration)
+    }
+
+    /// [`BusConfigSweep::scenarios`] with an explicit Ψ baseline: the slot
+    /// length the characterisation behind `table` absorbed, against which
+    /// every candidate's per-slot transmission overhead is measured.
+    fn scenarios_against(
+        &self,
+        baseline_slot_length: f64,
         table: &[cps_sched::AppTimingParams],
         allocator: &cps_sched::AllocatorConfig,
         duration: f64,
@@ -257,6 +361,7 @@ impl BusConfigSweep {
         for bus in self.configs() {
             let budgeted = cps_sched::AllocatorConfig {
                 max_slots: allocator.max_slots.min(bus.static_slot_count),
+                slot_timing: slot_timing_against(baseline_slot_length, &bus),
                 ..*allocator
             };
             let mut maps = cps_sched::allocation_sweep(table, &budgeted.sweep_matrix());
@@ -269,9 +374,10 @@ impl BusConfigSweep {
                 scenarios.push(
                     ScenarioSpec {
                         label: format!(
-                            "cycle {:.1} ms / {} static slots · slot map #{index} ({} slots, {} model)",
+                            "cycle {:.1} ms / {} static slots / psi {:.1} us · slot map #{index} ({} slots, {} model)",
                             bus.cycle_length * 1e3,
                             bus.static_slot_count,
+                            bus.static_slot_length * 1e6,
                             allocation.slot_count(),
                             allocation.model
                         ),
@@ -307,6 +413,45 @@ impl BusConfigSweep {
         let table = designer.characterize(apps)?;
         Ok(self.scenarios(&table, allocator, duration))
     }
+
+    /// Expands the sweep for a designed fleet using its computed-once,
+    /// `Arc`-shared characterisation table
+    /// ([`DesignedFleet::timing_table_with`]): repeated sweeps over the same
+    /// fleet — across *calls*, not just across the candidate buses of one
+    /// call — perform **zero** re-characterisation. Fleets frozen by the
+    /// design flows come with the table pre-seeded; otherwise the first call
+    /// fills the cache (once, through the given designer's worker policy).
+    ///
+    /// Per-slot transmission overheads are measured against the *fleet's*
+    /// designed slot length — the Ψ its characterisation table absorbed —
+    /// not the sweep's base, so a sweep whose base geometry differs from
+    /// the fleet's cannot under-approximate the candidates' occupancies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation failures from the cache fill.
+    pub fn scenarios_for_fleet(
+        &self,
+        designer: &crate::designer::FleetDesigner,
+        fleet: &DesignedFleet,
+        allocator: &cps_sched::AllocatorConfig,
+        duration: f64,
+    ) -> Result<Vec<ScenarioSpec>> {
+        let table = fleet.timing_table_with(designer)?;
+        Ok(self.scenarios_against(
+            fleet.bus_config().static_slot_length,
+            &table,
+            allocator,
+            duration,
+        ))
+    }
+}
+
+/// The per-slot transmission timing of `bus` relative to a baseline slot
+/// length Ψ₀: `ΔΨ = max(0, Ψ − Ψ₀)` (see [`cps_sched::SlotTiming`]).
+fn slot_timing_against(baseline_slot_length: f64, bus: &FlexRayConfig) -> cps_sched::SlotTiming {
+    cps_sched::SlotTiming::new((bus.static_slot_length - baseline_slot_length).max(0.0))
+        .expect("validated slot lengths yield a finite non-negative overhead")
 }
 
 /// Per-scenario summary returned by the batch engine (the full traces stay
@@ -361,6 +506,27 @@ impl ScenarioOutcome {
 /// out over worker threads. Workers never clone the designed
 /// [`ControlApplication`]s — each one spawns a [`CoSimulation`] holding only
 /// mutable scratch over the shared design.
+///
+/// # Examples
+///
+/// ```
+/// use cps_core::{case_study, DesignedFleet, ScenarioBatch, ScenarioSpec};
+/// use cps_flexray::FlexRayConfig;
+/// use std::sync::Arc;
+///
+/// let fleet = Arc::new(DesignedFleet::design(
+///     case_study::derived_fleet_specs(),
+///     &cps_sched::AllocatorConfig::default(),
+///     FlexRayConfig::paper_case_study(),
+/// )?);
+/// let batch = ScenarioBatch::from_fleet(fleet)?;
+/// // Three disturbance scales, each co-simulated from a full reset; the
+/// // outcome is bit-identical for any worker count.
+/// let outcomes = batch.run(&ScenarioSpec::disturbance_sweep(0.5, 1.5, 3, 0.5))?;
+/// assert_eq!(outcomes.len(), 3);
+/// assert!(outcomes.iter().all(|o| o.response_times.len() == 6));
+/// # Ok::<(), cps_core::CoreError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioBatch {
     fleet: Arc<DesignedFleet>,
@@ -691,6 +857,70 @@ mod tests {
             .run(&[ScenarioSpec::nominal(2.0)])
             .unwrap();
         assert_eq!(recovered[0].response_times, outcomes[0].response_times);
+    }
+
+    #[test]
+    fn slot_length_axis_completes_the_bus_design_space() {
+        let table = case_study::paper_table1();
+        let base = FlexRayConfig::paper_case_study();
+
+        // Third axis: slot length Ψ. The 5 ms cycle keeps its 3 ms dynamic
+        // segment, so 10 slots of 0.5 ms (5 ms static) cannot fit — only the
+        // 4-slot variant of the stretched Ψ survives validation.
+        let sweep = BusConfigSweep::new(base)
+            .with_static_slot_counts(vec![4, 10])
+            .with_slot_lengths(vec![0.0002, 0.0005]);
+        let configs = sweep.configs();
+        assert_eq!(configs.len(), 3);
+        assert!(configs
+            .iter()
+            .all(|c| c.static_segment_length() + c.dynamic_segment_length()
+                <= c.cycle_length + 1e-12));
+
+        // The derived slot timing is the Ψ excess over the base (floored at
+        // zero for the baseline Ψ itself).
+        for config in &configs {
+            let timing = sweep.slot_timing_for(config);
+            if config.static_slot_length > base.static_slot_length {
+                assert!((timing.overhead() - 0.0003).abs() < 1e-12);
+            } else {
+                assert_eq!(timing.overhead(), 0.0);
+            }
+        }
+
+        // Scenario expansion: every slot map fits its bus's budget and
+        // verifies under that bus's geometry; the conservative 5-slot maps
+        // are gone from the 4-slot buses. Labels stay unique because they
+        // carry Ψ.
+        let scenarios = sweep.scenarios(&table, &cps_sched::AllocatorConfig::default(), 1.0);
+        assert!(!scenarios.is_empty());
+        let mut saw_stretched_bus = false;
+        for spec in &scenarios {
+            let bus = spec.bus_config.expect("bus pinned");
+            let allocation = spec.allocation.as_ref().expect("slot map pinned");
+            assert!(allocation.slot_count() <= bus.static_slot_count);
+            assert!(allocation
+                .verify_with(&table, sweep.slot_timing_for(&bus))
+                .expect("analysis runs"));
+            if bus.static_slot_length > base.static_slot_length {
+                saw_stretched_bus = true;
+            }
+        }
+        assert!(saw_stretched_bus, "the stretched-Ψ bus must host feasible slot maps");
+        let labels: std::collections::HashSet<_> = scenarios.iter().map(|s| &s.label).collect();
+        assert_eq!(labels.len(), scenarios.len());
+
+        // The payload-word constructor maps frame sizes through the FlexRay
+        // timing relation; an oversized payload is rejected.
+        let by_payload = BusConfigSweep::new(base)
+            .with_payloads(&[64, 127], cps_flexray::DEFAULT_BIT_RATE)
+            .unwrap();
+        assert_eq!(by_payload.slot_lengths.len(), 2);
+        assert!(by_payload.slot_lengths[0] < by_payload.slot_lengths[1]);
+        assert!(by_payload.slot_lengths.iter().all(|&psi| psi > base.minislot_length));
+        assert!(BusConfigSweep::new(base)
+            .with_payloads(&[500], cps_flexray::DEFAULT_BIT_RATE)
+            .is_err());
     }
 
     #[test]

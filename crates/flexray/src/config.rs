@@ -1,6 +1,34 @@
-//! FlexRay cycle configuration: static (TT) segment and dynamic (ET) segment.
+//! FlexRay cycle configuration: static (TT) segment and dynamic (ET) segment,
+//! plus the frame-payload geometry that determines the static slot length Ψ.
 
 use crate::error::{FlexRayError, Result};
+
+/// Default FlexRay channel bit rate in bits per second (10 Mbit/s, the rate
+/// of the protocol's class-C physical layer and of the paper's case study).
+pub const DEFAULT_BIT_RATE: f64 = 10_000_000.0;
+
+/// Largest admissible frame payload in 16-bit words (the FlexRay frame
+/// format reserves 7 bits for the payload-length field).
+pub const MAX_PAYLOAD_WORDS: usize = 127;
+
+/// Transmission-start sequence length in bit times.
+const TSS_BITS: f64 = 11.0;
+/// Frame-start sequence length in bit times.
+const FSS_BITS: f64 = 1.0;
+/// Frame-end sequence length in bit times.
+const FES_BITS: f64 = 2.0;
+/// Wire bits per frame byte: 8 data bits preceded by the 2-bit byte-start
+/// sequence of the FlexRay bit coding.
+const BITS_PER_CODED_BYTE: f64 = 10.0;
+/// Frame header length in bytes (frame ID, payload length, header CRC,
+/// cycle count).
+const HEADER_BYTES: f64 = 5.0;
+/// Frame trailer (CRC) length in bytes.
+const TRAILER_BYTES: f64 = 3.0;
+/// Action-point offset at the start of a static slot, in bit times.
+const ACTION_POINT_BITS: f64 = 10.0;
+/// Channel-idle delimiter closing a slot, in bit times.
+const CHANNEL_IDLE_BITS: f64 = 11.0;
 
 /// Configuration of one FlexRay communication cycle.
 ///
@@ -108,6 +136,71 @@ impl FlexRayConfig {
     pub fn dynamic_segment_start(&self) -> f64 {
         self.static_segment_length()
     }
+
+    /// Wire time of one static frame carrying `payload_words` 16-bit payload
+    /// words at `bit_rate` bits/s, per the FlexRay frame format: the
+    /// transmission-start/frame-start sequences, the byte-coded header,
+    /// payload and trailer, and the frame-end sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidConfig`] if `payload_words` exceeds
+    /// [`MAX_PAYLOAD_WORDS`] or `bit_rate` is not positive and finite.
+    pub fn frame_transmission_time(payload_words: usize, bit_rate: f64) -> Result<f64> {
+        if payload_words > MAX_PAYLOAD_WORDS {
+            return Err(FlexRayError::InvalidConfig {
+                reason: format!(
+                    "frame payload of {payload_words} words exceeds the \
+                     {MAX_PAYLOAD_WORDS}-word FlexRay maximum"
+                ),
+            });
+        }
+        if !(bit_rate > 0.0) || !bit_rate.is_finite() {
+            return Err(FlexRayError::InvalidConfig {
+                reason: format!("bit rate must be positive and finite, got {bit_rate}"),
+            });
+        }
+        let frame_bytes = HEADER_BYTES + 2.0 * payload_words as f64 + TRAILER_BYTES;
+        let frame_bits = TSS_BITS + FSS_BITS + frame_bytes * BITS_PER_CODED_BYTE + FES_BITS;
+        Ok(frame_bits / bit_rate)
+    }
+
+    /// The static slot length Ψ required to carry frames with
+    /// `payload_words` 16-bit payload words at `bit_rate` bits/s: the frame
+    /// transmission time plus the action-point offset opening the slot and
+    /// the channel-idle delimiter closing it. This is the minislot/static-slot
+    /// timing relation that turns a frame payload size into a bus-geometry
+    /// design variable.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlexRayConfig::frame_transmission_time`].
+    pub fn static_slot_length_for_payload(payload_words: usize, bit_rate: f64) -> Result<f64> {
+        let frame = Self::frame_transmission_time(payload_words, bit_rate)?;
+        Ok((ACTION_POINT_BITS + CHANNEL_IDLE_BITS) / bit_rate + frame)
+    }
+
+    /// Returns the configuration with the static slot length Ψ replaced
+    /// (validation is deferred to [`FlexRayConfig::validate`], mirroring how
+    /// sweep axes construct candidate configurations).
+    #[must_use]
+    pub fn with_static_slot_length(mut self, static_slot_length: f64) -> Self {
+        self.static_slot_length = static_slot_length;
+        self
+    }
+
+    /// Returns the configuration with Ψ derived from a frame payload size
+    /// via [`FlexRayConfig::static_slot_length_for_payload`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FlexRayConfig::frame_transmission_time`].
+    pub fn with_payload(self, payload_words: usize, bit_rate: f64) -> Result<Self> {
+        Ok(self.with_static_slot_length(Self::static_slot_length_for_payload(
+            payload_words,
+            bit_rate,
+        )?))
+    }
 }
 
 impl Default for FlexRayConfig {
@@ -136,6 +229,52 @@ mod tests {
         assert!((config.static_slot_start(5).unwrap() - 0.001).abs() < 1e-12);
         assert!(config.static_slot_start(10).is_err());
         assert!((config.dynamic_segment_start() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payload_geometry_relations() {
+        // The slot length grows linearly with the payload: 2 bytes per word,
+        // 10 wire bits per byte.
+        let short = FlexRayConfig::static_slot_length_for_payload(4, DEFAULT_BIT_RATE).unwrap();
+        let long = FlexRayConfig::static_slot_length_for_payload(16, DEFAULT_BIT_RATE).unwrap();
+        assert!(long > short);
+        assert!((long - short - 12.0 * 2.0 * 10.0 / DEFAULT_BIT_RATE).abs() < 1e-15);
+        // A zero-payload frame still pays the header/trailer/sequence
+        // overhead, and the maximum payload stays within the paper's cycle.
+        let empty = FlexRayConfig::frame_transmission_time(0, DEFAULT_BIT_RATE).unwrap();
+        assert!(empty > 0.0);
+        let widest =
+            FlexRayConfig::static_slot_length_for_payload(MAX_PAYLOAD_WORDS, DEFAULT_BIT_RATE)
+                .unwrap();
+        assert!(widest < FlexRayConfig::paper_case_study().cycle_length);
+        // Slot length dominates the bare frame time (action point + idle).
+        let frame = FlexRayConfig::frame_transmission_time(4, DEFAULT_BIT_RATE).unwrap();
+        assert!(short > frame);
+
+        // Builders: a payload-derived configuration validates as long as the
+        // static segment still fits the cycle and Ψ stays above the minislot
+        // length (a 64-word payload gives Ψ ≈ 139.5 µs on the paper's bus).
+        let config = FlexRayConfig::paper_case_study().with_payload(64, DEFAULT_BIT_RATE).unwrap();
+        config.validate().unwrap();
+        assert!(config.static_slot_length < 0.0002);
+        // Too small a payload makes Ψ shorter than the paper's 50 µs
+        // minislot, which validation rejects (ψ must stay ≪ Ψ).
+        let tiny = FlexRayConfig::paper_case_study().with_payload(8, DEFAULT_BIT_RATE).unwrap();
+        assert!(tiny.validate().is_err());
+        let stretched = FlexRayConfig::paper_case_study().with_static_slot_length(0.0005);
+        assert!(stretched.validate().is_err(), "10 x 0.5 ms slots overflow the 5 ms cycle");
+        let fewer_slots = FlexRayConfig {
+            static_slot_count: 4,
+            ..FlexRayConfig::paper_case_study().with_static_slot_length(0.0005)
+        };
+        fewer_slots.validate().unwrap();
+
+        // Invalid geometry inputs are rejected.
+        assert!(FlexRayConfig::frame_transmission_time(MAX_PAYLOAD_WORDS + 1, DEFAULT_BIT_RATE)
+            .is_err());
+        assert!(FlexRayConfig::frame_transmission_time(4, 0.0).is_err());
+        assert!(FlexRayConfig::static_slot_length_for_payload(4, f64::NAN).is_err());
+        assert!(FlexRayConfig::paper_case_study().with_payload(500, DEFAULT_BIT_RATE).is_err());
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! provides:
 //!
 //! * [`FlexRayConfig`] — cycle/segment configuration, including the paper's
-//!   case-study bus (5 ms cycle, 10 static slots in a 2 ms static segment).
+//!   case-study bus (5 ms cycle, 10 static slots in a 2 ms static segment)
+//!   and the frame-payload geometry relations
+//!   ([`FlexRayConfig::static_slot_length_for_payload`],
+//!   [`FlexRayConfig::with_payload`]) that turn the static slot length Ψ
+//!   into a swept design variable: payload words → wire bits → frame
+//!   transmission time → Ψ.
 //! * [`Frame`] / [`Segment`] — frame definitions and their current segment
 //!   assignment (which the dynamic resource-allocation scheme changes at
 //!   runtime).
@@ -51,6 +56,6 @@ mod frame;
 
 pub use analysis::{worst_case_dynamic_latency, worst_case_static_latency, LatencyStats};
 pub use bus::{BusStatistics, FlexRayBus};
-pub use config::FlexRayConfig;
+pub use config::{FlexRayConfig, DEFAULT_BIT_RATE, MAX_PAYLOAD_WORDS};
 pub use error::{FlexRayError, Result};
 pub use frame::{Frame, Segment, Transmission};

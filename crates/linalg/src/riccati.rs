@@ -167,8 +167,9 @@ fn max_abs_difference(left: &Matrix, right: &Matrix) -> f64 {
         .fold(0.0, |acc, (l, r)| acc.max((l - r).abs()))
 }
 
-/// Pre-allocated temporaries for [`riccati_step_into`] / [`solve_dare_with`]
-/// / [`dlqr_with`], sized once for an `n`-state, `m`-input problem.
+/// Pre-allocated temporaries for the Riccati iteration step /
+/// [`solve_dare_with`] / [`dlqr_with`], sized once for an `n`-state,
+/// `m`-input problem.
 ///
 /// One workspace serves any number of designs with the same dimensions —
 /// the sweep workloads (threshold re-design, fleet variants) construct it

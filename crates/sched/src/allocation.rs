@@ -10,7 +10,8 @@
 use crate::app::{priority_order, AppTimingParams};
 use crate::dwell::ModelKind;
 use crate::error::{Result, SchedError};
-use crate::schedulability::{analyze_slot, is_slot_schedulable, WaitTimeMethod};
+use crate::schedulability::{analyze_slot_with, is_slot_schedulable_with, WaitTimeMethod};
+use crate::timing::SlotTiming;
 
 /// Which greedy packing strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -59,13 +60,26 @@ impl SlotAllocation {
         self.slots.iter().position(|slot| slot.contains(&app_index))
     }
 
-    /// Verifies that every slot of the allocation is schedulable and every
+    /// Verifies that every slot of the allocation is schedulable (under the
+    /// design-baseline slot geometry, [`SlotTiming::ZERO`]) and every
     /// application is placed exactly once.
     ///
     /// # Errors
     ///
     /// Propagates analysis errors.
     pub fn verify(&self, apps: &[AppTimingParams]) -> Result<bool> {
+        self.verify_with(apps, SlotTiming::ZERO)
+    }
+
+    /// [`SlotAllocation::verify`] under an explicit slot geometry — the
+    /// check to use for allocations computed with a non-zero
+    /// [`AllocatorConfig::slot_timing`] (the allocation records its model
+    /// and method but not the geometry it was packed under).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    pub fn verify_with(&self, apps: &[AppTimingParams], timing: SlotTiming) -> Result<bool> {
         let mut seen = vec![0usize; apps.len()];
         for slot in &self.slots {
             for &index in slot {
@@ -74,7 +88,7 @@ impl SlotAllocation {
                 }
                 seen[index] += 1;
             }
-            if !is_slot_schedulable(apps, slot, self.model, self.method)? {
+            if !is_slot_schedulable_with(apps, slot, self.model, self.method, timing)? {
                 return Ok(false);
             }
         }
@@ -94,6 +108,11 @@ pub struct AllocatorConfig {
     /// Maximum number of TT slots that may be opened (the static segment has
     /// finitely many; the paper's bus offers 10 per cycle).
     pub max_slots: usize,
+    /// Per-slot transmission timing of the analysed bus geometry: the extra
+    /// occupancy a candidate slot length Ψ adds to every blocking and
+    /// interference interval ([`SlotTiming::ZERO`], the default, is the
+    /// design baseline).
+    pub slot_timing: SlotTiming,
 }
 
 impl Default for AllocatorConfig {
@@ -103,16 +122,18 @@ impl Default for AllocatorConfig {
             method: WaitTimeMethod::ClosedFormBound,
             strategy: AllocationStrategy::NextFit,
             max_slots: 10,
+            slot_timing: SlotTiming::ZERO,
         }
     }
 }
 
 impl AllocatorConfig {
-    /// The full safe sweep matrix over this configuration's `max_slots`:
-    /// every packing strategy crossed with every *safe* dwell-time model and
-    /// both wait-time methods (the unsafe simple monotonic model is
-    /// excluded — it can certify allocations that miss deadlines). The
-    /// slot-map sweep workloads feed this into [`allocation_sweep`].
+    /// The full safe sweep matrix over this configuration's `max_slots` and
+    /// `slot_timing`: every packing strategy crossed with every *safe*
+    /// dwell-time model and both wait-time methods (the unsafe simple
+    /// monotonic model is excluded — it can certify allocations that miss
+    /// deadlines). The slot-map sweep workloads feed this into
+    /// [`allocation_sweep`].
     pub fn sweep_matrix(&self) -> Vec<AllocatorConfig> {
         let mut configs = Vec::new();
         for strategy in [
@@ -127,6 +148,7 @@ impl AllocatorConfig {
                         method,
                         strategy,
                         max_slots: self.max_slots,
+                        slot_timing: self.slot_timing,
                     });
                 }
             }
@@ -202,7 +224,13 @@ pub(crate) fn dedicated_slot_precheck(
     order: &[usize],
 ) -> Result<()> {
     for &app_index in order {
-        if !is_slot_schedulable(apps, &[app_index], config.model, config.method)? {
+        if !is_slot_schedulable_with(
+            apps,
+            &[app_index],
+            config.model,
+            config.method,
+            config.slot_timing,
+        )? {
             return Err(SchedError::InvalidParameter {
                 reason: format!(
                     "application {} cannot meet its deadline even with a dedicated TT slot",
@@ -267,7 +295,7 @@ fn try_slots(
     for slot_index in candidates {
         let slot = &mut slots[slot_index];
         slot.push(app_index);
-        if is_slot_schedulable(apps, slot, config.model, config.method)? {
+        if is_slot_schedulable_with(apps, slot, config.model, config.method, config.slot_timing)? {
             return Ok(Some(slot_index));
         }
         slot.pop();
@@ -287,7 +315,8 @@ fn best_fit(
     for slot_index in 0..slots.len() {
         let mut candidate = slots[slot_index].clone();
         candidate.push(app_index);
-        let analysis = analyze_slot(apps, &candidate, config.model, config.method)?;
+        let analysis =
+            analyze_slot_with(apps, &candidate, config.model, config.method, config.slot_timing)?;
         if analysis.is_schedulable() {
             let min_slack = analysis
                 .analyses
@@ -364,6 +393,28 @@ mod tests {
         let strangled = AllocatorConfig { max_slots: 1, ..AllocatorConfig::default() };
         let few = allocation_sweep(&apps, &strangled.sweep_matrix());
         assert!(few.iter().all(|a| a.slot_count() <= 1));
+    }
+
+    #[test]
+    fn slot_timing_overhead_forces_wider_allocations() {
+        let apps = paper_table1();
+        // A per-slot overhead of 0.8 s breaks S1 = {C3, C6}'s sharing (C3's
+        // deadline gives way once the overhead exceeds ≈ 0.603 s), so the
+        // greedy packing must open more slots than the baseline's three. The
+        // overhead is exaggerated — physical slot-length deltas are
+        // microseconds — to make the mechanism observable on the paper fleet.
+        let baseline = allocate_slots(&apps, &AllocatorConfig::default()).unwrap();
+        let timing = SlotTiming::new(0.8).unwrap();
+        let config = AllocatorConfig { slot_timing: timing, ..AllocatorConfig::default() };
+        let stretched = allocate_slots(&apps, &config).unwrap();
+        assert!(stretched.slot_count() > baseline.slot_count());
+        // The result verifies under its own geometry but not necessarily
+        // under the baseline check; the baseline allocation in turn fails
+        // under the stretched geometry.
+        assert!(stretched.verify_with(&apps, timing).unwrap());
+        assert!(!baseline.verify_with(&apps, timing).unwrap());
+        // The sweep matrix propagates the timing to every configuration.
+        assert!(config.sweep_matrix().iter().all(|c| c.slot_timing == timing));
     }
 
     #[test]

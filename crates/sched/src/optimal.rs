@@ -45,9 +45,12 @@
 //! # Lower bound (slot-demand relaxation)
 //!
 //! For the lowest-priority member `i` of a feasible slot `S`, the paper's
-//! Eq. (19) requires `m = Σ_{j∈S∖{i}} ξᴹⱼ/rⱼ < 1`, hence every feasible slot
+//! Eq. (19) requires `m = Σ_{j∈S∖{i}} ξ̃ᴹⱼ/rⱼ < 1`, hence every feasible slot
 //! carries total demand `Σ_{j∈S} uⱼ < 1 + uᵢ ≤ 1 + u_max` with
-//! `uⱼ = ξᴹⱼ/rⱼ`. Relaxing schedulability to this scalar capacity yields a
+//! `uⱼ = ξ̃ᴹⱼ/rⱼ`, where `ξ̃ᴹⱼ = ξᴹⱼ + ΔΨ` is the dwell bound stretched by the
+//! per-slot transmission overhead of the analysed bus geometry
+//! ([`crate::SlotTiming`]; zero at the design baseline). Relaxing
+//! schedulability to this scalar capacity yields a
 //! bin-packing bound: with `D` the demand of the unassigned applications and
 //! `R` the residual capacity of the open slots, at least
 //! `⌈(D − R)/(1 + u_max)⌉` further slots are needed. Nodes whose open-slot
@@ -73,6 +76,7 @@ use crate::app::{priority_order, AppTimingParams};
 use crate::dwell::{dwell_for, max_dwell_for, ModelKind};
 use crate::error::{Result, SchedError};
 use crate::schedulability::WaitTimeMethod;
+use crate::timing::SlotTiming;
 use crate::wait_time::MAX_FIXED_POINT_ITERATIONS;
 
 /// Verdict of the allocation-free per-slot analysis at a search node.
@@ -102,9 +106,14 @@ pub struct OptimalAllocator<'a> {
     model: ModelKind,
     method: WaitTimeMethod,
     max_slots: usize,
+    /// Per-slot transmission timing of the analysed bus geometry: the
+    /// overhead stretches every blocking/interference occupancy and the
+    /// per-application demand, exactly as in the reference analysis.
+    timing: SlotTiming,
     /// Applications in decreasing priority (the branching order).
     order: Vec<usize>,
-    /// Per-application slot demand `uᵢ = ξᴹᵢ/rᵢ` under the active model.
+    /// Per-application slot demand `uᵢ = (ξᴹᵢ + ΔΨ)/rᵢ` under the active
+    /// model and slot geometry.
     demand: Vec<f64>,
     /// Capacity `1 + u_max` of the demand relaxation.
     capacity: f64,
@@ -149,8 +158,13 @@ impl<'a> OptimalAllocator<'a> {
             });
         }
         let order = priority_order(apps);
-        let demand: Vec<f64> =
-            apps.iter().map(|app| max_dwell_for(app, config.model) / app.inter_arrival).collect();
+        let demand: Vec<f64> = apps
+            .iter()
+            .map(|app| {
+                config.slot_timing.effective_dwell(max_dwell_for(app, config.model))
+                    / app.inter_arrival
+            })
+            .collect();
         let capacity = 1.0 + demand.iter().copied().fold(0.0, f64::max);
         let mut suffix_demand = vec![0.0; apps.len() + 1];
         for k in (0..apps.len()).rev() {
@@ -166,6 +180,7 @@ impl<'a> OptimalAllocator<'a> {
             model: config.model,
             method: config.method,
             max_slots: config.max_slots,
+            timing: config.slot_timing,
             order,
             demand,
             capacity,
@@ -362,7 +377,7 @@ impl<'a> OptimalAllocator<'a> {
         let members = &self.slots[s];
         let mut feasible = true;
         for &index in members {
-            match member_response(self.apps, members, index, self.model, self.method) {
+            match member_response(self.apps, members, index, self.model, self.method, self.timing) {
                 MemberResponse::Overloaded => return SlotStatus::Dead,
                 MemberResponse::Diverged => return SlotStatus::Dead,
                 MemberResponse::Finite { wait, response } => {
@@ -409,11 +424,13 @@ fn member_response(
     index: usize,
     kind: ModelKind,
     method: WaitTimeMethod,
+    timing: SlotTiming,
 ) -> MemberResponse {
     let subject = &apps[index];
     // One pass in slot order mirrors `InterferenceContext::for_application`:
-    // `higher_priority` entries are visited in the same order, so the
-    // utilisation and interference sums round identically.
+    // `higher_priority` entries are visited in the same order (with the same
+    // per-slot overhead applied to each dwell bound), so the utilisation and
+    // interference sums round identically.
     let mut blocking: f64 = 0.0;
     let mut utilization: f64 = 0.0;
     let mut interference_sum: f64 = 0.0;
@@ -422,7 +439,7 @@ fn member_response(
             continue;
         }
         let other = &apps[other_index];
-        let dwell_bound = max_dwell_for(other, kind);
+        let dwell_bound = timing.effective_dwell(max_dwell_for(other, kind));
         if other.outranks(subject) {
             utilization += dwell_bound / other.inter_arrival;
             interference_sum += dwell_bound;
@@ -454,7 +471,7 @@ fn member_response(
                     }
                     let other = &apps[other_index];
                     if other.outranks(subject) {
-                        let dwell_bound = max_dwell_for(other, kind);
+                        let dwell_bound = timing.effective_dwell(max_dwell_for(other, kind));
                         interference += (wait / other.inter_arrival).ceil().max(0.0) * dwell_bound;
                     }
                 }
@@ -526,7 +543,6 @@ mod tests {
     use super::*;
     use crate::allocation::allocate_slots;
     use crate::case_study_fixtures::paper_table1;
-    use crate::schedulability::is_slot_schedulable;
 
     fn configs() -> Vec<AllocatorConfig> {
         let mut out = Vec::new();
@@ -557,30 +573,57 @@ mod tests {
         let apps = paper_table1();
         let slots: Vec<Vec<usize>> =
             vec![vec![2, 5], vec![1, 3], vec![4, 0], vec![0, 1, 2, 3, 4, 5], vec![3]];
+        let timings =
+            [SlotTiming::ZERO, SlotTiming::new(0.3).unwrap(), SlotTiming::new(0.8).unwrap()];
         for model in
             [ModelKind::NonMonotonic, ModelKind::ConservativeMonotonic, ModelKind::SimpleMonotonic]
         {
             for method in [WaitTimeMethod::ClosedFormBound, WaitTimeMethod::ExactFixedPoint] {
-                for slot in &slots {
-                    let mut streaming = true;
-                    for &index in slot {
-                        match member_response(&apps, slot, index, model, method) {
-                            MemberResponse::Finite { response, .. } => {
-                                if response > apps[index].deadline {
-                                    streaming = false;
+                for timing in timings {
+                    for slot in &slots {
+                        let mut streaming = true;
+                        for &index in slot {
+                            match member_response(&apps, slot, index, model, method, timing) {
+                                MemberResponse::Finite { response, .. } => {
+                                    if response > apps[index].deadline {
+                                        streaming = false;
+                                    }
                                 }
+                                _ => streaming = false,
                             }
-                            _ => streaming = false,
                         }
+                        let reference =
+                            crate::is_slot_schedulable_with(&apps, slot, model, method, timing)
+                                .unwrap();
+                        assert_eq!(
+                            streaming, reference,
+                            "slot {slot:?} model {model:?} method {method:?} timing {timing:?}"
+                        );
                     }
-                    let reference = is_slot_schedulable(&apps, slot, model, method).unwrap();
-                    assert_eq!(
-                        streaming, reference,
-                        "slot {slot:?} model {model:?} method {method:?}"
-                    );
                 }
             }
         }
+    }
+
+    #[test]
+    fn slot_timing_overhead_raises_the_optimum() {
+        let apps = paper_table1();
+        // The baseline optimum is the greedy 3-slot packing; a 0.8 s
+        // per-slot overhead (exaggerated — physical ΔΨ is microseconds)
+        // makes S1 = {C3, C6} infeasible, so even the exact search needs
+        // more slots, and its result verifies only under its own geometry.
+        let timing = SlotTiming::new(0.8).unwrap();
+        let config = AllocatorConfig { slot_timing: timing, ..AllocatorConfig::default() };
+        let baseline = allocate_slots_optimal(&apps, &AllocatorConfig::default()).unwrap();
+        let stretched = allocate_slots_optimal(&apps, &config).unwrap();
+        assert_eq!(baseline.slot_count(), 3);
+        assert!(stretched.slot_count() > baseline.slot_count());
+        assert!(stretched.verify_with(&apps, timing).unwrap());
+        assert!(!baseline.verify_with(&apps, timing).unwrap());
+        // The exact search still meets or beats every greedy strategy under
+        // the same geometry.
+        let greedy = allocate_slots(&apps, &config).unwrap();
+        assert!(stretched.slot_count() <= greedy.slot_count());
     }
 
     #[test]

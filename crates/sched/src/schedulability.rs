@@ -3,7 +3,8 @@
 use crate::app::AppTimingParams;
 use crate::dwell::{dwell_for, ModelKind};
 use crate::error::{Result, SchedError};
-use crate::wait_time::{max_wait_time_bound, max_wait_time_fixed_point};
+use crate::timing::SlotTiming;
+use crate::wait_time::{max_wait_time_bound_with, max_wait_time_fixed_point_with};
 
 /// How the maximum wait time is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -59,12 +60,37 @@ pub fn analyze_application(
     kind: ModelKind,
     method: WaitTimeMethod,
 ) -> Result<ResponseTimeAnalysis> {
+    analyze_application_with(apps, slot, index, kind, method, SlotTiming::ZERO)
+}
+
+/// [`analyze_application`] under an explicit slot geometry: the per-slot
+/// transmission overhead stretches the blocking and interference occupancy
+/// intervals feeding the wait time; the analysed application's own response
+/// `ξ(ŵ) = ŵ + k_dw(ŵ)` is a control-layer settling event and is not
+/// stretched. With [`SlotTiming::ZERO`] the analysis is bit-identical to
+/// [`analyze_application`].
+///
+/// # Errors
+///
+/// As [`analyze_application`].
+pub fn analyze_application_with(
+    apps: &[AppTimingParams],
+    slot: &[usize],
+    index: usize,
+    kind: ModelKind,
+    method: WaitTimeMethod,
+    timing: SlotTiming,
+) -> Result<ResponseTimeAnalysis> {
     let app = apps.get(index).ok_or_else(|| SchedError::InvalidParameter {
         reason: format!("application index {index} out of range"),
     })?;
     let max_wait = match method {
-        WaitTimeMethod::ClosedFormBound => max_wait_time_bound(apps, slot, index, kind)?,
-        WaitTimeMethod::ExactFixedPoint => max_wait_time_fixed_point(apps, slot, index, kind)?,
+        WaitTimeMethod::ClosedFormBound => {
+            max_wait_time_bound_with(apps, slot, index, kind, timing)?
+        }
+        WaitTimeMethod::ExactFixedPoint => {
+            max_wait_time_fixed_point_with(apps, slot, index, kind, timing)?
+        }
     };
     // If the maximum wait already exceeds the pure-ET settling time, the
     // disturbance is rejected entirely over ET communication; the response
@@ -119,9 +145,25 @@ pub fn analyze_slot(
     kind: ModelKind,
     method: WaitTimeMethod,
 ) -> Result<SlotAnalysis> {
+    analyze_slot_with(apps, slot, kind, method, SlotTiming::ZERO)
+}
+
+/// [`analyze_slot`] under an explicit slot geometry (see
+/// [`analyze_application_with`]).
+///
+/// # Errors
+///
+/// As [`analyze_slot`].
+pub fn analyze_slot_with(
+    apps: &[AppTimingParams],
+    slot: &[usize],
+    kind: ModelKind,
+    method: WaitTimeMethod,
+    timing: SlotTiming,
+) -> Result<SlotAnalysis> {
     let mut analyses = Vec::with_capacity(slot.len());
     for &index in slot {
-        match analyze_application(apps, slot, index, kind, method) {
+        match analyze_application_with(apps, slot, index, kind, method, timing) {
             Ok(analysis) => analyses.push(analysis),
             Err(SchedError::SlotOverloaded { application, .. }) => {
                 // Utilisation ≥ 1 means the wait time is unbounded: represent
@@ -156,6 +198,21 @@ pub fn is_slot_schedulable(
     method: WaitTimeMethod,
 ) -> Result<bool> {
     Ok(analyze_slot(apps, slot, kind, method)?.is_schedulable())
+}
+
+/// [`is_slot_schedulable`] under an explicit slot geometry.
+///
+/// # Errors
+///
+/// Propagates parameter errors from [`analyze_slot_with`].
+pub fn is_slot_schedulable_with(
+    apps: &[AppTimingParams],
+    slot: &[usize],
+    kind: ModelKind,
+    method: WaitTimeMethod,
+    timing: SlotTiming,
+) -> Result<bool> {
+    Ok(analyze_slot_with(apps, slot, kind, method, timing)?.is_schedulable())
 }
 
 #[cfg(test)]
@@ -320,6 +377,51 @@ mod tests {
             WaitTimeMethod::ClosedFormBound
         )
         .unwrap());
+    }
+
+    #[test]
+    fn slot_timing_can_break_schedulability() {
+        let apps = paper_table1();
+        // S1 = {C3, C6} is schedulable under the baseline geometry. Along
+        // the falling dwell segment C3's response grows with the wait at
+        // slope 1 − ξᴹ/(ξᴱᵀ − k_p) ≈ 0.805, so its deadline breaks once the
+        // per-slot overhead exceeds ≈ 0.603 s; 0.8 s (exaggerated — physical
+        // ΔΨ is microseconds) pushes it clearly past.
+        let slot = [2usize, 5];
+        assert!(is_slot_schedulable(&apps, &slot, ModelKind::NonMonotonic,
+            WaitTimeMethod::ClosedFormBound)
+        .unwrap());
+        let timing = SlotTiming::new(0.8).unwrap();
+        let analysis = analyze_slot_with(
+            &apps,
+            &slot,
+            ModelKind::NonMonotonic,
+            WaitTimeMethod::ClosedFormBound,
+            timing,
+        )
+        .unwrap();
+        assert!(!analysis.is_schedulable());
+        assert_eq!(analysis.first_violation().unwrap().application, "C3");
+        // The zero-overhead path is the bitwise baseline.
+        let base = analyze_slot(&apps, &slot, ModelKind::NonMonotonic,
+            WaitTimeMethod::ClosedFormBound)
+        .unwrap();
+        let zero = analyze_slot_with(
+            &apps,
+            &slot,
+            ModelKind::NonMonotonic,
+            WaitTimeMethod::ClosedFormBound,
+            SlotTiming::ZERO,
+        )
+        .unwrap();
+        assert_eq!(base, zero);
+        for (a, b) in base.analyses.iter().zip(&zero.analyses) {
+            assert_eq!(a.max_wait_time.to_bits(), b.max_wait_time.to_bits());
+            assert_eq!(
+                a.worst_case_response_time.to_bits(),
+                b.worst_case_response_time.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::app::AppTimingParams;
 use crate::dwell::{max_dwell_for, ModelKind};
 use crate::error::{Result, SchedError};
+use crate::timing::SlotTiming;
 
 /// Interference context of one application within a TT slot: the blocking
 /// term, the higher-priority interference terms and the derived utilisation.
@@ -34,7 +35,8 @@ pub struct InterferenceContext {
 impl InterferenceContext {
     /// Builds the interference context for `apps[index]` among the
     /// applications listed in `slot` (indices into `apps`), using the dwell
-    /// bound of the selected model.
+    /// bound of the selected model under the design-baseline slot geometry
+    /// ([`SlotTiming::ZERO`]).
     ///
     /// Priorities follow the paper: a smaller deadline means a higher
     /// priority; ties are broken by name for determinism.
@@ -48,6 +50,25 @@ impl InterferenceContext {
         slot: &[usize],
         index: usize,
         kind: ModelKind,
+    ) -> Result<Self> {
+        Self::for_application_with(apps, slot, index, kind, SlotTiming::ZERO)
+    }
+
+    /// [`InterferenceContext::for_application`] under an explicit slot
+    /// geometry: every blocking/interference dwell bound is stretched by the
+    /// per-slot transmission overhead `ξᴹⱼ + ΔΨ` before it enters the
+    /// analysis. With [`SlotTiming::ZERO`] the context is bit-identical to
+    /// [`InterferenceContext::for_application`].
+    ///
+    /// # Errors
+    ///
+    /// As [`InterferenceContext::for_application`].
+    pub fn for_application_with(
+        apps: &[AppTimingParams],
+        slot: &[usize],
+        index: usize,
+        kind: ModelKind,
+        timing: SlotTiming,
     ) -> Result<Self> {
         if !slot.contains(&index) {
             return Err(SchedError::InvalidParameter {
@@ -67,7 +88,7 @@ impl InterferenceContext {
                 continue;
             }
             let other = &apps[other_index];
-            let dwell_bound = max_dwell_for(other, kind);
+            let dwell_bound = timing.effective_dwell(max_dwell_for(other, kind));
             if other.outranks(subject) {
                 higher_priority.push((dwell_bound, other.inter_arrival));
             } else {
@@ -111,7 +132,23 @@ pub fn max_wait_time_bound(
     index: usize,
     kind: ModelKind,
 ) -> Result<f64> {
-    let ctx = InterferenceContext::for_application(apps, slot, index, kind)?;
+    max_wait_time_bound_with(apps, slot, index, kind, SlotTiming::ZERO)
+}
+
+/// [`max_wait_time_bound`] under an explicit slot geometry (per-slot
+/// transmission overheads stretch the blocking and interference terms).
+///
+/// # Errors
+///
+/// As [`max_wait_time_bound`].
+pub fn max_wait_time_bound_with(
+    apps: &[AppTimingParams],
+    slot: &[usize],
+    index: usize,
+    kind: ModelKind,
+    timing: SlotTiming,
+) -> Result<f64> {
+    let ctx = InterferenceContext::for_application_with(apps, slot, index, kind, timing)?;
     let m = ctx.utilization();
     if m >= 1.0 {
         return Err(SchedError::SlotOverloaded {
@@ -134,7 +171,22 @@ pub fn max_wait_time_lower_bound(
     index: usize,
     kind: ModelKind,
 ) -> Result<f64> {
-    let ctx = InterferenceContext::for_application(apps, slot, index, kind)?;
+    max_wait_time_lower_bound_with(apps, slot, index, kind, SlotTiming::ZERO)
+}
+
+/// [`max_wait_time_lower_bound`] under an explicit slot geometry.
+///
+/// # Errors
+///
+/// As [`max_wait_time_lower_bound`].
+pub fn max_wait_time_lower_bound_with(
+    apps: &[AppTimingParams],
+    slot: &[usize],
+    index: usize,
+    kind: ModelKind,
+    timing: SlotTiming,
+) -> Result<f64> {
+    let ctx = InterferenceContext::for_application_with(apps, slot, index, kind, timing)?;
     let m = ctx.utilization();
     if m >= 1.0 {
         return Err(SchedError::SlotOverloaded {
@@ -170,7 +222,22 @@ pub fn max_wait_time_fixed_point(
     index: usize,
     kind: ModelKind,
 ) -> Result<f64> {
-    let ctx = InterferenceContext::for_application(apps, slot, index, kind)?;
+    max_wait_time_fixed_point_with(apps, slot, index, kind, SlotTiming::ZERO)
+}
+
+/// [`max_wait_time_fixed_point`] under an explicit slot geometry.
+///
+/// # Errors
+///
+/// As [`max_wait_time_fixed_point`].
+pub fn max_wait_time_fixed_point_with(
+    apps: &[AppTimingParams],
+    slot: &[usize],
+    index: usize,
+    kind: ModelKind,
+    timing: SlotTiming,
+) -> Result<f64> {
+    let ctx = InterferenceContext::for_application_with(apps, slot, index, kind, timing)?;
     let m = ctx.utilization();
     if m >= 1.0 {
         return Err(SchedError::SlotOverloaded {
@@ -333,6 +400,48 @@ mod tests {
             assert!(value + 1e-12 >= previous);
             previous = value;
         }
+    }
+
+    #[test]
+    fn slot_timing_overhead_stretches_blocking_and_interference() {
+        let apps = table1();
+        let slot = vec![2, 5]; // {C3, C6}
+        // Zero overhead reproduces the baseline analysis bit for bit.
+        let zero = SlotTiming::ZERO;
+        for index in [2usize, 5] {
+            let base = max_wait_time_bound(&apps, &slot, index, ModelKind::NonMonotonic).unwrap();
+            let with_zero =
+                max_wait_time_bound_with(&apps, &slot, index, ModelKind::NonMonotonic, zero)
+                    .unwrap();
+            assert_eq!(base.to_bits(), with_zero.to_bits());
+        }
+        // For C3 (highest priority, blocked by C6): wait = (xi_m_6 + delta).
+        let delta = 0.25;
+        let timing = SlotTiming::new(delta).unwrap();
+        let wait =
+            max_wait_time_bound_with(&apps, &slot, 2, ModelKind::NonMonotonic, timing).unwrap();
+        assert!((wait - (0.92 + delta)).abs() < 1e-12);
+        // For C6 (interfered by C3): a' = xi_m_3 + delta, m = (xi_m_3 + delta)/r_3.
+        let effective = 0.64 + delta;
+        let expected = effective / (1.0 - effective / 15.0);
+        let wait =
+            max_wait_time_bound_with(&apps, &slot, 5, ModelKind::NonMonotonic, timing).unwrap();
+        assert!((wait - expected).abs() < 1e-12);
+        // The exact fixed point and the lower bound respect the same ordering
+        // under overhead as without.
+        let exact =
+            max_wait_time_fixed_point_with(&apps, &slot, 5, ModelKind::NonMonotonic, timing)
+                .unwrap();
+        let lower =
+            max_wait_time_lower_bound_with(&apps, &slot, 5, ModelKind::NonMonotonic, timing)
+                .unwrap();
+        assert!(lower <= exact + 1e-12 && exact <= wait + 1e-12);
+        // Overheads only grow the wait (monotone in delta).
+        let larger =
+            max_wait_time_bound_with(&apps, &slot, 5, ModelKind::NonMonotonic,
+                SlotTiming::new(2.0 * delta).unwrap())
+            .unwrap();
+        assert!(larger > wait);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Resource-dimensioning study on randomly generated application fleets:
 //! how many TT slots do the non-monotonic and the conservative monotonic
-//! dwell-time models require as the fleet grows?
+//! dwell-time models require as the fleet grows — and how does the bus's
+//! slot geometry (frame payload → slot length Ψ) move the design space?
 //!
 //! Run with `cargo run --release --example fleet_dimensioning`.
 
+use automotive_cps::core::{case_study, BusConfigSweep};
+use automotive_cps::flexray::{FlexRayConfig, DEFAULT_BIT_RATE};
 use automotive_cps::sched::{
     allocate_slots, AllocationStrategy, AllocatorConfig, AppTimingParams, ModelKind,
 };
@@ -57,5 +60,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nThe non-monotonic model never needs more slots than the conservative one,");
     println!("mirroring the paper's 3-vs-5 result on its six-application case study.");
+
+    // The bus-geometry axis on the paper's fleet: growing frame payloads
+    // stretch the static slot length Ψ, which both shrinks how many slots
+    // fit the 5 ms cycle and lengthens every per-slot occupancy the
+    // wait-time analysis sees.
+    println!("\npayload | slot length psi | valid candidate buses | feasible slot maps");
+    let table = case_study::paper_table1();
+    let base = FlexRayConfig::paper_case_study();
+    for &payload_words in &[32usize, 64, 127] {
+        let psi = FlexRayConfig::static_slot_length_for_payload(payload_words, DEFAULT_BIT_RATE)?;
+        let sweep = BusConfigSweep::new(base)
+            .with_static_slot_counts(vec![3, 4, 6, 10])
+            .with_slot_lengths(vec![psi]);
+        let configs = sweep.configs();
+        let scenarios = sweep.scenarios(&table, &AllocatorConfig::default(), 1.0);
+        println!(
+            "{:>4} words | {:>10.1} us | {:>21} | {:>18}",
+            payload_words,
+            psi * 1e6,
+            configs.len(),
+            scenarios.len()
+        );
+    }
+    println!("\nLonger payloads leave fewer feasible buses and slot maps: the slot budget");
+    println!("shrinks with Psi while the per-slot transmission overhead stretches waits.");
     Ok(())
 }

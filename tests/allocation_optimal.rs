@@ -18,7 +18,7 @@
 
 use automotive_cps::sched::{
     allocate_slots, allocate_slots_optimal, AllocatorConfig, AppTimingParams, ModelKind,
-    OptimalAllocator, SlotAllocation, WaitTimeMethod,
+    OptimalAllocator, SlotAllocation, SlotTiming, WaitTimeMethod,
 };
 
 /// The four model × method combinations the allocator supports (the unsafe
@@ -64,7 +64,7 @@ fn enumerate_partitions(
         }
         let candidate =
             SlotAllocation { slots, model: config.model, method: config.method };
-        if candidate.verify(apps).expect("analysis runs")
+        if candidate.verify_with(apps, config.slot_timing).expect("analysis runs")
             && best.map_or(true, |b| groups < b)
         {
             *best = Some(groups);
@@ -226,6 +226,84 @@ fn committed_fixture_beats_every_greedy_heuristic_strictly() {
             assert!(peaks.contains(&0.8) && peaks.contains(&1.1));
         }
     }
+}
+
+#[test]
+fn branch_and_bound_matches_exhaustive_enumeration_under_slot_timing() {
+    // The Ψ axis of the bus design space: the per-slot transmission
+    // overhead stretches every blocking/interference occupancy and the
+    // solver's demand bound. The solver must still find the exhaustive
+    // minimum — judged by `verify_with` under the *same* geometry — for
+    // every overhead in the case matrix (0.2/0.8 s are exaggerated relative
+    // to physical slot-length deltas so verdicts actually flip).
+    let overheads = [SlotTiming::new(0.2).unwrap(), SlotTiming::new(0.8).unwrap()];
+    let mut checked = 0usize;
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+    let mut shrunk_by_timing = 0usize;
+    for n in 2..=4 {
+        for seed in 0..6 {
+            let apps = random_fleet(n, seed * 3000 + n as u64);
+            for base in analysis_configs(n) {
+                let baseline = oracle_minimum(&apps, &base);
+                for timing in overheads {
+                    let config = AllocatorConfig { slot_timing: timing, ..base };
+                    let oracle = oracle_minimum(&apps, &config);
+                    let solver = allocate_slots_optimal(&apps, &config);
+                    match (oracle, solver) {
+                        (Some(minimum), Ok(allocation)) => {
+                            assert_eq!(
+                                allocation.slot_count(),
+                                minimum,
+                                "n={n} seed={seed} {:?}/{:?} overhead={}: solver found {} \
+                                 slots, exhaustive minimum is {minimum}",
+                                config.model,
+                                config.method,
+                                timing.overhead(),
+                                allocation.slot_count()
+                            );
+                            assert!(allocation
+                                .verify_with(&apps, timing)
+                                .expect("analysis runs"));
+                            feasible += 1;
+                        }
+                        (None, Err(_)) => infeasible += 1,
+                        (oracle, solver) => panic!(
+                            "n={n} seed={seed} {:?}/{:?} overhead={}: oracle and solver \
+                             disagree on feasibility: {oracle:?} vs {solver:?}",
+                            config.model,
+                            config.method,
+                            timing.overhead()
+                        ),
+                    }
+                    // Stretching the geometry can only cost slots, never
+                    // save them (occupancies grow monotonically in ΔΨ).
+                    if let (Some(baseline), Some(stretched)) = (baseline, oracle) {
+                        assert!(stretched >= baseline);
+                        if stretched > baseline {
+                            shrunk_by_timing += 1;
+                        }
+                    }
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 3 * 6 * 4 * 2);
+    assert!(feasible > 30, "only {feasible} feasible cases — generator too harsh");
+    assert!(infeasible > 0 || shrunk_by_timing > 0, "the overhead axis never exercised");
+
+    // The paper fleet under a stretched geometry: the optimum moves from 3
+    // slots to the exhaustive minimum of the stretched analysis.
+    let apps = automotive_cps::core::case_study::paper_table1();
+    let config = AllocatorConfig {
+        slot_timing: SlotTiming::new(0.8).unwrap(),
+        ..AllocatorConfig::default()
+    };
+    let oracle = oracle_minimum(&apps, &config).expect("paper fleet stays schedulable");
+    let allocation = allocate_slots_optimal(&apps, &config).expect("solver succeeds");
+    assert_eq!(allocation.slot_count(), oracle);
+    assert!(oracle > 3, "0.8 s of per-slot overhead must cost the paper fleet slots");
 }
 
 #[test]

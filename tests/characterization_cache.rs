@@ -1,0 +1,203 @@
+//! The `DesignedFleet` characterisation-table cache: computed once,
+//! `Arc`-shared, bit-identical to a fresh pass, bus-independent by
+//! construction — the contract that lets repeated bus-configuration and
+//! threshold sweeps over one fleet skip even the single characterisation
+//! pass.
+
+use automotive_cps::core::{case_study, BusConfigSweep, DesignedFleet, FleetDesigner};
+use automotive_cps::flexray::FlexRayConfig;
+use automotive_cps::sched::AllocatorConfig;
+use std::sync::Arc;
+
+fn frozen_fleet() -> Arc<DesignedFleet> {
+    let apps = case_study::derived_fleet().expect("fleet design");
+    let table = case_study::derive_table(&apps).expect("characterisation");
+    let allocation =
+        cps_sched::allocate_slots(&table, &AllocatorConfig::default()).expect("allocation");
+    Arc::new(
+        DesignedFleet::new(apps, allocation, FlexRayConfig::paper_case_study())
+            .expect("fleet freeze"),
+    )
+}
+
+#[test]
+fn cached_table_is_bit_identical_to_a_fresh_pass() {
+    let fleet = frozen_fleet();
+    assert_eq!(fleet.characterization_passes(), 0, "a frozen fleet starts uncharacterised");
+    let cached = fleet.timing_table().expect("characterisation");
+    assert_eq!(fleet.characterization_passes(), 1);
+
+    let fresh = FleetDesigner::new().characterize(fleet.apps()).expect("fresh pass");
+    assert_eq!(cached.len(), fresh.len());
+    for (cached_row, fresh_row) in cached.iter().zip(&fresh) {
+        assert_eq!(cached_row.name, fresh_row.name);
+        for (cached_value, fresh_value) in [
+            (cached_row.xi_tt, fresh_row.xi_tt),
+            (cached_row.xi_et, fresh_row.xi_et),
+            (cached_row.xi_m, fresh_row.xi_m),
+            (cached_row.k_p, fresh_row.k_p),
+            (cached_row.xi_prime_m, fresh_row.xi_prime_m),
+            (cached_row.deadline, fresh_row.deadline),
+            (cached_row.inter_arrival, fresh_row.inter_arrival),
+        ] {
+            assert_eq!(cached_value.to_bits(), fresh_value.to_bits());
+        }
+    }
+
+    // Later calls hand out the same Arc without re-characterising.
+    let again = fleet.timing_table().expect("cache hit");
+    assert!(Arc::ptr_eq(&cached, &again));
+    assert_eq!(fleet.characterization_passes(), 1);
+}
+
+#[test]
+fn table_is_computed_exactly_once_under_concurrent_access() {
+    let fleet = frozen_fleet();
+    let tables: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let fleet = Arc::clone(&fleet);
+                scope.spawn(move || fleet.timing_table().expect("characterisation"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    assert_eq!(
+        fleet.characterization_passes(),
+        1,
+        "concurrent first callers must share one characterisation pass"
+    );
+    for table in &tables {
+        assert!(Arc::ptr_eq(table, &tables[0]), "every caller shares the same Arc");
+    }
+}
+
+#[test]
+fn cache_survives_bus_and_slot_map_changes() {
+    // The table depends only on controllers and sampling — engines may
+    // re-plumb their bus and slot map freely without touching it.
+    let fleet = frozen_fleet();
+    let table = fleet.timing_table().expect("characterisation");
+
+    let mut engine = fleet.engine().expect("engine");
+    let wide = FlexRayConfig { cycle_length: 0.010, ..fleet.bus_config() };
+    engine.set_bus_config(wide).expect("bus override");
+    engine.set_allocation(fleet.allocation()).expect("slot-map re-apply");
+    engine.inject_disturbances().expect("disturbances");
+    let trace = engine.run(0.5).expect("co-simulation");
+    assert_eq!(trace.apps.len(), fleet.app_count());
+
+    let after = fleet.timing_table().expect("cache hit");
+    assert!(Arc::ptr_eq(&table, &after));
+    assert_eq!(fleet.characterization_passes(), 1);
+}
+
+#[test]
+fn fleet_sweeps_measure_slot_overhead_against_the_fleets_designed_psi() {
+    // A sweep whose *base* geometry differs from the fleet's must not
+    // under-approximate: scenarios_for_fleet measures every candidate's
+    // per-slot overhead against the Ψ the fleet's characterisation table
+    // absorbed, not against the sweep's own base.
+    let fleet = frozen_fleet();
+    let allocator = AllocatorConfig::default();
+    let designer = FleetDesigner::new();
+
+    // Candidate: a long-cycle bus with Ψ = 0.9 s — 0.8998 s of extra
+    // occupancy relative to the fleet's designed 0.2 ms slots.
+    let stretched_base = FlexRayConfig {
+        cycle_length: 20.0,
+        static_slot_count: 4,
+        static_slot_length: 0.9,
+        ..fleet.bus_config()
+    };
+    stretched_base.validate().expect("candidate bus is valid");
+    let mismatched = BusConfigSweep::new(stretched_base);
+    let via_fleet =
+        mismatched.scenarios_for_fleet(&designer, &fleet, &allocator, 1.0).expect("sweep");
+
+    // Ground truth: the same candidate expanded from a sweep based on the
+    // fleet's own bus (so `scenarios` measures against the designed Ψ).
+    let reference_sweep = BusConfigSweep::new(fleet.bus_config())
+        .with_cycle_lengths(vec![stretched_base.cycle_length])
+        .with_static_slot_counts(vec![stretched_base.static_slot_count])
+        .with_slot_lengths(vec![stretched_base.static_slot_length]);
+    assert_eq!(reference_sweep.configs(), mismatched.configs());
+    let table = fleet.timing_table().expect("cached table");
+    let reference = reference_sweep.scenarios(&table, &allocator, 1.0);
+    assert_eq!(via_fleet, reference);
+
+    // The overhead really bit: every expanded slot map verifies under the
+    // fleet-relative geometry, and at least one would be rejected by the
+    // zero-overhead check (0.9 s of extra occupancy breaks slot sharing on
+    // this fleet — shared maps need more slots than the baseline design).
+    let timing = reference_sweep.slot_timing_for(&stretched_base);
+    assert!(timing.overhead() > 0.89);
+    for spec in &via_fleet {
+        let allocation = spec.allocation.as_ref().expect("slot map pinned");
+        assert!(allocation.verify_with(&table, timing).expect("analysis runs"));
+    }
+    let baseline_maps = BusConfigSweep::new(fleet.bus_config())
+        .with_cycle_lengths(vec![stretched_base.cycle_length])
+        .with_static_slot_counts(vec![stretched_base.static_slot_count])
+        .scenarios(&table, &allocator, 1.0);
+    let min_slots = |specs: &[cps_core::ScenarioSpec]| {
+        specs
+            .iter()
+            .map(|s| s.allocation.as_ref().expect("slot map pinned").slot_count())
+            .min()
+            .expect("at least one feasible map")
+    };
+    assert!(
+        min_slots(&via_fleet) > min_slots(&baseline_maps),
+        "0.9 s slots must cost the fleet TT slots relative to its designed geometry"
+    );
+}
+
+#[test]
+fn design_flows_seed_the_cache_and_sweeps_never_recharacterize() {
+    // Fleets frozen by the design pipelines arrive with the table already
+    // cached: the pass that fed the allocator is the pass sweeps reuse.
+    let allocator = AllocatorConfig::default();
+    let bus = FlexRayConfig::paper_case_study();
+    let designer = FleetDesigner::new();
+    let designed = designer
+        .design_fleet(case_study::derived_fleet_specs(), &allocator, bus)
+        .expect("greedy design");
+    assert_eq!(designed.characterization_passes(), 0);
+    let seeded = designed.timing_table().expect("seeded table");
+    assert_eq!(designed.characterization_passes(), 0, "the seed already paid the pass");
+
+    // Repeated bus-configuration sweeps across calls: zero characterisation
+    // passes, and the expansion equals the uncached entry point's.
+    let sweep = BusConfigSweep::new(bus)
+        .with_cycle_lengths(vec![0.005, 0.010])
+        .with_static_slot_counts(vec![4, 10])
+        .with_slot_lengths(vec![0.0002, 0.0005]);
+    let via_fleet =
+        sweep.scenarios_for_fleet(&designer, &designed, &allocator, 1.0).expect("sweep");
+    for _ in 0..3 {
+        let again =
+            sweep.scenarios_for_fleet(&designer, &designed, &allocator, 1.0).expect("sweep");
+        assert_eq!(again, via_fleet);
+    }
+    assert_eq!(designed.characterization_passes(), 0);
+
+    let via_apps =
+        sweep.scenarios_for(&designer, designed.apps(), &allocator, 1.0).expect("sweep");
+    assert_eq!(via_fleet, via_apps);
+
+    // The exact design path seeds the cache too, with the same table.
+    let optimal = DesignedFleet::design_optimal(
+        case_study::derived_fleet().expect("fleet design"),
+        &allocator,
+        bus,
+    )
+    .expect("optimal design");
+    assert_eq!(optimal.characterization_passes(), 0);
+    let optimal_table = optimal.timing_table().expect("seeded table");
+    assert_eq!(seeded.len(), optimal_table.len());
+    for (a, b) in seeded.iter().zip(optimal_table.iter()) {
+        assert_eq!(a.xi_m.to_bits(), b.xi_m.to_bits());
+        assert_eq!(a.xi_et.to_bits(), b.xi_et.to_bits());
+    }
+}

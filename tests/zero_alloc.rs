@@ -2,11 +2,13 @@
 //! allocator observes zero new allocations across hundreds of thousands of
 //! `StepKernel::step`s, norm reads, scaled disturbance injections and
 //! `AllocationRuntime::step_into` calls — across the characterization
-//! inner loop (`SwitchedKernel::dwell_steps` sweeps) after warm-up — and
-//! across the branch-and-bound slot-allocation search: every inner node
-//! evaluation (streaming schedulability check plus demand bound) and the
-//! full `OptimalAllocator::solve_in_place` run on buffers sized at
-//! construction.
+//! inner loop (`SwitchedKernel::dwell_steps` sweeps) after warm-up, both on
+//! a kernel's own buffers and on the per-worker pooled
+//! `CharacterizationWorkspace` scratch the fleet designer threads through
+//! its characterisation passes — and across the branch-and-bound
+//! slot-allocation search: every inner node evaluation (streaming
+//! schedulability check plus demand bound) and the full
+//! `OptimalAllocator::solve_in_place` run on buffers sized at construction.
 //!
 //! This file must stay a single-test binary: the allocation counter is
 //! global to the process, and a concurrently running second test would
@@ -18,7 +20,7 @@
 //! intermittently produced 1–3 "stray" allocations before the counter was
 //! scoped per thread.
 
-use automotive_cps::control::SwitchedKernel;
+use automotive_cps::control::{CharacterizationWorkspace, SwitchedKernel};
 use automotive_cps::core::{case_study, AllocationRuntime, RuntimeApp};
 use automotive_cps::linalg::{
     expm_into, solve_dare_in_place, DareOptions, ExpmWorkspace, Matrix, RiccatiWorkspace,
@@ -148,6 +150,42 @@ fn kernel_and_runtime_hot_paths_do_not_allocate() {
         "the characterization inner loop performed {} heap allocations over 400 dwell sweeps",
         after - before
     );
+
+    // Pooled characterisation scratch: the designer's per-worker
+    // `CharacterizationWorkspace`. A full warm-up characterisation fills the
+    // dimension-keyed pools (and may allocate freely — curve
+    // materialisation, eigenvalue pre-check); afterwards a pooled kernel on
+    // the warm pool runs its entire dwell sweep with zero allocations, and
+    // the pools grow no new entries for an application of known dimensions.
+    let mut workspace = CharacterizationWorkspace::new();
+    automotive_cps::core::characterize_application_with(servo, &mut workspace)
+        .expect("warm-up characterisation");
+    let state_entries = workspace.state_pool_size();
+    let power_entries = workspace.power_pool_size();
+    let (mut pooled, _norms) = workspace
+        .switched_kernel(&a1, &a2, servo.spec().plant.order())
+        .expect("pooled kernel on warm scratch");
+    pooled.dwell_steps(&initial, threshold, 0, 3_000).expect("warm-up dwell");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut pooled_dwell_sum = 0usize;
+    for wait in 0..400 {
+        pooled_dwell_sum += pooled
+            .dwell_steps(&initial, threshold, wait, 3_000)
+            .expect("pooled dwell computation");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(pooled_dwell_sum, dwell_sum, "pooled sweep must be bit-identical");
+    assert_eq!(
+        after - before,
+        0,
+        "the pooled characterization scratch performed {} heap allocations over 400 \
+         dwell sweeps",
+        after - before
+    );
+    assert_eq!(workspace.state_pool_size(), state_entries, "warm pool must not grow");
+    assert_eq!(workspace.power_pool_size(), power_entries, "warm pool must not grow");
 
     // Branch-and-bound slot allocation: construction (priority order,
     // demand table, slot pool, greedy incumbent seed) may allocate; the
