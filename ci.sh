@@ -56,6 +56,7 @@ if [[ "${1:-}" == "perf" ]]; then
         --bench characterize \
         --bench kernel_step \
         --bench scenario_throughput \
+        --bench campaign_throughput \
         --bench allocation_opt
     echo
     echo "BENCH_results.json:"
@@ -127,13 +128,27 @@ step "cargo test -q (workspace)"
 cargo test -q --workspace
 
 # The exact-allocator oracle suite is the safety net behind every optimality
-# claim in the repo; fail loudly if it ever stops being collected (renamed
-# target, filtered out, accidentally deleted) instead of silently passing.
+# claim in the repo, and the robustness-campaign suite behind every
+# fault-injection/determinism claim; fail loudly if either ever stops being
+# collected (renamed target, filtered out, accidentally deleted) instead of
+# silently passing.
 step "oracle suite is collected (tests/allocation_optimal.rs)"
 # (plain grep, not -q: early exit would break the pipe under pipefail)
 if ! cargo test -q -p automotive-cps --test allocation_optimal -- --list \
         | grep ": test" > /dev/null; then
     echo "ERROR: the allocation_optimal oracle suite was skipped or is empty" >&2
+    exit 1
+fi
+
+step "campaign/fault suite is collected (tests/robustness_campaign.rs, tests/zero_alloc.rs)"
+if ! cargo test -q -p automotive-cps --test robustness_campaign -- --list \
+        | grep ": test" > /dev/null; then
+    echo "ERROR: the robustness_campaign suite was skipped or is empty" >&2
+    exit 1
+fi
+if ! cargo test -q -p automotive-cps --test zero_alloc -- --list \
+        | grep ": test" > /dev/null; then
+    echo "ERROR: the zero_alloc suite was skipped or is empty" >&2
     exit 1
 fi
 

@@ -43,6 +43,12 @@ pub struct KernelMatrices {
     et: Matrix,
     /// Fused TT closed-loop matrix `A₂ = A_aug − B_aug·K_TT`.
     tt: Matrix,
+    /// Open-loop hold matrix `H = [[Φ, Γ₀+Γ₁], [0, I]]`: one period with the
+    /// *previous* input held at the actuator because no fresh command
+    /// arrived (a dropped control frame). `Γ₀+Γ₁` is the full-period input
+    /// integral, which is delay-independent, so one matrix serves both
+    /// communication modes.
+    hold: Matrix,
     plant_order: usize,
     inputs: usize,
     period: f64,
@@ -81,11 +87,21 @@ impl KernelMatrices {
         // `closed_loop` validates the gain shape against the augmented order.
         let et = et_system.closed_loop(et_controller.gain())?;
         let tt = tt_system.closed_loop(tt_controller.gain())?;
+        let plant_order = et_system.plant_order();
+        let inputs = et_system.inputs();
+        // Hold-last-command dynamics: when no fresh command reaches the
+        // actuator, the plant evolves open loop under the held input for the
+        // whole period — `x⁺ = Φx + (Γ₀+Γ₁)u_prev`, `u_prev⁺ = u_prev`.
+        let mut hold = Matrix::zeros(plant_order + inputs, plant_order + inputs);
+        hold.set_block(0, 0, et_system.phi())?;
+        hold.set_block(0, plant_order, &et_system.gamma0().add_matrix(et_system.gamma1())?)?;
+        hold.set_block(plant_order, plant_order, &Matrix::identity(inputs))?;
         Ok(KernelMatrices {
             et,
             tt,
-            plant_order: et_system.plant_order(),
-            inputs: et_system.inputs(),
+            hold,
+            plant_order,
+            inputs,
             period: et_system.period(),
         })
     }
@@ -116,6 +132,12 @@ impl KernelMatrices {
             CommunicationMode::EventTriggered => &self.et,
             CommunicationMode::TimeTriggered => &self.tt,
         }
+    }
+
+    /// The hold-last-command matrix `H = [[Φ, Γ₀+Γ₁], [0, I]]` applied by
+    /// [`StepKernel::step_hold`] when a control frame is lost.
+    pub fn hold_matrix(&self) -> &Matrix {
+        &self.hold
     }
 
     /// Builds a fresh stepper (state at the origin) sharing these matrices:
@@ -277,6 +299,20 @@ impl StepKernel {
         self.time += self.matrices.period;
     }
 
+    /// Advances the closed loop by one sampling period with the *previous*
+    /// input held at the actuator — the graceful-degradation step applied
+    /// when the control frame of this period was lost on the bus.
+    ///
+    /// Same cost and allocation profile as [`StepKernel::step`]; the hold
+    /// matrix is mode-independent (the full-period input integral `Γ₀+Γ₁` is
+    /// the same for ET and TT delays).
+    #[inline]
+    pub fn step_hold(&mut self) {
+        self.matrices.hold.matvec_kernel(&self.z, &mut self.z_next);
+        std::mem::swap(&mut self.z, &mut self.z_next);
+        self.time += self.matrices.period;
+    }
+
     /// Runs `steps` consecutive steps in a fixed mode and returns the final
     /// plant-state norm.
     pub fn run(&mut self, mode: CommunicationMode, steps: usize) -> f64 {
@@ -351,6 +387,52 @@ mod tests {
         kernel.step(CommunicationMode::TimeTriggered);
         let expected = a_cl.matvec(&z).unwrap();
         assert_eq!(kernel.previous_input(), &expected[2..]);
+    }
+
+    #[test]
+    fn step_hold_keeps_the_previous_input_and_matches_the_hold_matrix() {
+        let mut kernel = servo_kernel();
+        kernel.inject_disturbance(&[0.4, -0.2]).unwrap();
+        // A regular step computes a fresh command; a hold step must then
+        // evolve the plant open loop under exactly that command.
+        kernel.step(CommunicationMode::TimeTriggered);
+        let held_input = kernel.previous_input().to_vec();
+        let z = kernel.augmented_state().to_vec();
+        let expected = kernel.matrices().hold_matrix().matvec(&z).unwrap();
+        kernel.step_hold();
+        assert_eq!(kernel.augmented_state(), expected.as_slice());
+        assert_eq!(kernel.previous_input(), held_input.as_slice(), "input is held");
+        assert!((kernel.time() - 0.04).abs() < 1e-15, "hold advances time");
+        // Holding forever is open-loop + constant input: with the unstable
+        // upright servo the state must eventually diverge, unlike closed loop.
+        for _ in 0..400 {
+            kernel.step_hold();
+        }
+        let held_norm = kernel.state_norm();
+        let mut closed = servo_kernel();
+        closed.inject_disturbance(&[0.4, -0.2]).unwrap();
+        let closed_norm = closed.run(CommunicationMode::TimeTriggered, 402);
+        assert!(held_norm > 10.0 * closed_norm.max(1e-9), "hold must not stabilise");
+    }
+
+    #[test]
+    fn hold_matrix_has_the_documented_block_structure() {
+        let plant = plants::servo_rig_upright();
+        let et_sys = DelayedLtiSystem::from_continuous(&plant, 0.02, 0.02).unwrap();
+        let tt_sys = DelayedLtiSystem::from_continuous(&plant, 0.02, 0.0007).unwrap();
+        let et = crate::lqr::design_by_pole_placement(&et_sys, &[-0.7, -0.8, -40.0]).unwrap();
+        let tt = crate::lqr::design_by_pole_placement(&tt_sys, &[-6.0, -8.0, -40.0]).unwrap();
+        let matrices = KernelMatrices::compile(&et_sys, &tt_sys, &et, &tt).unwrap();
+        let hold = matrices.hold_matrix();
+        let n = matrices.plant_order();
+        let m = matrices.inputs();
+        assert_eq!(hold.block(0, 0, n, n).unwrap(), *et_sys.phi());
+        assert_eq!(
+            hold.block(0, n, n, m).unwrap(),
+            et_sys.gamma0().add_matrix(et_sys.gamma1()).unwrap()
+        );
+        assert_eq!(hold.block(n, 0, m, n).unwrap(), cps_linalg::Matrix::zeros(m, n));
+        assert_eq!(hold.block(n, n, m, m).unwrap(), cps_linalg::Matrix::identity(m));
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::error::{CoreError, Result};
 use crate::fleet::DesignedFleet;
 use crate::runtime::AllocationRuntime;
 use cps_control::{CommunicationMode, StepKernel};
-use cps_flexray::{FlexRayBus, FlexRayConfig, Frame, LatencyStats, Segment};
+use cps_flexray::{
+    BusStatistics, FaultModel, FlexRayBus, FlexRayConfig, Frame, LatencyStats, Segment, SimRng,
+};
 use cps_sched::SlotAllocation;
 use std::sync::Arc;
 
@@ -39,6 +41,12 @@ pub struct AppTrace {
     /// Measured response time: the first time from which the norm stays at or
     /// below the threshold (None if it never settles within the simulation).
     pub response_time: Option<f64>,
+    /// Periods stepped with the last command held at the actuator because
+    /// the control frame was lost on the bus (0 on a nominal bus).
+    pub held_periods: u64,
+    /// Longest streak of consecutive lost control frames (0 on a nominal
+    /// bus).
+    pub max_consecutive_losses: u64,
 }
 
 impl AppTrace {
@@ -65,7 +73,7 @@ pub struct CoSimTrace {
     /// Sampling period of the co-simulation.
     pub period: f64,
     /// FlexRay bus usage statistics accumulated over the run.
-    pub bus_statistics: cps_flexray::BusStatistics,
+    pub bus_statistics: BusStatistics,
     /// Observed bus latency statistics per application.
     pub bus_latencies: Vec<LatencyStats>,
 }
@@ -74,6 +82,165 @@ impl CoSimTrace {
     /// Returns `true` if every application met its deadline.
     pub fn all_deadlines_met(&self) -> bool {
         self.apps.iter().all(AppTrace::deadline_met)
+    }
+}
+
+/// Periodic re-disturbance of the whole fleet — a stress pattern that forces
+/// repeated transient phases and therefore repeated TT-slot requests
+/// ("mode-switch storms").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeSwitchStorm {
+    /// Seconds between storm hits (rounded to whole sampling periods, at
+    /// least one). The first hit lands one interval into the run, not at
+    /// t = 0 — the initial disturbance is injected separately.
+    pub interval: f64,
+    /// Scale applied to every application's designed disturbance at each hit.
+    pub scale: f64,
+}
+
+/// Degradation applied inside the co-simulation engine (as opposed to the
+/// bus-side [`FaultModel`]): sensor noise on the norms the allocation runtime
+/// decides on, and optional mode-switch storms.
+///
+/// One [`SimRng`] stream, seeded from `seed`, drives the noise draws — one
+/// draw per application per period whenever a degradation config is
+/// installed (even at amplitude zero), so the draw sequence depends only on
+/// the configuration and the step count, never on the simulated data.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegradationConfig {
+    /// Seed of the engine's degradation RNG stream;
+    /// [`CoSimulation::reset`] rewinds the stream to this seed.
+    pub seed: u64,
+    /// Amplitude of the uniform measurement noise added to each plant-state
+    /// norm before the runtime's mode decision (the *true* norms still drive
+    /// the plants and the recorded traces). Corrupted norms are clamped at
+    /// zero, since a norm is nonnegative.
+    pub sensor_noise: f64,
+    /// Optional periodic re-disturbance of the fleet.
+    pub storm: Option<ModeSwitchStorm>,
+}
+
+impl DegradationConfig {
+    /// Sensor noise only.
+    pub fn noise(seed: u64, sensor_noise: f64) -> Self {
+        DegradationConfig { seed, sensor_noise, storm: None }
+    }
+
+    /// Returns the config with a mode-switch storm.
+    #[must_use]
+    pub fn with_storm(mut self, interval: f64, scale: f64) -> Self {
+        self.storm = Some(ModeSwitchStorm { interval, scale });
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.sensor_noise >= 0.0) || !self.sensor_noise.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "sensor noise must be finite and nonnegative, got {}",
+                    self.sensor_noise
+                ),
+            });
+        }
+        if let Some(storm) = &self.storm {
+            if !(storm.interval > 0.0) || !storm.interval.is_finite() {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "storm interval must be positive and finite, got {}",
+                        storm.interval
+                    ),
+                });
+            }
+            if !storm.scale.is_finite() {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("storm scale must be finite, got {}", storm.scale),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Online, allocation-free summary of one co-simulation run — what the
+/// streaming campaign engine collects instead of materialising a full
+/// [`CoSimTrace`]. Fill it with [`CoSimulation::run_metrics_into`]; on a
+/// warm (same-sized) instance the fill allocates nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunMetrics {
+    /// Number of sampling periods simulated.
+    pub steps: usize,
+    /// Sampling period in seconds.
+    pub period: f64,
+    /// Per-application measured response time (`None` = never settled
+    /// within the run), same definition as [`AppTrace::response_time`].
+    pub response_times: Vec<Option<f64>>,
+    /// Per-application deadline verdicts.
+    pub deadlines_met: Vec<bool>,
+    /// Per-application peak plant-state norm over the run.
+    pub peak_norms: Vec<f64>,
+    /// Per-application number of periods spent in TT mode.
+    pub tt_periods: Vec<u64>,
+    /// Per-application hold-last-command periods (lost control frames).
+    pub held_periods: Vec<u64>,
+    /// Per-application longest consecutive-loss streak.
+    pub max_consecutive_losses: Vec<u64>,
+    /// Bus counters accumulated over the run.
+    pub bus: BusStatistics,
+    /// Online settling candidates (scratch for the streaming settling-time
+    /// computation).
+    candidates: Vec<usize>,
+}
+
+impl RunMetrics {
+    /// `true` if every application settled within its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.deadlines_met.iter().all(|&met| met)
+    }
+
+    /// Largest per-application response time; `None` if any application
+    /// never settled (or the metrics are empty).
+    pub fn max_response_time(&self) -> Option<f64> {
+        if self.response_times.is_empty() {
+            return None;
+        }
+        self.response_times.iter().try_fold(0.0f64, |acc, r| r.map(|t| acc.max(t)))
+    }
+
+    /// Largest per-application peak norm.
+    pub fn max_peak_norm(&self) -> f64 {
+        self.peak_norms.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Fraction of application-periods spent in TT mode — the engine-level
+    /// static-slot utilisation of the run.
+    pub fn tt_share(&self) -> f64 {
+        if self.steps == 0 || self.tt_periods.is_empty() {
+            return 0.0;
+        }
+        self.tt_periods.iter().sum::<u64>() as f64
+            / (self.steps as f64 * self.tt_periods.len() as f64)
+    }
+
+    /// Resizes every per-application series to `app_count` and zeroes the
+    /// contents (no allocation once the capacity is warm).
+    fn begin(&mut self, app_count: usize, period: f64) {
+        self.steps = 0;
+        self.period = period;
+        self.response_times.clear();
+        self.response_times.resize(app_count, None);
+        self.deadlines_met.clear();
+        self.deadlines_met.resize(app_count, false);
+        self.peak_norms.clear();
+        self.peak_norms.resize(app_count, 0.0);
+        self.tt_periods.clear();
+        self.tt_periods.resize(app_count, 0);
+        self.held_periods.clear();
+        self.held_periods.resize(app_count, 0);
+        self.max_consecutive_losses.clear();
+        self.max_consecutive_losses.resize(app_count, 0);
+        self.candidates.clear();
+        self.candidates.resize(app_count, 0);
+        self.bus = BusStatistics::default();
     }
 }
 
@@ -121,6 +288,23 @@ pub struct CoSimulation {
     modes: Vec<CommunicationMode>,
     /// Scratch: per-app slot assignment staged by [`CoSimulation::set_allocation`].
     slot_scratch: Vec<Option<usize>>,
+    /// Bus-side fault model (kept here so bus rebuilds reapply it).
+    fault: Option<FaultModel>,
+    /// Engine-side degradation (sensor noise, mode-switch storms).
+    degradation: Option<DegradationConfig>,
+    /// RNG stream of the degradation layer (reseeded on reset).
+    degradation_rng: SimRng,
+    /// Scratch: noise-corrupted norms handed to the runtime under degradation.
+    noisy_norms: Vec<f64>,
+    /// Per-app bus loss counters as of the previous period (to detect fresh
+    /// losses without querying transmission logs).
+    prev_losses: Vec<u64>,
+    /// Per-app current consecutive-loss streak.
+    consecutive_losses: Vec<u64>,
+    /// Per-app longest consecutive-loss streak since reset.
+    max_consecutive_losses: Vec<u64>,
+    /// Per-app hold-last-command periods since reset.
+    held_periods: Vec<u64>,
 }
 
 impl CoSimulation {
@@ -172,6 +356,14 @@ impl CoSimulation {
             norms: vec![0.0; app_count],
             modes: Vec::with_capacity(app_count),
             slot_scratch: vec![None; app_count],
+            fault: None,
+            degradation: None,
+            degradation_rng: SimRng::seeded(0),
+            noisy_norms: Vec::with_capacity(app_count),
+            prev_losses: vec![0; app_count],
+            consecutive_losses: vec![0; app_count],
+            max_consecutive_losses: vec![0; app_count],
+            held_periods: vec![0; app_count],
         })
     }
 
@@ -225,6 +417,9 @@ impl CoSimulation {
         }
         let mut bus = FlexRayBus::new(config)?;
         register_fleet_frames(&mut bus, self.fleet.apps())?;
+        // The rebuilt bus inherits the engine's fault model and logging flag.
+        bus.set_fault_model(self.fault)?;
+        bus.set_logging(self.bus.logging());
         self.bus = bus;
         self.bus_config = config;
         Ok(())
@@ -239,7 +434,12 @@ impl CoSimulation {
     /// Rewinds the engine to time zero without reconstruction: every kernel
     /// returns to the origin, the runtime releases all slots, the bus log and
     /// counters are cleared and every frame returns to the dynamic segment.
-    /// The configured threshold scale is preserved.
+    /// The fault and degradation layers rewind with it — the bus reseeds its
+    /// fault RNG from the installed model, the degradation RNG reseeds from
+    /// its config, and all loss/hold trackers are zeroed — so a
+    /// reset-and-rerun under faults replays the fresh run bit for bit. The
+    /// configured threshold scale, fault model and degradation config are
+    /// preserved.
     ///
     /// # Errors
     ///
@@ -253,7 +453,57 @@ impl CoSimulation {
         for index in 0..self.fleet.app_count() {
             self.bus.reassign_frame(index as u32 + 1, Segment::Dynamic)?;
         }
+        self.reseed_degradation();
+        self.prev_losses.fill(0);
+        self.consecutive_losses.fill(0);
+        self.max_consecutive_losses.fill(0);
+        self.held_periods.fill(0);
         Ok(())
+    }
+
+    /// Installs (or removes, with `None`) the bus-side fault model. The
+    /// bus's fault RNG reseeds from the model, and the model survives
+    /// [`CoSimulation::reset`] and [`CoSimulation::set_bus_config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if any model probability is
+    /// outside `[0, 1]`.
+    pub fn set_fault_model(&mut self, model: Option<FaultModel>) -> Result<()> {
+        self.bus.set_fault_model(model)?;
+        self.fault = model;
+        Ok(())
+    }
+
+    /// The currently installed bus-side fault model, if any.
+    pub fn fault_model(&self) -> Option<FaultModel> {
+        self.fault
+    }
+
+    /// Installs (or removes, with `None`) the engine-side degradation
+    /// (sensor noise, mode-switch storms). The degradation RNG reseeds from
+    /// the config, which survives [`CoSimulation::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on a negative/non-finite noise
+    /// amplitude or an invalid storm.
+    pub fn set_degradation(&mut self, degradation: Option<DegradationConfig>) -> Result<()> {
+        if let Some(config) = &degradation {
+            config.validate()?;
+        }
+        self.degradation = degradation;
+        self.reseed_degradation();
+        Ok(())
+    }
+
+    /// The currently installed degradation config, if any.
+    pub fn degradation(&self) -> Option<DegradationConfig> {
+        self.degradation
+    }
+
+    fn reseed_degradation(&mut self) {
+        self.degradation_rng = SimRng::seeded(self.degradation.map(|d| d.seed).unwrap_or(0));
     }
 
     /// Scales every application's switching threshold `E_th` by `scale`
@@ -329,6 +579,95 @@ impl CoSimulation {
         Ok(())
     }
 
+    /// Advances the engine by one sampling period: applies a due mode-switch
+    /// storm, captures the plant-state norms, lets the runtime grant slots
+    /// on the (possibly noise-corrupted) norms, mirrors the control traffic
+    /// onto the bus, advances the bus through the period, and finally steps
+    /// every kernel — the granted mode's closed loop when its command
+    /// arrived, hold-last-command when the fault layer lost the frame.
+    /// Allocation-free on a warm engine.
+    ///
+    /// With no fault model and no degradation installed this is
+    /// step-for-step identical to the original nominal loop: the bus outcome
+    /// depends only on the reassign/queue calls made before it advances, and
+    /// no kernel state is read between queueing and stepping.
+    fn advance_period(&mut self, step: usize) -> Result<()> {
+        let time = step as f64 * self.period;
+        if let Some(storm) = self.degradation.and_then(|d| d.storm) {
+            let interval_steps = ((storm.interval / self.period).round() as usize).max(1);
+            if step > 0 && step % interval_steps == 0 {
+                self.inject_disturbances_scaled(storm.scale)?;
+            }
+        }
+        for (norm, kernel) in self.norms.iter_mut().zip(&self.kernels) {
+            *norm = kernel.state_norm();
+        }
+        // Split the borrows: the runtime writes into the mode scratch. The
+        // runtime decides on what the sensors report — the true norms, or
+        // under degradation norms corrupted by uniform measurement noise
+        // (one draw per application per period whatever the amplitude, so
+        // the draw sequence is data-independent). The true norms still drive
+        // the plants and the recorded traces.
+        let CoSimulation { runtime, norms, noisy_norms, modes, degradation, degradation_rng, .. } =
+            self;
+        if let Some(config) = degradation {
+            noisy_norms.clear();
+            for norm in norms.iter() {
+                let corrupted = norm + config.sensor_noise * degradation_rng.next_signed_unit();
+                noisy_norms.push(corrupted.max(0.0));
+            }
+            runtime.step_into(noisy_norms, modes)?;
+        } else {
+            runtime.step_into(norms, modes)?;
+        }
+
+        for (index, mode) in self.modes.iter().enumerate() {
+            // Mirror the control message onto the bus: TT users own their
+            // allocated static slot for this period, ET users contend in
+            // the dynamic segment.
+            let frame_id = index as u32 + 1;
+            let segment = match mode {
+                CommunicationMode::TimeTriggered => Segment::Static {
+                    slot: self
+                        .runtime
+                        .slot_holders()
+                        .iter()
+                        .position(|holder| *holder == Some(index))
+                        .unwrap_or(0),
+                },
+                CommunicationMode::EventTriggered => Segment::Dynamic,
+            };
+            // Reassignment can fail only transiently when two apps swap a
+            // slot within one period; fall back to the dynamic segment.
+            if self.bus.reassign_frame(frame_id, segment).is_err() {
+                self.bus.reassign_frame(frame_id, Segment::Dynamic)?;
+            }
+            self.bus.queue_message(frame_id, time)?;
+        }
+        self.bus.advance_until(time + self.period);
+
+        // Step every loop, now that the bus has decided each frame's fate:
+        // a fresh loss of this application's frame means the actuator never
+        // received the new command — the plant evolves open loop under the
+        // held previous input.
+        for (index, mode) in self.modes.iter().enumerate() {
+            let losses = self.bus.losses_of(index as u32 + 1);
+            if losses > self.prev_losses[index] {
+                self.prev_losses[index] = losses;
+                self.held_periods[index] += 1;
+                self.consecutive_losses[index] += 1;
+                if self.consecutive_losses[index] > self.max_consecutive_losses[index] {
+                    self.max_consecutive_losses[index] = self.consecutive_losses[index];
+                }
+                self.kernels[index].step_hold();
+            } else {
+                self.consecutive_losses[index] = 0;
+                self.kernels[index].step(*mode);
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the co-simulation for `duration` seconds and returns the traces.
     ///
     /// # Errors
@@ -350,48 +689,20 @@ impl CoSimulation {
 
         for step in 0..steps {
             let time = step as f64 * self.period;
-            for (norm, kernel) in self.norms.iter_mut().zip(&self.kernels) {
-                *norm = kernel.state_norm();
-            }
-            // Split the borrows: the runtime writes into the mode scratch.
-            let CoSimulation { runtime, norms, modes, .. } = self;
-            runtime.step_into(norms, modes)?;
+            self.advance_period(step)?;
             occupancy.push(self.runtime.slot_holders().to_vec());
-
             for (index, mode) in self.modes.iter().enumerate() {
                 points[index].push(TracePoint { time, norm: self.norms[index], mode: *mode });
-                // Mirror the control message onto the bus: TT users own their
-                // allocated static slot for this period, ET users contend in
-                // the dynamic segment.
-                let frame_id = index as u32 + 1;
-                let segment = match mode {
-                    CommunicationMode::TimeTriggered => Segment::Static {
-                        slot: self
-                            .runtime
-                            .slot_holders()
-                            .iter()
-                            .position(|holder| *holder == Some(index))
-                            .unwrap_or(0),
-                    },
-                    CommunicationMode::EventTriggered => Segment::Dynamic,
-                };
-                // Reassignment can fail only transiently when two apps swap a
-                // slot within one period; fall back to the dynamic segment.
-                if self.bus.reassign_frame(frame_id, segment).is_err() {
-                    self.bus.reassign_frame(frame_id, Segment::Dynamic)?;
-                }
-                self.bus.queue_message(frame_id, time)?;
-                self.kernels[index].step(*mode);
             }
-            self.bus.run_until(time + self.period);
         }
 
         let traces = self
             .fleet
             .apps()
             .iter()
+            .enumerate()
             .zip(points)
-            .map(|(app, series)| {
+            .map(|((index, app), series)| {
                 let threshold = app.spec().threshold * self.threshold_scale;
                 let norms: Vec<f64> = series.iter().map(|p| p.norm).collect();
                 let response_time = cps_control::settling_index(&norms, threshold)
@@ -401,6 +712,8 @@ impl CoSimulation {
                     points: series,
                     deadline: app.spec().deadline,
                     response_time,
+                    held_periods: self.held_periods[index],
+                    max_consecutive_losses: self.max_consecutive_losses[index],
                 }
             })
             .collect();
@@ -414,6 +727,75 @@ impl CoSimulation {
             bus_statistics: self.bus.statistics(),
             bus_latencies,
         })
+    }
+
+    /// Runs the co-simulation for `duration` seconds, collecting only the
+    /// online summary in `metrics` — no trace is materialised, the bus log
+    /// is suspended for the duration, and on a warm engine/metrics pair the
+    /// whole run allocates nothing. This is the streaming campaign engine's
+    /// hot path; the trajectory it simulates is bit-identical to
+    /// [`CoSimulation::run`]'s.
+    ///
+    /// The hold/loss counters reported are those accumulated since the last
+    /// [`CoSimulation::reset`] (reset before each scenario to make them
+    /// per-run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator, runtime and bus errors (the bus logging flag is
+    /// restored either way).
+    pub fn run_metrics_into(&mut self, duration: f64, metrics: &mut RunMetrics) -> Result<()> {
+        if !(duration > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("duration must be positive, got {duration}"),
+            });
+        }
+        let steps = (duration / self.period).ceil() as usize;
+        let app_count = self.fleet.app_count();
+        metrics.begin(app_count, self.period);
+        metrics.steps = steps;
+        let logging = self.bus.logging();
+        self.bus.set_logging(false);
+        let outcome = self.run_metrics_loop(steps, metrics);
+        self.bus.set_logging(logging);
+        outcome?;
+
+        for index in 0..app_count {
+            let app = &self.fleet.apps()[index];
+            // Same semantics as `settling_index`: the candidate is one past
+            // the last threshold violation; a violation in the final period
+            // means the run never settled.
+            let response = (metrics.candidates[index] < steps)
+                .then(|| metrics.candidates[index] as f64 * self.period);
+            metrics.response_times[index] = response;
+            metrics.deadlines_met[index] =
+                response.map(|t| t <= app.spec().deadline).unwrap_or(false);
+            metrics.held_periods[index] = self.held_periods[index];
+            metrics.max_consecutive_losses[index] = self.max_consecutive_losses[index];
+        }
+        metrics.bus = self.bus.statistics();
+        Ok(())
+    }
+
+    fn run_metrics_loop(&mut self, steps: usize, metrics: &mut RunMetrics) -> Result<()> {
+        for step in 0..steps {
+            self.advance_period(step)?;
+            for index in 0..self.norms.len() {
+                let norm = self.norms[index];
+                let threshold =
+                    self.fleet.apps()[index].spec().threshold * self.threshold_scale;
+                if norm > threshold {
+                    metrics.candidates[index] = step + 1;
+                }
+                if norm > metrics.peak_norms[index] {
+                    metrics.peak_norms[index] = norm;
+                }
+                if self.modes[index] == CommunicationMode::TimeTriggered {
+                    metrics.tt_periods[index] += 1;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of TT slots managed by the runtime (follows the allocation

@@ -41,8 +41,17 @@
 //!    static-segment size × slot length Ψ (frame payload geometry) — with
 //!    the Ψ-derived per-slot transmission overhead visible to every
 //!    allocator via [`cps_sched::SlotTiming`].
-//! 9. [`experiments`] — one entry point per table/figure, used by the
-//!    examples and the Criterion benches.
+//! 9. [`RobustnessCampaign`] — streaming Monte-Carlo robustness campaigns:
+//!    a [`ScenarioSource`] generates scenarios on demand from
+//!    `(campaign seed, index)`, worker threads replay them on faulty buses
+//!    ([`cps_flexray::FaultModel`]) and degraded runtimes
+//!    ([`DegradationConfig`]), and results fold into O(workers)-memory
+//!    per-family aggregates ([`OnlineStats`], [`P2Quantile`]) with a
+//!    Clopper–Pearson statistical model-checking readout
+//!    ([`CampaignStats::settling_probabilities`]) — bit-identical for any
+//!    worker count.
+//! 10. [`experiments`] — one entry point per table/figure, used by the
+//!     examples and the Criterion benches.
 //!
 //! # Example: the headline result
 //!
@@ -60,6 +69,7 @@
 #![forbid(unsafe_code)]
 
 mod application;
+mod campaign;
 mod characterize;
 mod cosim;
 mod designer;
@@ -67,19 +77,28 @@ mod error;
 mod fleet;
 mod runtime;
 mod scenario;
+mod stats;
 
 pub mod case_study;
 pub mod experiments;
 
 pub use application::{ApplicationSpec, ControlApplication, ControllerSpec};
+pub use campaign::{
+    CampaignScenario, CampaignStats, FamilyStats, RobustnessCampaign, RobustnessSweep,
+    ScenarioSource, SettlingProbability,
+};
 pub use case_study::CaseStudyOutcome;
 pub use characterize::{
     characterize_application, characterize_application_with, derive_timing_params,
     derive_timing_params_with, fit_non_monotonic,
 };
-pub use cosim::{AppTrace, CoSimTrace, CoSimulation, TracePoint};
+pub use cosim::{
+    AppTrace, CoSimTrace, CoSimulation, DegradationConfig, ModeSwitchStorm, RunMetrics,
+    TracePoint,
+};
 pub use designer::FleetDesigner;
 pub use error::{CoreError, Result};
 pub use fleet::DesignedFleet;
 pub use runtime::{AllocationRuntime, AppPhase, RuntimeApp};
 pub use scenario::{BusConfigSweep, ScenarioBatch, ScenarioOutcome, ScenarioSpec};
+pub use stats::{clopper_pearson, OnlineStats, P2Quantile};

@@ -1,0 +1,472 @@
+//! Streaming statistics for the robustness-campaign layer: online moments,
+//! the P² quantile sketch, and exact (Clopper–Pearson) binomial confidence
+//! intervals for statistical model checking.
+//!
+//! Everything here is O(1) memory per tracked quantity — the whole point of
+//! the streaming campaign engine is that a million scenarios aggregate into
+//! a handful of these accumulators, never into per-scenario vectors.
+
+/// Online count/mean/min/max accumulator (Welford-style mean update, no
+/// stored samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        OnlineStats { count: 0, mean: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats::default()
+    }
+
+    /// Absorbs one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.mean += (value - self.mean) / self.count as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Streaming quantile estimator — the P² algorithm of Jain & Chlamtac
+/// (CACM 1985): five markers track the target quantile `q` with O(1) memory
+/// and no stored samples; marker heights move by parabolic (or, if that
+/// would break ordering, linear) interpolation as observations arrive.
+///
+/// Exact below five observations (the first five are kept sorted), an
+/// estimate with small rank error afterwards. **Order-dependent**: two
+/// sketches fed the same observations in different orders may differ, which
+/// is why the campaign aggregator consumes scenario metrics in strict
+/// scenario-index order regardless of worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct P2Quantile {
+    /// Target quantile in (0, 1).
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+    /// Observations absorbed so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// A sketch tracking the `q`-quantile, `q` clamped into (0, 1).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(1e-9, 1.0 - 1e-9);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Absorbs one observation.
+    pub fn push(&mut self, value: f64) {
+        if self.count < 5 {
+            // Bootstrap: keep the first five observations sorted in-place.
+            let n = self.count as usize;
+            self.heights[n] = value;
+            self.count += 1;
+            let filled = self.count as usize;
+            self.heights[..filled].sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            return;
+        }
+
+        // Find the cell the observation falls into, stretching the extreme
+        // markers if it lies outside the current range.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if value >= self.heights[i] && value < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for position in &mut self.positions[k + 1..] {
+            *position += 1.0;
+        }
+        for (desired, increment) in self.desired.iter_mut().zip(&self.increments) {
+            *desired += increment;
+        }
+        self.count += 1;
+
+        // Adjust the three interior markers towards their desired positions.
+        for i in 1..4 {
+            let delta = self.desired[i] - self.positions[i];
+            let step_up = self.positions[i + 1] - self.positions[i] > 1.0;
+            let step_down = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (delta >= 1.0 && step_up) || (delta <= -1.0 && step_down) {
+                let direction = if delta >= 1.0 { 1.0 } else { -1.0 };
+                let candidate = self.parabolic(i, direction);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, direction)
+                    };
+                self.positions[i] += direction;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved by
+    /// `direction` (±1).
+    fn parabolic(&self, i: usize, direction: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + direction / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + direction) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - direction) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabolic prediction breaks marker ordering.
+    fn linear(&self, i: usize, direction: f64) -> f64 {
+        let j = if direction > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + direction * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate: `None` when empty, exact for fewer than
+    /// five observations, the P² middle-marker height afterwards.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as usize;
+        if n < 5 {
+            // Exact on the sorted prefix (nearest-rank on n samples).
+            let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+            return Some(self.heights[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9 —
+/// accurate to ~1e-13 over the positive reals, far tighter than the
+/// confidence bounds need).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection for the (unused here) left half-plane, kept for safety.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` by the continued
+/// fraction of Lentz's method (Numerical Recipes idiom), with the symmetry
+/// transform for fast convergence.
+fn beta_incomplete(x: f64, a: f64, b: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction directly where it converges fast, the
+    // symmetry I_x(a,b) = 1 − I_{1−x}(b,a) otherwise.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(x, a, b) / a
+    } else {
+        1.0 - front * beta_cf(1.0 - x, b, a) / b
+    }
+}
+
+/// The continued fraction of the incomplete beta (modified Lentz).
+fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let mut c = 1.0;
+    let mut d = 1.0 - (a + b) * x / (a + 1.0);
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut result = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        // Even step.
+        let numerator = m_f * (b - m_f) * x / ((a + 2.0 * m_f - 1.0) * (a + 2.0 * m_f));
+        d = 1.0 + numerator * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        d = 1.0 / d;
+        c = 1.0 + numerator / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        result *= d * c;
+        // Odd step.
+        let numerator =
+            -(a + m_f) * (a + b + m_f) * x / ((a + 2.0 * m_f) * (a + 2.0 * m_f + 1.0));
+        d = 1.0 + numerator * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        d = 1.0 / d;
+        c = 1.0 + numerator / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        let delta = d * c;
+        result *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    result
+}
+
+/// Inverse of `p ↦ I_p(a, b)` by bisection — 100 halvings pin the root to
+/// ~8e-31, and the monotone incomplete beta makes bisection unconditionally
+/// safe (no derivative pathologies near 0 or 1).
+fn beta_inv(target: f64, a: f64, b: f64) -> f64 {
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if beta_incomplete(mid, a, b) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Exact (Clopper–Pearson) two-sided confidence interval for a binomial
+/// proportion: `successes` out of `trials` with confidence `1 − alpha`.
+/// Returns `(lower, upper)`.
+///
+/// This is the interval statistical model checking quotes for
+/// P(settle ≤ deadline): it *guarantees* coverage at the cost of being
+/// conservative, which is the right trade for a safety claim. Degenerate
+/// inputs are handled per the standard convention — zero successes pin the
+/// lower bound at 0, all successes pin the upper bound at 1, zero trials
+/// give (0, 1).
+pub fn clopper_pearson(successes: u64, trials: u64, alpha: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let alpha = alpha.clamp(1e-12, 1.0 - 1e-12);
+    let s = successes.min(trials) as f64;
+    let n = trials as f64;
+    let lower = if successes == 0 {
+        0.0
+    } else {
+        beta_inv(alpha / 2.0, s, n - s + 1.0)
+    };
+    let upper = if successes >= trials {
+        1.0
+    } else {
+        beta_inv(1.0 - alpha / 2.0, s + 1.0, n - s)
+    };
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_track_count_mean_min_max() {
+        let mut stats = OnlineStats::new();
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.mean(), 0.0);
+        assert!(stats.min().is_none());
+        assert!(stats.max().is_none());
+        for value in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            stats.push(value);
+        }
+        assert_eq!(stats.count(), 5);
+        assert!((stats.mean() - 2.8).abs() < 1e-12);
+        assert_eq!(stats.min(), Some(1.0));
+        assert_eq!(stats.max(), Some(5.0));
+    }
+
+    #[test]
+    fn p2_is_exact_below_five_samples() {
+        let mut sketch = P2Quantile::new(0.5);
+        assert!(sketch.estimate().is_none());
+        sketch.push(10.0);
+        assert_eq!(sketch.estimate(), Some(10.0));
+        sketch.push(2.0);
+        sketch.push(6.0);
+        // Median of {2, 6, 10} by nearest rank: ceil(0.5*3)=2nd → 6.
+        assert_eq!(sketch.estimate(), Some(6.0));
+    }
+
+    #[test]
+    fn p2_median_converges_on_uniform_ramp() {
+        let mut sketch = P2Quantile::new(0.5);
+        // 0..1000 shuffled deterministically by a multiplicative stride.
+        for k in 0u64..1001 {
+            let value = ((k * 577) % 1001) as f64;
+            sketch.push(value);
+        }
+        let estimate = sketch.estimate().unwrap();
+        assert!(
+            (estimate - 500.0).abs() < 25.0,
+            "P² median of 0..=1000 must be near 500, got {estimate}"
+        );
+    }
+
+    #[test]
+    fn p2_p95_lands_in_the_upper_tail() {
+        let mut sketch = P2Quantile::new(0.95);
+        for k in 0u64..2000 {
+            let value = ((k * 991) % 2000) as f64 / 2000.0;
+            sketch.push(value);
+        }
+        let estimate = sketch.estimate().unwrap();
+        assert!(
+            (0.90..=1.0).contains(&estimate),
+            "P95 of uniform [0,1) must land near 0.95, got {estimate}"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_special_cases() {
+        // I_x(1, 1) = x (uniform CDF).
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((beta_incomplete(x, 1.0, 1.0) - x).abs() < 1e-12);
+        }
+        // I_x(1, b) = 1 − (1−x)^b.
+        let x = 0.3;
+        let b = 4.0;
+        assert!((beta_incomplete(x, 1.0, b) - (1.0 - (1.0 - x).powf(b))).abs() < 1e-12);
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        let (a, b, x) = (3.0, 7.0, 0.42);
+        assert!(
+            (beta_incomplete(x, a, b) - (1.0 - beta_incomplete(1.0 - x, b, a))).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn clopper_pearson_matches_published_values() {
+        // Classical reference: 5 successes in 10 trials at 95 % confidence
+        // gives (0.187, 0.813) to three decimals.
+        let (lo, hi) = clopper_pearson(5, 10, 0.05);
+        assert!((lo - 0.187).abs() < 0.001, "lower: {lo}");
+        assert!((hi - 0.813).abs() < 0.001, "upper: {hi}");
+        // 0/10 at 95 %: the "rule of three"-adjacent exact bound 1−(α/2)^(1/n).
+        let (lo, hi) = clopper_pearson(0, 10, 0.05);
+        assert_eq!(lo, 0.0);
+        assert!((hi - (1.0 - (0.025f64).powf(0.1))).abs() < 1e-9, "upper: {hi}");
+        // All successes mirror it.
+        let (lo, hi) = clopper_pearson(10, 10, 0.05);
+        assert_eq!(hi, 1.0);
+        assert!((lo - (0.025f64).powf(0.1)).abs() < 1e-9, "lower: {lo}");
+    }
+
+    #[test]
+    fn clopper_pearson_contains_the_point_estimate_and_tightens() {
+        for (s, n) in [(1u64, 8u64), (13, 40), (99, 100)] {
+            let (lo, hi) = clopper_pearson(s, n, 0.05);
+            let p = s as f64 / n as f64;
+            assert!(lo <= p && p <= hi, "({lo}, {hi}) must contain {p}");
+            assert!(lo >= 0.0 && hi <= 1.0);
+        }
+        // More trials at the same rate tighten the interval.
+        let (lo_small, hi_small) = clopper_pearson(5, 10, 0.05);
+        let (lo_big, hi_big) = clopper_pearson(500, 1000, 0.05);
+        assert!(hi_big - lo_big < hi_small - lo_small);
+        // Lower confidence tightens it too.
+        let (lo_90, hi_90) = clopper_pearson(5, 10, 0.10);
+        assert!(hi_90 - lo_90 < hi_small - lo_small);
+        // Degenerate input.
+        assert_eq!(clopper_pearson(3, 0, 0.05), (0.0, 1.0));
+    }
+}

@@ -9,10 +9,19 @@
 //! Frames that do not fit carry over to the next cycle, which is what
 //! produces the time-varying ET latency the paper contrasts with the
 //! deterministic TT latency.
+//!
+//! A seeded [`FaultModel`] can be installed with
+//! [`FlexRayBus::set_fault_model`]: transmission attempts are then routed
+//! through a deterministic drop/burst/corruption layer and the dynamic
+//! segment can carry background contention — see [`crate::fault`] for the
+//! exact RNG draw order. Without a fault model the bus consumes no
+//! randomness and behaves bit-identically to the nominal simulator.
 
 use crate::config::FlexRayConfig;
 use crate::error::{FlexRayError, Result};
+use crate::fault::FaultModel;
 use crate::frame::{Frame, Segment, Transmission};
+use crate::rng::SimRng;
 use std::collections::BTreeMap;
 
 /// A queued, not yet transmitted payload.
@@ -37,6 +46,23 @@ pub struct BusStatistics {
     /// Transmissions that had to be deferred to a later cycle because the
     /// dynamic segment ran out of minislots.
     pub deferred_dynamic_transmissions: u64,
+    /// Transmission attempts lost to a (possibly burst-state) drop of the
+    /// installed [`FaultModel`]. The slot/minislots were still consumed.
+    pub dropped_frames: u64,
+    /// Transmission attempts whose payload arrived corrupted; corruption is
+    /// detected and the payload discarded, so these are losses too.
+    pub corrupted_frames: u64,
+    /// Minislots occupied by background contention traffic in the dynamic
+    /// segment (only with [`FaultModel::dynamic_contention`]).
+    pub background_minislots: u64,
+}
+
+impl BusStatistics {
+    /// Total transmission attempts lost to the fault layer (drops plus
+    /// detected corruptions).
+    pub fn lost_frames(&self) -> u64 {
+        self.dropped_frames + self.corrupted_frames
+    }
 }
 
 /// The FlexRay bus simulator.
@@ -48,6 +74,22 @@ pub struct FlexRayBus {
     log: Vec<Transmission>,
     statistics: BusStatistics,
     completed_cycles: u64,
+    /// Installed fault model; `None` = nominal bus, zero RNG consumption.
+    fault: Option<FaultModel>,
+    /// The fault layer's RNG stream (reseeded from the model on install and
+    /// on [`FlexRayBus::reset`]).
+    fault_rng: SimRng,
+    /// Current Gilbert–Elliott channel state (`true` = bad/bursty).
+    burst_bad: bool,
+    /// Per-frame lost-transmission counters, filled at registration; linear
+    /// search keeps the hot path allocation- and hash-free (fleets register
+    /// a handful of frames).
+    frame_losses: Vec<(u32, u64)>,
+    /// Whether completed transmissions are appended to the log. Streaming
+    /// campaigns disable this so a long run stays O(1) in memory.
+    logging: bool,
+    /// Reusable scratch for the dynamic-segment arbitration order.
+    dynamic_scratch: Vec<PendingTransmission>,
 }
 
 impl FlexRayBus {
@@ -66,6 +108,12 @@ impl FlexRayBus {
             log: Vec::new(),
             statistics: BusStatistics::default(),
             completed_cycles: 0,
+            fault: None,
+            fault_rng: SimRng::seeded(0),
+            burst_bad: false,
+            frame_losses: Vec::new(),
+            logging: true,
+            dynamic_scratch: Vec::new(),
         })
     }
 
@@ -84,9 +132,54 @@ impl FlexRayBus {
         self.statistics
     }
 
-    /// All completed transmissions in completion order.
+    /// All completed transmissions in completion order (empty while logging
+    /// is disabled — see [`FlexRayBus::set_logging`]).
     pub fn transmissions(&self) -> &[Transmission] {
         &self.log
+    }
+
+    /// Installs (or removes, with `None`) the fault model. The fault RNG is
+    /// reseeded from the model's seed, so installing the same model twice
+    /// replays the same fault sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidConfig`] if any model probability is
+    /// outside `[0, 1]`.
+    pub fn set_fault_model(&mut self, model: Option<FaultModel>) -> Result<()> {
+        if let Some(model) = &model {
+            model.validate()?;
+        }
+        self.fault = model;
+        self.reseed_faults();
+        Ok(())
+    }
+
+    /// The currently installed fault model, if any.
+    pub fn fault_model(&self) -> Option<FaultModel> {
+        self.fault
+    }
+
+    /// Enables or disables the transmission log. Disabling keeps long runs
+    /// O(1) in memory (the counters still accumulate); the log contents are
+    /// unchanged until the next completed transmission or reset.
+    pub fn set_logging(&mut self, logging: bool) {
+        self.logging = logging;
+    }
+
+    /// Whether completed transmissions are appended to the log.
+    pub fn logging(&self) -> bool {
+        self.logging
+    }
+
+    /// Number of transmission attempts of `frame_id` lost to the fault layer
+    /// (drops plus detected corruptions) since the last reset.
+    pub fn losses_of(&self, frame_id: u32) -> u64 {
+        self.frame_losses
+            .iter()
+            .find(|(id, _)| *id == frame_id)
+            .map(|(_, losses)| *losses)
+            .unwrap_or(0)
     }
 
     /// Registers a frame on the bus.
@@ -114,6 +207,7 @@ impl FlexRayBus {
         if let Segment::Static { slot } = frame.segment {
             self.validate_static_assignment(frame.id, slot)?;
         }
+        self.frame_losses.push((frame.id, 0));
         self.frames.insert(frame.id, frame);
         Ok(())
     }
@@ -180,14 +274,55 @@ impl FlexRayBus {
         Ok(())
     }
 
-    /// Simulates one full communication cycle and returns the transmissions
-    /// completed during it.
-    pub fn run_cycle(&mut self) -> Vec<Transmission> {
+    /// Routes one transmission attempt through the fault layer. Returns
+    /// `true` if the payload arrives intact; losses bump the statistics and
+    /// the per-frame counter. See [`crate::fault`] for the draw order.
+    fn transmission_survives(&mut self, frame_id: u32) -> bool {
+        let Some(model) = self.fault else {
+            return true;
+        };
+        if let Some(burst) = model.burst {
+            let transition = if self.burst_bad {
+                burst.recover_probability
+            } else {
+                burst.degrade_probability
+            };
+            if self.fault_rng.next_unit() < transition {
+                self.burst_bad = !self.burst_bad;
+            }
+        }
+        let drop_probability = match (model.burst, self.burst_bad) {
+            (Some(burst), true) => burst.bad_drop_probability,
+            _ => model.drop_probability,
+        };
+        if self.fault_rng.next_unit() < drop_probability {
+            self.statistics.dropped_frames += 1;
+            self.record_loss(frame_id);
+            return false;
+        }
+        if self.fault_rng.next_unit() < model.corruption_probability {
+            self.statistics.corrupted_frames += 1;
+            self.record_loss(frame_id);
+            return false;
+        }
+        true
+    }
+
+    fn record_loss(&mut self, frame_id: u32) {
+        if let Some(entry) = self.frame_losses.iter_mut().find(|(id, _)| *id == frame_id) {
+            entry.1 += 1;
+        }
+    }
+
+    /// Simulates one full communication cycle; completed transmissions go to
+    /// the log (when logging) and to `out` (when given). Allocation-free:
+    /// the arbitration order lives in a reusable scratch buffer.
+    fn cycle_into(&mut self, mut out: Option<&mut Vec<Transmission>>) {
         let cycle_start = self.time();
-        let mut completed = Vec::new();
 
         // Static (TT) segment: each slot carries its owner's payload if one
-        // was queued before the slot begins.
+        // was queued before the slot begins. A lost payload still consumed
+        // its slot (the wire was busy), so the TDMA timetable is unaffected.
         for slot in 0..self.config.static_slot_count {
             let slot_start = cycle_start
                 + self.config.static_slot_start(slot).expect("slot index within configured range");
@@ -206,14 +341,21 @@ impl FlexRayBus {
             match ready {
                 Some(index) => {
                     let request = self.pending.remove(index);
-                    let tx = Transmission {
-                        frame_id: owner_id,
-                        queued_at: request.queued_at,
-                        completed_at: slot_start + self.config.static_slot_length,
-                        used_static_slot: true,
-                    };
-                    completed.push(tx);
-                    self.statistics.static_transmissions += 1;
+                    if self.transmission_survives(owner_id) {
+                        let tx = Transmission {
+                            frame_id: owner_id,
+                            queued_at: request.queued_at,
+                            completed_at: slot_start + self.config.static_slot_length,
+                            used_static_slot: true,
+                        };
+                        self.statistics.static_transmissions += 1;
+                        if self.logging {
+                            self.log.push(tx);
+                        }
+                        if let Some(sink) = out.as_deref_mut() {
+                            sink.push(tx);
+                        }
+                    }
                 }
                 None => {
                     self.statistics.wasted_static_slots += 1;
@@ -221,43 +363,72 @@ impl FlexRayBus {
             }
         }
 
-        // Dynamic (ET) segment: pending dynamic frames in identifier order.
+        // Dynamic (ET) segment: background contention (if modelled) occupies
+        // the head of the minislot budget, then pending dynamic frames
+        // arbitrate in identifier order over what is left.
         let dynamic_start = cycle_start + self.config.dynamic_segment_start();
         let mut used_minislots = 0usize;
-        let mut dynamic_ready: Vec<PendingTransmission> = self
-            .pending
-            .iter()
-            .copied()
-            .filter(|p| {
-                p.queued_at <= dynamic_start
-                    && self.frames.get(&p.frame_id).map(|f| !f.is_static()).unwrap_or(false)
-            })
-            .collect();
-        dynamic_ready.sort_by_key(|p| p.frame_id);
-        for request in dynamic_ready {
-            let frame = &self.frames[&request.frame_id];
-            if used_minislots + frame.dynamic_minislots > self.config.minislot_count {
+        if let Some(contention) = self.fault.and_then(|m| m.dynamic_contention) {
+            let background = self
+                .fault_rng
+                .next_below(contention.max_background_minislots as u64 + 1)
+                as usize;
+            used_minislots = background.min(self.config.minislot_count);
+            self.statistics.background_minislots += used_minislots as u64;
+        }
+        let mut ready = std::mem::take(&mut self.dynamic_scratch);
+        ready.clear();
+        ready.extend(self.pending.iter().copied().filter(|p| {
+            p.queued_at <= dynamic_start
+                && self.frames.get(&p.frame_id).map(|f| !f.is_static()).unwrap_or(false)
+        }));
+        ready.sort_by_key(|p| p.frame_id);
+        for request in &ready {
+            let minislots = self.frames[&request.frame_id].dynamic_minislots;
+            if used_minislots + minislots > self.config.minislot_count {
                 // Does not fit any more: deferred to the next cycle.
                 self.statistics.deferred_dynamic_transmissions += 1;
                 continue;
             }
-            used_minislots += frame.dynamic_minislots;
-            let tx = Transmission {
-                frame_id: request.frame_id,
-                queued_at: request.queued_at,
-                completed_at: dynamic_start
-                    + used_minislots as f64 * self.config.minislot_length,
-                used_static_slot: false,
-            };
-            completed.push(tx);
-            self.statistics.dynamic_transmissions += 1;
+            used_minislots += minislots;
             self.pending.retain(|p| p.frame_id != request.frame_id);
+            if self.transmission_survives(request.frame_id) {
+                let tx = Transmission {
+                    frame_id: request.frame_id,
+                    queued_at: request.queued_at,
+                    completed_at: dynamic_start
+                        + used_minislots as f64 * self.config.minislot_length,
+                    used_static_slot: false,
+                };
+                self.statistics.dynamic_transmissions += 1;
+                if self.logging {
+                    self.log.push(tx);
+                }
+                if let Some(sink) = out.as_deref_mut() {
+                    sink.push(tx);
+                }
+            }
         }
+        self.dynamic_scratch = ready;
 
         self.statistics.cycles += 1;
         self.completed_cycles += 1;
-        self.log.extend_from_slice(&completed);
+    }
+
+    /// Simulates one full communication cycle and returns the transmissions
+    /// completed during it.
+    pub fn run_cycle(&mut self) -> Vec<Transmission> {
+        let mut completed = Vec::new();
+        self.cycle_into(Some(&mut completed));
         completed
+    }
+
+    /// Simulates one full communication cycle without materialising the
+    /// completed transmissions — the allocation-free twin of
+    /// [`FlexRayBus::run_cycle`] for streaming workloads (combine with
+    /// [`FlexRayBus::set_logging`]`(false)` for O(1) memory).
+    pub fn advance_cycle(&mut self) {
+        self.cycle_into(None);
     }
 
     /// Runs full cycles until the simulation time reaches at least `time`,
@@ -265,9 +436,18 @@ impl FlexRayBus {
     pub fn run_until(&mut self, time: f64) -> Vec<Transmission> {
         let mut all = Vec::new();
         while self.time() < time {
-            all.extend(self.run_cycle());
+            self.cycle_into(Some(&mut all));
         }
         all
+    }
+
+    /// Runs full cycles until the simulation time reaches at least `time`
+    /// without materialising transmissions — the allocation-free twin of
+    /// [`FlexRayBus::run_until`].
+    pub fn advance_until(&mut self, time: f64) {
+        while self.time() < time {
+            self.cycle_into(None);
+        }
     }
 
     /// Latencies of all completed transmissions of the given frame.
@@ -276,21 +456,36 @@ impl FlexRayBus {
     }
 
     /// Rewinds the bus to time zero: pending payloads, the transmission log,
-    /// the usage counters and the cycle counter are cleared. Registered
-    /// frames are kept (their current segment assignment included), so a
-    /// simulation can be rerun without rebuilding the bus — the primitive
-    /// behind `CoSimulation::reset` and the scenario batch engine.
+    /// the usage counters, the cycle counter, the per-frame loss counters
+    /// and the fault layer's RNG/burst state are cleared (the fault RNG is
+    /// reseeded from the installed model, so a rerun replays the same fault
+    /// sequence). Registered frames, the installed fault model and the
+    /// logging flag are kept, so a simulation can be rerun without
+    /// rebuilding the bus — the primitive behind `CoSimulation::reset` and
+    /// the scenario/campaign engines.
     pub fn reset(&mut self) {
         self.pending.clear();
         self.log.clear();
         self.statistics = BusStatistics::default();
         self.completed_cycles = 0;
+        for entry in &mut self.frame_losses {
+            entry.1 = 0;
+        }
+        self.reseed_faults();
+    }
+
+    /// Rewinds the fault RNG stream to the installed model's seed and the
+    /// burst channel to the good state.
+    fn reseed_faults(&mut self) {
+        self.fault_rng = SimRng::seeded(self.fault.map(|m| m.seed).unwrap_or(0));
+        self.burst_bad = false;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::GilbertElliott;
 
     fn paper_bus() -> FlexRayBus {
         FlexRayBus::new(FlexRayConfig::paper_case_study()).unwrap()
@@ -437,5 +632,182 @@ mod tests {
         bus2.run_until(0.02);
         assert_eq!(bus2.statistics().cycles, 4);
         assert!((bus2.time() - 0.02).abs() < 1e-12);
+    }
+
+    // --- fault layer -----------------------------------------------------
+
+    /// Drives `cycles` cycles with one static and one dynamic frame queued
+    /// every cycle, returning the final statistics.
+    fn drive(bus: &mut FlexRayBus, cycles: usize) -> BusStatistics {
+        for k in 0..cycles {
+            let t = k as f64 * bus.config().cycle_length;
+            bus.queue_message(1, t).unwrap();
+            bus.queue_message(2, t).unwrap();
+            bus.advance_cycle();
+        }
+        bus.statistics()
+    }
+
+    fn faulty_bus(model: FaultModel) -> FlexRayBus {
+        let mut bus = paper_bus();
+        bus.register_frame(Frame::static_slot(1, "tt", 0, 1).unwrap()).unwrap();
+        bus.register_frame(Frame::dynamic(2, "et", 2).unwrap()).unwrap();
+        bus.set_fault_model(Some(model)).unwrap();
+        bus
+    }
+
+    #[test]
+    fn certain_drop_loses_everything_but_keeps_timing() {
+        let mut bus = faulty_bus(FaultModel::drops(1, 1.0));
+        let stats = drive(&mut bus, 10);
+        assert_eq!(stats.static_transmissions, 0);
+        assert_eq!(stats.dynamic_transmissions, 0);
+        assert_eq!(stats.dropped_frames, 20);
+        assert_eq!(stats.lost_frames(), 20);
+        // The lost payloads consumed their slots: nothing was "wasted" and
+        // nothing deferred — the timetable is unchanged.
+        assert_eq!(stats.wasted_static_slots, 0);
+        assert_eq!(stats.deferred_dynamic_transmissions, 0);
+        assert_eq!(bus.losses_of(1), 10);
+        assert_eq!(bus.losses_of(2), 10);
+        assert_eq!(bus.losses_of(99), 0);
+    }
+
+    #[test]
+    fn zero_probability_model_is_nominal() {
+        let mut nominal = paper_bus();
+        nominal.register_frame(Frame::static_slot(1, "tt", 0, 1).unwrap()).unwrap();
+        nominal.register_frame(Frame::dynamic(2, "et", 2).unwrap()).unwrap();
+        let nominal_stats = drive(&mut nominal, 10);
+
+        let mut faulty = faulty_bus(FaultModel::drops(7, 0.0));
+        let faulty_stats = drive(&mut faulty, 10);
+        assert_eq!(nominal_stats, faulty_stats);
+        assert_eq!(faulty_stats.lost_frames(), 0);
+    }
+
+    #[test]
+    fn corruption_is_counted_separately_from_drops() {
+        let mut bus = faulty_bus(FaultModel::drops(3, 0.0).with_corruption(1.0));
+        let stats = drive(&mut bus, 5);
+        assert_eq!(stats.corrupted_frames, 10);
+        assert_eq!(stats.dropped_frames, 0);
+        assert_eq!(stats.lost_frames(), 10);
+        assert_eq!(stats.static_transmissions, 0);
+        assert_eq!(stats.dynamic_transmissions, 0);
+    }
+
+    #[test]
+    fn fault_sequence_is_seed_deterministic() {
+        let model = FaultModel::drops(42, 0.3).with_corruption(0.1).with_burst(GilbertElliott {
+            degrade_probability: 0.1,
+            recover_probability: 0.4,
+            bad_drop_probability: 0.9,
+        });
+        let mut a = faulty_bus(model);
+        let mut b = faulty_bus(model);
+        assert_eq!(drive(&mut a, 50), drive(&mut b, 50));
+
+        let mut other_seed = faulty_bus(FaultModel { seed: 43, ..model });
+        assert_ne!(drive(&mut other_seed, 50).lost_frames(), a.statistics().lost_frames());
+    }
+
+    #[test]
+    fn reset_replays_the_fault_sequence() {
+        let model = FaultModel::drops(11, 0.4).with_burst(GilbertElliott {
+            degrade_probability: 0.2,
+            recover_probability: 0.3,
+            bad_drop_probability: 0.95,
+        });
+        let mut bus = faulty_bus(model);
+        let first = drive(&mut bus, 40);
+        assert!(first.lost_frames() > 0, "p=0.4 over 80 attempts must lose frames");
+        bus.reset();
+        assert_eq!(bus.statistics(), BusStatistics::default());
+        assert_eq!(bus.losses_of(1), 0);
+        let second = drive(&mut bus, 40);
+        assert_eq!(first, second, "reset must rewind the fault RNG to the seed");
+    }
+
+    #[test]
+    fn burst_channel_produces_bursty_losses() {
+        // Near-certain loss in the bad state, no independent drops: losses
+        // only happen inside bursts, and with slow transitions the loss
+        // count differs markedly from the independent-drop model at the same
+        // average intensity.
+        let model = FaultModel::drops(5, 0.0).with_burst(GilbertElliott {
+            degrade_probability: 0.05,
+            recover_probability: 0.2,
+            bad_drop_probability: 1.0,
+        });
+        let mut bus = faulty_bus(model);
+        let stats = drive(&mut bus, 200);
+        assert!(stats.dropped_frames > 0, "bursts must produce losses");
+        assert!(
+            stats.dropped_frames < 400,
+            "not every attempt is inside a burst: {}",
+            stats.dropped_frames
+        );
+    }
+
+    #[test]
+    fn dynamic_contention_defers_control_traffic() {
+        // Background traffic can occupy the whole 60-minislot segment; the
+        // 2-minislot control frame then sometimes defers to a later cycle.
+        let mut bus = faulty_bus(FaultModel {
+            seed: 8,
+            ..FaultModel::default()
+        }
+        .with_dynamic_contention(60));
+        let stats = drive(&mut bus, 100);
+        assert!(stats.background_minislots > 0);
+        assert!(
+            stats.deferred_dynamic_transmissions > 0,
+            "full-segment background bursts must defer the control frame"
+        );
+        // Static traffic is untouched by dynamic-segment contention.
+        assert_eq!(stats.static_transmissions, 100);
+    }
+
+    #[test]
+    fn invalid_fault_models_are_rejected_and_not_installed() {
+        let mut bus = paper_bus();
+        assert!(bus.set_fault_model(Some(FaultModel::drops(0, 2.0))).is_err());
+        assert!(bus.fault_model().is_none());
+        bus.set_fault_model(Some(FaultModel::drops(1, 0.5))).unwrap();
+        assert_eq!(bus.fault_model().unwrap().seed, 1);
+        bus.set_fault_model(None).unwrap();
+        assert!(bus.fault_model().is_none());
+    }
+
+    #[test]
+    fn advance_cycle_matches_run_cycle_and_logging_can_be_disabled() {
+        let mut logged = paper_bus();
+        logged.register_frame(Frame::static_slot(1, "tt", 0, 1).unwrap()).unwrap();
+        logged.register_frame(Frame::dynamic(2, "et", 2).unwrap()).unwrap();
+        let mut unlogged = logged.clone();
+        unlogged.set_logging(false);
+        assert!(!unlogged.logging());
+
+        for k in 0..6 {
+            let t = k as f64 * 0.005;
+            logged.queue_message(1, t).unwrap();
+            logged.queue_message(2, t).unwrap();
+            logged.run_cycle();
+            unlogged.queue_message(1, t).unwrap();
+            unlogged.queue_message(2, t).unwrap();
+            unlogged.advance_cycle();
+        }
+        assert_eq!(logged.statistics(), unlogged.statistics());
+        assert_eq!(logged.transmissions().len(), 12);
+        assert!(unlogged.transmissions().is_empty(), "logging off: O(1) memory");
+        assert_eq!(logged.time(), unlogged.time());
+
+        // advance_until mirrors run_until.
+        let mut a = paper_bus();
+        let mut b = paper_bus();
+        a.run_until(0.03);
+        b.advance_until(0.03);
+        assert_eq!(a.statistics(), b.statistics());
     }
 }

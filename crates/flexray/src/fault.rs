@@ -1,0 +1,190 @@
+//! Seeded, deterministic fault model for the FlexRay bus.
+//!
+//! Nominal bus behaviour validates the paper's designs under ideal
+//! conditions; the fault model injects the non-ideal ones a real automotive
+//! network exhibits — independent frame drops, Gilbert–Elliott burst losses,
+//! detected payload corruption, and a contended dynamic segment occupied by
+//! background traffic — all driven by one [`crate::SimRng`] stream seeded
+//! from [`FaultModel::seed`], so an identically configured bus replays its
+//! fault sequence bit for bit.
+//!
+//! # Draw order (the contract replays depend on)
+//!
+//! Per cycle, the fault RNG is consumed in exactly this order:
+//!
+//! 1. For every *static-slot transmission attempt* in slot order (a slot
+//!    whose owner has a payload queued in time): the burst-channel
+//!    transition draw (only when [`FaultModel::burst`] is configured), then
+//!    the drop draw, then — only if not dropped — the corruption draw.
+//! 2. One background-contention draw at the start of the dynamic segment
+//!    (only when [`FaultModel::dynamic_contention`] is configured).
+//! 3. For every *dynamic transmission attempt* in arbitration order that
+//!    fits the remaining minislot budget: the same
+//!    transition/drop/corruption sequence as in 1.
+//!
+//! Lost frames (dropped or corrupted) still consume their static slot or
+//! dynamic minislots — the wire was occupied; the receiver just never got a
+//! valid payload — so the *timing* of every other frame is unchanged and the
+//! effect of a loss is purely a missing command at the actuator.
+
+use crate::error::{FlexRayError, Result};
+
+/// Two-state Gilbert–Elliott burst-loss channel.
+///
+/// The channel is in a *good* or *bad* state; at every transmission attempt
+/// it first transitions (good→bad with [`GilbertElliott::degrade_probability`],
+/// bad→good with [`GilbertElliott::recover_probability`]), then the attempt
+/// is dropped with the state's drop probability — the bus-wide
+/// [`FaultModel::drop_probability`] in the good state,
+/// [`GilbertElliott::bad_drop_probability`] in the bad state. Small
+/// transition probabilities with a large bad-state drop probability produce
+/// the bursty loss pattern (EMI near the harness, a babbling node) that
+/// independent drops cannot model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of a good→bad transition per transmission attempt.
+    pub degrade_probability: f64,
+    /// Probability of a bad→good transition per transmission attempt.
+    pub recover_probability: f64,
+    /// Drop probability while the channel is in the bad state (replaces the
+    /// model's base drop probability there).
+    pub bad_drop_probability: f64,
+}
+
+/// Background traffic contending for the dynamic segment.
+///
+/// Models other (non-control) ECUs transmitting in the dynamic segment: at
+/// the start of every dynamic segment a uniform draw in
+/// `0..=max_background_minislots` decides how many minislots background
+/// frames occupy before the control frames arbitrate — the fair-sharing view
+/// of a contended resource (cf. the dslab throughput-sharing idiom): the
+/// control traffic gets whatever budget the background load leaves over,
+/// which stretches ET latency and forces deferrals exactly like a real
+/// loaded bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicContention {
+    /// Largest number of minislots the background traffic may occupy in one
+    /// cycle (the draw is uniform over `0..=max_background_minislots`).
+    pub max_background_minislots: usize,
+}
+
+/// The complete fault configuration of a bus, installed with
+/// [`crate::FlexRayBus::set_fault_model`].
+///
+/// All fields are plain values ([`Copy`]), so a fault model can be stored in
+/// scenario descriptions and compared for bit-identity. `FaultModel::default`
+/// is the *identity* model (seed 0, all probabilities zero, no burst
+/// channel, no contention) — installing it still routes transmissions
+/// through the fault path (consuming RNG draws) but never loses a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultModel {
+    /// Seed of the bus's fault RNG stream; [`crate::FlexRayBus::reset`]
+    /// rewinds the stream to this seed.
+    pub seed: u64,
+    /// Independent per-attempt drop probability (good-state drop probability
+    /// when a burst channel is configured).
+    pub drop_probability: f64,
+    /// Probability that a non-dropped frame arrives corrupted. Corruption is
+    /// *detected* (CRC) and the payload discarded, so a corrupted frame is a
+    /// loss with its own counter.
+    pub corruption_probability: f64,
+    /// Optional Gilbert–Elliott burst-loss channel.
+    pub burst: Option<GilbertElliott>,
+    /// Optional background contention for the dynamic segment.
+    pub dynamic_contention: Option<DynamicContention>,
+}
+
+fn require_probability(value: f64, what: &str) -> Result<()> {
+    if !(0.0..=1.0).contains(&value) {
+        return Err(FlexRayError::InvalidConfig {
+            reason: format!("{what} must be a probability in [0, 1], got {value}"),
+        });
+    }
+    Ok(())
+}
+
+impl FaultModel {
+    /// A model with independent drops only.
+    pub fn drops(seed: u64, drop_probability: f64) -> Self {
+        FaultModel { seed, drop_probability, ..FaultModel::default() }
+    }
+
+    /// Returns the model with a Gilbert–Elliott burst channel.
+    #[must_use]
+    pub fn with_burst(mut self, burst: GilbertElliott) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+
+    /// Returns the model with detected payload corruption.
+    #[must_use]
+    pub fn with_corruption(mut self, corruption_probability: f64) -> Self {
+        self.corruption_probability = corruption_probability;
+        self
+    }
+
+    /// Returns the model with background contention in the dynamic segment.
+    #[must_use]
+    pub fn with_dynamic_contention(mut self, max_background_minislots: usize) -> Self {
+        self.dynamic_contention = Some(DynamicContention { max_background_minislots });
+        self
+    }
+
+    /// Validates every probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidConfig`] if any probability lies
+    /// outside `[0, 1]` (NaN included).
+    pub fn validate(&self) -> Result<()> {
+        require_probability(self.drop_probability, "drop probability")?;
+        require_probability(self.corruption_probability, "corruption probability")?;
+        if let Some(burst) = &self.burst {
+            require_probability(burst.degrade_probability, "burst degrade probability")?;
+            require_probability(burst.recover_probability, "burst recover probability")?;
+            require_probability(burst.bad_drop_probability, "burst bad-state drop probability")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_and_validates() {
+        let model = FaultModel::drops(9, 0.1)
+            .with_corruption(0.05)
+            .with_burst(GilbertElliott {
+                degrade_probability: 0.02,
+                recover_probability: 0.3,
+                bad_drop_probability: 0.8,
+            })
+            .with_dynamic_contention(20);
+        assert!(model.validate().is_ok());
+        assert_eq!(model.seed, 9);
+        assert_eq!(model.dynamic_contention.unwrap().max_background_minislots, 20);
+
+        assert!(FaultModel::drops(0, -0.1).validate().is_err());
+        assert!(FaultModel::drops(0, 1.5).validate().is_err());
+        assert!(FaultModel::drops(0, f64::NAN).validate().is_err());
+        assert!(FaultModel::drops(0, 0.0).with_corruption(2.0).validate().is_err());
+        let bad_burst = FaultModel::drops(0, 0.0).with_burst(GilbertElliott {
+            degrade_probability: 0.5,
+            recover_probability: -1.0,
+            bad_drop_probability: 0.5,
+        });
+        assert!(bad_burst.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_the_identity_model() {
+        let model = FaultModel::default();
+        assert!(model.validate().is_ok());
+        assert_eq!(model.drop_probability, 0.0);
+        assert_eq!(model.corruption_probability, 0.0);
+        assert!(model.burst.is_none());
+        assert!(model.dynamic_contention.is_none());
+    }
+}

@@ -26,6 +26,11 @@
 //! * [`worst_case_static_latency`] / [`worst_case_dynamic_latency`] —
 //!   analytical latency bounds used to parameterise the control design
 //!   (deterministic TT delay versus worst-case ET delay).
+//! * [`FaultModel`] / [`SimRng`] — a seeded, deterministic fault-injection
+//!   layer (independent drops, Gilbert–Elliott bursts, detected corruption,
+//!   dynamic-segment background contention) installed with
+//!   [`FlexRayBus::set_fault_model`], driven by a hand-rolled
+//!   splitmix64/xoshiro256** generator so fault sequences replay bit for bit.
 //!
 //! # Example
 //!
@@ -52,10 +57,14 @@ mod analysis;
 mod bus;
 mod config;
 mod error;
+mod fault;
 mod frame;
+mod rng;
 
 pub use analysis::{worst_case_dynamic_latency, worst_case_static_latency, LatencyStats};
 pub use bus::{BusStatistics, FlexRayBus};
 pub use config::{FlexRayConfig, DEFAULT_BIT_RATE, MAX_PAYLOAD_WORDS};
 pub use error::{FlexRayError, Result};
+pub use fault::{DynamicContention, FaultModel, GilbertElliott};
 pub use frame::{Frame, Segment, Transmission};
+pub use rng::SimRng;

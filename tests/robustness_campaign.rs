@@ -1,0 +1,257 @@
+//! Integration tests for the fault-injection + streaming-campaign layer:
+//! worker-count determinism of `CampaignStats`, reset-and-rerun bit-identity
+//! under active fault models, agreement of the streaming metrics path with
+//! the full trace path, P² sketch rank-error bounds (property-based), and
+//! the statistical model-checking readout.
+//!
+//! The `#[ignore]`d `million_scenario_campaign_streams` test is the
+//! acceptance check that a 10^6-scenario campaign completes in O(workers)
+//! memory; run it explicitly with
+//! `cargo test --release --test robustness_campaign -- --ignored`.
+
+use automotive_cps::core::{
+    case_study, clopper_pearson, CoSimulation, DegradationConfig, DesignedFleet, P2Quantile,
+    RobustnessCampaign, RobustnessSweep, RunMetrics,
+};
+use automotive_cps::flexray::{FaultModel, FlexRayConfig, GilbertElliott};
+use automotive_cps::sched::AllocatorConfig;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// The derived fleet, designed once for the whole test binary.
+fn fleet() -> Arc<DesignedFleet> {
+    static FLEET: OnceLock<Arc<DesignedFleet>> = OnceLock::new();
+    Arc::clone(FLEET.get_or_init(|| {
+        Arc::new(
+            DesignedFleet::design(
+                case_study::derived_fleet_specs(),
+                &AllocatorConfig::default(),
+                FlexRayConfig::paper_case_study(),
+            )
+            .expect("derived fleet designs"),
+        )
+    }))
+}
+
+/// A sweep exercising every fault/degradation feature at once.
+fn stress_sweep() -> RobustnessSweep {
+    RobustnessSweep::new(vec![0.0, 0.15, 0.5], 4, 1.0)
+        .with_disturbance_range(0.8, 1.2)
+        .with_burst(GilbertElliott {
+            degrade_probability: 0.15,
+            recover_probability: 0.4,
+            bad_drop_probability: 0.9,
+        })
+        .with_corruption(0.02)
+        .with_dynamic_contention(6)
+        .with_sensor_noise(0.02)
+        .with_storm(0.3, 0.25)
+}
+
+#[test]
+fn campaign_stats_are_bit_identical_across_worker_counts() {
+    let sweep = stress_sweep();
+    let baseline = RobustnessCampaign::new(fleet(), 0xC0FFEE)
+        .with_workers(1)
+        .with_chunk_size(5)
+        .run(&sweep)
+        .expect("single-worker campaign");
+    assert_eq!(baseline.total, 12);
+    for workers in 2..=8 {
+        let stats = RobustnessCampaign::new(fleet(), 0xC0FFEE)
+            .with_workers(workers)
+            .with_chunk_size(5)
+            .run(&sweep)
+            .expect("multi-worker campaign");
+        // PartialEq over every accumulator — counts, Welford moments and the
+        // order-sensitive P² marker state — must hold bit for bit.
+        assert_eq!(stats, baseline, "worker count {workers} changed the campaign result");
+    }
+}
+
+#[test]
+fn campaign_seed_actually_matters() {
+    let sweep = stress_sweep();
+    let a = RobustnessCampaign::new(fleet(), 1).run(&sweep).expect("seed 1");
+    let b = RobustnessCampaign::new(fleet(), 2).run(&sweep).expect("seed 2");
+    assert_ne!(a, b, "different campaign seeds must explore different scenarios");
+}
+
+/// The engine under an active fault model + degradation config: a full
+/// `reset()` must replay the exact same faulty trajectory, and a fresh
+/// engine must produce it too.
+#[test]
+fn reset_and_rerun_under_faults_is_bit_identical() {
+    let fault = FaultModel::drops(0xBEEF, 0.25)
+        .with_burst(GilbertElliott {
+            degrade_probability: 0.2,
+            recover_probability: 0.5,
+            bad_drop_probability: 0.95,
+        })
+        .with_corruption(0.05)
+        .with_dynamic_contention(8);
+    let degradation = DegradationConfig::noise(11, 0.03).with_storm(0.4, 0.3);
+
+    let run = |engine: &mut CoSimulation, metrics: &mut RunMetrics| {
+        engine.reset().expect("reset");
+        engine.inject_disturbances().expect("inject");
+        engine.run_metrics_into(2.0, metrics).expect("faulty run");
+    };
+
+    let mut first = fleet().engine().expect("engine");
+    first.set_fault_model(Some(fault)).expect("fault model");
+    first.set_degradation(Some(degradation)).expect("degradation");
+    let mut reference = RunMetrics::default();
+    run(&mut first, &mut reference);
+    assert!(reference.bus.lost_frames() > 0, "the fault model must actually lose frames");
+    assert!(reference.held_periods.iter().any(|&h| h > 0), "losses must trigger holds");
+
+    // Reset-and-rerun on the same engine.
+    let mut replay = RunMetrics::default();
+    run(&mut first, &mut replay);
+    assert_eq!(replay, reference, "reset must replay the faulty run bit for bit");
+
+    // Fresh engine, same configuration.
+    let mut second = fleet().engine().expect("fresh engine");
+    second.set_fault_model(Some(fault)).expect("fault model");
+    second.set_degradation(Some(degradation)).expect("degradation");
+    let mut fresh = RunMetrics::default();
+    run(&mut second, &mut fresh);
+    assert_eq!(fresh, reference, "a fresh engine must reproduce the faulty run");
+}
+
+/// Nominal cross-check: the streaming metrics path must report exactly what
+/// the full trace path derives after the fact.
+#[test]
+fn run_metrics_matches_the_full_trace_nominally() {
+    let mut tracer = fleet().engine().expect("engine");
+    tracer.inject_disturbances().expect("inject");
+    let trace = tracer.run(12.0).expect("trace run");
+
+    let mut streamer = fleet().engine().expect("engine");
+    streamer.inject_disturbances().expect("inject");
+    let mut metrics = RunMetrics::default();
+    streamer.run_metrics_into(12.0, &mut metrics).expect("metrics run");
+
+    for (app, index) in trace.apps.iter().zip(0..) {
+        assert_eq!(
+            metrics.response_times[index], app.response_time,
+            "response time of {} must match the trace",
+            app.name
+        );
+        assert_eq!(metrics.deadlines_met[index], app.deadline_met(), "{}", app.name);
+        let trace_peak =
+            app.points.iter().map(|p| p.norm).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(metrics.peak_norms[index], trace_peak, "{} peak norm", app.name);
+    }
+    assert!(metrics.all_deadlines_met(), "the nominal derived fleet meets all deadlines");
+    assert_eq!(metrics.bus.cycles, trace.bus_statistics.cycles);
+    assert_eq!(
+        metrics.bus.static_transmissions,
+        trace.bus_statistics.static_transmissions
+    );
+    assert_eq!(metrics.bus.lost_frames(), 0);
+}
+
+#[test]
+fn settling_probability_readout_is_coherent() {
+    let sweep = RobustnessSweep::new(vec![0.0, 0.6], 5, 1.0).with_burst(GilbertElliott {
+        degrade_probability: 0.3,
+        recover_probability: 0.2,
+        bad_drop_probability: 1.0,
+    });
+    let stats = RobustnessCampaign::new(fleet(), 3).run(&sweep).expect("campaign");
+    let narrow = stats.settling_probabilities(0.05);
+    let wide = stats.settling_probabilities(0.5);
+    for (n, w) in narrow.iter().zip(&wide) {
+        assert_eq!(n.trials, 5);
+        assert!((0.0..=1.0).contains(&n.lower) && n.lower <= n.upper && n.upper <= 1.0);
+        assert!(n.lower <= n.estimate && n.estimate <= n.upper);
+        // A wider confidence level can only tighten the interval.
+        assert!(w.lower >= n.lower - 1e-12 && w.upper <= n.upper + 1e-12);
+    }
+    // Direct cross-check against the exact binomial bounds.
+    let family = &stats.families[0];
+    let (lower, upper) = clopper_pearson(family.deadlines_met, family.scenarios, 0.05);
+    assert_eq!((narrow[0].lower, narrow[0].upper), (lower, upper));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The P² sketch must stay within rank-error bounds of the exact
+    /// quantile: the estimate, located in the sorted sample, must sit within
+    /// 15 % of n (plus a small-sample allowance) of the target rank.
+    /// Duplicate-heavy samples are handled by measuring the distance from
+    /// the target rank to the estimate's *rank interval*.
+    #[test]
+    fn p2_sketch_stays_within_rank_error_bounds(
+        values in proptest::collection::vec(-50.0f64..50.0, 30..300),
+        scale in 0.01f64..100.0,
+    ) {
+        for q in [0.5, 0.95] {
+            let mut sketch = P2Quantile::new(q);
+            for &value in &values {
+                sketch.push(value * scale);
+            }
+            let estimate = sketch.estimate().expect("non-empty sketch");
+            let mut sorted: Vec<f64> = values.iter().map(|v| v * scale).collect();
+            sorted.sort_by(f64::total_cmp);
+            let n = sorted.len() as f64;
+            // Rank interval of the estimate in the exact sample.
+            let below = sorted.iter().filter(|&&v| v < estimate).count() as f64;
+            let at_most = sorted.iter().filter(|&&v| v <= estimate).count() as f64;
+            let target = q * n;
+            let rank_error = if target < below {
+                below - target
+            } else if target > at_most {
+                target - at_most
+            } else {
+                0.0
+            };
+            let bound = 0.15 * n + 3.0;
+            prop_assert!(
+                rank_error <= bound,
+                "q={q}: estimate {estimate} has rank error {rank_error} > {bound} (n={n})"
+            );
+        }
+    }
+
+    /// Clopper–Pearson intervals must cover the point estimate and shrink
+    /// as trials grow.
+    #[test]
+    fn clopper_pearson_is_a_valid_interval(successes in 0usize..40, extra in 0usize..40) {
+        let successes = successes as u64;
+        let trials = successes + extra as u64;
+        let (lower, upper) = clopper_pearson(successes, trials, 0.05);
+        prop_assert!((0.0..=1.0).contains(&lower));
+        prop_assert!((0.0..=1.0).contains(&upper));
+        prop_assert!(lower <= upper);
+        if trials > 0 {
+            let estimate = successes as f64 / trials as f64;
+            prop_assert!(lower <= estimate + 1e-12 && estimate <= upper + 1e-12);
+            let (lower10, upper10) = clopper_pearson(successes * 10, trials * 10, 0.05);
+            prop_assert!(upper10 - lower10 <= (upper - lower) + 1e-9,
+                "10x the evidence must not widen the interval");
+        }
+    }
+}
+
+/// Acceptance check: a 10^6-scenario campaign streams through the bounded
+/// channel and O(workers) aggregation without materialising per-scenario
+/// results. Two periods per scenario keep the runtime tractable; the point
+/// is the scenario *count*.
+#[test]
+#[ignore = "long-running acceptance check (~minutes); run with -- --ignored"]
+fn million_scenario_campaign_streams() {
+    let sweep = RobustnessSweep::new(vec![0.0, 0.4], 500_000, 0.01);
+    let stats = RobustnessCampaign::new(fleet(), 99)
+        .with_chunk_size(512)
+        .run(&sweep)
+        .expect("million-scenario campaign");
+    assert_eq!(stats.total, 1_000_000);
+    assert_eq!(stats.families.len(), 2);
+    assert_eq!(stats.families[0].scenarios, 500_000);
+    assert_eq!(stats.families[1].scenarios, 500_000);
+    assert!(stats.families[0].peak_norm.count() == 500_000);
+}

@@ -22,6 +22,8 @@
 
 use automotive_cps::control::{CharacterizationWorkspace, SwitchedKernel};
 use automotive_cps::core::{case_study, AllocationRuntime, RuntimeApp};
+use automotive_cps::core::{CoSimulation, DegradationConfig, RunMetrics};
+use automotive_cps::flexray::{FaultModel, FlexRayConfig, GilbertElliott};
 use automotive_cps::linalg::{
     expm_into, solve_dare_in_place, DareOptions, ExpmWorkspace, Matrix, RiccatiWorkspace,
 };
@@ -263,4 +265,75 @@ fn kernel_and_runtime_hot_paths_do_not_allocate() {
          DARE + expm solves",
         after - before
     );
+
+    // Fault-injection / degradation hot path: the streaming campaign
+    // engine's per-scenario loop — reset, (re)install fault + degradation
+    // models, inject, `run_metrics_into` — on a warm engine/metrics pair.
+    // Every per-period fault draw (drop, burst transition, corruption,
+    // dynamic contention), every hold-last-command kernel step and the
+    // online settling/peak/TT tracking must run on buffers sized during
+    // warm-up. Construction and the warm-up scenario may allocate freely.
+    let campaign_apps = case_study::derived_fleet().expect("fleet design");
+    let campaign_allocation =
+        automotive_cps::sched::allocate_slots(&table_for(&campaign_apps), &AllocatorConfig::default())
+            .expect("slot allocation");
+    let mut engine =
+        CoSimulation::new(campaign_apps, &campaign_allocation, FlexRayConfig::paper_case_study())
+            .expect("co-simulation engine");
+    let fault = FaultModel::drops(0xFEED, 0.3)
+        .with_burst(GilbertElliott {
+            degrade_probability: 0.2,
+            recover_probability: 0.5,
+            bad_drop_probability: 0.9,
+        })
+        .with_corruption(0.05)
+        .with_dynamic_contention(8);
+    let degradation = DegradationConfig::noise(7, 0.02).with_storm(0.5, 0.4);
+    let mut metrics = RunMetrics::default();
+    // Warm-up scenario: grows the engine's scratch, the bus queues and the
+    // metrics buffers to their steady-state sizes.
+    engine.reset().expect("warm-up reset");
+    engine.set_fault_model(Some(fault)).expect("warm-up fault model");
+    engine.set_degradation(Some(degradation)).expect("warm-up degradation");
+    engine.set_threshold_scale(1.0).expect("warm-up threshold");
+    engine.inject_disturbances_scaled(1.0).expect("warm-up inject");
+    engine.run_metrics_into(1.0, &mut metrics).expect("warm-up scenario");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut campaign_checksum = 0.0;
+    for _ in 0..5 {
+        engine.reset().expect("scenario reset");
+        engine.set_fault_model(Some(fault)).expect("fault model");
+        engine.set_degradation(Some(degradation)).expect("degradation");
+        engine.set_threshold_scale(1.0).expect("threshold scale");
+        engine.inject_disturbances_scaled(1.0).expect("inject");
+        engine.run_metrics_into(1.0, &mut metrics).expect("faulty scenario");
+        campaign_checksum += metrics.max_peak_norm() + metrics.tt_share();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(campaign_checksum.is_finite() && campaign_checksum > 0.0);
+    assert!(
+        metrics.bus.lost_frames() > 0,
+        "the measured scenarios must actually lose frames (drop p = 0.3)"
+    );
+    assert!(
+        metrics.held_periods.iter().any(|&held| held > 0),
+        "lost actuation frames must trigger hold-last-command periods"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "the fault-injection/hold hot path performed {} heap allocations over 5 \
+         warm faulty scenarios",
+        after - before
+    );
+}
+
+/// Characterisation table for the derived fleet (construction-time helper —
+/// allocates freely, used outside the measured windows).
+fn table_for(
+    apps: &[automotive_cps::core::ControlApplication],
+) -> Vec<automotive_cps::sched::AppTimingParams> {
+    case_study::derive_table(apps).expect("timing table")
 }
