@@ -256,13 +256,16 @@ pub struct RobustnessCampaign {
     seed: u64,
     workers: usize,
     chunk_size: u64,
+    /// Cooperative cancellation checkpoint, polled at every scenario
+    /// boundary on every worker; `None` never cancels.
+    cancel: Option<cps_sched::CancelToken>,
 }
 
 impl RobustnessCampaign {
     /// Creates a campaign runner over a shared fleet design with the given
     /// campaign seed.
     pub fn new(fleet: Arc<DesignedFleet>, seed: u64) -> Self {
-        RobustnessCampaign { fleet, seed, workers: 0, chunk_size: 64 }
+        RobustnessCampaign { fleet, seed, workers: 0, chunk_size: 64, cancel: None }
     }
 
     /// Sets the worker-thread count; `0` (the default) uses the machine's
@@ -280,6 +283,18 @@ impl RobustnessCampaign {
     #[must_use]
     pub fn with_chunk_size(mut self, chunk_size: u64) -> Self {
         self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Installs (or clears) a cooperative cancellation token. Every worker
+    /// polls it at each scenario boundary (a relaxed atomic load between
+    /// simulations, never inside one); a fired token stops the campaign and
+    /// surfaces as [`CoreError::Cancelled`] from
+    /// [`RobustnessCampaign::run`]. The token never changes the aggregates a
+    /// *completed* run returns.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: Option<cps_sched::CancelToken>) -> Self {
+        self.cancel = token;
         self
     }
 
@@ -338,6 +353,7 @@ impl RobustnessCampaign {
                 let cursor = &cursor;
                 let stop = &stop;
                 let fleet = &self.fleet;
+                let cancel = &self.cancel;
                 scope.spawn(move || {
                     let mut engine = match fleet.engine() {
                         Ok(engine) => engine,
@@ -365,6 +381,13 @@ impl RobustnessCampaign {
                             Vec::with_capacity(usize::try_from(end - start).unwrap_or(0));
                         let mut failure: Option<CoreError> = None;
                         for index in start..end {
+                            // Scenario-boundary cancellation checkpoint: a
+                            // fired deadline token ends the campaign with the
+                            // first cut attributed in scenario order.
+                            if cancel.as_ref().is_some_and(|token| token.is_cancelled()) {
+                                failure = Some(CoreError::Cancelled);
+                                break;
+                            }
                             // A fresh default each time (Copy, stack-only):
                             // sources never see a previous scenario's fields.
                             let mut scenario = CampaignScenario::default();
@@ -725,6 +748,28 @@ mod tests {
             fn generate(&self, _index: u64, _seed: u64, _scenario: &mut CampaignScenario) {}
         }
         assert!(campaign.run(&NoFamilies).is_err());
+    }
+
+    #[test]
+    fn cancellation_stops_the_campaign_at_a_scenario_boundary() {
+        let token = cps_sched::CancelToken::new();
+        token.cancel();
+        let campaign = RobustnessCampaign::new(fleet(), 5)
+            .with_workers(2)
+            .with_cancel_token(Some(token.clone()));
+        let sweep = RobustnessSweep::new(vec![0.0], 8, 1.0);
+        let err = campaign.run(&sweep).unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled), "unexpected error: {err}");
+        // An un-cancelled token leaves the aggregates bit-identical to a
+        // token-free run.
+        let fresh = cps_sched::CancelToken::new();
+        let with_token = RobustnessCampaign::new(fleet(), 5)
+            .with_workers(2)
+            .with_cancel_token(Some(fresh))
+            .run(&sweep)
+            .unwrap();
+        let without = RobustnessCampaign::new(fleet(), 5).with_workers(2).run(&sweep).unwrap();
+        assert_eq!(with_token, without);
     }
 
     #[test]

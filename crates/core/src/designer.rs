@@ -41,11 +41,11 @@
 
 use crate::application::{ApplicationSpec, ControlApplication};
 use crate::characterize::derive_timing_params_with;
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::fleet::DesignedFleet;
 use cps_control::{CharacterizationWorkspace, DesignWorkspace};
 use cps_flexray::FlexRayConfig;
-use cps_sched::{AllocatorConfig, AppTimingParams};
+use cps_sched::{AllocatorConfig, AppTimingParams, CancelToken, OptimalAllocator, SchedError};
 
 /// The scratch bundle one design worker owns and threads through every item
 /// of its chunk: the solver-workspace pool of the synthesis path and the
@@ -68,6 +68,24 @@ struct WorkerScratch {
 #[derive(Debug, Clone)]
 pub struct FleetDesigner {
     threads: usize,
+    /// Cooperative cancellation checkpoint, polled between pipeline items
+    /// (one synthesis or characterisation per poll); `None` never cancels.
+    cancel: Option<CancelToken>,
+}
+
+/// Outcome of the budget-aware exact design flow
+/// ([`FleetDesigner::design_fleet_optimal_budgeted`]): the designed fleet
+/// plus whether its slot map is the *proven* minimum or a degraded (greedy
+/// incumbent) answer returned because the search budget ran out.
+#[derive(Debug)]
+pub struct BudgetedDesign {
+    /// The designed, validated fleet.
+    pub fleet: DesignedFleet,
+    /// `true` when the exact search ran to exhaustion (the slot map is the
+    /// provable minimum); `false` when the node budget or the cancellation
+    /// token cut the search and the slot map is only the best incumbent —
+    /// the `certified_optimal=false` rung of the service degradation ladder.
+    pub certified_optimal: bool,
 }
 
 impl Default for FleetDesigner {
@@ -79,13 +97,13 @@ impl Default for FleetDesigner {
 impl FleetDesigner {
     /// A designer using the machine's available parallelism.
     pub fn new() -> Self {
-        FleetDesigner { threads: 0 }
+        FleetDesigner { threads: 0, cancel: None }
     }
 
     /// A designer that always runs on the calling thread (the retained
     /// sequential path; still workspace-threaded).
     pub fn sequential() -> Self {
-        FleetDesigner { threads: 1 }
+        FleetDesigner { threads: 1, cancel: None }
     }
 
     /// Sets the worker-thread count; `0` (the default) uses the machine's
@@ -94,6 +112,17 @@ impl FleetDesigner {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Installs (or clears) a cooperative cancellation token. Every pipeline
+    /// stage polls it between items — a relaxed atomic load — and a fired
+    /// token surfaces as [`CoreError::Cancelled`] from the design entry
+    /// points. A token changes *whether* a run completes, never *what* it
+    /// computes: completed runs are bit-identical with or without one.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: Option<CancelToken>) -> Self {
+        self.cancel = token;
         self
     }
 
@@ -194,6 +223,47 @@ impl FleetDesigner {
         self.freeze_optimal(apps, config, bus_config)
     }
 
+    /// The budget-aware exact design flow of the design service: like
+    /// [`FleetDesigner::design_fleet_optimal`], but the branch-and-bound
+    /// search runs under the designer's cancellation token and an optional
+    /// deterministic node budget, and a cut-short search *degrades* instead
+    /// of failing — the greedy incumbent is frozen into the fleet and the
+    /// result carries `certified_optimal = false`.
+    ///
+    /// With no token and no budget the flow is bit-identical to
+    /// [`FleetDesigner::design_fleet_optimal`] (same allocator, same float
+    /// order, same slot map) and always certifies.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetDesigner::design_fleet_optimal`]; additionally
+    /// [`CoreError::Cancelled`] when the token fires during synthesis or
+    /// characterisation, or when the search is cut before *any* feasible
+    /// allocation (incumbent included) is known.
+    pub fn design_fleet_optimal_budgeted(
+        &self,
+        specs: Vec<ApplicationSpec>,
+        config: &AllocatorConfig,
+        bus_config: FlexRayConfig,
+        node_budget: Option<u64>,
+    ) -> Result<BudgetedDesign> {
+        let apps = self.design(specs)?;
+        let table = self.characterize(&apps)?;
+        let mut solver = OptimalAllocator::new(&table, &budgeted(config, &bus_config))?;
+        solver.set_cancel_token(self.cancel.clone());
+        solver.set_node_budget(node_budget);
+        let allocation = match solver.solve() {
+            Ok(allocation) => allocation,
+            Err(SchedError::SearchCancelled { .. }) => return Err(CoreError::Cancelled),
+            Err(error) => return Err(error.into()),
+        };
+        let certified_optimal = solver.certified_optimal();
+        drop(solver);
+        let fleet = DesignedFleet::new(apps, allocation, bus_config)?;
+        fleet.seed_timing_table(table);
+        Ok(BudgetedDesign { fleet, certified_optimal })
+    }
+
     /// The exact allocation-and-freeze tail shared with
     /// [`DesignedFleet::design_optimal`]: characterise once, solve the
     /// branch-and-bound optimum under the bus budget, validate.
@@ -225,10 +295,24 @@ impl FleetDesigner {
         if items.is_empty() {
             return Ok(Vec::new());
         }
+        // Cancellation checkpoint, polled before each item on every worker:
+        // a fired token stops the chunk at its next item boundary.
+        let checkpoint = |cancel: &Option<CancelToken>| -> Result<()> {
+            match cancel {
+                Some(token) if token.is_cancelled() => Err(CoreError::Cancelled),
+                _ => Ok(()),
+            }
+        };
         let workers = self.effective_threads(items.len());
         if workers == 1 {
             let mut scratch = WorkerScratch::default();
-            return items.into_iter().map(|item| f(&mut scratch, item)).collect();
+            return items
+                .into_iter()
+                .map(|item| {
+                    checkpoint(&self.cancel)?;
+                    f(&mut scratch, item)
+                })
+                .collect();
         }
 
         // Contiguous chunks keep the output order (and therefore the result)
@@ -244,6 +328,7 @@ impl FleetDesigner {
             chunks.push(chunk);
         }
         let f = &f;
+        let cancel = &self.cancel;
         let chunk_results: Vec<Result<Vec<R>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
@@ -253,7 +338,13 @@ impl FleetDesigner {
                         // characterisation pools), reused for every item in
                         // the chunk.
                         let mut scratch = WorkerScratch::default();
-                        chunk.into_iter().map(|item| f(&mut scratch, item)).collect()
+                        chunk
+                            .into_iter()
+                            .map(|item| {
+                                checkpoint(cancel)?;
+                                f(&mut scratch, item)
+                            })
+                            .collect()
                     })
                 })
                 .collect();
@@ -311,5 +402,67 @@ mod tests {
             .unwrap();
         assert_eq!(greedy.app_count(), 6);
         assert!(optimal.slot_count() <= greedy.slot_count());
+    }
+
+    #[test]
+    fn cancelled_designers_stop_at_item_boundaries() {
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 3] {
+            let designer = FleetDesigner::new()
+                .with_threads(threads)
+                .with_cancel_token(Some(token.clone()));
+            let err = designer.design(case_study::derived_fleet_specs()).unwrap_err();
+            assert!(matches!(err, CoreError::Cancelled), "threads={threads}: {err}");
+        }
+        // Empty inputs still short-circuit before the checkpoint.
+        let designer = FleetDesigner::new().with_cancel_token(Some(token));
+        assert!(designer.design(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn budgeted_design_nominal_path_is_bit_identical() {
+        let designer = FleetDesigner::new().with_threads(2);
+        let config = AllocatorConfig::default();
+        let bus = cps_flexray::FlexRayConfig::paper_case_study();
+        let reference = designer
+            .design_fleet_optimal(case_study::derived_fleet_specs(), &config, bus)
+            .unwrap();
+        let budgeted = designer
+            .design_fleet_optimal_budgeted(case_study::derived_fleet_specs(), &config, bus, None)
+            .unwrap();
+        assert!(budgeted.certified_optimal);
+        assert_eq!(budgeted.fleet.allocation(), reference.allocation());
+        let reference_table = reference.timing_table().unwrap();
+        let budgeted_table = budgeted.fleet.timing_table().unwrap();
+        assert_eq!(reference_table.len(), budgeted_table.len());
+        for (a, b) in reference_table.iter().zip(budgeted_table.iter()) {
+            assert_eq!(a.xi_et.to_bits(), b.xi_et.to_bits());
+            assert_eq!(a.xi_m.to_bits(), b.xi_m.to_bits());
+            assert_eq!(a.k_p.to_bits(), b.k_p.to_bits());
+        }
+    }
+
+    #[test]
+    fn budgeted_design_degrades_instead_of_failing() {
+        let designer = FleetDesigner::new();
+        let config = AllocatorConfig::default();
+        let bus = cps_flexray::FlexRayConfig::paper_case_study();
+        // A zero node budget cuts the exact search at the root: the greedy
+        // incumbent is frozen and the result refuses to certify.
+        let degraded = designer
+            .design_fleet_optimal_budgeted(
+                case_study::derived_fleet_specs(),
+                &config,
+                bus,
+                Some(0),
+            )
+            .unwrap();
+        assert!(!degraded.certified_optimal);
+        // The incumbent is still a *valid* (schedulable) slot map, and the
+        // design-flow-seeded table cost no extra characterisation pass.
+        let table = degraded.fleet.timing_table().unwrap();
+        assert!(degraded.fleet.allocation().verify(&table).unwrap());
+        assert_eq!(degraded.fleet.characterization_passes(), 0);
     }
 }

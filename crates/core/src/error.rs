@@ -16,6 +16,12 @@ pub enum CoreError {
         /// Human-readable description of the violated precondition.
         reason: String,
     },
+    /// A cooperative cancellation token fired mid-pipeline (deadline expiry,
+    /// shutdown): the operation was abandoned at a checkpoint and produced no
+    /// result. Degraded-but-complete outcomes (e.g. an uncertified incumbent
+    /// allocation) are *not* reported this way — only a cut with nothing to
+    /// return is.
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +31,7 @@ impl fmt::Display for CoreError {
             CoreError::Sched(e) => write!(f, "schedulability-analysis failure: {e}"),
             CoreError::FlexRay(e) => write!(f, "bus-model failure: {e}"),
             CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::Cancelled => write!(f, "operation cancelled before completion"),
         }
     }
 }
@@ -36,6 +43,7 @@ impl std::error::Error for CoreError {
             CoreError::Sched(e) => Some(e),
             CoreError::FlexRay(e) => Some(e),
             CoreError::InvalidConfig { .. } => None,
+            CoreError::Cancelled => None,
         }
     }
 }
@@ -79,6 +87,9 @@ mod tests {
         assert!(e.to_string().contains("control-design"));
         let e = CoreError::InvalidConfig { reason: "bad".into() };
         assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e = CoreError::Cancelled;
+        assert!(e.to_string().contains("cancelled"));
         assert!(e.source().is_none());
     }
 }

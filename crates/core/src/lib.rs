@@ -96,7 +96,8 @@ pub use cosim::{
     AppTrace, CoSimTrace, CoSimulation, DegradationConfig, ModeSwitchStorm, RunMetrics,
     TracePoint,
 };
-pub use designer::FleetDesigner;
+pub use cps_sched::CancelToken;
+pub use designer::{BudgetedDesign, FleetDesigner};
 pub use error::{CoreError, Result};
 pub use fleet::DesignedFleet;
 pub use runtime::{AllocationRuntime, AppPhase, RuntimeApp};

@@ -368,6 +368,65 @@ mod tests {
     }
 
     #[test]
+    fn online_stats_single_observation_is_its_own_summary() {
+        let mut stats = OnlineStats::new();
+        stats.push(-2.5);
+        assert_eq!(stats.count(), 1);
+        assert_eq!(stats.mean(), -2.5);
+        assert_eq!(stats.min(), Some(-2.5));
+        assert_eq!(stats.max(), Some(-2.5));
+    }
+
+    #[test]
+    fn online_stats_constant_stream_never_drifts() {
+        // The Welford update divides by the running count; a constant stream
+        // must reproduce the constant exactly, with min == max.
+        let mut stats = OnlineStats::new();
+        for _ in 0..1000 {
+            stats.push(0.1);
+        }
+        assert_eq!(stats.mean(), 0.1);
+        assert_eq!(stats.min(), stats.max());
+    }
+
+    #[test]
+    fn p2_quantile_target_is_clamped_into_the_open_interval() {
+        // q outside (0, 1) would zero or saturate the marker increments and
+        // the estimator would silently track an extreme; new() clamps.
+        for q in [-3.0, 0.0, 1.0, 7.0] {
+            let sketch = P2Quantile::new(q);
+            assert!(
+                sketch.quantile() > 0.0 && sketch.quantile() < 1.0,
+                "q = {q} must clamp into (0, 1), got {}",
+                sketch.quantile()
+            );
+        }
+    }
+
+    #[test]
+    fn p2_single_observation_is_every_quantile() {
+        for q in [0.01, 0.5, 0.99] {
+            let mut sketch = P2Quantile::new(q);
+            assert_eq!(sketch.count(), 0);
+            assert!(sketch.estimate().is_none());
+            sketch.push(42.0);
+            assert_eq!(sketch.count(), 1);
+            assert_eq!(sketch.estimate(), Some(42.0));
+        }
+    }
+
+    #[test]
+    fn p2_constant_stream_stays_exact_past_the_bootstrap() {
+        // All five markers coincide, so parabolic/linear adjustment must
+        // never move the middle marker off the constant.
+        let mut sketch = P2Quantile::new(0.9);
+        for _ in 0..100 {
+            sketch.push(7.0);
+        }
+        assert_eq!(sketch.estimate(), Some(7.0));
+    }
+
+    #[test]
     fn p2_is_exact_below_five_samples() {
         let mut sketch = P2Quantile::new(0.5);
         assert!(sketch.estimate().is_none());
@@ -468,5 +527,33 @@ mod tests {
         assert!(hi_90 - lo_90 < hi_small - lo_small);
         // Degenerate input.
         assert_eq!(clopper_pearson(3, 0, 0.05), (0.0, 1.0));
+    }
+
+    #[test]
+    fn clopper_pearson_degenerate_inputs_stay_finite_and_ordered() {
+        // One trial, both outcomes: the interval must still be a proper
+        // sub-interval of [0, 1] with the pinned bound exact.
+        let (lo, hi) = clopper_pearson(0, 1, 0.05);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi <= 1.0 && hi.is_finite());
+        let (lo, hi) = clopper_pearson(1, 1, 0.05);
+        assert_eq!(hi, 1.0);
+        assert!((0.0..1.0).contains(&lo) && lo.is_finite());
+
+        // successes > trials is clamped, not UB: behaves like s = n.
+        assert_eq!(clopper_pearson(7, 3, 0.05), clopper_pearson(3, 3, 0.05));
+
+        // alpha is clamped away from {0, 1}; the bounds must never be NaN
+        // and must stay ordered even at the extremes.
+        for alpha in [0.0, 1e-300, 0.5, 1.0, 2.0] {
+            for (s, n) in [(0u64, 5u64), (2, 5), (5, 5), (0, 0)] {
+                let (lo, hi) = clopper_pearson(s, n, alpha);
+                assert!(!lo.is_nan() && !hi.is_nan(), "NaN at s={s} n={n} alpha={alpha}");
+                assert!(
+                    (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi,
+                    "bounds ({lo}, {hi}) out of order at s={s} n={n} alpha={alpha}"
+                );
+            }
+        }
     }
 }

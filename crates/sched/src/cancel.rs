@@ -1,0 +1,92 @@
+//! Cooperative cancellation for long-running analyses.
+//!
+//! The design-as-a-service layer runs the exact branch-and-bound search (and
+//! the fleet-design and robustness-campaign pipelines built on top of it)
+//! under per-request deadlines. None of those loops can be preempted safely —
+//! they own scratch buffers mid-update — so cancellation is *cooperative*: a
+//! [`CancelToken`] is an `Arc`-shared atomic flag the owner (a deadline
+//! watchdog, a shutdown path, a test) flips once, and the workers poll at
+//! natural budget checkpoints (search-tree nodes, design-chunk boundaries,
+//! scenario boundaries).
+//!
+//! The checkpoint poll is a single relaxed atomic load — no allocation, no
+//! syscall — so threading a token through a hot loop does not disturb the
+//! zero-allocation guarantees of the analysis kernels (asserted in
+//! `tests/zero_alloc.rs`, which solves with an armed token inside the
+//! counting-allocator window).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable cancellation flag.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same flag;
+/// once cancelled, a token stays cancelled — there is deliberately no reset,
+/// so a token's lifetime is one request/operation.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation: every holder of a clone observes
+    /// [`CancelToken::is_cancelled`] from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested. A single relaxed atomic load —
+    /// cheap enough to poll at every search node or scenario boundary.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+        // Idempotent.
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                while !observer.is_cancelled() {
+                    std::thread::yield_now();
+                }
+                true
+            });
+            token.cancel();
+            assert!(handle.join().unwrap());
+        });
+    }
+}

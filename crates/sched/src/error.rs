@@ -44,6 +44,13 @@ pub enum SchedError {
         /// Maximum number of slots the search was allowed to open.
         max_slots: usize,
     },
+    /// The exact search was cut short — cancellation token fired or the node
+    /// budget ran out — before any feasible allocation (incumbent included)
+    /// was known. Neither feasibility nor infeasibility is proven.
+    SearchCancelled {
+        /// Search-tree nodes expanded before the cut.
+        nodes: u64,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -65,6 +72,10 @@ impl fmt::Display for SchedError {
             SchedError::NoFeasibleAllocation { max_slots } => write!(
                 f,
                 "no feasible slot allocation exists within {max_slots} TT slots"
+            ),
+            SchedError::SearchCancelled { nodes } => write!(
+                f,
+                "exact allocation search cancelled after {nodes} nodes with no incumbent"
             ),
         }
     }
@@ -93,6 +104,8 @@ mod tests {
         let e = SchedError::NoFeasibleAllocation { max_slots: 4 };
         assert!(e.to_string().contains("no feasible slot allocation"));
         assert!(e.to_string().contains("4 TT slots"));
+        let e = SchedError::SearchCancelled { nodes: 17 };
+        assert!(e.to_string().contains("cancelled after 17 nodes"));
     }
 
     #[test]

@@ -57,6 +57,7 @@
 
 mod allocation;
 mod app;
+mod cancel;
 mod dwell;
 mod error;
 mod optimal;
@@ -69,6 +70,7 @@ pub mod case_study_fixtures;
 pub use allocation::{
     allocate_slots, allocation_sweep, AllocationStrategy, AllocatorConfig, SlotAllocation,
 };
+pub use cancel::CancelToken;
 pub use optimal::{allocate_slots_optimal, OptimalAllocator};
 pub use app::{priority_order, AppTimingParams};
 pub use dwell::{

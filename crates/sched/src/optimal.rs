@@ -73,6 +73,7 @@
 
 use crate::allocation::{AllocationStrategy, AllocatorConfig, SlotAllocation};
 use crate::app::{priority_order, AppTimingParams};
+use crate::cancel::CancelToken;
 use crate::dwell::{dwell_for, max_dwell_for, ModelKind};
 use crate::error::{Result, SchedError};
 use crate::schedulability::WaitTimeMethod;
@@ -136,6 +137,16 @@ pub struct OptimalAllocator<'a> {
     seed_used: usize,
     /// Search-tree nodes expanded by the last `solve_in_place`.
     nodes: u64,
+    /// Cooperative cancellation checkpoint, polled once per search node (a
+    /// relaxed atomic load — no allocation, so the solve stays on the
+    /// zero-alloc hot path).
+    cancel: Option<CancelToken>,
+    /// Optional cap on search-tree nodes per solve — the deterministic
+    /// budget the design service uses to bound exact-search latency.
+    node_budget: Option<u64>,
+    /// Whether the last solve ran the search to exhaustion (`false` when the
+    /// cancellation token fired or the node budget ran out mid-search).
+    exhausted: bool,
 }
 
 impl<'a> OptimalAllocator<'a> {
@@ -194,6 +205,9 @@ impl<'a> OptimalAllocator<'a> {
             seed_slots: make_pool(),
             seed_used: usize::MAX,
             nodes: 0,
+            cancel: None,
+            node_budget: None,
+            exhausted: true,
         };
         solver.seed_incumbent(config);
         Ok(solver)
@@ -247,6 +261,54 @@ impl<'a> OptimalAllocator<'a> {
         self.nodes
     }
 
+    /// Installs (or clears) a cooperative cancellation token. The search
+    /// polls it once per expanded node — a relaxed atomic load, nothing
+    /// more — and, when it fires, unwinds immediately while keeping the best
+    /// incumbent found so far (typically the greedy seed): the degradation
+    /// ladder of the design service.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Caps the search: the solve cuts once `budget` nodes have been
+    /// entered, so a budget of 1 abandons at the root (`None`, the default,
+    /// is unbounded). A cut behaves exactly like cancellation — incumbent
+    /// kept, [`OptimalAllocator::certified_optimal`] reports `false` — but
+    /// is a *deterministic* trigger, which is what the service's tests pin
+    /// degradation behaviour on.
+    pub fn set_node_budget(&mut self, budget: Option<u64>) {
+        self.node_budget = budget;
+    }
+
+    /// Whether the last [`OptimalAllocator::solve_in_place`] ran the search
+    /// to exhaustion. `true` means the recorded best allocation is the
+    /// provable minimum (or, on `None`, that infeasibility is proven);
+    /// `false` means the solve was cut short by the cancellation token or
+    /// the node budget and the recorded best is only an upper bound —
+    /// `certified_optimal=false` in a served response.
+    pub fn certified_optimal(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Whether the budget checkpoint fired: token cancelled or node budget
+    /// exhausted.
+    fn out_of_budget(&self) -> bool {
+        // `>=` so that a budget of 1 fires at the root node: the search may
+        // *start* at most `budget` nodes, and a cut solve always degrades —
+        // there is no budget small enough to certify by accident. (The wire
+        // protocol reserves 0 for "unbounded", so 1 is the smallest budget a
+        // service request can carry.)
+        if let Some(budget) = self.node_budget {
+            if self.nodes >= budget {
+                return true;
+            }
+        }
+        match &self.cancel {
+            Some(token) => token.is_cancelled(),
+            None => false,
+        }
+    }
+
     /// Runs the exact search and returns the minimum number of TT slots, or
     /// `None` if no feasible allocation within `max_slots` exists. Performs
     /// no heap allocation; the result is stored internally and can be
@@ -264,6 +326,7 @@ impl<'a> OptimalAllocator<'a> {
         }
         self.used = 0;
         self.nodes = 0;
+        self.exhausted = true;
         self.search(0);
         (self.best_used != usize::MAX).then_some(self.best_used)
     }
@@ -281,18 +344,32 @@ impl<'a> OptimalAllocator<'a> {
     ///
     /// # Errors
     ///
-    /// [`SchedError::NoFeasibleAllocation`] if the exhausted search proves
-    /// no feasible allocation exists within `max_slots`.
+    /// * [`SchedError::NoFeasibleAllocation`] if the exhausted search proves
+    ///   no feasible allocation exists within `max_slots`.
+    /// * [`SchedError::SearchCancelled`] if the search was cut short (token
+    ///   or node budget) before *any* feasible allocation — incumbent
+    ///   included — was known; with an incumbent, a cut-short solve still
+    ///   returns it (check [`OptimalAllocator::certified_optimal`]).
     pub fn solve(&mut self) -> Result<SlotAllocation> {
         match self.solve_in_place() {
             Some(_) => Ok(self.best_allocation().expect("solution recorded")),
-            None => Err(SchedError::NoFeasibleAllocation { max_slots: self.max_slots }),
+            None if self.exhausted => {
+                Err(SchedError::NoFeasibleAllocation { max_slots: self.max_slots })
+            }
+            None => Err(SchedError::SearchCancelled { nodes: self.nodes }),
         }
     }
 
     /// Depth-first branch-and-bound over restricted-growth assignments.
     fn search(&mut self, depth: usize) {
         self.nodes += 1;
+        // Budget checkpoint (deadline token and/or node cap): abandon the
+        // search, keep the incumbent. Checked once per node — the load is
+        // negligible next to the per-node slot analysis.
+        if self.out_of_budget() {
+            self.exhausted = false;
+            return;
+        }
         // Bound: every completion opens at least `extra_slots_bound` more
         // slots, so cut when even that cannot beat the incumbent.
         let floor = self.used + self.extra_slots_bound(depth);
@@ -327,6 +404,12 @@ impl<'a> OptimalAllocator<'a> {
             self.status[s] = saved_status;
             self.load[s] = saved_load;
             self.slots[s].pop();
+            // Fast unwind once the budget fired: skip the (expensive) slot
+            // analyses the remaining siblings would run before their child
+            // calls bail out.
+            if !self.exhausted {
+                return;
+            }
         }
 
         // Open a new slot (canonical: always the next unused index).
@@ -642,6 +725,60 @@ mod tests {
         assert_eq!(allocation_a, allocation_b);
         assert_eq!(nodes, solver.nodes_explored());
         assert!(nodes > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_the_greedy_incumbent() {
+        let apps = paper_table1();
+        let config = AllocatorConfig::default();
+        let mut solver = OptimalAllocator::new(&apps, &config).unwrap();
+        let exact = solver.solve_in_place();
+        assert!(solver.certified_optimal());
+        let exact_allocation = solver.best_allocation().unwrap();
+
+        // A zero node budget cuts the search at the root: the solve returns
+        // the greedy incumbent and refuses to certify it.
+        solver.set_node_budget(Some(0));
+        let degraded = solver.solve_in_place();
+        assert_eq!(degraded, solver.greedy_bound());
+        assert!(!solver.certified_optimal());
+        let incumbent = solver.best_allocation().unwrap();
+        assert!(incumbent.verify(&apps).unwrap());
+
+        // Restoring the budget restores the exact (certified) answer —
+        // budget runs never corrupt solver state.
+        solver.set_node_budget(None);
+        assert_eq!(solver.solve_in_place(), exact);
+        assert!(solver.certified_optimal());
+        assert_eq!(solver.best_allocation().unwrap(), exact_allocation);
+    }
+
+    #[test]
+    fn cancellation_token_degrades_and_reports() {
+        let apps = paper_table1();
+        let config = AllocatorConfig::default();
+        let mut solver = OptimalAllocator::new(&apps, &config).unwrap();
+        let token = crate::CancelToken::new();
+        solver.set_cancel_token(Some(token.clone()));
+
+        // Un-cancelled token: behaviour (and result bits) unchanged.
+        let nominal = solver.solve_in_place();
+        assert_eq!(nominal, Some(3));
+        assert!(solver.certified_optimal());
+
+        // Pre-cancelled token: the incumbent survives, certification drops.
+        token.cancel();
+        assert_eq!(solver.solve_in_place(), solver.greedy_bound());
+        assert!(!solver.certified_optimal());
+        assert!(solver.best_allocation().unwrap().verify(&apps).unwrap());
+
+        // A fleet with no greedy incumbent and a cancelled search has no
+        // answer at all: solve() reports the cut, not infeasibility.
+        let impossible =
+            vec![AppTimingParams::new("X", 10.0, 0.2, 0.39, 3.97, 0.64, 0.69).unwrap()];
+        let mut solver = OptimalAllocator::new(&impossible, &config).unwrap();
+        solver.set_cancel_token(Some(token));
+        assert!(matches!(solver.solve(), Err(SchedError::SearchCancelled { .. })));
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! The content-addressed design-artifact cache with single-flight
+//! deduplication.
+//!
+//! Design artifacts (a [`DesignedFleet`] plus its certification flag) are
+//! keyed by the FNV-1a content hash of the *canonical job encoding*
+//! ([`DesignJob::content_key`](crate::protocol::DesignJob::content_key)):
+//! two requests share an artifact exactly when their design-problem bytes
+//! agree. The cache is a bounded LRU; on overflow the least-recently-used
+//! entry is evicted, which bounds server memory under arbitrary request
+//! mixes.
+//!
+//! *Single flight*: when K requests for the same key arrive concurrently,
+//! exactly one becomes the **leader** ([`CacheOutcome::Lead`]) and computes;
+//! the others **join** ([`CacheOutcome::Join`]) and block on a channel the
+//! leader completes. A leader must *always* call [`ArtifactCache::complete`]
+//! — success or failure — or joiners would hang; the server wraps leader
+//! computation in `catch_unwind` and completes with an error on panic, so a
+//! panicking design can neither poison the cache nor strand its joiners.
+//!
+//! *Degradation hygiene*: a degraded (uncertified) artifact never
+//! overwrites a certified one, and a request with `require_certified`
+//! treats an uncertified entry as a miss — load-induced degradation cannot
+//! silently downgrade later answers.
+
+use cps_core::DesignedFleet;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// A cached design: the immutable fleet plus how it was obtained.
+#[derive(Debug)]
+pub struct DesignArtifact {
+    /// The designed fleet (allocation + seeded timing table).
+    pub fleet: Arc<DesignedFleet>,
+    /// Whether the slot map was proven minimal (`false` after a budget or
+    /// deadline cut degraded the search to the greedy incumbent).
+    pub certified_optimal: bool,
+}
+
+/// What a leader reports: the artifact, or a rendered failure for joiners.
+pub type CacheResult = Result<Arc<DesignArtifact>, String>;
+
+/// The verdict of a cache lookup.
+pub enum CacheOutcome {
+    /// The artifact is cached; use it.
+    Hit(Arc<DesignArtifact>),
+    /// Another request is computing this artifact right now; receive its
+    /// result from the channel.
+    Join(Receiver<CacheResult>),
+    /// This request leads: compute the artifact, then *always* call
+    /// [`ArtifactCache::complete`].
+    Lead,
+}
+
+struct Entry {
+    artifact: Arc<DesignArtifact>,
+    last_used: u64,
+}
+
+struct CacheState {
+    tick: u64,
+    entries: HashMap<u64, Entry>,
+    in_flight: HashMap<u64, Vec<Sender<CacheResult>>>,
+}
+
+/// Bounded LRU of design artifacts with single-flight deduplication.
+pub struct ArtifactCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `capacity` artifacts (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState {
+                tick: 0,
+                entries: HashMap::new(),
+                in_flight: HashMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        // A panic while holding the lock cannot corrupt the map invariants
+        // (every mutation is a single insert/remove), so poisoned state is
+        // safe to adopt — refusing would turn one isolated panic into a
+        // permanently dead cache.
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Looks up `key`, joining or leading the computation on a miss.
+    ///
+    /// With `require_certified`, an uncertified cached artifact counts as a
+    /// miss (the caller recomputes at full fidelity).
+    pub fn lookup_or_begin(&self, key: u64, require_certified: bool) -> CacheOutcome {
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(entry) = state.entries.get_mut(&key) {
+            if entry.artifact.certified_optimal || !require_certified {
+                entry.last_used = tick;
+                return CacheOutcome::Hit(Arc::clone(&entry.artifact));
+            }
+        }
+        if let Some(waiters) = state.in_flight.get_mut(&key) {
+            let (sender, receiver) = channel();
+            waiters.push(sender);
+            return CacheOutcome::Join(receiver);
+        }
+        state.in_flight.insert(key, Vec::new());
+        CacheOutcome::Lead
+    }
+
+    /// Publishes a leader's result: caches a success (unless it would
+    /// overwrite a certified artifact with an uncertified one), evicts the
+    /// LRU entry on overflow, and wakes every joiner with the result.
+    pub fn complete(&self, key: u64, result: CacheResult) {
+        let waiters = {
+            let mut state = self.lock();
+            if let Ok(artifact) = &result {
+                state.tick += 1;
+                let tick = state.tick;
+                let keep_existing = state
+                    .entries
+                    .get(&key)
+                    .is_some_and(|e| e.artifact.certified_optimal && !artifact.certified_optimal);
+                if !keep_existing {
+                    state
+                        .entries
+                        .insert(key, Entry { artifact: Arc::clone(artifact), last_used: tick });
+                }
+                while state.entries.len() > self.capacity {
+                    let Some((&victim, _)) =
+                        state.entries.iter().min_by_key(|(_, entry)| entry.last_used)
+                    else {
+                        break;
+                    };
+                    state.entries.remove(&victim);
+                }
+            }
+            state.in_flight.remove(&key).unwrap_or_default()
+        };
+        for waiter in waiters {
+            // A joiner that gave up (deadline) has dropped its receiver;
+            // that is its business, not an error here.
+            let _ = waiter.send(result.clone());
+        }
+    }
+
+    /// Cached artifact count (test/diagnostic hook).
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::case_study::derived_fleet_specs;
+    use cps_core::DesignedFleet;
+    use cps_flexray::FlexRayConfig;
+    use cps_sched::AllocatorConfig;
+
+    fn artifact(certified: bool) -> Arc<DesignArtifact> {
+        let fleet = DesignedFleet::design(
+            derived_fleet_specs(),
+            &AllocatorConfig::default(),
+            FlexRayConfig::paper_case_study(),
+        )
+        .unwrap();
+        Arc::new(DesignArtifact { fleet: Arc::new(fleet), certified_optimal: certified })
+    }
+
+    #[test]
+    fn leads_then_hits() {
+        let cache = ArtifactCache::new(4);
+        assert!(matches!(cache.lookup_or_begin(1, false), CacheOutcome::Lead));
+        let built = artifact(true);
+        cache.complete(1, Ok(Arc::clone(&built)));
+        match cache.lookup_or_begin(1, false) {
+            CacheOutcome::Hit(cached) => assert!(Arc::ptr_eq(&cached, &built)),
+            _ => panic!("expected a hit after completion"),
+        }
+    }
+
+    #[test]
+    fn joiners_receive_the_leaders_result() {
+        let cache = ArtifactCache::new(4);
+        assert!(matches!(cache.lookup_or_begin(9, false), CacheOutcome::Lead));
+        let CacheOutcome::Join(receiver) = cache.lookup_or_begin(9, false) else {
+            panic!("second lookup must join the in-flight computation");
+        };
+        let built = artifact(true);
+        cache.complete(9, Ok(Arc::clone(&built)));
+        let joined = receiver.recv().unwrap().unwrap();
+        assert!(Arc::ptr_eq(&joined, &built));
+    }
+
+    #[test]
+    fn failed_leads_propagate_and_do_not_cache() {
+        let cache = ArtifactCache::new(4);
+        assert!(matches!(cache.lookup_or_begin(5, false), CacheOutcome::Lead));
+        let CacheOutcome::Join(receiver) = cache.lookup_or_begin(5, false) else {
+            panic!("expected join");
+        };
+        cache.complete(5, Err("design failed".to_string()));
+        assert_eq!(receiver.recv().unwrap().unwrap_err(), "design failed");
+        assert!(cache.is_empty());
+        // The key is computable again — failure did not poison it.
+        assert!(matches!(cache.lookup_or_begin(5, false), CacheOutcome::Lead));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ArtifactCache::new(2);
+        for key in [1, 2] {
+            assert!(matches!(cache.lookup_or_begin(key, false), CacheOutcome::Lead));
+            cache.complete(key, Ok(artifact(true)));
+        }
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(matches!(cache.lookup_or_begin(1, false), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(3, false), CacheOutcome::Lead));
+        cache.complete(3, Ok(artifact(true)));
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup_or_begin(1, false), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(2, false), CacheOutcome::Lead));
+        cache.complete(2, Ok(artifact(true)));
+    }
+
+    #[test]
+    fn certified_entries_survive_uncertified_completions() {
+        let cache = ArtifactCache::new(4);
+        assert!(matches!(cache.lookup_or_begin(7, false), CacheOutcome::Lead));
+        let certified = artifact(true);
+        cache.complete(7, Ok(Arc::clone(&certified)));
+        // A later degraded computation of the same key must not downgrade it.
+        assert!(matches!(cache.lookup_or_begin(7, true), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(8, false), CacheOutcome::Lead));
+        cache.complete(8, Ok(artifact(false)));
+        cache.complete(7, Ok(artifact(false)));
+        match cache.lookup_or_begin(7, false) {
+            CacheOutcome::Hit(cached) => assert!(cached.certified_optimal),
+            _ => panic!("certified artifact must survive"),
+        }
+        // require_certified treats the uncertified key 8 as a miss.
+        assert!(matches!(cache.lookup_or_begin(8, true), CacheOutcome::Lead));
+        cache.complete(8, Ok(artifact(true)));
+        assert!(matches!(cache.lookup_or_begin(8, true), CacheOutcome::Hit(_)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic fault injection for the design server.
+//!
+//! A [`ChaosConfig`] turns the server into its own adversary: per request it
+//! may panic the worker mid-job, stall the worker past the deadline, drop
+//! the connection before responding, or truncate/corrupt the response frame.
+//! Every decision is drawn from a [`SimRng`] stream derived from
+//! `(chaos seed, request serial)` — the same derivation scheme the campaign
+//! layer uses for scenarios — so a chaos soak is exactly reproducible: same
+//! seed, same request order, same faults.
+
+use cps_flexray::SimRng;
+
+/// Fault-injection probabilities. `Default` is all-zeros (no chaos), so a
+/// production server pays nothing for the capability.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Base seed of every per-request fault stream.
+    pub seed: u64,
+    /// P(worker panics mid-job) — exercises `catch_unwind` isolation.
+    pub worker_panic_probability: f64,
+    /// P(worker stalls before executing) — exercises the deadline watchdog.
+    pub worker_stall_probability: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// P(connection dropped instead of responding) — exercises client retry.
+    pub drop_connection_probability: f64,
+    /// P(response frame cut short) — exercises client-side truncation
+    /// handling.
+    pub truncate_response_probability: f64,
+    /// P(response payload bytes flipped) — exercises client-side decode
+    /// validation.
+    pub corrupt_response_probability: f64,
+}
+
+/// The faults chosen for one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Panic the worker inside the job.
+    pub panic_worker: bool,
+    /// Sleep `stall_ms` before executing the job.
+    pub stall_worker: bool,
+    /// Close the connection instead of writing the response.
+    pub drop_connection: bool,
+    /// Write only a prefix of the response frame, then close.
+    pub truncate_response: bool,
+    /// Flip bytes in the response payload before framing it.
+    pub corrupt_response: bool,
+}
+
+impl ChaosConfig {
+    /// The fault plan for the request with this server-assigned serial
+    /// number. Pure function of `(self.seed, serial)`: one draw per fault
+    /// axis, in declaration order.
+    pub fn plan(&self, serial: u64) -> ChaosPlan {
+        let mut rng = SimRng::seeded(SimRng::derive(self.seed, serial));
+        ChaosPlan {
+            panic_worker: rng.next_unit() < self.worker_panic_probability,
+            stall_worker: rng.next_unit() < self.worker_stall_probability,
+            drop_connection: rng.next_unit() < self.drop_connection_probability,
+            truncate_response: rng.next_unit() < self.truncate_response_probability,
+            corrupt_response: rng.next_unit() < self.corrupt_response_probability,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_never_injects() {
+        let chaos = ChaosConfig::default();
+        for serial in 0..100 {
+            assert_eq!(chaos.plan(serial), ChaosPlan::default());
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_serial() {
+        let chaos = ChaosConfig {
+            seed: 7,
+            worker_panic_probability: 0.3,
+            drop_connection_probability: 0.3,
+            truncate_response_probability: 0.3,
+            ..ChaosConfig::default()
+        };
+        for serial in 0..50 {
+            assert_eq!(chaos.plan(serial), chaos.plan(serial));
+        }
+        let plans: Vec<_> = (0..200).map(|serial| chaos.plan(serial)).collect();
+        assert!(plans.iter().any(|p| p.panic_worker));
+        assert!(plans.iter().any(|p| p.drop_connection));
+        assert!(plans.iter().any(|p| !p.panic_worker && !p.drop_connection));
+    }
+
+    #[test]
+    fn certain_probabilities_always_fire() {
+        let chaos = ChaosConfig {
+            seed: 1,
+            worker_panic_probability: 1.0,
+            worker_stall_probability: 1.0,
+            stall_ms: 5,
+            drop_connection_probability: 1.0,
+            truncate_response_probability: 1.0,
+            corrupt_response_probability: 1.0,
+        };
+        let plan = chaos.plan(12);
+        assert!(plan.panic_worker && plan.stall_worker && plan.drop_connection);
+        assert!(plan.truncate_response && plan.corrupt_response);
+    }
+}

@@ -1,0 +1,231 @@
+//! The retrying design-service client.
+//!
+//! One connection per attempt (a dropped or corrupted connection can never
+//! contaminate the next try), with exponential backoff and deterministic,
+//! [`SimRng`]-seeded jitter between attempts. Retry classification:
+//!
+//! - **Retryable** — transport failures (connect/read/write errors, EOF
+//!   mid-response), malformed or mis-addressed responses (a chaos-corrupted
+//!   frame), [`Outcome::Busy`] (the server shed load; backing off is the
+//!   point) and [`ErrorKind::WorkerPanic`] (the fault was isolated; the
+//!   server is still healthy).
+//! - **Terminal** — every other decoded outcome. `DeadlineExceeded` in
+//!   particular is *not* retried: the deadline belongs to the request, and
+//!   retrying cannot un-expire it.
+
+use crate::error::ServeError;
+use crate::protocol::{read_frame, write_frame, ErrorKind, Job, Outcome, Request, Response};
+use cps_flexray::SimRng;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Retry behaviour of a [`DesignClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first); minimum 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed of the deterministic backoff jitter (derived per request id, so
+    /// concurrent clients with different seeds never sleep in lockstep).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Per-request knobs (everything except the job itself).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// Deadline in milliseconds; 0 = none.
+    pub deadline_ms: u32,
+    /// Exact-search node budget; 0 = unbounded.
+    pub node_budget: u64,
+    /// Treat degraded (uncertified) cached artifacts as misses.
+    pub require_certified: bool,
+}
+
+/// A client of the design service.
+pub struct DesignClient {
+    path: PathBuf,
+    policy: RetryPolicy,
+    next_id: u64,
+}
+
+impl DesignClient {
+    /// A client for the server at `path` with the default [`RetryPolicy`].
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        DesignClient { path: path.into(), policy: RetryPolicy::default(), next_id: 1 }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sends `job` and returns its terminal outcome, retrying transient
+    /// failures per the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::RetriesExhausted`] when every attempt failed
+    /// transiently; never an error for a decoded terminal outcome (those
+    /// are returned as [`Outcome`] values, including structured failures).
+    pub fn request(&mut self, job: Job, options: RequestOptions) -> Result<Outcome, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            deadline_ms: options.deadline_ms,
+            node_budget: options.node_budget,
+            require_certified: options.require_certified,
+            job,
+        };
+        let mut rng = SimRng::seeded(SimRng::derive(self.policy.jitter_seed, id));
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt - 1, &mut rng));
+            }
+            match self.attempt(&request) {
+                Ok(outcome) if Self::retryable_outcome(&outcome) => {
+                    last = match &outcome {
+                        Outcome::Busy => "server busy (load shed)".to_string(),
+                        Outcome::Error { message, .. } => message.clone(),
+                        _ => unreachable!("only Busy/WorkerPanic are retryable"),
+                    };
+                }
+                Ok(outcome) => return Ok(outcome),
+                Err(error) => last = error.to_string(),
+            }
+        }
+        Err(ServeError::RetriesExhausted { attempts, last })
+    }
+
+    /// Exponential backoff with multiplicative jitter in `[0.5, 1.0)`.
+    fn backoff(&self, exponent: u32, rng: &mut SimRng) -> Duration {
+        let exact = self
+            .policy
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(exponent))
+            .min(self.policy.max_delay);
+        exact.mul_f64(0.5 + 0.5 * rng.next_unit())
+    }
+
+    fn retryable_outcome(outcome: &Outcome) -> bool {
+        matches!(
+            outcome,
+            Outcome::Busy | Outcome::Error { kind: ErrorKind::WorkerPanic, .. }
+        )
+    }
+
+    /// One connect-send-receive exchange on a fresh connection.
+    fn attempt(&self, request: &Request) -> Result<Outcome, ServeError> {
+        let mut stream = UnixStream::connect(&self.path)?;
+        write_frame(&mut stream, &request.encode())?;
+        let payload = read_frame(&mut stream)?.ok_or_else(|| {
+            ServeError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection without responding",
+            ))
+        })?;
+        let response = Response::decode(&payload)?;
+        // Protocol errors are reported with id 0 (the server could not
+        // decode the id); everything else must echo ours.
+        let protocol_error =
+            matches!(&response.outcome, Outcome::Error { kind: ErrorKind::Protocol, .. });
+        if response.id != request.id && !(protocol_error && response.id == 0) {
+            return Err(ServeError::IdMismatch { sent: request.id, received: response.id });
+        }
+        Ok(response.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps_with_jitter_in_range() {
+        let client = DesignClient::new("/tmp/unused.sock").with_retry_policy(RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(40),
+            jitter_seed: 9,
+        });
+        let mut rng = SimRng::seeded(1);
+        for exponent in 0..8 {
+            let delay = client.backoff(exponent, &mut rng);
+            let exact = Duration::from_millis(10)
+                .saturating_mul(2u32.saturating_pow(exponent))
+                .min(Duration::from_millis(40));
+            assert!(delay >= exact.mul_f64(0.5), "jitter floor at half the exact delay");
+            assert!(delay <= exact, "jitter never exceeds the exact delay");
+        }
+    }
+
+    #[test]
+    fn retry_classification() {
+        assert!(DesignClient::retryable_outcome(&Outcome::Busy));
+        assert!(DesignClient::retryable_outcome(&Outcome::Error {
+            kind: ErrorKind::WorkerPanic,
+            message: String::new(),
+        }));
+        assert!(!DesignClient::retryable_outcome(&Outcome::Error {
+            kind: ErrorKind::DeadlineExceeded,
+            message: String::new(),
+        }));
+        assert!(!DesignClient::retryable_outcome(&Outcome::Error {
+            kind: ErrorKind::DesignFailed,
+            message: String::new(),
+        }));
+    }
+
+    #[test]
+    fn connecting_to_nothing_exhausts_retries() {
+        let mut client =
+            DesignClient::new("/tmp/cps-serve-no-such-socket.sock").with_retry_policy(
+                RetryPolicy {
+                    max_attempts: 2,
+                    base_delay: Duration::from_millis(1),
+                    max_delay: Duration::from_millis(2),
+                    jitter_seed: 0,
+                },
+            );
+        let job = Job::Campaign(crate::protocol::CampaignJob {
+            design: crate::protocol::DesignJob {
+                specs: vec![],
+                alloc: crate::protocol::WireAllocatorConfig::from_config(
+                    &cps_sched::AllocatorConfig::default(),
+                ),
+                bus: crate::protocol::WireBusConfig::from_config(
+                    &cps_flexray::FlexRayConfig::paper_case_study(),
+                ),
+            },
+            seed: 1,
+            drop_probabilities: vec![],
+            scenarios_per_intensity: 0,
+            duration: 0.1,
+            alpha: 0.05,
+        });
+        match client.request(job, RequestOptions::default()) {
+            Err(ServeError::RetriesExhausted { attempts: 2, .. }) => {}
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Client-side error type of the design service.
+
+use crate::protocol::WireError;
+use std::fmt;
+use std::io;
+
+/// Everything a [`DesignClient`](crate::DesignClient) call can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level I/O failed (connect, read, write, or a dropped
+    /// connection mid-frame).
+    Io(io::Error),
+    /// The server's response payload did not decode.
+    Wire(WireError),
+    /// The response answered a different request id than the one sent.
+    IdMismatch {
+        /// Id that was sent.
+        sent: u64,
+        /// Id that came back.
+        received: u64,
+    },
+    /// Every retry attempt failed; carries the final attempt's error.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The last attempt's failure, rendered.
+        last: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(error) => write!(f, "service i/o failed: {error}"),
+            ServeError::Wire(error) => write!(f, "service response malformed: {error}"),
+            ServeError::IdMismatch { sent, received } => {
+                write!(f, "response id {received} does not match request id {sent}")
+            }
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(error) => Some(error),
+            ServeError::Wire(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(error: io::Error) -> Self {
+        ServeError::Io(error)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(error: WireError) -> Self {
+        ServeError::Wire(error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_cause() {
+        let io_err = ServeError::from(io::Error::new(io::ErrorKind::BrokenPipe, "pipe"));
+        assert!(io_err.to_string().contains("pipe"));
+        let wire = ServeError::from(WireError::Invalid { what: "job tag" });
+        assert!(wire.to_string().contains("job tag"));
+        let mismatch = ServeError::IdMismatch { sent: 1, received: 2 };
+        assert!(mismatch.to_string().contains("id 2"));
+        let exhausted =
+            ServeError::RetriesExhausted { attempts: 5, last: "server busy".to_string() };
+        assert!(exhausted.to_string().contains("5 attempts"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        assert!(std::error::Error::source(&exhausted).is_none());
+    }
+}

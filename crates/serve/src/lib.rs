@@ -1,0 +1,52 @@
+//! # cps-serve
+//!
+//! The fail-operational design service of the DATE 2019 reproduction: a
+//! long-running server that executes fleet-design, bus-geometry-sweep and
+//! robustness-campaign jobs over a Unix-domain socket, engineered to keep
+//! answering under deadline pressure, overload, worker panics and injected
+//! connection faults.
+//!
+//! - [`protocol`] — the hand-rolled length-prefixed binary wire format:
+//!   bit-exact `f64` transport, bounds-checked decoding that can neither
+//!   panic nor over-allocate on malformed input, and FNV-1a content keys
+//!   for artifact addressing.
+//! - [`ArtifactCache`] — bounded LRU of [`DesignArtifact`]s with
+//!   single-flight deduplication (K identical concurrent requests compute
+//!   once).
+//! - [`DesignServer`] / [`ServerHandle`] — `std::thread` worker pool,
+//!   bounded job queue with [`Outcome::Busy`] load shedding, deadline
+//!   watchdog driving cooperative [`cps_sched::CancelToken`] cancellation
+//!   through the allocator / designer / campaign kernels, and
+//!   `catch_unwind` panic isolation.
+//! - [`DesignClient`] / [`RetryPolicy`] — one connection per attempt,
+//!   exponential backoff with deterministic [`cps_flexray::SimRng`] jitter.
+//! - [`ChaosConfig`] — deterministic fault injection (worker panics and
+//!   stalls, dropped/truncated/corrupted responses) keyed by
+//!   `(seed, request serial)` for exactly reproducible soak tests.
+//!
+//! The nominal path — no deadline pressure, no chaos, no budget — returns
+//! results bit-identical to calling
+//! [`cps_core::FleetDesigner::design_fleet_optimal`] directly; the
+//! degradation ladder (greedy incumbent with `certified_optimal = false`,
+//! partial sweeps with `complete = false`) only engages when resources
+//! actually run out, and always says so.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod chaos;
+mod client;
+mod error;
+pub mod protocol;
+mod server;
+
+pub use cache::{ArtifactCache, CacheOutcome, CacheResult, DesignArtifact};
+pub use chaos::{ChaosConfig, ChaosPlan};
+pub use client::{DesignClient, RequestOptions, RetryPolicy};
+pub use error::ServeError;
+pub use protocol::{
+    CampaignJob, CampaignResult, DesignJob, DesignResult, ErrorKind, FamilyReadout, Job, Outcome,
+    Request, Response, SweepJob, SweepResult, SweepRow, WireError, MAX_FRAME,
+};
+pub use server::{design_job, DesignServer, ServerConfig, ServerHandle, StatsSnapshot};

@@ -1,0 +1,1438 @@
+//! The hand-rolled, length-prefixed binary wire protocol of the design
+//! service.
+//!
+//! # Framing
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by exactly that many payload bytes. Frames are capped at
+//! [`MAX_FRAME`] bytes; a larger announced length is a protocol error (and a
+//! bound on how much memory a malicious or corrupted peer can make the
+//! server reserve). [`read_frame`] distinguishes a clean close (EOF on the
+//! length prefix) from a truncated frame (EOF mid-payload).
+//!
+//! # Payload encoding
+//!
+//! Payloads are encoded with [`WireWriter`] / [`WireReader`]: fixed-width
+//! little-endian integers, `f64` as raw IEEE-754 bit patterns (decode is
+//! bit-exact — the foundation of the service's "served results are
+//! bit-identical to a direct call" guarantee), length-prefixed UTF-8
+//! strings, and one-byte tags for enums/options. Every read is
+//! bounds-checked and returns a structured [`WireError`] — malformed input
+//! can never panic, hang, or allocate more than the frame it arrived in
+//! (collection lengths are validated against the bytes actually remaining
+//! before any allocation).
+//!
+//! # Content addressing
+//!
+//! Jobs are cache-keyed by [`content_hash`] (FNV-1a 64) over their canonical
+//! encoding: two requests name the same artifact exactly when their job
+//! bytes agree, so the artifact cache and the single-flight table need no
+//! structural comparison.
+
+use cps_core::{ApplicationSpec, ControllerSpec};
+use cps_control::{ContinuousStateSpace, LqrWeights};
+use cps_flexray::FlexRayConfig;
+use cps_linalg::Matrix;
+use cps_sched::{
+    AllocationStrategy, AllocatorConfig, AppTimingParams, ModelKind, SlotTiming, WaitTimeMethod,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Maximum frame payload size in bytes (4 MiB).
+pub const MAX_FRAME: usize = 1 << 22;
+
+/// Errors produced while decoding a payload. Every variant is a *clean*
+/// rejection: the reader never panics and never reads past the buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a field was complete.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// A field holds an invalid value (unknown tag, non-UTF-8 string,
+    /// boolean other than 0/1, collection longer than the bytes behind it).
+    Invalid {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// Decoding finished with unconsumed payload bytes — the frame does not
+    /// describe the message it claims to.
+    Trailing {
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated payload: needed {needed} bytes, {available} available")
+            }
+            WireError::Invalid { what } => write!(f, "invalid {what}"),
+            WireError::Trailing { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Payload-decoding result.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// Appends fixed-width little-endian fields to a payload buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// A fresh, empty payload.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// The encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Appends a boolean as one byte (0/1).
+    pub fn put_bool(&mut self, value: bool) {
+        self.buf.push(u8::from(value));
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bit pattern (bit-exact decode).
+    pub fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_u32(value.len() as u32);
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` sequence.
+    pub fn put_f64s(&mut self, values: &[f64]) {
+        self.put_u32(values.len() as u32);
+        for &value in values {
+            self.put_f64(value);
+        }
+    }
+}
+
+/// A bounds-checked cursor over a payload. Every accessor returns
+/// [`WireError`] instead of panicking on malformed input.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole payload.
+    pub fn new(data: &'a [u8]) -> Self {
+        WireReader { data, pos: 0 }
+    }
+
+    /// Unconsumed bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fails with [`WireError::Trailing`] unless the payload was consumed
+    /// exactly.
+    pub fn finish(&self) -> WireResult<()> {
+        match self.remaining() {
+            0 => Ok(()),
+            remaining => Err(WireError::Trailing { remaining }),
+        }
+    }
+
+    fn take(&mut self, len: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(WireError::Truncated { needed: len, available: self.remaining() });
+        }
+        let slice = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a boolean; bytes other than 0/1 are invalid (corruption shows
+    /// up as an error, not as a silently coerced flag).
+    pub fn bool(&mut self) -> WireResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid { what: "boolean" }),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a collection length and validates it against the bytes still in
+    /// the buffer (each element needs at least `min_element_size` bytes), so
+    /// a corrupt length can never trigger a huge allocation.
+    pub fn len(&mut self, min_element_size: usize) -> WireResult<usize> {
+        let len = self.u32()? as usize;
+        if len.saturating_mul(min_element_size.max(1)) > self.remaining() {
+            return Err(WireError::Invalid { what: "collection length" });
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> WireResult<String> {
+        let len = self.len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid { what: "utf-8 string" })
+    }
+
+    /// Reads a length-prefixed `f64` sequence.
+    pub fn f64s(&mut self) -> WireResult<Vec<f64>> {
+        let len = self.len(8)?;
+        (0..len).map(|_| self.f64()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// `InvalidInput` when the payload exceeds [`MAX_FRAME`]; I/O errors from
+/// the underlying writer.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME}-byte cap", payload.len()),
+        ));
+    }
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean close
+/// (EOF before any length byte); EOF mid-length or mid-payload is an
+/// `UnexpectedEof` error, and an announced length above [`MAX_FRAME`] is an
+/// `InvalidData` error *before* any allocation.
+///
+/// # Errors
+///
+/// I/O errors from the underlying reader, plus the malformed-frame cases
+/// above.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-length-prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("announced frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// FNV-1a 64 over a byte string — the content-addressing hash of the
+/// artifact cache and the single-flight table.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One design-service request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the [`Response`].
+    pub id: u64,
+    /// Per-request deadline in milliseconds; `0` means no deadline.
+    pub deadline_ms: u32,
+    /// Deterministic cap on exact-search nodes; `0` means unbounded. The
+    /// degradation ladder's *testable* trigger: exhausting it returns the
+    /// greedy incumbent with `certified_optimal = false`.
+    pub node_budget: u64,
+    /// When `true`, an uncertified (degraded) cache entry is treated as a
+    /// miss and the design is recomputed with full certification.
+    pub require_certified: bool,
+    /// The work to perform.
+    pub job: Job,
+}
+
+/// The work a request names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Job {
+    /// Design the fleet and return the exact slot map + timing table.
+    Design(DesignJob),
+    /// Design (or reuse) the fleet, then sweep the bus geometry, solving the
+    /// exact slot optimum for every candidate off the cached timing table.
+    Sweep(SweepJob),
+    /// Design (or reuse) the fleet, then run a streaming Monte-Carlo
+    /// robustness campaign and return the statistical readout.
+    Campaign(CampaignJob),
+}
+
+/// A complete fleet-design problem: specs + allocator + bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignJob {
+    /// The application specifications.
+    pub specs: Vec<WireAppSpec>,
+    /// Allocator configuration (model, method, slot budget, geometry).
+    pub alloc: WireAllocatorConfig,
+    /// Bus configuration the fleet is designed against.
+    pub bus: WireBusConfig,
+}
+
+/// A 3-axis bus-geometry sweep over a designed fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepJob {
+    /// The underlying design (cache key for the artifact reuse).
+    pub design: DesignJob,
+    /// Candidate cycle lengths in seconds (empty = keep the base value).
+    pub cycle_lengths: Vec<f64>,
+    /// Candidate static-segment sizes (empty = keep the base value).
+    pub static_slot_counts: Vec<u32>,
+    /// Candidate static slot lengths Ψ in seconds (empty = keep the base).
+    pub slot_lengths: Vec<f64>,
+}
+
+/// A robustness campaign over a designed fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignJob {
+    /// The underlying design (cache key for the artifact reuse).
+    pub design: DesignJob,
+    /// Campaign seed (the whole campaign is a pure function of it).
+    pub seed: u64,
+    /// One scenario family per frame-drop probability.
+    pub drop_probabilities: Vec<f64>,
+    /// Randomised scenarios per intensity.
+    pub scenarios_per_intensity: u64,
+    /// Simulated duration per scenario in seconds.
+    pub duration: f64,
+    /// Two-sided confidence level `1 − alpha` of the settling readout.
+    pub alpha: f64,
+}
+
+/// Wire form of a dense matrix (row-major, bit-exact `f64`s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMatrix {
+    /// Row count.
+    pub rows: u32,
+    /// Column count.
+    pub cols: u32,
+    /// Row-major entries (`rows · cols` values).
+    pub data: Vec<f64>,
+}
+
+impl WireMatrix {
+    /// Captures a [`Matrix`].
+    pub fn from_matrix(matrix: &Matrix) -> Self {
+        WireMatrix {
+            rows: matrix.rows() as u32,
+            cols: matrix.cols() as u32,
+            data: matrix.as_slice().to_vec(),
+        }
+    }
+
+    /// Rebuilds the [`Matrix`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Invalid`] when the shape and data length disagree.
+    pub fn into_matrix(self) -> WireResult<Matrix> {
+        Matrix::from_vec(self.rows as usize, self.cols as usize, self.data)
+            .map_err(|_| WireError::Invalid { what: "matrix shape" })
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.rows);
+        w.put_u32(self.cols);
+        w.put_f64s(&self.data);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(WireMatrix { rows: r.u32()?, cols: r.u32()?, data: r.f64s()? })
+    }
+}
+
+/// Wire form of [`ControllerSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireControllerSpec {
+    /// LQR weights for each mode.
+    Lqr {
+        /// ET-mode state/input weights + previous-input weight.
+        et: (WireMatrix, WireMatrix, f64),
+        /// TT-mode state/input weights + previous-input weight.
+        tt: (WireMatrix, WireMatrix, f64),
+    },
+    /// Continuous-time target poles per mode.
+    PolePlacement {
+        /// ET-mode poles.
+        et_poles: Vec<f64>,
+        /// TT-mode poles.
+        tt_poles: Vec<f64>,
+    },
+}
+
+/// Wire form of [`ApplicationSpec`]: everything the design pipeline needs,
+/// with every float carried bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAppSpec {
+    /// Application name.
+    pub name: String,
+    /// Plant state matrix `A`.
+    pub a: WireMatrix,
+    /// Plant input matrix `B`.
+    pub b: WireMatrix,
+    /// Plant output matrix `C`.
+    pub c: WireMatrix,
+    /// Sampling period in seconds.
+    pub period: f64,
+    /// Worst-case ET sensor-to-actuator delay.
+    pub et_delay: f64,
+    /// Deterministic TT sensor-to-actuator delay.
+    pub tt_delay: f64,
+    /// Switching threshold `E_th`.
+    pub threshold: f64,
+    /// Disturbance state jump.
+    pub disturbance: Vec<f64>,
+    /// Response-time deadline ξᵈ.
+    pub deadline: f64,
+    /// Disturbance inter-arrival time `r`.
+    pub inter_arrival: f64,
+    /// Controller synthesis specification.
+    pub controllers: WireControllerSpec,
+    /// Optional actuator saturation limit.
+    pub input_limit: Option<f64>,
+}
+
+impl WireAppSpec {
+    /// Captures an [`ApplicationSpec`].
+    pub fn from_spec(spec: &ApplicationSpec) -> Self {
+        let controllers = match &spec.controllers {
+            ControllerSpec::Lqr { et_weights, tt_weights } => WireControllerSpec::Lqr {
+                et: (
+                    WireMatrix::from_matrix(&et_weights.state),
+                    WireMatrix::from_matrix(&et_weights.input),
+                    et_weights.previous_input,
+                ),
+                tt: (
+                    WireMatrix::from_matrix(&tt_weights.state),
+                    WireMatrix::from_matrix(&tt_weights.input),
+                    tt_weights.previous_input,
+                ),
+            },
+            ControllerSpec::PolePlacement { et_poles, tt_poles } => {
+                WireControllerSpec::PolePlacement {
+                    et_poles: et_poles.clone(),
+                    tt_poles: tt_poles.clone(),
+                }
+            }
+        };
+        WireAppSpec {
+            name: spec.name.clone(),
+            a: WireMatrix::from_matrix(spec.plant.a()),
+            b: WireMatrix::from_matrix(spec.plant.b()),
+            c: WireMatrix::from_matrix(spec.plant.c()),
+            period: spec.period,
+            et_delay: spec.et_delay,
+            tt_delay: spec.tt_delay,
+            threshold: spec.threshold,
+            disturbance: spec.disturbance.clone(),
+            deadline: spec.deadline,
+            inter_arrival: spec.inter_arrival,
+            controllers,
+            input_limit: spec.input_limit,
+        }
+    }
+
+    /// Rebuilds the [`ApplicationSpec`] (plant validation included).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Invalid`] when the matrices do not form a valid plant.
+    pub fn into_spec(self) -> WireResult<ApplicationSpec> {
+        let plant = ContinuousStateSpace::new(
+            self.a.into_matrix()?,
+            self.b.into_matrix()?,
+            self.c.into_matrix()?,
+        )
+        .map_err(|_| WireError::Invalid { what: "plant model" })?;
+        let controllers = match self.controllers {
+            WireControllerSpec::Lqr { et, tt } => ControllerSpec::Lqr {
+                et_weights: LqrWeights {
+                    state: et.0.into_matrix()?,
+                    input: et.1.into_matrix()?,
+                    previous_input: et.2,
+                },
+                tt_weights: LqrWeights {
+                    state: tt.0.into_matrix()?,
+                    input: tt.1.into_matrix()?,
+                    previous_input: tt.2,
+                },
+            },
+            WireControllerSpec::PolePlacement { et_poles, tt_poles } => {
+                ControllerSpec::PolePlacement { et_poles, tt_poles }
+            }
+        };
+        Ok(ApplicationSpec {
+            name: self.name,
+            plant,
+            period: self.period,
+            et_delay: self.et_delay,
+            tt_delay: self.tt_delay,
+            threshold: self.threshold,
+            disturbance: self.disturbance,
+            deadline: self.deadline,
+            inter_arrival: self.inter_arrival,
+            controllers,
+            input_limit: self.input_limit,
+        })
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.name);
+        self.a.encode(w);
+        self.b.encode(w);
+        self.c.encode(w);
+        w.put_f64(self.period);
+        w.put_f64(self.et_delay);
+        w.put_f64(self.tt_delay);
+        w.put_f64(self.threshold);
+        w.put_f64s(&self.disturbance);
+        w.put_f64(self.deadline);
+        w.put_f64(self.inter_arrival);
+        match &self.controllers {
+            WireControllerSpec::Lqr { et, tt } => {
+                w.put_u8(0);
+                et.0.encode(w);
+                et.1.encode(w);
+                w.put_f64(et.2);
+                tt.0.encode(w);
+                tt.1.encode(w);
+                w.put_f64(tt.2);
+            }
+            WireControllerSpec::PolePlacement { et_poles, tt_poles } => {
+                w.put_u8(1);
+                w.put_f64s(et_poles);
+                w.put_f64s(tt_poles);
+            }
+        }
+        match self.input_limit {
+            None => w.put_u8(0),
+            Some(limit) => {
+                w.put_u8(1);
+                w.put_f64(limit);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let name = r.str()?;
+        let a = WireMatrix::decode(r)?;
+        let b = WireMatrix::decode(r)?;
+        let c = WireMatrix::decode(r)?;
+        let period = r.f64()?;
+        let et_delay = r.f64()?;
+        let tt_delay = r.f64()?;
+        let threshold = r.f64()?;
+        let disturbance = r.f64s()?;
+        let deadline = r.f64()?;
+        let inter_arrival = r.f64()?;
+        let controllers = match r.u8()? {
+            0 => {
+                let et_state = WireMatrix::decode(r)?;
+                let et_input = WireMatrix::decode(r)?;
+                let et_prev = r.f64()?;
+                let tt_state = WireMatrix::decode(r)?;
+                let tt_input = WireMatrix::decode(r)?;
+                let tt_prev = r.f64()?;
+                WireControllerSpec::Lqr {
+                    et: (et_state, et_input, et_prev),
+                    tt: (tt_state, tt_input, tt_prev),
+                }
+            }
+            1 => WireControllerSpec::PolePlacement { et_poles: r.f64s()?, tt_poles: r.f64s()? },
+            _ => return Err(WireError::Invalid { what: "controller-spec tag" }),
+        };
+        let input_limit = match r.u8()? {
+            0 => None,
+            1 => Some(r.f64()?),
+            _ => return Err(WireError::Invalid { what: "input-limit tag" }),
+        };
+        Ok(WireAppSpec {
+            name,
+            a,
+            b,
+            c,
+            period,
+            et_delay,
+            tt_delay,
+            threshold,
+            disturbance,
+            deadline,
+            inter_arrival,
+            controllers,
+            input_limit,
+        })
+    }
+}
+
+/// Wire form of [`AllocatorConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAllocatorConfig {
+    /// Dwell-time model.
+    pub model: ModelKind,
+    /// Wait-time method.
+    pub method: WaitTimeMethod,
+    /// Greedy packing strategy (the exact search ignores it; it still keys
+    /// the greedy incumbent).
+    pub strategy: AllocationStrategy,
+    /// Maximum TT slots.
+    pub max_slots: u64,
+    /// Per-slot transmission overhead in seconds ([`SlotTiming`]).
+    pub slot_overhead: f64,
+}
+
+impl WireAllocatorConfig {
+    /// Captures an [`AllocatorConfig`].
+    pub fn from_config(config: &AllocatorConfig) -> Self {
+        WireAllocatorConfig {
+            model: config.model,
+            method: config.method,
+            strategy: config.strategy,
+            max_slots: config.max_slots as u64,
+            slot_overhead: config.slot_timing.overhead(),
+        }
+    }
+
+    /// Rebuilds the [`AllocatorConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Invalid`] on a non-finite or negative slot overhead.
+    pub fn into_config(self) -> WireResult<AllocatorConfig> {
+        Ok(AllocatorConfig {
+            model: self.model,
+            method: self.method,
+            strategy: self.strategy,
+            max_slots: usize::try_from(self.max_slots)
+                .map_err(|_| WireError::Invalid { what: "slot budget" })?,
+            slot_timing: SlotTiming::new(self.slot_overhead)
+                .map_err(|_| WireError::Invalid { what: "slot overhead" })?,
+        })
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(match self.model {
+            ModelKind::NonMonotonic => 0,
+            ModelKind::ConservativeMonotonic => 1,
+            ModelKind::SimpleMonotonic => 2,
+        });
+        w.put_u8(match self.method {
+            WaitTimeMethod::ClosedFormBound => 0,
+            WaitTimeMethod::ExactFixedPoint => 1,
+        });
+        w.put_u8(match self.strategy {
+            AllocationStrategy::NextFit => 0,
+            AllocationStrategy::FirstFit => 1,
+            AllocationStrategy::BestFit => 2,
+        });
+        w.put_u64(self.max_slots);
+        w.put_f64(self.slot_overhead);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let model = match r.u8()? {
+            0 => ModelKind::NonMonotonic,
+            1 => ModelKind::ConservativeMonotonic,
+            2 => ModelKind::SimpleMonotonic,
+            _ => return Err(WireError::Invalid { what: "model tag" }),
+        };
+        let method = match r.u8()? {
+            0 => WaitTimeMethod::ClosedFormBound,
+            1 => WaitTimeMethod::ExactFixedPoint,
+            _ => return Err(WireError::Invalid { what: "method tag" }),
+        };
+        let strategy = match r.u8()? {
+            0 => AllocationStrategy::NextFit,
+            1 => AllocationStrategy::FirstFit,
+            2 => AllocationStrategy::BestFit,
+            _ => return Err(WireError::Invalid { what: "strategy tag" }),
+        };
+        Ok(WireAllocatorConfig {
+            model,
+            method,
+            strategy,
+            max_slots: r.u64()?,
+            slot_overhead: r.f64()?,
+        })
+    }
+}
+
+/// Wire form of [`FlexRayConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireBusConfig {
+    /// Communication cycle length in seconds.
+    pub cycle_length: f64,
+    /// Static (TT) slots per cycle.
+    pub static_slot_count: u64,
+    /// Static slot length in seconds.
+    pub static_slot_length: f64,
+    /// Minislots per cycle.
+    pub minislot_count: u64,
+    /// Minislot length in seconds.
+    pub minislot_length: f64,
+}
+
+impl WireBusConfig {
+    /// Captures a [`FlexRayConfig`].
+    pub fn from_config(config: &FlexRayConfig) -> Self {
+        WireBusConfig {
+            cycle_length: config.cycle_length,
+            static_slot_count: config.static_slot_count as u64,
+            static_slot_length: config.static_slot_length,
+            minislot_count: config.minislot_count as u64,
+            minislot_length: config.minislot_length,
+        }
+    }
+
+    /// Rebuilds the [`FlexRayConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Invalid`] when a count does not fit `usize`.
+    pub fn into_config(self) -> WireResult<FlexRayConfig> {
+        Ok(FlexRayConfig {
+            cycle_length: self.cycle_length,
+            static_slot_count: usize::try_from(self.static_slot_count)
+                .map_err(|_| WireError::Invalid { what: "static slot count" })?,
+            static_slot_length: self.static_slot_length,
+            minislot_count: usize::try_from(self.minislot_count)
+                .map_err(|_| WireError::Invalid { what: "minislot count" })?,
+            minislot_length: self.minislot_length,
+        })
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f64(self.cycle_length);
+        w.put_u64(self.static_slot_count);
+        w.put_f64(self.static_slot_length);
+        w.put_u64(self.minislot_count);
+        w.put_f64(self.minislot_length);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(WireBusConfig {
+            cycle_length: r.f64()?,
+            static_slot_count: r.u64()?,
+            static_slot_length: r.f64()?,
+            minislot_count: r.u64()?,
+            minislot_length: r.f64()?,
+        })
+    }
+}
+
+impl DesignJob {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.specs.len() as u32);
+        for spec in &self.specs {
+            spec.encode(w);
+        }
+        self.alloc.encode(w);
+        self.bus.encode(w);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let count = r.len(16)?;
+        let specs = (0..count).map(|_| WireAppSpec::decode(r)).collect::<WireResult<Vec<_>>>()?;
+        Ok(DesignJob { specs, alloc: WireAllocatorConfig::decode(r)?, bus: WireBusConfig::decode(r)? })
+    }
+
+    /// Canonical encoding of this design problem — the bytes behind the
+    /// artifact-cache key.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Content key of the design artifact this job names.
+    pub fn content_key(&self) -> u64 {
+        content_hash(&self.canonical_bytes())
+    }
+}
+
+impl Job {
+    /// The design problem embedded in any job kind.
+    pub fn design(&self) -> &DesignJob {
+        match self {
+            Job::Design(design) => design,
+            Job::Sweep(sweep) => &sweep.design,
+            Job::Campaign(campaign) => &campaign.design,
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Job::Design(design) => {
+                w.put_u8(0);
+                design.encode(w);
+            }
+            Job::Sweep(sweep) => {
+                w.put_u8(1);
+                sweep.design.encode(w);
+                w.put_f64s(&sweep.cycle_lengths);
+                w.put_u32(sweep.static_slot_counts.len() as u32);
+                for &count in &sweep.static_slot_counts {
+                    w.put_u32(count);
+                }
+                w.put_f64s(&sweep.slot_lengths);
+            }
+            Job::Campaign(campaign) => {
+                w.put_u8(2);
+                campaign.design.encode(w);
+                w.put_u64(campaign.seed);
+                w.put_f64s(&campaign.drop_probabilities);
+                w.put_u64(campaign.scenarios_per_intensity);
+                w.put_f64(campaign.duration);
+                w.put_f64(campaign.alpha);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match r.u8()? {
+            0 => Ok(Job::Design(DesignJob::decode(r)?)),
+            1 => {
+                let design = DesignJob::decode(r)?;
+                let cycle_lengths = r.f64s()?;
+                let count = r.len(4)?;
+                let static_slot_counts =
+                    (0..count).map(|_| r.u32()).collect::<WireResult<Vec<_>>>()?;
+                let slot_lengths = r.f64s()?;
+                Ok(Job::Sweep(SweepJob { design, cycle_lengths, static_slot_counts, slot_lengths }))
+            }
+            2 => Ok(Job::Campaign(CampaignJob {
+                design: DesignJob::decode(r)?,
+                seed: r.u64()?,
+                drop_probabilities: r.f64s()?,
+                scenarios_per_intensity: r.u64()?,
+                duration: r.f64()?,
+                alpha: r.f64()?,
+            })),
+            _ => Err(WireError::Invalid { what: "job tag" }),
+        }
+    }
+
+    /// Content key of the whole job (kind + every parameter).
+    pub fn content_key(&self) -> u64 {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        content_hash(&w.into_bytes())
+    }
+}
+
+impl Request {
+    /// Encodes the request payload (frame it with [`write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.id);
+        w.put_u32(self.deadline_ms);
+        w.put_u64(self.node_budget);
+        w.put_bool(self.require_certified);
+        self.job.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; trailing bytes are rejected.
+    pub fn decode(payload: &[u8]) -> WireResult<Self> {
+        let mut r = WireReader::new(payload);
+        let request = Request {
+            id: r.u64()?,
+            deadline_ms: r.u32()?,
+            node_budget: r.u64()?,
+            require_certified: r.bool()?,
+            job: Job::decode(&mut r)?,
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Structured error categories a response can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request frame or payload was malformed.
+    Protocol,
+    /// The request decoded but names an invalid problem.
+    InvalidRequest,
+    /// The design/sweep/campaign pipeline reported a domain failure.
+    DesignFailed,
+    /// The request's deadline expired before a result existed.
+    DeadlineExceeded,
+    /// The worker executing the job panicked; the server isolated it.
+    WorkerPanic,
+    /// The server is shutting down.
+    Shutdown,
+    /// An internal invariant failed (bug shield; never expected).
+    Internal,
+}
+
+impl ErrorKind {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorKind::Protocol => 0,
+            ErrorKind::InvalidRequest => 1,
+            ErrorKind::DesignFailed => 2,
+            ErrorKind::DeadlineExceeded => 3,
+            ErrorKind::WorkerPanic => 4,
+            ErrorKind::Shutdown => 5,
+            ErrorKind::Internal => 6,
+        }
+    }
+
+    fn from_tag(tag: u8) -> WireResult<Self> {
+        Ok(match tag {
+            0 => ErrorKind::Protocol,
+            1 => ErrorKind::InvalidRequest,
+            2 => ErrorKind::DesignFailed,
+            3 => ErrorKind::DeadlineExceeded,
+            4 => ErrorKind::WorkerPanic,
+            5 => ErrorKind::Shutdown,
+            6 => ErrorKind::Internal,
+            _ => return Err(WireError::Invalid { what: "error-kind tag" }),
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::InvalidRequest => "invalid-request",
+            ErrorKind::DesignFailed => "design-failed",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::WorkerPanic => "worker-panic",
+            ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The design answer: slot map + timing table, with provenance flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignResult {
+    /// Whether the slot map is the *proven* minimum (`false` after a budget
+    /// or deadline cut — the greedy incumbent was served instead).
+    pub certified_optimal: bool,
+    /// Whether the artifact came out of the server's LRU cache.
+    pub from_cache: bool,
+    /// The slot map: application indices per TT slot.
+    pub slots: Vec<Vec<u32>>,
+    /// The fleet's Table-I rows, bit-exact.
+    pub table: Vec<AppTimingParams>,
+}
+
+/// One candidate bus geometry of a sweep answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Candidate cycle length.
+    pub cycle_length: f64,
+    /// Candidate static-segment size.
+    pub static_slot_count: u32,
+    /// Candidate static slot length Ψ.
+    pub static_slot_length: f64,
+    /// Whether any feasible slot map exists under this geometry.
+    pub feasible: bool,
+    /// Minimum slot count when feasible (0 otherwise).
+    pub slot_count: u32,
+    /// Whether the per-candidate search ran to exhaustion.
+    pub certified_optimal: bool,
+}
+
+/// The sweep answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Whether the design artifact came out of the cache.
+    pub from_cache: bool,
+    /// `false` when the deadline cut the candidate loop; `rows` then holds
+    /// the completed prefix (partial answer beats no answer).
+    pub complete: bool,
+    /// Per-candidate verdicts, in sweep order.
+    pub rows: Vec<SweepRow>,
+}
+
+/// One scenario family of a campaign answer (the Clopper–Pearson readout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyReadout {
+    /// Family label.
+    pub label: String,
+    /// Scenarios observed.
+    pub trials: u64,
+    /// Scenarios in which every application met its deadline.
+    pub successes: u64,
+    /// Point estimate of P(settle ≤ deadline).
+    pub estimate: f64,
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+}
+
+/// The campaign answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Whether the design artifact came out of the cache.
+    pub from_cache: bool,
+    /// Scenarios aggregated.
+    pub total: u64,
+    /// Per-family statistical readout.
+    pub families: Vec<FamilyReadout>,
+}
+
+/// The terminal verdict of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A design answer.
+    Design(DesignResult),
+    /// A sweep answer.
+    Sweep(SweepResult),
+    /// A campaign answer.
+    Campaign(CampaignResult),
+    /// Load shed: the bounded queue was full; retry later.
+    Busy,
+    /// A structured failure.
+    Error {
+        /// Error category.
+        kind: ErrorKind,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// One design-service response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id this responds to.
+    pub id: u64,
+    /// The terminal verdict.
+    pub outcome: Outcome,
+}
+
+fn encode_timing_row(row: &AppTimingParams, w: &mut WireWriter) {
+    w.put_str(&row.name);
+    w.put_f64(row.inter_arrival);
+    w.put_f64(row.deadline);
+    w.put_f64(row.xi_tt);
+    w.put_f64(row.xi_et);
+    w.put_f64(row.xi_m);
+    w.put_f64(row.k_p);
+    w.put_f64(row.xi_prime_m);
+}
+
+fn decode_timing_row(r: &mut WireReader<'_>) -> WireResult<AppTimingParams> {
+    // Direct struct literal (all fields are public): re-validating through
+    // `AppTimingParams::new` could round or reject values the designer
+    // legitimately produced, and the response must be bit-exact.
+    Ok(AppTimingParams {
+        name: r.str()?,
+        inter_arrival: r.f64()?,
+        deadline: r.f64()?,
+        xi_tt: r.f64()?,
+        xi_et: r.f64()?,
+        xi_m: r.f64()?,
+        k_p: r.f64()?,
+        xi_prime_m: r.f64()?,
+    })
+}
+
+impl Response {
+    /// Encodes the response payload (frame it with [`write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.id);
+        match &self.outcome {
+            Outcome::Design(design) => {
+                w.put_u8(0);
+                w.put_bool(design.certified_optimal);
+                w.put_bool(design.from_cache);
+                w.put_u32(design.slots.len() as u32);
+                for slot in &design.slots {
+                    w.put_u32(slot.len() as u32);
+                    for &app in slot {
+                        w.put_u32(app);
+                    }
+                }
+                w.put_u32(design.table.len() as u32);
+                for row in &design.table {
+                    encode_timing_row(row, &mut w);
+                }
+            }
+            Outcome::Sweep(sweep) => {
+                w.put_u8(1);
+                w.put_bool(sweep.from_cache);
+                w.put_bool(sweep.complete);
+                w.put_u32(sweep.rows.len() as u32);
+                for row in &sweep.rows {
+                    w.put_f64(row.cycle_length);
+                    w.put_u32(row.static_slot_count);
+                    w.put_f64(row.static_slot_length);
+                    w.put_bool(row.feasible);
+                    w.put_u32(row.slot_count);
+                    w.put_bool(row.certified_optimal);
+                }
+            }
+            Outcome::Campaign(campaign) => {
+                w.put_u8(2);
+                w.put_bool(campaign.from_cache);
+                w.put_u64(campaign.total);
+                w.put_u32(campaign.families.len() as u32);
+                for family in &campaign.families {
+                    w.put_str(&family.label);
+                    w.put_u64(family.trials);
+                    w.put_u64(family.successes);
+                    w.put_f64(family.estimate);
+                    w.put_f64(family.lower);
+                    w.put_f64(family.upper);
+                }
+            }
+            Outcome::Busy => w.put_u8(3),
+            Outcome::Error { kind, message } => {
+                w.put_u8(4);
+                w.put_u8(kind.tag());
+                w.put_str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; trailing bytes are rejected.
+    pub fn decode(payload: &[u8]) -> WireResult<Self> {
+        let mut r = WireReader::new(payload);
+        let id = r.u64()?;
+        let outcome = match r.u8()? {
+            0 => {
+                let certified_optimal = r.bool()?;
+                let from_cache = r.bool()?;
+                let slot_count = r.len(4)?;
+                let mut slots = Vec::with_capacity(slot_count);
+                for _ in 0..slot_count {
+                    let members = r.len(4)?;
+                    slots.push((0..members).map(|_| r.u32()).collect::<WireResult<Vec<_>>>()?);
+                }
+                let rows = r.len(8)?;
+                let table =
+                    (0..rows).map(|_| decode_timing_row(&mut r)).collect::<WireResult<Vec<_>>>()?;
+                Outcome::Design(DesignResult { certified_optimal, from_cache, slots, table })
+            }
+            1 => {
+                let from_cache = r.bool()?;
+                let complete = r.bool()?;
+                let count = r.len(8)?;
+                let rows = (0..count)
+                    .map(|_| {
+                        Ok(SweepRow {
+                            cycle_length: r.f64()?,
+                            static_slot_count: r.u32()?,
+                            static_slot_length: r.f64()?,
+                            feasible: r.bool()?,
+                            slot_count: r.u32()?,
+                            certified_optimal: r.bool()?,
+                        })
+                    })
+                    .collect::<WireResult<Vec<_>>>()?;
+                Outcome::Sweep(SweepResult { from_cache, complete, rows })
+            }
+            2 => {
+                let from_cache = r.bool()?;
+                let total = r.u64()?;
+                let count = r.len(8)?;
+                let families = (0..count)
+                    .map(|_| {
+                        Ok(FamilyReadout {
+                            label: r.str()?,
+                            trials: r.u64()?,
+                            successes: r.u64()?,
+                            estimate: r.f64()?,
+                            lower: r.f64()?,
+                            upper: r.f64()?,
+                        })
+                    })
+                    .collect::<WireResult<Vec<_>>>()?;
+                Outcome::Campaign(CampaignResult { from_cache, total, families })
+            }
+            3 => Outcome::Busy,
+            4 => Outcome::Error { kind: ErrorKind::from_tag(r.u8()?)?, message: r.str()? },
+            _ => return Err(WireError::Invalid { what: "outcome tag" }),
+        };
+        r.finish()?;
+        Ok(Response { id, outcome })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_design_job() -> DesignJob {
+        let spec = cps_core::case_study::derived_fleet_specs().remove(0);
+        DesignJob {
+            specs: vec![WireAppSpec::from_spec(&spec)],
+            alloc: WireAllocatorConfig::from_config(&AllocatorConfig::default()),
+            bus: WireBusConfig::from_config(&FlexRayConfig::paper_case_study()),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_bit_exactly() {
+        let request = Request {
+            id: 42,
+            deadline_ms: 1500,
+            node_budget: 9,
+            require_certified: true,
+            job: Job::Design(sample_design_job()),
+        };
+        let decoded = Request::decode(&request.encode()).unwrap();
+        assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn sweep_and_campaign_jobs_round_trip() {
+        let sweep = Request {
+            id: 1,
+            deadline_ms: 0,
+            node_budget: 0,
+            require_certified: false,
+            job: Job::Sweep(SweepJob {
+                design: sample_design_job(),
+                cycle_lengths: vec![0.005, 0.01],
+                static_slot_counts: vec![4, 10],
+                slot_lengths: vec![],
+            }),
+        };
+        assert_eq!(Request::decode(&sweep.encode()).unwrap(), sweep);
+        let campaign = Request {
+            id: 2,
+            deadline_ms: 250,
+            node_budget: 0,
+            require_certified: false,
+            job: Job::Campaign(CampaignJob {
+                design: sample_design_job(),
+                seed: 7,
+                drop_probabilities: vec![0.0, 0.2],
+                scenarios_per_intensity: 3,
+                duration: 1.0,
+                alpha: 0.05,
+            }),
+        };
+        assert_eq!(Request::decode(&campaign.encode()).unwrap(), campaign);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let samples = vec![
+            Response {
+                id: 3,
+                outcome: Outcome::Design(DesignResult {
+                    certified_optimal: true,
+                    from_cache: false,
+                    slots: vec![vec![0, 2], vec![1]],
+                    table: vec![AppTimingParams::new("C1", 10.0, 2.0, 0.39, 3.97, 0.64, 0.69)
+                        .unwrap()],
+                }),
+            },
+            Response {
+                id: 4,
+                outcome: Outcome::Sweep(SweepResult {
+                    from_cache: true,
+                    complete: false,
+                    rows: vec![SweepRow {
+                        cycle_length: 0.005,
+                        static_slot_count: 10,
+                        static_slot_length: 2.5e-5,
+                        feasible: true,
+                        slot_count: 3,
+                        certified_optimal: true,
+                    }],
+                }),
+            },
+            Response {
+                id: 5,
+                outcome: Outcome::Campaign(CampaignResult {
+                    from_cache: false,
+                    total: 8,
+                    families: vec![FamilyReadout {
+                        label: "drop p=0.000".to_string(),
+                        trials: 8,
+                        successes: 8,
+                        estimate: 1.0,
+                        lower: 0.63,
+                        upper: 1.0,
+                    }],
+                }),
+            },
+            Response { id: 6, outcome: Outcome::Busy },
+            Response {
+                id: 7,
+                outcome: Outcome::Error {
+                    kind: ErrorKind::DeadlineExceeded,
+                    message: "deadline expired".to_string(),
+                },
+            },
+        ];
+        for response in samples {
+            assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn content_keys_are_stable_and_discriminating() {
+        let job = Job::Design(sample_design_job());
+        assert_eq!(job.content_key(), job.content_key());
+        let mut other = sample_design_job();
+        other.alloc.max_slots += 1;
+        assert_ne!(job.content_key(), Job::Design(other).content_key());
+        // The request envelope (id, deadline) does not enter the key.
+        assert_eq!(
+            Job::Design(sample_design_job()).content_key(),
+            Job::Design(sample_design_job()).content_key()
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_fail_cleanly() {
+        let request = Request {
+            id: 1,
+            deadline_ms: 0,
+            node_budget: 0,
+            require_certified: false,
+            job: Job::Design(sample_design_job()),
+        };
+        let bytes = request.encode();
+        // Every truncation point decodes to a clean error.
+        for cut in 0..bytes.len().min(64) {
+            assert!(Request::decode(&bytes[..cut]).is_err());
+        }
+        assert!(Request::decode(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage is rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Request::decode(&extended).is_err());
+        // A corrupt collection length cannot force a huge allocation.
+        let mut corrupt = bytes;
+        corrupt[21] = 0xff; // inside the spec-count field
+        corrupt[22] = 0xff;
+        assert!(Request::decode(&corrupt).is_err());
+    }
+
+    #[test]
+    fn frames_enforce_the_size_cap() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"hello").unwrap();
+        let mut cursor = io::Cursor::new(out);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+
+        // Announced length above the cap: rejected before allocation.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut cursor = io::Cursor::new(huge.to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+
+        // EOF mid-payload: UnexpectedEof, not a hang.
+        let mut truncated = 100u32.to_le_bytes().to_vec();
+        truncated.extend_from_slice(&[1, 2, 3]);
+        let mut cursor = io::Cursor::new(truncated);
+        assert!(read_frame(&mut cursor).is_err());
+
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,786 @@
+//! The fail-operational design server.
+//!
+//! A [`DesignServer`] listens on a Unix-domain socket and executes design /
+//! sweep / campaign jobs on a bounded worker pool, wrapped in four
+//! robustness layers:
+//!
+//! 1. **Deadlines** — a watchdog thread flips a per-request [`CancelToken`]
+//!    when the deadline expires; the token is threaded into the exact
+//!    allocator's node checkpoints, the fleet designer's item boundaries and
+//!    the campaign's scenario boundaries, so a hostile job stops within one
+//!    unit of work. If a worker stalls anyway (chaos does this on purpose),
+//!    the connection handler still answers: it waits at most
+//!    `deadline + grace` before producing a structured
+//!    [`ErrorKind::DeadlineExceeded`].
+//! 2. **Graceful degradation** — exact-search cuts (deadline or node
+//!    budget) fall back to the greedy incumbent and are reported with
+//!    `certified_optimal = false`; a cut sweep returns its completed prefix
+//!    with `complete = false`. Degraded never masquerades as exact.
+//! 3. **Load shedding** — the job queue is a bounded `sync_channel`; when
+//!    it is full the request is answered [`Outcome::Busy`] immediately
+//!    instead of queueing without bound. Memory is O(queue depth), not
+//!    O(open connections).
+//! 4. **Panic isolation** — worker jobs run under `catch_unwind`; a panic
+//!    becomes a structured [`ErrorKind::WorkerPanic`] response, the worker
+//!    thread survives, and the artifact cache is completed-with-error so
+//!    single-flight joiners are never stranded and no partial artifact is
+//!    cached.
+//!
+//! Everything is `std` — threads, channels, condvars — because the build
+//! environment has no async runtime. Nominal-path responses (no deadline
+//! pressure, no chaos) are bit-identical to calling the design pipeline
+//! directly: the wire format round-trips every `f64` by bit pattern and the
+//! server adds no arithmetic of its own.
+
+use crate::cache::{ArtifactCache, CacheOutcome, DesignArtifact};
+use crate::chaos::{ChaosConfig, ChaosPlan};
+use crate::protocol::{
+    read_frame, write_frame, CampaignJob, CampaignResult, DesignJob, DesignResult, ErrorKind,
+    FamilyReadout, Job, Outcome, Request, Response, SweepJob, SweepResult, SweepRow,
+};
+use cps_core::{ApplicationSpec, CoreError, FleetDesigner, RobustnessCampaign, RobustnessSweep};
+use cps_core::BusConfigSweep;
+use cps_flexray::FlexRayConfig;
+use cps_sched::{AllocatorConfig, CancelToken, OptimalAllocator, SchedError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server configuration. The defaults favour test determinism over
+/// throughput; production callers tune `workers` and `queue_depth`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix-domain socket path (a stale file is removed on bind).
+    pub socket_path: PathBuf,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue sheds with [`Outcome::Busy`].
+    pub queue_depth: usize,
+    /// Artifact-cache capacity (design artifacts, LRU).
+    pub cache_capacity: usize,
+    /// Extra wait beyond a request's deadline before the handler gives up
+    /// on its worker and answers `DeadlineExceeded` itself.
+    pub grace: Duration,
+    /// Fault injection; `None` disables chaos entirely.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl ServerConfig {
+    /// A configuration with defaults (2 workers, queue depth 16, cache 32,
+    /// 2 s grace, no chaos).
+    pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            socket_path: socket_path.into(),
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 32,
+            grace: Duration::from_secs(2),
+            chaos: None,
+        }
+    }
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests decoded.
+    pub requests: u64,
+    /// Requests shed with [`Outcome::Busy`].
+    pub shed: u64,
+    /// Design artifacts actually computed (cache misses that led).
+    pub designs_computed: u64,
+    /// Requests served from the artifact cache.
+    pub cache_hits: u64,
+    /// Requests that joined another request's in-flight computation.
+    pub deduped: u64,
+    /// Worker panics isolated by `catch_unwind`.
+    pub worker_panics: u64,
+    /// Requests that terminated with `DeadlineExceeded`.
+    pub deadline_expired: u64,
+    /// Malformed frames / payloads rejected.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    designs_computed: AtomicU64,
+    cache_hits: AtomicU64,
+    deduped: AtomicU64,
+    worker_panics: AtomicU64,
+    deadline_expired: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            designs_computed: self.designs_computed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline watchdog
+// ---------------------------------------------------------------------------
+
+struct Armed {
+    at: Instant,
+    token: CancelToken,
+}
+
+impl PartialEq for Armed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for Armed {}
+impl PartialOrd for Armed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Armed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at)
+    }
+}
+
+#[derive(Default)]
+struct WatchState {
+    queue: BinaryHeap<Reverse<Armed>>,
+    shutdown: bool,
+}
+
+/// One thread, many deadlines: a min-heap of `(expiry, token)` pairs
+/// serviced under a condvar. Arming is O(log n); expiry flips the token —
+/// cancellation itself stays cooperative (and allocation-free) inside the
+/// compute kernels.
+#[derive(Default)]
+struct Watchdog {
+    state: Mutex<WatchState>,
+    signal: Condvar,
+}
+
+impl Watchdog {
+    fn arm(&self, at: Instant, token: CancelToken) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.queue.push(Reverse(Armed { at, token }));
+        self.signal.notify_one();
+    }
+
+    fn shutdown(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.shutdown = true;
+        self.signal.notify_one();
+    }
+
+    fn run(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            while state.queue.peek().is_some_and(|Reverse(armed)| armed.at <= now) {
+                let Reverse(armed) = state.queue.pop().expect("peeked");
+                armed.token.cancel();
+            }
+            state = match state.queue.peek().map(|Reverse(armed)| armed.at) {
+                Some(next) => {
+                    let wait = next.saturating_duration_since(Instant::now());
+                    self.signal
+                        .wait_timeout(state, wait)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0
+                }
+                None => self.signal.wait(state).unwrap_or_else(|p| p.into_inner()),
+            };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+struct JobEnvelope {
+    request: Request,
+    plan: ChaosPlan,
+    stall_ms: u64,
+    token: CancelToken,
+    respond: SyncSender<Outcome>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    stats: ServerStats,
+    cache: ArtifactCache,
+    serial: AtomicU64,
+    shutdown: AtomicBool,
+    watchdog: Watchdog,
+}
+
+/// The running design service.
+pub struct DesignServer;
+
+/// Handle to a running server: observe it, then shut it down. Dropping the
+/// handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl DesignServer {
+    /// Binds the socket and starts the accept loop, worker pool and
+    /// deadline watchdog.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the socket.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        // A stale socket file from a crashed predecessor would make bind
+        // fail; a server that exists to survive faults removes it.
+        let _ = std::fs::remove_file(&config.socket_path);
+        let listener = UnixListener::bind(&config.socket_path)?;
+
+        let workers = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let (job_tx, job_rx) = sync_channel::<JobEnvelope>(queue_depth);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let shared = Arc::new(Shared {
+            cache: ArtifactCache::new(config.cache_capacity),
+            config,
+            stats: ServerStats::default(),
+            serial: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            watchdog: Watchdog::default(),
+        });
+
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || shared.watchdog.run())
+        };
+
+        let worker_handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let job_rx = Arc::clone(&job_rx);
+                thread::spawn(move || worker_loop(&shared, &job_rx))
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, &listener, &job_tx))
+        };
+
+        Ok(ServerHandle { shared, accept: Some(accept), workers: worker_handles, watchdog: Some(watchdog) })
+    }
+}
+
+impl ServerHandle {
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.shared.config.socket_path
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Cached design-artifact count.
+    pub fn cached_artifacts(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Stops accepting, drains the worker pool and removes the socket file.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `accept()`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = UnixStream::connect(&self.shared.config.socket_path);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.watchdog.shutdown();
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+        let _ = std::fs::remove_file(&self.shared.config.socket_path);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept / connection handling
+// ---------------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: &UnixListener, job_tx: &SyncSender<JobEnvelope>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let job_tx = job_tx.clone();
+        // Handlers are detached: each one lives exactly as long as its
+        // connection (clients close after every exchange), and a handler
+        // blocked in read wakes with EOF the moment its peer goes away.
+        thread::spawn(move || handle_connection(&shared, stream, &job_tx));
+    }
+}
+
+fn error_outcome(kind: ErrorKind, message: impl Into<String>) -> Outcome {
+    Outcome::Error { kind, message: message.into() }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream, job_tx: &SyncSender<JobEnvelope>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(_) => {
+                // Oversized or truncated frame: answer structurally (the
+                // request id is unknowable) and drop the connection — the
+                // stream offset can no longer be trusted.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let response =
+                    Response { id: 0, outcome: error_outcome(ErrorKind::Protocol, "bad frame") };
+                let _ = write_frame(&mut stream, &response.encode());
+                return;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(error) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let response = Response {
+                    id: 0,
+                    outcome: error_outcome(ErrorKind::Protocol, error.to_string()),
+                };
+                let _ = write_frame(&mut stream, &response.encode());
+                return;
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let id = request.id;
+        let serial = shared.serial.fetch_add(1, Ordering::Relaxed);
+        let plan = shared
+            .config
+            .chaos
+            .as_ref()
+            .map(|chaos| chaos.plan(serial))
+            .unwrap_or_default();
+        let stall_ms = shared.config.chaos.as_ref().map_or(0, |chaos| chaos.stall_ms);
+
+        let token = CancelToken::new();
+        let deadline = (request.deadline_ms > 0)
+            .then(|| Duration::from_millis(u64::from(request.deadline_ms)));
+        if let Some(deadline) = deadline {
+            shared.watchdog.arm(Instant::now() + deadline, token.clone());
+        }
+
+        let (respond_tx, respond_rx) = sync_channel::<Outcome>(1);
+        let envelope =
+            JobEnvelope { request, plan, stall_ms, token, respond: respond_tx };
+        let outcome = match job_tx.try_send(envelope) {
+            Ok(()) => wait_for_worker(shared, &respond_rx, deadline),
+            Err(TrySendError::Full(_)) => {
+                shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                Outcome::Busy
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                error_outcome(ErrorKind::Shutdown, "server is shutting down")
+            }
+        };
+        if matches!(&outcome, Outcome::Error { kind: ErrorKind::DeadlineExceeded, .. }) {
+            shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Response-side chaos: exercised faults a real deployment sees as
+        // crashed peers and dirty links.
+        if plan.drop_connection {
+            return;
+        }
+        let mut bytes = Response { id, outcome }.encode();
+        if plan.corrupt_response {
+            // Flip the id's low byte: the client detects the mismatch and
+            // retries (a silent payload flip could decode into plausible
+            // nonsense, which no client can be asked to detect).
+            bytes[0] ^= 0xff;
+        }
+        if plan.truncate_response {
+            let cut = bytes.len() / 2;
+            let mut prefix = (bytes.len() as u32).to_le_bytes().to_vec();
+            prefix.extend_from_slice(&bytes[..cut]);
+            let _ = stream.write_all(&prefix);
+            let _ = stream.flush();
+            return;
+        }
+        if write_frame(&mut stream, &bytes).is_err() {
+            return;
+        }
+    }
+}
+
+/// Waits for the worker's verdict, but never longer than
+/// `deadline + grace`: a stalled worker cannot stall the *response*.
+fn wait_for_worker(
+    shared: &Arc<Shared>,
+    respond_rx: &Receiver<Outcome>,
+    deadline: Option<Duration>,
+) -> Outcome {
+    // Without a deadline the wait is still bounded — a server that can hang
+    // forever fails the fail-operational contract.
+    let cap = deadline.map_or(Duration::from_secs(600), |d| d + shared.config.grace);
+    match respond_rx.recv_timeout(cap) {
+        Ok(outcome) => outcome,
+        Err(_) => error_outcome(
+            ErrorKind::DeadlineExceeded,
+            "deadline expired before the worker produced a result",
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>, jobs: &Arc<Mutex<Receiver<JobEnvelope>>>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let envelope = {
+            let guard = jobs.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        let Ok(envelope) = envelope else { continue };
+        if envelope.plan.stall_worker {
+            thread::sleep(Duration::from_millis(envelope.stall_ms));
+        }
+        let panic_worker = envelope.plan.panic_worker;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if panic_worker {
+                panic!("chaos: induced worker panic");
+            }
+            execute_job(shared, &envelope.request, &envelope.token)
+        }))
+        .unwrap_or_else(|payload| {
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            error_outcome(ErrorKind::WorkerPanic, message)
+        });
+        // The handler may have timed out and gone; that is its business.
+        let _ = envelope.respond.send(outcome);
+    }
+}
+
+fn map_core_error(error: &CoreError) -> Outcome {
+    match error {
+        CoreError::Cancelled => error_outcome(
+            ErrorKind::DeadlineExceeded,
+            "deadline expired before the pipeline completed",
+        ),
+        other => error_outcome(ErrorKind::DesignFailed, other.to_string()),
+    }
+}
+
+fn execute_job(shared: &Arc<Shared>, request: &Request, token: &CancelToken) -> Outcome {
+    // Decode-validate the design problem before touching the cache, so an
+    // invalid request can never become a leader that poisons a key.
+    let design_job = request.job.design();
+    let specs: Result<Vec<ApplicationSpec>, _> =
+        design_job.specs.iter().cloned().map(|spec| spec.into_spec()).collect();
+    let (specs, alloc, bus) = match (
+        specs,
+        design_job.alloc.clone().into_config(),
+        design_job.bus.clone().into_config(),
+    ) {
+        (Ok(specs), Ok(alloc), Ok(bus)) => (specs, alloc, bus),
+        (Err(error), _, _) | (_, Err(error), _) | (_, _, Err(error)) => {
+            return error_outcome(ErrorKind::InvalidRequest, error.to_string())
+        }
+    };
+
+    let key = design_job.content_key();
+    let node_budget = (request.node_budget > 0).then_some(request.node_budget);
+    let (artifact, from_cache) = match obtain_artifact(
+        shared,
+        key,
+        request.require_certified,
+        &specs,
+        &alloc,
+        bus,
+        node_budget,
+        token,
+    ) {
+        Ok(found) => found,
+        Err(outcome) => return outcome,
+    };
+
+    match &request.job {
+        Job::Design(_) => design_outcome(&artifact, from_cache),
+        Job::Sweep(sweep) => sweep_outcome(&artifact, from_cache, sweep, &alloc, token),
+        Job::Campaign(campaign) => campaign_outcome(&artifact, from_cache, campaign, token),
+    }
+}
+
+/// Cache lookup with single-flight: hit, join the in-flight leader, or
+/// lead the computation ourselves. Returns the artifact and whether it was
+/// reused (for the response's `from_cache` flag).
+#[allow(clippy::too_many_arguments)]
+fn obtain_artifact(
+    shared: &Arc<Shared>,
+    key: u64,
+    require_certified: bool,
+    specs: &[ApplicationSpec],
+    alloc: &AllocatorConfig,
+    bus: FlexRayConfig,
+    node_budget: Option<u64>,
+    token: &CancelToken,
+) -> Result<(Arc<DesignArtifact>, bool), Outcome> {
+    loop {
+        match shared.cache.lookup_or_begin(key, require_certified) {
+            CacheOutcome::Hit(artifact) => {
+                shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((artifact, true));
+            }
+            CacheOutcome::Join(receiver) => match receiver.recv() {
+                Ok(Ok(artifact)) if artifact.certified_optimal || !require_certified => {
+                    shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                    return Ok((artifact, true));
+                }
+                // Leader degraded (or failed, or vanished) but *our*
+                // request is still live: loop and lead the computation
+                // under our own token and budget.
+                Ok(Ok(_)) | Ok(Err(_)) | Err(_) => {
+                    if token.is_cancelled() {
+                        return Err(map_core_error(&CoreError::Cancelled));
+                    }
+                    continue;
+                }
+            },
+            CacheOutcome::Lead => {
+                let designer = FleetDesigner::new().with_cancel_token(Some(token.clone()));
+                let computed = catch_unwind(AssertUnwindSafe(|| {
+                    designer.design_fleet_optimal_budgeted(
+                        specs.to_vec(),
+                        alloc,
+                        bus,
+                        node_budget,
+                    )
+                }));
+                match computed {
+                    Ok(Ok(budgeted)) => {
+                        let artifact = Arc::new(DesignArtifact {
+                            fleet: Arc::new(budgeted.fleet),
+                            certified_optimal: budgeted.certified_optimal,
+                        });
+                        shared.stats.designs_computed.fetch_add(1, Ordering::Relaxed);
+                        shared.cache.complete(key, Ok(Arc::clone(&artifact)));
+                        return Ok((artifact, false));
+                    }
+                    Ok(Err(error)) => {
+                        shared.cache.complete(key, Err(error.to_string()));
+                        return Err(map_core_error(&error));
+                    }
+                    Err(payload) => {
+                        // Leader contract: joiners are unblocked with an
+                        // error and the key stays computable — then the
+                        // panic continues to the worker's isolation layer.
+                        shared
+                            .cache
+                            .complete(key, Err("design computation panicked".to_string()));
+                        resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn design_outcome(artifact: &DesignArtifact, from_cache: bool) -> Outcome {
+    let table = match artifact.fleet.timing_table() {
+        Ok(table) => table,
+        Err(error) => return map_core_error(&error),
+    };
+    Outcome::Design(DesignResult {
+        certified_optimal: artifact.certified_optimal,
+        from_cache,
+        slots: artifact
+            .fleet
+            .allocation()
+            .slots
+            .iter()
+            .map(|slot| slot.iter().map(|&app| app as u32).collect())
+            .collect(),
+        table: table.as_ref().clone(),
+    })
+}
+
+fn sweep_outcome(
+    artifact: &DesignArtifact,
+    from_cache: bool,
+    job: &SweepJob,
+    alloc: &AllocatorConfig,
+    token: &CancelToken,
+) -> Outcome {
+    let table = match artifact.fleet.timing_table() {
+        Ok(table) => table,
+        Err(error) => return map_core_error(&error),
+    };
+    let mut sweep = BusConfigSweep::new(artifact.fleet.bus_config());
+    if !job.cycle_lengths.is_empty() {
+        sweep = sweep.with_cycle_lengths(job.cycle_lengths.clone());
+    }
+    if !job.static_slot_counts.is_empty() {
+        sweep = sweep.with_static_slot_counts(
+            job.static_slot_counts.iter().map(|&count| count as usize).collect(),
+        );
+    }
+    if !job.slot_lengths.is_empty() {
+        sweep = sweep.with_slot_lengths(job.slot_lengths.clone());
+    }
+
+    let mut rows = Vec::new();
+    let mut complete = true;
+    for bus in sweep.configs() {
+        // Deadline checkpoint per candidate: a cut sweep returns the
+        // completed prefix with `complete = false`.
+        if token.is_cancelled() {
+            complete = false;
+            break;
+        }
+        let candidate = AllocatorConfig {
+            max_slots: alloc.max_slots.min(bus.static_slot_count),
+            slot_timing: sweep.slot_timing_for(&bus),
+            ..*alloc
+        };
+        let mut row = SweepRow {
+            cycle_length: bus.cycle_length,
+            static_slot_count: bus.static_slot_count as u32,
+            static_slot_length: bus.static_slot_length,
+            feasible: false,
+            slot_count: 0,
+            certified_optimal: true,
+        };
+        let mut solver = match OptimalAllocator::new(&table, &candidate) {
+            Ok(solver) => solver,
+            Err(_) => {
+                rows.push(row);
+                continue;
+            }
+        };
+        solver.set_cancel_token(Some(token.clone()));
+        match solver.solve() {
+            Ok(allocation) => {
+                row.feasible = true;
+                row.slot_count = allocation.slots.len() as u32;
+                row.certified_optimal = solver.certified_optimal();
+                rows.push(row);
+            }
+            Err(SchedError::SearchCancelled { .. }) => {
+                complete = false;
+                break;
+            }
+            Err(_) => rows.push(row),
+        }
+    }
+    Outcome::Sweep(SweepResult { from_cache, complete, rows })
+}
+
+fn campaign_outcome(
+    artifact: &DesignArtifact,
+    from_cache: bool,
+    job: &CampaignJob,
+    token: &CancelToken,
+) -> Outcome {
+    let sweep = RobustnessSweep::new(
+        job.drop_probabilities.clone(),
+        job.scenarios_per_intensity,
+        job.duration,
+    );
+    let campaign = RobustnessCampaign::new(Arc::clone(&artifact.fleet), job.seed)
+        .with_workers(1)
+        .with_cancel_token(Some(token.clone()));
+    match campaign.run(&sweep) {
+        Ok(stats) => Outcome::Campaign(CampaignResult {
+            from_cache,
+            total: stats.total,
+            families: stats
+                .settling_probabilities(job.alpha)
+                .into_iter()
+                .map(|family| FamilyReadout {
+                    label: family.label,
+                    trials: family.trials,
+                    successes: family.successes,
+                    estimate: family.estimate,
+                    lower: family.lower,
+                    upper: family.upper,
+                })
+                .collect(),
+        }),
+        Err(error) => map_core_error(&error),
+    }
+}
+
+/// Constructs a [`DesignJob`] from native pipeline types (convenience for
+/// clients and tests).
+pub fn design_job(
+    specs: &[ApplicationSpec],
+    alloc: &AllocatorConfig,
+    bus: &FlexRayConfig,
+) -> DesignJob {
+    DesignJob {
+        specs: specs.iter().map(crate::protocol::WireAppSpec::from_spec).collect(),
+        alloc: crate::protocol::WireAllocatorConfig::from_config(alloc),
+        bus: crate::protocol::WireBusConfig::from_config(bus),
+    }
+}

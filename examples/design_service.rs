@@ -1,0 +1,166 @@
+//! The fail-operational design service, end to end: start a
+//! [`DesignServer`] on a Unix-domain socket, drive it with a retrying
+//! [`DesignClient`] through the three job kinds (exact fleet design,
+//! bus-geometry sweep, robustness campaign), demonstrate the degradation
+//! ladder (a node-budgeted request returns the greedy incumbent with
+//! `certified_optimal = false`), then restart the server with deterministic
+//! chaos (worker panics, stalls, dropped/corrupted responses) and show that
+//! every request still reaches a terminal answer.
+//!
+//! Run with `cargo run --release --example design_service`.
+
+use automotive_cps::core::case_study;
+use automotive_cps::flexray::FlexRayConfig;
+use automotive_cps::sched::AllocatorConfig;
+use automotive_cps::serve::{
+    design_job, CampaignJob, ChaosConfig, DesignClient, DesignServer, Job, Outcome,
+    RequestOptions, RetryPolicy, ServerConfig, SweepJob,
+};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let socket = std::env::temp_dir().join(format!("cps-design-service-{}.sock", std::process::id()));
+    let design = design_job(
+        &case_study::derived_fleet_specs(),
+        &AllocatorConfig::default(),
+        &FlexRayConfig::paper_case_study(),
+    );
+
+    // ---- Nominal service ---------------------------------------------------
+    let mut server = DesignServer::start(ServerConfig::new(&socket))?;
+    let mut client = DesignClient::new(&socket);
+
+    println!("design service listening on {}", socket.display());
+
+    println!("\n== degraded design (node budget 1) ==");
+    match client.request(
+        Job::Design(design.clone()),
+        RequestOptions { node_budget: 1, ..RequestOptions::default() },
+    )? {
+        Outcome::Design(result) => println!(
+            "  {} TT slots, certified_optimal = {} (greedy incumbent served)",
+            result.slots.len(),
+            result.certified_optimal
+        ),
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    println!("\n== exact fleet design (require_certified upgrades the cache) ==");
+    match client.request(
+        Job::Design(design.clone()),
+        RequestOptions { require_certified: true, ..RequestOptions::default() },
+    )? {
+        Outcome::Design(result) => {
+            println!(
+                "  {} TT slots, certified_optimal = {}, from_cache = {}",
+                result.slots.len(),
+                result.certified_optimal,
+                result.from_cache
+            );
+            for (index, slot) in result.slots.iter().enumerate() {
+                let names: Vec<_> =
+                    slot.iter().map(|&app| result.table[app as usize].name.as_str()).collect();
+                println!("  slot {index}: {}", names.join(", "));
+            }
+        }
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    println!("\n== bus-geometry sweep ==");
+    let sweep = Job::Sweep(SweepJob {
+        design: design.clone(),
+        cycle_lengths: vec![0.005, 0.01],
+        static_slot_counts: vec![3, 4, 10],
+        slot_lengths: vec![],
+    });
+    match client.request(sweep, RequestOptions::default())? {
+        Outcome::Sweep(result) => {
+            println!("  complete = {}, from_cache = {}", result.complete, result.from_cache);
+            for row in &result.rows {
+                println!(
+                    "  cycle {:>6.3} ms, {:>2} static slots: {}",
+                    row.cycle_length * 1e3,
+                    row.static_slot_count,
+                    if row.feasible {
+                        format!("feasible with {} slots (certified {})", row.slot_count, row.certified_optimal)
+                    } else {
+                        "infeasible".to_string()
+                    }
+                );
+            }
+        }
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    println!("\n== robustness campaign ==");
+    let campaign = Job::Campaign(CampaignJob {
+        design: design.clone(),
+        seed: 0xDA7E,
+        drop_probabilities: vec![0.0, 0.2, 0.5],
+        scenarios_per_intensity: 6,
+        duration: 12.0,
+        alpha: 0.05,
+    });
+    match client.request(campaign, RequestOptions::default())? {
+        Outcome::Campaign(result) => {
+            println!("  {} scenarios, from_cache = {}", result.total, result.from_cache);
+            for family in &result.families {
+                println!(
+                    "  {:<14} {}/{} settled, P = {:.3} [{:.3}, {:.3}]",
+                    family.label, family.successes, family.trials, family.estimate, family.lower,
+                    family.upper
+                );
+            }
+        }
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    let stats = server.stats();
+    println!(
+        "\nserver stats: {} requests, {} designs computed, {} cache hits",
+        stats.requests, stats.designs_computed, stats.cache_hits
+    );
+    server.shutdown();
+
+    // ---- Chaos -------------------------------------------------------------
+    println!("\n== chaos: panics, stalls, dropped and corrupted responses ==");
+    let mut config = ServerConfig::new(&socket);
+    config.chaos = Some(ChaosConfig {
+        seed: 99,
+        worker_panic_probability: 0.25,
+        worker_stall_probability: 0.10,
+        stall_ms: 40,
+        drop_connection_probability: 0.15,
+        truncate_response_probability: 0.10,
+        corrupt_response_probability: 0.10,
+    });
+    // The default panic hook would print a backtrace for every injected worker
+    // panic; the server isolates them either way, so keep the demo readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut server = DesignServer::start(config)?;
+    let mut client = DesignClient::new(&socket).with_retry_policy(RetryPolicy {
+        max_attempts: 12,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        jitter_seed: 1,
+    });
+    for round in 0..8 {
+        let outcome = client.request(Job::Design(design.clone()), RequestOptions::default())?;
+        let label = match outcome {
+            Outcome::Design(result) => format!(
+                "design ok ({} slots, from_cache = {})",
+                result.slots.len(),
+                result.from_cache
+            ),
+            other => format!("{other:?}"),
+        };
+        println!("  request {round}: {label}");
+    }
+    let stats = server.stats();
+    println!(
+        "  survived: {} requests answered, {} worker panics isolated, {} sheds",
+        stats.requests, stats.worker_panics, stats.shed
+    );
+    server.shutdown();
+    Ok(())
+}

@@ -13,6 +13,9 @@
 //! * [`core`] — the paper's co-design flow: application modelling,
 //!   dwell/wait characterisation, Table-I derivation, the dynamic
 //!   resource-allocation runtime and the plant/bus co-simulation engine.
+//! * [`serve`] — the fail-operational design service: Unix-socket server
+//!   with deadlines, load shedding, panic isolation, a content-addressed
+//!   artifact cache and deterministic chaos testing.
 //!
 //! # Example
 //!
@@ -29,3 +32,4 @@ pub use cps_core as core;
 pub use cps_flexray as flexray;
 pub use cps_linalg as linalg;
 pub use cps_sched as sched;
+pub use cps_serve as serve;

@@ -1,0 +1,513 @@
+//! End-to-end tests of the fail-operational design service (`cps-serve`):
+//! nominal bit-identity against the direct pipeline, artifact caching and
+//! single-flight deduplication, graceful degradation under node budgets,
+//! load shedding, panic isolation, structured deadline timeouts, clean
+//! rejection of malformed frames, and a deterministic chaos soak in which
+//! every accepted request reaches a terminal response while the server
+//! survives every injected fault.
+
+use automotive_cps::core::{case_study, ApplicationSpec, FleetDesigner};
+use automotive_cps::flexray::FlexRayConfig;
+use automotive_cps::sched::{AllocatorConfig, AppTimingParams};
+use automotive_cps::serve::{
+    design_job, CampaignJob, ChaosConfig, DesignClient, DesignServer, ErrorKind, Job, Outcome,
+    RequestOptions, RetryPolicy, ServerConfig, ServerHandle, SweepJob,
+};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn socket_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cps-serve-{name}-{}.sock", std::process::id()))
+}
+
+fn fleet_specs() -> Vec<ApplicationSpec> {
+    case_study::derived_fleet_specs()
+}
+
+fn nominal_job() -> Job {
+    Job::Design(design_job(
+        &fleet_specs(),
+        &AllocatorConfig::default(),
+        &FlexRayConfig::paper_case_study(),
+    ))
+}
+
+fn start(name: &str, configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig::new(socket_path(name));
+    configure(&mut config);
+    DesignServer::start(config).expect("server starts")
+}
+
+fn fast_retries(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 12,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        jitter_seed: seed,
+    }
+}
+
+/// The direct-pipeline reference: exact optimal design of the derived fleet.
+fn reference_design() -> (Vec<Vec<usize>>, Vec<AppTimingParams>) {
+    let fleet = FleetDesigner::new()
+        .design_fleet_optimal(
+            fleet_specs(),
+            &AllocatorConfig::default(),
+            FlexRayConfig::paper_case_study(),
+        )
+        .expect("direct design");
+    let table = fleet.timing_table().expect("table").as_ref().clone();
+    (fleet.allocation().slots.clone(), table)
+}
+
+fn assert_tables_bit_identical(served: &[AppTimingParams], direct: &[AppTimingParams]) {
+    assert_eq!(served.len(), direct.len());
+    for (s, d) in served.iter().zip(direct) {
+        assert_eq!(s.name, d.name);
+        for (a, b) in [
+            (s.inter_arrival, d.inter_arrival),
+            (s.deadline, d.deadline),
+            (s.xi_tt, d.xi_tt),
+            (s.xi_et, d.xi_et),
+            (s.xi_m, d.xi_m),
+            (s.k_p, d.k_p),
+            (s.xi_prime_m, d.xi_prime_m),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "timing tables must be bit-identical");
+        }
+    }
+}
+
+fn assert_slots_match(served: &[Vec<u32>], direct: &[Vec<usize>]) {
+    let widened: Vec<Vec<usize>> =
+        served.iter().map(|slot| slot.iter().map(|&a| a as usize).collect()).collect();
+    assert_eq!(&widened, direct);
+}
+
+#[test]
+fn nominal_design_is_bit_identical_to_the_direct_pipeline() {
+    let (direct_slots, direct_table) = reference_design();
+    let mut server = start("nominal", |_| {});
+    let mut client = DesignClient::new(server.socket_path());
+
+    let first = client.request(nominal_job(), RequestOptions::default()).expect("first request");
+    let Outcome::Design(first) = first else { panic!("expected a design outcome: {first:?}") };
+    assert!(first.certified_optimal, "the unpressured exact search certifies");
+    assert!(!first.from_cache, "the first request computes");
+    assert_slots_match(&first.slots, &direct_slots);
+    assert_tables_bit_identical(&first.table, &direct_table);
+
+    // The identical job is served from the artifact cache, bit-identically.
+    let second = client.request(nominal_job(), RequestOptions::default()).expect("second request");
+    let Outcome::Design(second) = second else { panic!("expected a design outcome") };
+    assert!(second.from_cache, "the second request hits the cache");
+    assert_slots_match(&second.slots, &direct_slots);
+    assert_tables_bit_identical(&second.table, &direct_table);
+
+    let stats = server.stats();
+    assert_eq!(stats.designs_computed, 1, "one computation serves both requests");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.requests, 2);
+    assert_eq!(server.cached_artifacts(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn single_flight_deduplicates_concurrent_identical_requests() {
+    let server = start("dedup", |config| {
+        config.workers = 4;
+        config.queue_depth = 16;
+    });
+    let path = server.socket_path().to_path_buf();
+
+    let handles: Vec<_> = (0..4)
+        .map(|seed| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    DesignClient::new(&path).with_retry_policy(fast_retries(seed));
+                client.request(nominal_job(), RequestOptions::default())
+            })
+        })
+        .collect();
+    let mut slot_maps = Vec::new();
+    for handle in handles {
+        match handle.join().expect("client thread").expect("request succeeds") {
+            Outcome::Design(result) => slot_maps.push(result.slots),
+            other => panic!("expected a design outcome: {other:?}"),
+        }
+    }
+    assert!(slot_maps.windows(2).all(|pair| pair[0] == pair[1]), "all answers identical");
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.designs_computed, 1,
+        "four concurrent identical requests must compute exactly once \
+         (deduped {}, cache hits {})",
+        stats.deduped, stats.cache_hits
+    );
+    assert_eq!(stats.deduped + stats.cache_hits, 3);
+}
+
+#[test]
+fn node_budget_exhaustion_degrades_to_the_greedy_incumbent() {
+    let (direct_slots, _) = reference_design();
+    let mut server = start("degrade", |_| {});
+    let mut client = DesignClient::new(server.socket_path());
+
+    // A one-node budget cuts the exact search immediately after the root:
+    // the greedy incumbent is served, flagged as uncertified.
+    let degraded = client
+        .request(nominal_job(), RequestOptions { node_budget: 1, ..RequestOptions::default() })
+        .expect("degraded request");
+    let Outcome::Design(degraded) = degraded else { panic!("expected a design outcome") };
+    assert!(!degraded.certified_optimal, "a budget cut must be reported");
+    assert!(
+        degraded.slots.len() >= direct_slots.len(),
+        "the greedy incumbent can never beat the exact optimum"
+    );
+
+    // `require_certified` treats the degraded cache entry as a miss and
+    // recomputes at full fidelity.
+    let certified = client
+        .request(nominal_job(), RequestOptions { require_certified: true, ..RequestOptions::default() })
+        .expect("certified request");
+    let Outcome::Design(certified) = certified else { panic!("expected a design outcome") };
+    assert!(certified.certified_optimal);
+    assert_slots_match(&certified.slots, &direct_slots);
+    assert_eq!(server.stats().designs_computed, 2);
+
+    // The certified artifact replaced the degraded one: both fidelity
+    // levels are now cache hits.
+    let reused = client
+        .request(nominal_job(), RequestOptions { require_certified: true, ..RequestOptions::default() })
+        .expect("reuse request");
+    let Outcome::Design(reused) = reused else { panic!("expected a design outcome") };
+    assert!(reused.from_cache && reused.certified_optimal);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_requests_instead_of_queueing_unboundedly() {
+    let server = start("shed", |config| {
+        config.workers = 1;
+        config.queue_depth = 1;
+        config.chaos = Some(ChaosConfig {
+            seed: 5,
+            worker_stall_probability: 1.0,
+            stall_ms: 300,
+            ..ChaosConfig::default()
+        });
+    });
+    let path = server.socket_path().to_path_buf();
+
+    // Six impatient clients (no retries) flood a 1-worker/1-slot server
+    // whose worker stalls 300 ms per job: the queue bound forces sheds.
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = DesignClient::new(&path).with_retry_policy(RetryPolicy {
+                    max_attempts: 1,
+                    ..RetryPolicy::default()
+                });
+                client.request(nominal_job(), RequestOptions::default())
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+    let shed_seen = outcomes.iter().any(|outcome| {
+        matches!(outcome, Err(e) if e.to_string().contains("busy"))
+    });
+    assert!(shed_seen, "a flooded bounded queue must shed: {outcomes:?}");
+    assert!(server.stats().shed >= 1);
+
+    // A patient client retries through the backlog and succeeds.
+    let mut patient = DesignClient::new(&path).with_retry_policy(RetryPolicy {
+        max_attempts: 30,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_millis(200),
+        jitter_seed: 11,
+    });
+    let outcome = patient.request(nominal_job(), RequestOptions::default()).expect("retry wins");
+    assert!(matches!(outcome, Outcome::Design(_)));
+}
+
+#[test]
+fn worker_panics_become_structured_errors_and_the_server_survives() {
+    let mut server = start("panic", |config| {
+        config.chaos = Some(ChaosConfig {
+            seed: 3,
+            worker_panic_probability: 1.0,
+            ..ChaosConfig::default()
+        });
+    });
+    let path = server.socket_path().to_path_buf();
+    let mut impatient = DesignClient::new(&path)
+        .with_retry_policy(RetryPolicy { max_attempts: 1, ..RetryPolicy::default() });
+
+    for _ in 0..3 {
+        // Every job panics; the isolation layer still *answers* each
+        // request — the client sees a retryable WorkerPanic, not a hang.
+        let result = impatient.request(nominal_job(), RequestOptions::default());
+        match result {
+            Err(error) => assert!(
+                error.to_string().contains("induced worker panic"),
+                "the panic payload surfaces in the structured error: {error}"
+            ),
+            Ok(outcome) => panic!("expected exhausted retries, got {outcome:?}"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.worker_panics, 3);
+    assert_eq!(stats.requests, 3, "the server answered every request despite the panics");
+    assert!(server.cached_artifacts() == 0, "a panicking job must not poison the cache");
+    server.shutdown();
+}
+
+#[test]
+fn deadlines_produce_structured_timeouts_within_the_grace_window() {
+    let mut server = start("deadline", |config| {
+        config.grace = Duration::from_millis(500);
+    });
+    let mut client = DesignClient::new(server.socket_path());
+
+    // A campaign far too large for a 100 ms deadline: the watchdog flips
+    // the token, the pipeline stops at a cooperative checkpoint, and the
+    // client receives a *terminal* DeadlineExceeded (never retried).
+    let job = Job::Campaign(CampaignJob {
+        design: match nominal_job() {
+            Job::Design(design) => design,
+            _ => unreachable!(),
+        },
+        seed: 42,
+        drop_probabilities: vec![0.0, 0.2, 0.4],
+        scenarios_per_intensity: 10_000,
+        duration: 1.0,
+        alpha: 0.05,
+    });
+    let started = Instant::now();
+    let outcome = client
+        .request(job, RequestOptions { deadline_ms: 100, ..RequestOptions::default() })
+        .expect("a deadline failure is a terminal outcome, not a client error");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(outcome, Outcome::Error { kind: ErrorKind::DeadlineExceeded, .. }),
+        "expected DeadlineExceeded, got {outcome:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "the response must arrive promptly, not after the full campaign ({elapsed:?})"
+    );
+    assert!(server.stats().deadline_expired >= 1);
+
+    // The same server still serves nominal work afterwards.
+    let outcome = client.request(nominal_job(), RequestOptions::default()).expect("nominal");
+    assert!(matches!(outcome, Outcome::Design(_)));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_are_rejected_cleanly() {
+    let mut server = start("malformed", |_| {});
+    let path = server.socket_path().to_path_buf();
+
+    // An announced frame length beyond the cap: structured Protocol error,
+    // before any allocation, then the connection is dropped.
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream.write_all(&(automotive_cps::serve::MAX_FRAME as u32 + 1).to_le_bytes()).unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("server answers then closes");
+    assert!(!reply.is_empty(), "an oversized frame earns an error response");
+
+    // A frame whose payload is garbage: structured Protocol error.
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream.write_all(&10u32.to_le_bytes()).unwrap();
+    stream.write_all(&[0xFF; 10]).unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("server answers then closes");
+    assert!(!reply.is_empty(), "a garbage payload earns an error response");
+
+    // A truncated frame (connection closed mid-prefix): the handler drops
+    // the connection without dying.
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream.write_all(&[0x01, 0x02]).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+
+    assert!(server.stats().protocol_errors >= 2);
+
+    // The server survived all of it.
+    let mut client = DesignClient::new(&path);
+    let outcome = client.request(nominal_job(), RequestOptions::default()).expect("still alive");
+    assert!(matches!(outcome, Outcome::Design(_)));
+    server.shutdown();
+}
+
+/// The deterministic chaos soak: a seeded fault mix (worker panics, stalls,
+/// dropped, truncated and corrupted responses) against a retrying client.
+/// Every request must reach a terminal outcome, delivered design answers
+/// must be bit-identical to the direct pipeline, the server must survive,
+/// and the entire run must replay identically from the same seeds.
+fn chaos_soak(name: &str) -> (Vec<String>, u64) {
+    let (direct_slots, direct_table) = reference_design();
+    let server = start(name, |config| {
+        config.workers = 2;
+        config.queue_depth = 8;
+        config.chaos = Some(ChaosConfig {
+            seed: 0xC4A05,
+            worker_panic_probability: 0.15,
+            worker_stall_probability: 0.05,
+            stall_ms: 50,
+            drop_connection_probability: 0.10,
+            truncate_response_probability: 0.05,
+            corrupt_response_probability: 0.05,
+        });
+    });
+    let mut client = DesignClient::new(server.socket_path()).with_retry_policy(fast_retries(7));
+
+    let design = match nominal_job() {
+        Job::Design(design) => design,
+        _ => unreachable!(),
+    };
+    let mut kinds = Vec::new();
+    for round in 0..30u64 {
+        let (job, options) = match round % 4 {
+            0 => (Job::Design(design.clone()), RequestOptions::default()),
+            1 => (
+                Job::Design(design.clone()),
+                RequestOptions { node_budget: 1, ..RequestOptions::default() },
+            ),
+            2 => (
+                Job::Sweep(SweepJob {
+                    design: design.clone(),
+                    cycle_lengths: vec![0.005, 0.01],
+                    static_slot_counts: vec![4, 10],
+                    slot_lengths: vec![],
+                }),
+                RequestOptions::default(),
+            ),
+            _ => (
+                Job::Campaign(CampaignJob {
+                    design: design.clone(),
+                    seed: round,
+                    drop_probabilities: vec![0.0, 0.3],
+                    scenarios_per_intensity: 2,
+                    duration: 0.5,
+                    alpha: 0.05,
+                }),
+                RequestOptions::default(),
+            ),
+        };
+        let outcome = client
+            .request(job, options)
+            .unwrap_or_else(|error| panic!("request {round} never went terminal: {error}"));
+        // Chaos corrupts transport, never answers: any delivered design is
+        // still bit-identical to the direct pipeline.
+        if let Outcome::Design(result) = &outcome {
+            if result.certified_optimal {
+                assert_slots_match(&result.slots, &direct_slots);
+                assert_tables_bit_identical(&result.table, &direct_table);
+            } else {
+                assert!(result.slots.len() >= direct_slots.len());
+            }
+        }
+        kinds.push(match &outcome {
+            Outcome::Design(result) => format!("design(certified={})", result.certified_optimal),
+            Outcome::Sweep(result) => format!("sweep(rows={})", result.rows.len()),
+            Outcome::Campaign(result) => format!("campaign(total={})", result.total),
+            Outcome::Busy => "busy".to_string(),
+            Outcome::Error { kind, .. } => format!("error({kind})"),
+        });
+    }
+    let stats = server.stats();
+    assert!(stats.worker_panics > 0, "the soak must actually exercise panic isolation");
+    assert!(
+        stats.requests > 30,
+        "retries must have re-entered the server (requests = {})",
+        stats.requests
+    );
+    (kinds, stats.worker_panics)
+}
+
+#[test]
+fn chaos_soak_terminates_every_request_and_replays_deterministically() {
+    let (first, first_panics) = chaos_soak("soak-a");
+    assert!(first.iter().all(|kind| !kind.starts_with("error(")
+        || kind.contains("deadline")), "no request may end in a non-deadline error: {first:?}");
+    // Same chaos seed, same request sequence, same jitter seed: the whole
+    // fault schedule — and therefore every terminal outcome — replays.
+    let (second, second_panics) = chaos_soak("soak-b");
+    assert_eq!(first, second, "the chaos soak must be deterministic");
+    assert_eq!(first_panics, second_panics);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Round trip: an arbitrary campaign request (floats, vectors, flags)
+    // encodes and decodes to itself exactly.
+    #[test]
+    fn wire_requests_round_trip(
+        id in 0usize..1_000_000,
+        deadline in 0usize..100_000,
+        budget in 0usize..1_000_000,
+        seed in 0usize..1_000_000,
+        drops in proptest::collection::vec(0.0f64..1.0, 0..6),
+        scenarios in 0usize..10_000,
+        duration in 0.01f64..10.0,
+        alpha in 0.001f64..0.5,
+    ) {
+        let request = automotive_cps::serve::Request {
+            id: id as u64,
+            deadline_ms: deadline as u32,
+            node_budget: budget as u64,
+            require_certified: seed % 2 == 0,
+            job: Job::Campaign(CampaignJob {
+                design: match nominal_job() { Job::Design(d) => d, _ => unreachable!() },
+                seed: seed as u64,
+                drop_probabilities: drops,
+                scenarios_per_intensity: scenarios as u64,
+                duration,
+                alpha,
+            }),
+        };
+        let decoded = automotive_cps::serve::Request::decode(&request.encode());
+        prop_assert_eq!(decoded.expect("round trip"), request);
+    }
+
+    // Adversarial decode: truncations and byte flips of a valid payload
+    // must produce a clean Ok/Err — never a panic, hang or huge allocation.
+    #[test]
+    fn mangled_wire_payloads_never_panic(
+        cut in 0.0f64..1.0,
+        flip_pos in 0.0f64..1.0,
+        flip_mask in 1usize..256,
+    ) {
+        let request = automotive_cps::serve::Request {
+            id: 7,
+            deadline_ms: 5,
+            node_budget: 9,
+            require_certified: true,
+            job: nominal_job(),
+        };
+        let bytes = request.encode();
+        let truncated = &bytes[..(cut * bytes.len() as f64) as usize];
+        let _ = automotive_cps::serve::Request::decode(truncated);
+        let mut flipped = bytes.clone();
+        let pos = (flip_pos * (bytes.len() - 1) as f64) as usize;
+        flipped[pos] ^= flip_mask as u8;
+        let _ = automotive_cps::serve::Request::decode(&flipped);
+        let _ = automotive_cps::serve::Response::decode(&flipped);
+        // Oversized collection counts must be rejected before allocating.
+        let mut huge = bytes;
+        huge[21] = 0xff;
+        huge[22] = 0xff;
+        huge[23] = 0xff;
+        prop_assert!(automotive_cps::serve::Request::decode(&huge).is_err());
+    }
+}

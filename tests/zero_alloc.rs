@@ -27,7 +27,9 @@ use automotive_cps::flexray::{FaultModel, FlexRayConfig, GilbertElliott};
 use automotive_cps::linalg::{
     expm_into, solve_dare_in_place, DareOptions, ExpmWorkspace, Matrix, RiccatiWorkspace,
 };
-use automotive_cps::sched::{AllocatorConfig, ModelKind, OptimalAllocator, WaitTimeMethod};
+use automotive_cps::sched::{
+    AllocatorConfig, CancelToken, ModelKind, OptimalAllocator, WaitTimeMethod,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -194,12 +196,19 @@ fn kernel_and_runtime_hot_paths_do_not_allocate() {
     // search itself — every inner node's schedulability check and
     // demand-relaxation bound included — must not. Solved repeatedly to
     // amplify any per-node allocation, across both wait-time methods and
-    // both safe dwell models.
+    // both safe dwell models. The fail-operational service arms every solve
+    // with a cancellation token and a node budget, so the search runs with
+    // both checkpoints live: each is an atomic load / counter compare and
+    // must stay allocation-free too (token construction is outside the
+    // measured window).
     let table = case_study::paper_table1();
+    let token = CancelToken::new();
     for model in [ModelKind::NonMonotonic, ModelKind::ConservativeMonotonic] {
         for method in [WaitTimeMethod::ClosedFormBound, WaitTimeMethod::ExactFixedPoint] {
             let config = AllocatorConfig { model, method, ..AllocatorConfig::default() };
             let mut solver = OptimalAllocator::new(&table, &config).expect("solver builds");
+            solver.set_cancel_token(Some(token.clone()));
+            solver.set_node_budget(Some(u64::MAX));
             // Warm-up solve (also proves idempotence below).
             let warm = solver.solve_in_place().expect("paper fleet is schedulable");
 
