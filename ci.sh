@@ -61,7 +61,8 @@ if [[ "${1:-}" == "perf" ]]; then
         --bench kernel_step \
         --bench scenario_throughput \
         --bench campaign_throughput \
-        --bench allocation_opt
+        --bench allocation_opt \
+        --bench service_roundtrip
     echo
     echo "BENCH_results.json:"
     cat BENCH_results.json
@@ -173,13 +174,23 @@ fi
 
 # The design-service suite carries every fail-operational guarantee the serve
 # crate makes (bit-identical nominal path, load shedding, panic isolation,
-# deterministic chaos replay); same reasoning, same gate.
-step "service suite is collected (tests/design_service.rs)"
-if ! cargo test -q -p automotive-cps --test design_service -- --list \
-        | grep ": test" > /dev/null; then
+# deterministic chaos replay); same reasoning, same gate. The scenario matrix
+# is transport-parameterised (every scenario once over Unix, once over TCP)
+# and includes the streaming campaign suite — verify each axis is still
+# collected by name, so a refactor can't silently drop a whole transport or
+# the streaming coverage.
+step "service suite is collected (tests/design_service.rs: unix + tcp + streaming)"
+service_tests="$(cargo test -q -p automotive-cps --test design_service -- --list)"
+if ! grep ": test" > /dev/null <<<"$service_tests"; then
     echo "ERROR: the design_service suite was skipped or is empty" >&2
     exit 1
 fi
+for axis in "_unix: test" "_tcp: test" "streamed_terminal_frame" "dropping_the_stream"; do
+    if ! grep -- "$axis" > /dev/null <<<"$service_tests"; then
+        echo "ERROR: design_service lost its '$axis' coverage axis" >&2
+        exit 1
+    fi
+done
 
 if [[ "${1:-}" == "quick" ]]; then
     echo "quick mode: skipping docs gate, clippy and bench smoke"

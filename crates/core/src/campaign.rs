@@ -323,6 +323,35 @@ impl RobustnessCampaign {
     /// Returns the first error in scenario order (a scenario with invalid
     /// parameters, or an engine failure); later chunks are cancelled.
     pub fn run<S: ScenarioSource + ?Sized>(&self, source: &S) -> Result<CampaignStats> {
+        self.run_with_progress(source, 0, |_| true)
+    }
+
+    /// Runs the campaign like [`RobustnessCampaign::run`], additionally
+    /// invoking `progress` with the partial aggregates roughly every `every`
+    /// scenarios (`0` never invokes it).
+    ///
+    /// The callback runs on the aggregator thread after a chunk has been
+    /// folded in, so each snapshot it sees is a *prefix* of the final result
+    /// in strict scenario order: totals are strictly monotone across calls,
+    /// and the aggregates the completed run returns are bit-identical
+    /// whether or not a callback was installed. Returning `false` cancels
+    /// the campaign cooperatively — workers stop at their next scenario
+    /// boundary and the run surfaces [`CoreError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RobustnessCampaign::run`], plus [`CoreError::Cancelled`] when
+    /// the callback asked to stop.
+    pub fn run_with_progress<S, F>(
+        &self,
+        source: &S,
+        every: u64,
+        mut progress: F,
+    ) -> Result<CampaignStats>
+    where
+        S: ScenarioSource + ?Sized,
+        F: FnMut(&CampaignStats) -> bool,
+    {
         let total = source.total();
         let mut stats = CampaignStats::new(source);
         if total == 0 {
@@ -420,6 +449,7 @@ impl RobustnessCampaign {
             drop(sender);
             let mut pending: BTreeMap<u64, Result<Vec<ScenarioMetrics>>> = BTreeMap::new();
             let mut next_chunk = 0u64;
+            let mut next_emit = if every > 0 { every } else { u64::MAX };
             'aggregate: while next_chunk < chunk_count {
                 let result = match pending.remove(&next_chunk) {
                     Some(result) => result,
@@ -453,6 +483,19 @@ impl RobustnessCampaign {
                             stats.families[metrics.family].absorb(metrics);
                         }
                         next_chunk += 1;
+                        // Progress checkpoint: at most one emission per chunk
+                        // (totals stay strictly monotone across snapshots),
+                        // and only on in-order prefixes of the final result.
+                        if stats.total >= next_emit && next_chunk < chunk_count {
+                            while next_emit <= stats.total {
+                                next_emit += every;
+                            }
+                            if !progress(&stats) {
+                                first_error = Some(CoreError::Cancelled);
+                                stop.store(true, Ordering::Relaxed);
+                                break 'aggregate;
+                            }
+                        }
                     }
                     Err(error) => {
                         // First error in scenario order: chunks are consumed

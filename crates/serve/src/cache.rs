@@ -3,19 +3,24 @@
 //!
 //! Design artifacts (a [`DesignedFleet`] plus its certification flag) are
 //! keyed by the FNV-1a content hash of the *canonical job encoding*
-//! ([`DesignJob::content_key`](crate::protocol::DesignJob::content_key)):
-//! two requests share an artifact exactly when their design-problem bytes
-//! agree. The cache is a bounded LRU; on overflow the least-recently-used
-//! entry is evicted, which bounds server memory under arbitrary request
-//! mixes.
+//! ([`DesignJob::content_key`](crate::protocol::DesignJob::content_key)) —
+//! but the hash is only the *address*, never the identity: every entry (and
+//! every in-flight computation) stores the canonical job bytes themselves,
+//! and a lookup compares them on a hash hit. Two distinct jobs whose 64-bit
+//! hashes collide therefore occupy separate bucket slots and can never
+//! share an artifact — a collision is a miss, not a wrong answer. The cache
+//! is a bounded LRU; on overflow the least-recently-used entry is evicted,
+//! which bounds server memory under arbitrary request mixes.
 //!
-//! *Single flight*: when K requests for the same key arrive concurrently,
+//! *Single flight*: when K requests for the same job arrive concurrently,
 //! exactly one becomes the **leader** ([`CacheOutcome::Lead`]) and computes;
 //! the others **join** ([`CacheOutcome::Join`]) and block on a channel the
-//! leader completes. A leader must *always* call [`ArtifactCache::complete`]
-//! — success or failure — or joiners would hang; the server wraps leader
-//! computation in `catch_unwind` and completes with an error on panic, so a
-//! panicking design can neither poison the cache nor strand its joiners.
+//! leader completes. Joining too verifies the full job bytes: a request
+//! whose job merely collides with an in-flight computation leads its own.
+//! A leader must *always* call [`ArtifactCache::complete`] — success or
+//! failure — or joiners would hang; the server wraps leader computation in
+//! `catch_unwind` and completes with an error on panic, so a panicking
+//! design can neither poison the cache nor strand its joiners.
 //!
 //! *Degradation hygiene*: a degraded (uncertified) artifact never
 //! overwrites a certified one, and a request with `require_certified`
@@ -42,28 +47,38 @@ pub type CacheResult = Result<Arc<DesignArtifact>, String>;
 
 /// The verdict of a cache lookup.
 pub enum CacheOutcome {
-    /// The artifact is cached; use it.
+    /// The artifact is cached (same hash *and* same job bytes); use it.
     Hit(Arc<DesignArtifact>),
-    /// Another request is computing this artifact right now; receive its
+    /// Another request is computing this exact job right now; receive its
     /// result from the channel.
     Join(Receiver<CacheResult>),
     /// This request leads: compute the artifact, then *always* call
-    /// [`ArtifactCache::complete`].
+    /// [`ArtifactCache::complete`] with the same key and job bytes.
     Lead,
 }
 
 struct Entry {
+    /// Canonical job bytes — the full identity behind the 64-bit address.
+    job: Vec<u8>,
     artifact: Arc<DesignArtifact>,
     last_used: u64,
 }
 
-struct CacheState {
-    tick: u64,
-    entries: HashMap<u64, Entry>,
-    in_flight: HashMap<u64, Vec<Sender<CacheResult>>>,
+struct InFlight {
+    job: Vec<u8>,
+    waiters: Vec<Sender<CacheResult>>,
 }
 
-/// Bounded LRU of design artifacts with single-flight deduplication.
+struct CacheState {
+    tick: u64,
+    len: usize,
+    /// Hash buckets: colliding jobs coexist instead of aliasing.
+    entries: HashMap<u64, Vec<Entry>>,
+    in_flight: HashMap<u64, Vec<InFlight>>,
+}
+
+/// Bounded LRU of design artifacts with single-flight deduplication and
+/// full-key (canonical job bytes) verification on every hit.
 pub struct ArtifactCache {
     capacity: usize,
     state: Mutex<CacheState>,
@@ -76,6 +91,7 @@ impl ArtifactCache {
             capacity: capacity.max(1),
             state: Mutex::new(CacheState {
                 tick: 0,
+                len: 0,
                 entries: HashMap::new(),
                 in_flight: HashMap::new(),
             }),
@@ -90,57 +106,97 @@ impl ArtifactCache {
         self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Looks up `key`, joining or leading the computation on a miss.
+    /// Looks up the job (addressed by `key`, identified by its canonical
+    /// bytes `job`), joining or leading the computation on a miss. A hash
+    /// hit whose stored bytes differ from `job` is a *miss* — never a
+    /// shared artifact.
     ///
     /// With `require_certified`, an uncertified cached artifact counts as a
     /// miss (the caller recomputes at full fidelity).
-    pub fn lookup_or_begin(&self, key: u64, require_certified: bool) -> CacheOutcome {
+    pub fn lookup_or_begin(&self, key: u64, job: &[u8], require_certified: bool) -> CacheOutcome {
         let mut state = self.lock();
         state.tick += 1;
         let tick = state.tick;
-        if let Some(entry) = state.entries.get_mut(&key) {
-            if entry.artifact.certified_optimal || !require_certified {
-                entry.last_used = tick;
-                return CacheOutcome::Hit(Arc::clone(&entry.artifact));
+        if let Some(bucket) = state.entries.get_mut(&key) {
+            if let Some(entry) = bucket.iter_mut().find(|entry| entry.job == job) {
+                if entry.artifact.certified_optimal || !require_certified {
+                    entry.last_used = tick;
+                    return CacheOutcome::Hit(Arc::clone(&entry.artifact));
+                }
             }
         }
-        if let Some(waiters) = state.in_flight.get_mut(&key) {
+        let bucket = state.in_flight.entry(key).or_default();
+        if let Some(flight) = bucket.iter_mut().find(|flight| flight.job == job) {
             let (sender, receiver) = channel();
-            waiters.push(sender);
+            flight.waiters.push(sender);
             return CacheOutcome::Join(receiver);
         }
-        state.in_flight.insert(key, Vec::new());
+        bucket.push(InFlight { job: job.to_vec(), waiters: Vec::new() });
         CacheOutcome::Lead
     }
 
     /// Publishes a leader's result: caches a success (unless it would
     /// overwrite a certified artifact with an uncertified one), evicts the
-    /// LRU entry on overflow, and wakes every joiner with the result.
-    pub fn complete(&self, key: u64, result: CacheResult) {
+    /// LRU entry on overflow, and wakes every joiner *of this exact job*
+    /// with the result.
+    pub fn complete(&self, key: u64, job: &[u8], result: CacheResult) {
         let waiters = {
             let mut state = self.lock();
             if let Ok(artifact) = &result {
                 state.tick += 1;
                 let tick = state.tick;
-                let keep_existing = state
-                    .entries
-                    .get(&key)
-                    .is_some_and(|e| e.artifact.certified_optimal && !artifact.certified_optimal);
-                if !keep_existing {
-                    state
-                        .entries
-                        .insert(key, Entry { artifact: Arc::clone(artifact), last_used: tick });
+                let bucket = state.entries.entry(key).or_default();
+                match bucket.iter_mut().find(|entry| entry.job == job) {
+                    Some(existing) => {
+                        // Certified artifacts are never downgraded by an
+                        // uncertified recompute.
+                        if !existing.artifact.certified_optimal || artifact.certified_optimal {
+                            existing.artifact = Arc::clone(artifact);
+                        }
+                        existing.last_used = tick;
+                    }
+                    None => {
+                        bucket.push(Entry {
+                            job: job.to_vec(),
+                            artifact: Arc::clone(artifact),
+                            last_used: tick,
+                        });
+                        state.len += 1;
+                    }
                 }
-                while state.entries.len() > self.capacity {
-                    let Some((&victim, _)) =
-                        state.entries.iter().min_by_key(|(_, entry)| entry.last_used)
+                while state.len > self.capacity {
+                    let Some((&victim_key, victim_pos)) = state
+                        .entries
+                        .iter()
+                        .flat_map(|(k, bucket)| {
+                            bucket.iter().enumerate().map(move |(pos, entry)| {
+                                ((k, pos), entry.last_used)
+                            })
+                        })
+                        .min_by_key(|&(_, last_used)| last_used)
+                        .map(|((k, pos), _)| (k, pos))
                     else {
                         break;
                     };
-                    state.entries.remove(&victim);
+                    let bucket = state.entries.get_mut(&victim_key).expect("victim bucket");
+                    bucket.remove(victim_pos);
+                    if bucket.is_empty() {
+                        state.entries.remove(&victim_key);
+                    }
+                    state.len -= 1;
                 }
             }
-            state.in_flight.remove(&key).unwrap_or_default()
+            let Some(bucket) = state.in_flight.get_mut(&key) else {
+                return;
+            };
+            let Some(pos) = bucket.iter().position(|flight| flight.job == job) else {
+                return;
+            };
+            let flight = bucket.remove(pos);
+            if bucket.is_empty() {
+                state.in_flight.remove(&key);
+            }
+            flight.waiters
         };
         for waiter in waiters {
             // A joiner that gave up (deadline) has dropped its receiver;
@@ -151,7 +207,7 @@ impl ArtifactCache {
 
     /// Cached artifact count (test/diagnostic hook).
     pub fn len(&self) -> usize {
-        self.lock().entries.len()
+        self.lock().len
     }
 
     /// Whether the cache holds no artifacts.
@@ -181,24 +237,75 @@ mod tests {
     #[test]
     fn leads_then_hits() {
         let cache = ArtifactCache::new(4);
-        assert!(matches!(cache.lookup_or_begin(1, false), CacheOutcome::Lead));
+        assert!(matches!(cache.lookup_or_begin(1, b"job-1", false), CacheOutcome::Lead));
         let built = artifact(true);
-        cache.complete(1, Ok(Arc::clone(&built)));
-        match cache.lookup_or_begin(1, false) {
+        cache.complete(1, b"job-1", Ok(Arc::clone(&built)));
+        match cache.lookup_or_begin(1, b"job-1", false) {
             CacheOutcome::Hit(cached) => assert!(Arc::ptr_eq(&cached, &built)),
             _ => panic!("expected a hit after completion"),
         }
     }
 
     #[test]
+    fn colliding_hashes_never_share_an_artifact() {
+        // Two *different* jobs with a fabricated identical 64-bit key: the
+        // regression the bare-hash cache failed — it served job A's fleet to
+        // job B. Full-key verification must treat the collision as a miss.
+        let cache = ArtifactCache::new(4);
+        let key = 0xDEAD_BEEF_u64;
+        assert!(matches!(cache.lookup_or_begin(key, b"job-a", false), CacheOutcome::Lead));
+        let artifact_a = artifact(true);
+        cache.complete(key, b"job-a", Ok(Arc::clone(&artifact_a)));
+
+        // The colliding job is a miss (Lead), not a wrong-artifact hit.
+        match cache.lookup_or_begin(key, b"job-b", false) {
+            CacheOutcome::Lead => {}
+            CacheOutcome::Hit(_) => panic!("hash collision served the wrong artifact"),
+            CacheOutcome::Join(_) => panic!("hash collision joined the wrong computation"),
+        }
+        let artifact_b = artifact(true);
+        cache.complete(key, b"job-b", Ok(Arc::clone(&artifact_b)));
+        assert_eq!(cache.len(), 2, "colliding jobs occupy separate bucket slots");
+
+        // Each job now hits its *own* artifact.
+        match cache.lookup_or_begin(key, b"job-a", false) {
+            CacheOutcome::Hit(cached) => assert!(Arc::ptr_eq(&cached, &artifact_a)),
+            _ => panic!("job A lost its artifact"),
+        }
+        match cache.lookup_or_begin(key, b"job-b", false) {
+            CacheOutcome::Hit(cached) => assert!(Arc::ptr_eq(&cached, &artifact_b)),
+            _ => panic!("job B lost its artifact"),
+        }
+    }
+
+    #[test]
+    fn colliding_hashes_never_join_anothers_flight() {
+        let cache = ArtifactCache::new(4);
+        let key = 42;
+        assert!(matches!(cache.lookup_or_begin(key, b"job-a", false), CacheOutcome::Lead));
+        // A colliding job must lead its own computation, not join A's.
+        assert!(matches!(cache.lookup_or_begin(key, b"job-b", false), CacheOutcome::Lead));
+        // A genuine duplicate of A still joins A's flight.
+        let CacheOutcome::Join(receiver_a) = cache.lookup_or_begin(key, b"job-a", false) else {
+            panic!("duplicate of the in-flight job must join");
+        };
+        // Completing B wakes nobody waiting on A.
+        cache.complete(key, b"job-b", Err("b failed".to_string()));
+        let built = artifact(true);
+        cache.complete(key, b"job-a", Ok(Arc::clone(&built)));
+        let joined = receiver_a.recv().unwrap().unwrap();
+        assert!(Arc::ptr_eq(&joined, &built), "joiner must receive its own job's artifact");
+    }
+
+    #[test]
     fn joiners_receive_the_leaders_result() {
         let cache = ArtifactCache::new(4);
-        assert!(matches!(cache.lookup_or_begin(9, false), CacheOutcome::Lead));
-        let CacheOutcome::Join(receiver) = cache.lookup_or_begin(9, false) else {
+        assert!(matches!(cache.lookup_or_begin(9, b"job", false), CacheOutcome::Lead));
+        let CacheOutcome::Join(receiver) = cache.lookup_or_begin(9, b"job", false) else {
             panic!("second lookup must join the in-flight computation");
         };
         let built = artifact(true);
-        cache.complete(9, Ok(Arc::clone(&built)));
+        cache.complete(9, b"job", Ok(Arc::clone(&built)));
         let joined = receiver.recv().unwrap().unwrap();
         assert!(Arc::ptr_eq(&joined, &built));
     }
@@ -206,52 +313,53 @@ mod tests {
     #[test]
     fn failed_leads_propagate_and_do_not_cache() {
         let cache = ArtifactCache::new(4);
-        assert!(matches!(cache.lookup_or_begin(5, false), CacheOutcome::Lead));
-        let CacheOutcome::Join(receiver) = cache.lookup_or_begin(5, false) else {
+        assert!(matches!(cache.lookup_or_begin(5, b"job", false), CacheOutcome::Lead));
+        let CacheOutcome::Join(receiver) = cache.lookup_or_begin(5, b"job", false) else {
             panic!("expected join");
         };
-        cache.complete(5, Err("design failed".to_string()));
+        cache.complete(5, b"job", Err("design failed".to_string()));
         assert_eq!(receiver.recv().unwrap().unwrap_err(), "design failed");
         assert!(cache.is_empty());
         // The key is computable again — failure did not poison it.
-        assert!(matches!(cache.lookup_or_begin(5, false), CacheOutcome::Lead));
+        assert!(matches!(cache.lookup_or_begin(5, b"job", false), CacheOutcome::Lead));
     }
 
     #[test]
     fn lru_evicts_the_coldest_entry() {
         let cache = ArtifactCache::new(2);
         for key in [1, 2] {
-            assert!(matches!(cache.lookup_or_begin(key, false), CacheOutcome::Lead));
-            cache.complete(key, Ok(artifact(true)));
+            let job = [key as u8];
+            assert!(matches!(cache.lookup_or_begin(key, &job, false), CacheOutcome::Lead));
+            cache.complete(key, &job, Ok(artifact(true)));
         }
         // Touch key 1 so key 2 is the LRU victim.
-        assert!(matches!(cache.lookup_or_begin(1, false), CacheOutcome::Hit(_)));
-        assert!(matches!(cache.lookup_or_begin(3, false), CacheOutcome::Lead));
-        cache.complete(3, Ok(artifact(true)));
+        assert!(matches!(cache.lookup_or_begin(1, &[1], false), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(3, &[3], false), CacheOutcome::Lead));
+        cache.complete(3, &[3], Ok(artifact(true)));
         assert_eq!(cache.len(), 2);
-        assert!(matches!(cache.lookup_or_begin(1, false), CacheOutcome::Hit(_)));
-        assert!(matches!(cache.lookup_or_begin(2, false), CacheOutcome::Lead));
-        cache.complete(2, Ok(artifact(true)));
+        assert!(matches!(cache.lookup_or_begin(1, &[1], false), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(2, &[2], false), CacheOutcome::Lead));
+        cache.complete(2, &[2], Ok(artifact(true)));
     }
 
     #[test]
     fn certified_entries_survive_uncertified_completions() {
         let cache = ArtifactCache::new(4);
-        assert!(matches!(cache.lookup_or_begin(7, false), CacheOutcome::Lead));
+        assert!(matches!(cache.lookup_or_begin(7, b"seven", false), CacheOutcome::Lead));
         let certified = artifact(true);
-        cache.complete(7, Ok(Arc::clone(&certified)));
+        cache.complete(7, b"seven", Ok(Arc::clone(&certified)));
         // A later degraded computation of the same key must not downgrade it.
-        assert!(matches!(cache.lookup_or_begin(7, true), CacheOutcome::Hit(_)));
-        assert!(matches!(cache.lookup_or_begin(8, false), CacheOutcome::Lead));
-        cache.complete(8, Ok(artifact(false)));
-        cache.complete(7, Ok(artifact(false)));
-        match cache.lookup_or_begin(7, false) {
+        assert!(matches!(cache.lookup_or_begin(7, b"seven", true), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(8, b"eight", false), CacheOutcome::Lead));
+        cache.complete(8, b"eight", Ok(artifact(false)));
+        cache.complete(7, b"seven", Ok(artifact(false)));
+        match cache.lookup_or_begin(7, b"seven", false) {
             CacheOutcome::Hit(cached) => assert!(cached.certified_optimal),
             _ => panic!("certified artifact must survive"),
         }
         // require_certified treats the uncertified key 8 as a miss.
-        assert!(matches!(cache.lookup_or_begin(8, true), CacheOutcome::Lead));
-        cache.complete(8, Ok(artifact(true)));
-        assert!(matches!(cache.lookup_or_begin(8, true), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(8, b"eight", true), CacheOutcome::Lead));
+        cache.complete(8, b"eight", Ok(artifact(true)));
+        assert!(matches!(cache.lookup_or_begin(8, b"eight", true), CacheOutcome::Hit(_)));
     }
 }

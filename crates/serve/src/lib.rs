@@ -2,24 +2,30 @@
 //!
 //! The fail-operational design service of the DATE 2019 reproduction: a
 //! long-running server that executes fleet-design, bus-geometry-sweep and
-//! robustness-campaign jobs over a Unix-domain socket, engineered to keep
-//! answering under deadline pressure, overload, worker panics and injected
-//! connection faults.
+//! robustness-campaign jobs over a Unix-domain socket — and, optionally, a
+//! TCP listener beside it — engineered to keep answering under deadline
+//! pressure, overload, worker panics and injected connection faults.
 //!
 //! - [`protocol`] — the hand-rolled length-prefixed binary wire format:
 //!   bit-exact `f64` transport, bounds-checked decoding that can neither
-//!   panic nor over-allocate on malformed input, and FNV-1a content keys
-//!   for artifact addressing.
+//!   panic nor over-allocate on malformed input, FNV-1a content keys for
+//!   artifact addressing, and non-terminal [`Outcome::Progress`] frames
+//!   for streamed campaign statistics.
 //! - [`ArtifactCache`] — bounded LRU of [`DesignArtifact`]s with
 //!   single-flight deduplication (K identical concurrent requests compute
-//!   once).
-//! - [`DesignServer`] / [`ServerHandle`] — `std::thread` worker pool,
+//!   once); entries are verified against the full canonical job bytes, so
+//!   a 64-bit hash collision is a miss, never a shared artifact.
+//! - [`DesignServer`] / [`ServerHandle`] — transport-generic accept loops
+//!   (Unix + TCP over one worker pool) with capped accept-error backoff
+//!   and handler-registry quiescent shutdown; `std::thread` worker pool,
 //!   bounded job queue with [`Outcome::Busy`] load shedding, deadline
 //!   watchdog driving cooperative [`cps_sched::CancelToken`] cancellation
 //!   through the allocator / designer / campaign kernels, and
 //!   `catch_unwind` panic isolation.
-//! - [`DesignClient`] / [`RetryPolicy`] — one connection per attempt,
-//!   exponential backoff with deterministic [`cps_flexray::SimRng`] jitter.
+//! - [`DesignClient`] / [`RetryPolicy`] — pooled persistent connections
+//!   with poisoned-connection eviction, exponential backoff with
+//!   deterministic [`cps_flexray::SimRng`] jitter, and a streaming
+//!   [`CampaignStream`] whose drop cancels the campaign server-side.
 //! - [`ChaosConfig`] — deterministic fault injection (worker panics and
 //!   stalls, dropped/truncated/corrupted responses) keyed by
 //!   `(seed, request serial)` for exactly reproducible soak tests.
@@ -43,10 +49,11 @@ mod server;
 
 pub use cache::{ArtifactCache, CacheOutcome, CacheResult, DesignArtifact};
 pub use chaos::{ChaosConfig, ChaosPlan};
-pub use client::{DesignClient, RequestOptions, RetryPolicy};
+pub use client::{CampaignStream, DesignClient, Endpoint, RequestOptions, RetryPolicy};
 pub use error::ServeError;
 pub use protocol::{
-    CampaignJob, CampaignResult, DesignJob, DesignResult, ErrorKind, FamilyReadout, Job, Outcome,
-    Request, Response, SweepJob, SweepResult, SweepRow, WireError, MAX_FRAME,
+    CampaignJob, CampaignProgress, CampaignResult, DesignJob, DesignResult, ErrorKind,
+    FamilyProgress, FamilyReadout, Job, Outcome, Request, Response, SweepJob, SweepResult,
+    SweepRow, WireError, MAX_FRAME,
 };
 pub use server::{design_job, DesignServer, ServerConfig, ServerHandle, StatsSnapshot};

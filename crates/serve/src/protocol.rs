@@ -378,6 +378,10 @@ pub struct CampaignJob {
     pub duration: f64,
     /// Two-sided confidence level `1 − alpha` of the settling readout.
     pub alpha: f64,
+    /// Emit a non-terminal [`Outcome::Progress`] frame roughly every this
+    /// many aggregated scenarios; `0` sends only the terminal frame. The
+    /// terminal frame is bit-identical either way.
+    pub progress_every: u64,
 }
 
 /// Wire form of a dense matrix (row-major, bit-exact `f64`s).
@@ -864,6 +868,7 @@ impl Job {
                 w.put_u64(campaign.scenarios_per_intensity);
                 w.put_f64(campaign.duration);
                 w.put_f64(campaign.alpha);
+                w.put_u64(campaign.progress_every);
             }
         }
     }
@@ -887,6 +892,7 @@ impl Job {
                 scenarios_per_intensity: r.u64()?,
                 duration: r.f64()?,
                 alpha: r.f64()?,
+                progress_every: r.u64()?,
             })),
             _ => Err(WireError::Invalid { what: "job tag" }),
         }
@@ -1067,7 +1073,57 @@ pub struct CampaignResult {
     pub families: Vec<FamilyReadout>,
 }
 
+/// An online snapshot of one scenario family mid-campaign: the Welford
+/// moments, P² quantile sketches and Clopper–Pearson interval the
+/// aggregator maintains anyway, captured at a chunk boundary. Quantile
+/// estimates are `None` until the sketch has observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyProgress {
+    /// Family label.
+    pub label: String,
+    /// Scenarios aggregated so far.
+    pub scenarios: u64,
+    /// Scenarios in which every application settled within the horizon.
+    pub settled: u64,
+    /// Scenarios in which every application met its deadline.
+    pub deadlines_met: u64,
+    /// Running mean of the fleet settling time (settled scenarios only).
+    pub settling_mean: f64,
+    /// P² estimate of the median settling time.
+    pub settling_p50: Option<f64>,
+    /// P² estimate of the 95th-percentile settling time.
+    pub settling_p95: Option<f64>,
+    /// Running mean of the peak plant-state deviation.
+    pub peak_mean: f64,
+    /// P² estimate of the 95th-percentile peak deviation.
+    pub peak_p95: Option<f64>,
+    /// Running mean of the TT (static-slot) utilisation share.
+    pub tt_share_mean: f64,
+    /// Point estimate of P(settle ≤ deadline) so far.
+    pub estimate: f64,
+    /// Clopper–Pearson lower confidence bound so far.
+    pub lower: f64,
+    /// Clopper–Pearson upper confidence bound so far.
+    pub upper: f64,
+}
+
+/// A non-terminal streaming frame: the campaign's partial aggregates after
+/// `total` scenarios. A client watching the stream can stop the sweep early
+/// the moment the confidence interval resolves its question — the
+/// statistical-model-checking usage pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignProgress {
+    /// Scenarios aggregated so far (strictly monotone across frames).
+    pub total: u64,
+    /// Per-family online snapshots, in family order.
+    pub families: Vec<FamilyProgress>,
+}
+
 /// The terminal verdict of one request.
+///
+/// All variants except [`Outcome::Progress`] are *terminal*: a request is
+/// answered by zero or more `Progress` frames (streaming campaigns only)
+/// followed by exactly one terminal frame carrying the same request id.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
     /// A design answer.
@@ -1085,6 +1141,15 @@ pub enum Outcome {
         /// Human-readable description.
         message: String,
     },
+    /// A non-terminal partial-campaign snapshot (streaming only).
+    Progress(CampaignProgress),
+}
+
+impl Outcome {
+    /// Whether this outcome ends its request's frame sequence.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Outcome::Progress(_))
+    }
 }
 
 /// One design-service response.
@@ -1094,6 +1159,24 @@ pub struct Response {
     pub id: u64,
     /// The terminal verdict.
     pub outcome: Outcome,
+}
+
+fn encode_opt_f64(value: Option<f64>, w: &mut WireWriter) {
+    match value {
+        None => w.put_u8(0),
+        Some(value) => {
+            w.put_u8(1);
+            w.put_f64(value);
+        }
+    }
+}
+
+fn decode_opt_f64(r: &mut WireReader<'_>) -> WireResult<Option<f64>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.f64()?)),
+        _ => Err(WireError::Invalid { what: "optional-f64 tag" }),
+    }
 }
 
 fn encode_timing_row(row: &AppTimingParams, w: &mut WireWriter) {
@@ -1179,6 +1262,26 @@ impl Response {
                 w.put_u8(kind.tag());
                 w.put_str(message);
             }
+            Outcome::Progress(progress) => {
+                w.put_u8(5);
+                w.put_u64(progress.total);
+                w.put_u32(progress.families.len() as u32);
+                for family in &progress.families {
+                    w.put_str(&family.label);
+                    w.put_u64(family.scenarios);
+                    w.put_u64(family.settled);
+                    w.put_u64(family.deadlines_met);
+                    w.put_f64(family.settling_mean);
+                    encode_opt_f64(family.settling_p50, &mut w);
+                    encode_opt_f64(family.settling_p95, &mut w);
+                    w.put_f64(family.peak_mean);
+                    encode_opt_f64(family.peak_p95, &mut w);
+                    w.put_f64(family.tt_share_mean);
+                    w.put_f64(family.estimate);
+                    w.put_f64(family.lower);
+                    w.put_f64(family.upper);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -1244,6 +1347,30 @@ impl Response {
             }
             3 => Outcome::Busy,
             4 => Outcome::Error { kind: ErrorKind::from_tag(r.u8()?)?, message: r.str()? },
+            5 => {
+                let total = r.u64()?;
+                let count = r.len(8)?;
+                let families = (0..count)
+                    .map(|_| {
+                        Ok(FamilyProgress {
+                            label: r.str()?,
+                            scenarios: r.u64()?,
+                            settled: r.u64()?,
+                            deadlines_met: r.u64()?,
+                            settling_mean: r.f64()?,
+                            settling_p50: decode_opt_f64(&mut r)?,
+                            settling_p95: decode_opt_f64(&mut r)?,
+                            peak_mean: r.f64()?,
+                            peak_p95: decode_opt_f64(&mut r)?,
+                            tt_share_mean: r.f64()?,
+                            estimate: r.f64()?,
+                            lower: r.f64()?,
+                            upper: r.f64()?,
+                        })
+                    })
+                    .collect::<WireResult<Vec<_>>>()?;
+                Outcome::Progress(CampaignProgress { total, families })
+            }
             _ => return Err(WireError::Invalid { what: "outcome tag" }),
         };
         r.finish()?;
@@ -1304,6 +1431,7 @@ mod tests {
                 scenarios_per_intensity: 3,
                 duration: 1.0,
                 alpha: 0.05,
+                progress_every: 16,
             }),
         };
         assert_eq!(Request::decode(&campaign.encode()).unwrap(), campaign);
@@ -1359,6 +1487,27 @@ mod tests {
                     kind: ErrorKind::DeadlineExceeded,
                     message: "deadline expired".to_string(),
                 },
+            },
+            Response {
+                id: 8,
+                outcome: Outcome::Progress(CampaignProgress {
+                    total: 24,
+                    families: vec![FamilyProgress {
+                        label: "drop p=0.200".to_string(),
+                        scenarios: 12,
+                        settled: 11,
+                        deadlines_met: 10,
+                        settling_mean: 3.25,
+                        settling_p50: Some(3.0),
+                        settling_p95: None,
+                        peak_mean: 0.8,
+                        peak_p95: Some(1.1),
+                        tt_share_mean: 0.4,
+                        estimate: 10.0 / 12.0,
+                        lower: 0.51,
+                        upper: 0.97,
+                    }],
+                }),
             },
         ];
         for response in samples {

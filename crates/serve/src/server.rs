@@ -1,7 +1,8 @@
 //! The fail-operational design server.
 //!
-//! A [`DesignServer`] listens on a Unix-domain socket and executes design /
-//! sweep / campaign jobs on a bounded worker pool, wrapped in four
+//! A [`DesignServer`] listens on a Unix-domain socket — and, when
+//! [`ServerConfig::tcp_addr`] is set, a TCP socket beside it — and executes
+//! design / sweep / campaign jobs on a bounded worker pool, wrapped in four
 //! robustness layers:
 //!
 //! 1. **Deadlines** — a watchdog thread flips a per-request [`CancelToken`]
@@ -26,6 +27,22 @@
 //!    single-flight joiners are never stranded and no partial artifact is
 //!    cached.
 //!
+//! Both transports share one accept path: `accept_loop` and
+//! `handle_connection` are generic over the stream (`Read + Write`), so the
+//! Unix and TCP listeners differ only in how a connection is produced. The
+//! accept loop backs off (capped exponential sleep) on persistent accept
+//! errors — EMFILE must not pin a core — and every live handler is tracked
+//! in a registry so [`ServerHandle::shutdown`] is quiescent (no handler
+//! mid-write) before the listening sockets are removed.
+//!
+//! A campaign request with `progress_every > 0` is answered as a *stream*:
+//! zero or more non-terminal [`Outcome::Progress`] frames (per-family
+//! statistics snapshots) followed by exactly one terminal frame that is
+//! bit-identical to the single response a non-streamed request would get.
+//! When the client stops reading (drops its stream), the next progress
+//! write fails and the handler fires the job's [`CancelToken`] — early
+//! cancellation costs at most one emission interval of extra compute.
+//!
 //! Everything is `std` — threads, channels, condvars — because the build
 //! environment has no async runtime. Nominal-path responses (no deadline
 //! pressure, no chaos) are bit-identical to calling the design pipeline
@@ -35,21 +52,25 @@
 use crate::cache::{ArtifactCache, CacheOutcome, DesignArtifact};
 use crate::chaos::{ChaosConfig, ChaosPlan};
 use crate::protocol::{
-    read_frame, write_frame, CampaignJob, CampaignResult, DesignJob, DesignResult, ErrorKind,
-    FamilyReadout, Job, Outcome, Request, Response, SweepJob, SweepResult, SweepRow,
+    read_frame, write_frame, CampaignJob, CampaignProgress, CampaignResult, DesignJob,
+    DesignResult, ErrorKind, FamilyProgress, FamilyReadout, Job, Outcome, Request, Response,
+    SweepJob, SweepResult, SweepRow,
 };
-use cps_core::{ApplicationSpec, CoreError, FleetDesigner, RobustnessCampaign, RobustnessSweep};
 use cps_core::BusConfigSweep;
+use cps_core::{
+    ApplicationSpec, CampaignStats, CoreError, FleetDesigner, RobustnessCampaign, RobustnessSweep,
+};
 use cps_flexray::FlexRayConfig;
 use cps_sched::{AllocatorConfig, CancelToken, OptimalAllocator, SchedError};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::io::Write as _;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -60,6 +81,10 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Unix-domain socket path (a stale file is removed on bind).
     pub socket_path: PathBuf,
+    /// Optional TCP listen address served *beside* the Unix socket; both
+    /// transports feed the same worker pool, cache and stats. Bind to port
+    /// 0 and read the resolved address from [`ServerHandle::tcp_addr`].
+    pub tcp_addr: Option<SocketAddr>,
     /// Worker threads executing jobs.
     pub workers: usize,
     /// Bounded job-queue depth; a full queue sheds with [`Outcome::Busy`].
@@ -74,11 +99,12 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// A configuration with defaults (2 workers, queue depth 16, cache 32,
-    /// 2 s grace, no chaos).
+    /// A configuration with defaults (Unix transport only, 2 workers,
+    /// queue depth 16, cache 32, 2 s grace, no chaos).
     pub fn new(socket_path: impl Into<PathBuf>) -> Self {
         ServerConfig {
             socket_path: socket_path.into(),
+            tcp_addr: None,
             workers: 2,
             queue_depth: 16,
             cache_capacity: 32,
@@ -91,8 +117,10 @@ impl ServerConfig {
 /// A point-in-time copy of the server's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Connections accepted.
+    /// Connections accepted (both transports).
     pub connections: u64,
+    /// `accept()` failures absorbed by the backoff loop.
+    pub accept_errors: u64,
     /// Requests decoded.
     pub requests: u64,
     /// Requests shed with [`Outcome::Busy`].
@@ -109,11 +137,16 @@ pub struct StatsSnapshot {
     pub deadline_expired: u64,
     /// Malformed frames / payloads rejected.
     pub protocol_errors: u64,
+    /// Non-terminal [`Outcome::Progress`] frames written.
+    pub progress_frames: u64,
+    /// Streams cancelled because the client stopped reading mid-campaign.
+    pub streams_cancelled: u64,
 }
 
 #[derive(Default)]
 struct ServerStats {
     connections: AtomicU64,
+    accept_errors: AtomicU64,
     requests: AtomicU64,
     shed: AtomicU64,
     designs_computed: AtomicU64,
@@ -122,12 +155,15 @@ struct ServerStats {
     worker_panics: AtomicU64,
     deadline_expired: AtomicU64,
     protocol_errors: AtomicU64,
+    progress_frames: AtomicU64,
+    streams_cancelled: AtomicU64,
 }
 
 impl ServerStats {
     fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             designs_computed: self.designs_computed.load(Ordering::Relaxed),
@@ -136,7 +172,150 @@ impl ServerStats {
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            progress_frames: self.progress_frames.load(Ordering::Relaxed),
+            streams_cancelled: self.streams_cancelled.load(Ordering::Relaxed),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/// A closure that force-closes a connection from another thread (shutdown
+/// uses it to wake handlers blocked in `read`).
+type Closer = Box<dyn Fn() + Send + Sync>;
+
+/// A listener the generic accept loop can drive. The stream only needs
+/// `Read + Write` — the framing in [`crate::protocol`] is already
+/// transport-agnostic — plus a way to mint a [`Closer`].
+trait ServeTransport: Send + 'static {
+    /// The connection stream this transport produces.
+    type Stream: Read + Write + Send + 'static;
+    /// Accepts one connection.
+    fn accept_stream(&self) -> std::io::Result<Self::Stream>;
+    /// A handle that forces `stream` closed from another thread; `None`
+    /// when the handle cannot be cloned (the handler then exits on its own
+    /// at the next read).
+    fn closer(stream: &Self::Stream) -> Option<Closer>;
+}
+
+impl ServeTransport for UnixListener {
+    type Stream = UnixStream;
+
+    fn accept_stream(&self) -> std::io::Result<UnixStream> {
+        self.accept().map(|(stream, _)| stream)
+    }
+
+    fn closer(stream: &UnixStream) -> Option<Closer> {
+        let clone = stream.try_clone().ok()?;
+        Some(Box::new(move || {
+            let _ = clone.shutdown(Shutdown::Both);
+        }))
+    }
+}
+
+impl ServeTransport for TcpListener {
+    type Stream = TcpStream;
+
+    fn accept_stream(&self) -> std::io::Result<TcpStream> {
+        let (stream, _) = self.accept()?;
+        // Request/response frames are small and latency-bound; never trade
+        // a frame's latency for Nagle coalescing.
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn closer(stream: &TcpStream) -> Option<Closer> {
+        let clone = stream.try_clone().ok()?;
+        Some(Box::new(move || {
+            let _ = clone.shutdown(Shutdown::Both);
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handler registry (quiescent shutdown)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct HandlerState {
+    next: u64,
+    live: HashMap<u64, Option<Closer>>,
+}
+
+/// Tracks live connection handlers so shutdown can (a) force their streams
+/// closed — waking any handler blocked in `read` — and (b) wait until every
+/// handler has actually exited before the listening sockets are removed.
+#[derive(Default)]
+struct Handlers {
+    state: Mutex<HandlerState>,
+    quiesced: Condvar,
+}
+
+impl Handlers {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HandlerState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn register(&self, closer: Option<Closer>) -> u64 {
+        let mut state = self.lock();
+        let id = state.next;
+        state.next += 1;
+        state.live.insert(id, closer);
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        let mut state = self.lock();
+        state.live.remove(&id);
+        if state.live.is_empty() {
+            self.quiesced.notify_all();
+        }
+    }
+
+    fn live(&self) -> usize {
+        self.lock().live.len()
+    }
+
+    /// Force-closes every live handler's stream (wakes blocked reads with
+    /// EOF / an error).
+    fn close_all(&self) {
+        let state = self.lock();
+        for closer in state.live.values().flatten() {
+            closer();
+        }
+    }
+
+    /// Waits until every handler has exited, or `timeout` elapses. Returns
+    /// whether quiescence was reached.
+    fn wait_quiescent(&self, timeout: Duration) -> bool {
+        let give_up = Instant::now() + timeout;
+        let mut state = self.lock();
+        while !state.live.is_empty() {
+            let now = Instant::now();
+            if now >= give_up {
+                return false;
+            }
+            state = self
+                .quiesced
+                .wait_timeout(state, give_up - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .0;
+        }
+        true
+    }
+}
+
+/// Deregisters a handler even if `handle_connection` panics.
+struct HandlerGuard<'a> {
+    handlers: &'a Handlers,
+    id: u64,
+}
+
+impl Drop for HandlerGuard<'_> {
+    fn drop(&mut self) {
+        self.handlers.deregister(self.id);
     }
 }
 
@@ -224,11 +403,18 @@ impl Watchdog {
 // Worker pool
 // ---------------------------------------------------------------------------
 
+/// Response-channel depth: room for a few in-flight progress frames before
+/// the worker blocks on the handler's write — bounded memory, natural
+/// backpressure.
+const RESPOND_DEPTH: usize = 4;
+
 struct JobEnvelope {
     request: Request,
     plan: ChaosPlan,
     stall_ms: u64,
     token: CancelToken,
+    /// Carries zero or more non-terminal [`Outcome::Progress`] values,
+    /// then exactly one terminal outcome.
     respond: SyncSender<Outcome>,
 }
 
@@ -236,6 +422,7 @@ struct Shared {
     config: ServerConfig,
     stats: ServerStats,
     cache: ArtifactCache,
+    handlers: Handlers,
     serial: AtomicU64,
     shutdown: AtomicBool,
     watchdog: Watchdog,
@@ -248,23 +435,33 @@ pub struct DesignServer;
 /// handle shuts the server down.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    accepts: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
 }
 
 impl DesignServer {
-    /// Binds the socket and starts the accept loop, worker pool and
-    /// deadline watchdog.
+    /// Binds the Unix socket (and the TCP listener when
+    /// [`ServerConfig::tcp_addr`] is set) and starts the accept loops,
+    /// worker pool and deadline watchdog.
     ///
     /// # Errors
     ///
-    /// I/O errors binding the socket.
+    /// I/O errors binding either socket.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         // A stale socket file from a crashed predecessor would make bind
         // fail; a server that exists to survive faults removes it.
         let _ = std::fs::remove_file(&config.socket_path);
         let listener = UnixListener::bind(&config.socket_path)?;
+        let tcp_listener = match config.tcp_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let tcp_addr = match &tcp_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
 
         let workers = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
@@ -275,6 +472,7 @@ impl DesignServer {
             cache: ArtifactCache::new(config.cache_capacity),
             config,
             stats: ServerStats::default(),
+            handlers: Handlers::default(),
             serial: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             watchdog: Watchdog::default(),
@@ -293,19 +491,37 @@ impl DesignServer {
             })
             .collect();
 
-        let accept = {
+        let mut accepts = Vec::new();
+        {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || accept_loop(&shared, &listener, &job_tx))
-        };
+            let job_tx = job_tx.clone();
+            accepts.push(thread::spawn(move || accept_loop(&shared, &listener, &job_tx)));
+        }
+        if let Some(tcp_listener) = tcp_listener {
+            let shared = Arc::clone(&shared);
+            accepts.push(thread::spawn(move || accept_loop(&shared, &tcp_listener, &job_tx)));
+        }
 
-        Ok(ServerHandle { shared, accept: Some(accept), workers: worker_handles, watchdog: Some(watchdog) })
+        Ok(ServerHandle {
+            shared,
+            tcp_addr,
+            accepts,
+            workers: worker_handles,
+            watchdog: Some(watchdog),
+        })
     }
 }
 
 impl ServerHandle {
-    /// The socket path clients connect to.
+    /// The socket path Unix clients connect to.
     pub fn socket_path(&self) -> &Path {
         &self.shared.config.socket_path
+    }
+
+    /// The resolved TCP address (ports requested as 0 come back concrete);
+    /// `None` when the server is Unix-only.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
     }
 
     /// A snapshot of the server counters.
@@ -318,18 +534,33 @@ impl ServerHandle {
         self.shared.cache.len()
     }
 
-    /// Stops accepting, drains the worker pool and removes the socket file.
-    /// Idempotent.
+    /// Live connection-handler count (diagnostic; 0 after shutdown).
+    pub fn live_handlers(&self) -> usize {
+        self.shared.handlers.live()
+    }
+
+    /// Stops accepting, force-closes live connections, waits until every
+    /// handler has exited, drains the worker pool and removes the socket
+    /// file — quiescent, not merely signalled. Idempotent.
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The accept loop blocks in `accept()`; a throwaway connection
-        // wakes it so it can observe the flag.
+        // The accept loops block in `accept()`; a throwaway connection per
+        // transport wakes each so it can observe the flag.
         let _ = UnixStream::connect(&self.shared.config.socket_path);
-        if let Some(accept) = self.accept.take() {
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }
+        for accept in self.accepts.drain(..) {
             let _ = accept.join();
         }
+        // Wake handlers blocked in `read`; the ones waiting on workers
+        // observe the shutdown flag within one poll slice. The wait is
+        // bounded — a wedged handler must not wedge shutdown itself.
+        self.shared.handlers.close_all();
+        let quiesce = self.shared.config.grace + Duration::from_secs(5);
+        let _ = self.shared.handlers.wait_quiescent(quiesce);
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -351,24 +582,57 @@ impl Drop for ServerHandle {
 // Accept / connection handling
 // ---------------------------------------------------------------------------
 
-fn accept_loop(shared: &Arc<Shared>, listener: &UnixListener, job_tx: &SyncSender<JobEnvelope>) {
+/// First backoff after an accept error.
+const ACCEPT_BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Backoff ceiling — long enough to unpin the core, short enough that
+/// recovery (and shutdown) stay responsive.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+fn accept_backoff(consecutive_errors: u32) -> Duration {
+    ACCEPT_BACKOFF_BASE
+        .saturating_mul(2u32.saturating_pow(consecutive_errors.saturating_sub(1).min(16)))
+        .min(ACCEPT_BACKOFF_CAP)
+}
+
+fn accept_loop<T: ServeTransport>(
+    shared: &Arc<Shared>,
+    listener: &T,
+    job_tx: &SyncSender<JobEnvelope>,
+) {
+    let mut consecutive_errors = 0u32;
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
+        let stream = match listener.accept_stream() {
+            Ok(stream) => {
+                consecutive_errors = 0;
+                stream
             }
-            continue;
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent error (EMFILE, a revoked listener) must not
+                // busy-spin: sleep with capped exponential backoff, reset
+                // on the next successful accept.
+                shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                consecutive_errors = consecutive_errors.saturating_add(1);
+                thread::sleep(accept_backoff(consecutive_errors));
+                continue;
+            }
         };
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let handler_id = shared.handlers.register(T::closer(&stream));
         let shared = Arc::clone(shared);
         let job_tx = job_tx.clone();
-        // Handlers are detached: each one lives exactly as long as its
-        // connection (clients close after every exchange), and a handler
-        // blocked in read wakes with EOF the moment its peer goes away.
-        thread::spawn(move || handle_connection(&shared, stream, &job_tx));
+        // Handlers are detached threads, but *registered*: shutdown
+        // force-closes their streams and waits for the registry to drain,
+        // so no handler is still mid-write when the sockets are removed.
+        thread::spawn(move || {
+            let _guard = HandlerGuard { handlers: &shared.handlers, id: handler_id };
+            handle_connection(&shared, stream, &job_tx);
+        });
     }
 }
 
@@ -376,7 +640,11 @@ fn error_outcome(kind: ErrorKind, message: impl Into<String>) -> Outcome {
     Outcome::Error { kind, message: message.into() }
 }
 
-fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream, job_tx: &SyncSender<JobEnvelope>) {
+fn handle_connection<S: Read + Write>(
+    shared: &Arc<Shared>,
+    mut stream: S,
+    job_tx: &SyncSender<JobEnvelope>,
+) {
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(Some(payload)) => payload,
@@ -422,11 +690,19 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream, job_tx: &Sync
             shared.watchdog.arm(Instant::now() + deadline, token.clone());
         }
 
-        let (respond_tx, respond_rx) = sync_channel::<Outcome>(1);
+        let (respond_tx, respond_rx) = sync_channel::<Outcome>(RESPOND_DEPTH);
         let envelope =
-            JobEnvelope { request, plan, stall_ms, token, respond: respond_tx };
+            JobEnvelope { request, plan, stall_ms, token: token.clone(), respond: respond_tx };
         let outcome = match job_tx.try_send(envelope) {
-            Ok(()) => wait_for_worker(shared, &respond_rx, deadline),
+            Ok(()) => {
+                match stream_worker_outcomes(shared, &mut stream, id, &respond_rx, deadline, &token)
+                {
+                    Some(outcome) => outcome,
+                    // The peer stopped reading mid-stream; the campaign was
+                    // cancelled and the connection is dead.
+                    None => return,
+                }
+            }
             Err(TrySendError::Full(_)) => {
                 shared.stats.shed.fetch_add(1, Ordering::Relaxed);
                 Outcome::Busy
@@ -440,7 +716,8 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream, job_tx: &Sync
         }
 
         // Response-side chaos: exercised faults a real deployment sees as
-        // crashed peers and dirty links.
+        // crashed peers and dirty links. Chaos mutates the *terminal* frame
+        // only — progress frames have already been streamed verbatim.
         if plan.drop_connection {
             return;
         }
@@ -465,22 +742,58 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream, job_tx: &Sync
     }
 }
 
-/// Waits for the worker's verdict, but never longer than
-/// `deadline + grace`: a stalled worker cannot stall the *response*.
-fn wait_for_worker(
+/// Relays worker outcomes to the connection: non-terminal
+/// [`Outcome::Progress`] frames are written immediately, the terminal
+/// outcome is returned for the caller to write (chaos applies only there).
+///
+/// The wait is bounded by `deadline + grace` (600 s with no deadline) — a
+/// stalled worker cannot stall the *response* — and polls the shutdown flag
+/// so a draining server answers [`ErrorKind::Shutdown`] promptly instead of
+/// sitting out a grace period.
+///
+/// Returns `None` when the peer stopped reading mid-stream: the job's
+/// [`CancelToken`] is fired (early cancellation) and the connection is
+/// abandoned.
+fn stream_worker_outcomes<S: Read + Write>(
     shared: &Arc<Shared>,
+    stream: &mut S,
+    id: u64,
     respond_rx: &Receiver<Outcome>,
     deadline: Option<Duration>,
-) -> Outcome {
-    // Without a deadline the wait is still bounded — a server that can hang
-    // forever fails the fail-operational contract.
+    token: &CancelToken,
+) -> Option<Outcome> {
     let cap = deadline.map_or(Duration::from_secs(600), |d| d + shared.config.grace);
-    match respond_rx.recv_timeout(cap) {
-        Ok(outcome) => outcome,
-        Err(_) => error_outcome(
-            ErrorKind::DeadlineExceeded,
-            "deadline expired before the worker produced a result",
-        ),
+    let give_up = Instant::now() + cap;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Some(error_outcome(ErrorKind::Shutdown, "server is shutting down"));
+        }
+        let now = Instant::now();
+        if now >= give_up {
+            return Some(error_outcome(
+                ErrorKind::DeadlineExceeded,
+                "deadline expired before the worker produced a result",
+            ));
+        }
+        let slice = give_up.duration_since(now).min(Duration::from_millis(50));
+        match respond_rx.recv_timeout(slice) {
+            Ok(outcome) if outcome.is_terminal() => return Some(outcome),
+            Ok(progress) => {
+                let bytes = Response { id, outcome: progress }.encode();
+                if write_frame(stream, &bytes).is_err() {
+                    // The client dropped its stream: cancel the campaign
+                    // instead of computing results nobody will read.
+                    token.cancel();
+                    shared.stats.streams_cancelled.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                shared.stats.progress_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                return Some(error_outcome(ErrorKind::Shutdown, "server is shutting down"))
+            }
+        }
     }
 }
 
@@ -506,7 +819,7 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Arc<Mutex<Receiver<JobEnvelope>>>) {
             if panic_worker {
                 panic!("chaos: induced worker panic");
             }
-            execute_job(shared, &envelope.request, &envelope.token)
+            execute_job(shared, &envelope.request, &envelope.token, &envelope.respond)
         }))
         .unwrap_or_else(|payload| {
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -532,7 +845,12 @@ fn map_core_error(error: &CoreError) -> Outcome {
     }
 }
 
-fn execute_job(shared: &Arc<Shared>, request: &Request, token: &CancelToken) -> Outcome {
+fn execute_job(
+    shared: &Arc<Shared>,
+    request: &Request,
+    token: &CancelToken,
+    progress: &SyncSender<Outcome>,
+) -> Outcome {
     // Decode-validate the design problem before touching the cache, so an
     // invalid request can never become a leader that poisons a key.
     let design_job = request.job.design();
@@ -549,11 +867,13 @@ fn execute_job(shared: &Arc<Shared>, request: &Request, token: &CancelToken) -> 
         }
     };
 
+    let job_bytes = design_job.canonical_bytes();
     let key = design_job.content_key();
     let node_budget = (request.node_budget > 0).then_some(request.node_budget);
     let (artifact, from_cache) = match obtain_artifact(
         shared,
         key,
+        &job_bytes,
         request.require_certified,
         &specs,
         &alloc,
@@ -568,7 +888,9 @@ fn execute_job(shared: &Arc<Shared>, request: &Request, token: &CancelToken) -> 
     match &request.job {
         Job::Design(_) => design_outcome(&artifact, from_cache),
         Job::Sweep(sweep) => sweep_outcome(&artifact, from_cache, sweep, &alloc, token),
-        Job::Campaign(campaign) => campaign_outcome(&artifact, from_cache, campaign, token),
+        Job::Campaign(campaign) => {
+            campaign_outcome(&artifact, from_cache, campaign, token, progress)
+        }
     }
 }
 
@@ -579,6 +901,7 @@ fn execute_job(shared: &Arc<Shared>, request: &Request, token: &CancelToken) -> 
 fn obtain_artifact(
     shared: &Arc<Shared>,
     key: u64,
+    job_bytes: &[u8],
     require_certified: bool,
     specs: &[ApplicationSpec],
     alloc: &AllocatorConfig,
@@ -587,7 +910,7 @@ fn obtain_artifact(
     token: &CancelToken,
 ) -> Result<(Arc<DesignArtifact>, bool), Outcome> {
     loop {
-        match shared.cache.lookup_or_begin(key, require_certified) {
+        match shared.cache.lookup_or_begin(key, job_bytes, require_certified) {
             CacheOutcome::Hit(artifact) => {
                 shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((artifact, true));
@@ -624,20 +947,22 @@ fn obtain_artifact(
                             certified_optimal: budgeted.certified_optimal,
                         });
                         shared.stats.designs_computed.fetch_add(1, Ordering::Relaxed);
-                        shared.cache.complete(key, Ok(Arc::clone(&artifact)));
+                        shared.cache.complete(key, job_bytes, Ok(Arc::clone(&artifact)));
                         return Ok((artifact, false));
                     }
                     Ok(Err(error)) => {
-                        shared.cache.complete(key, Err(error.to_string()));
+                        shared.cache.complete(key, job_bytes, Err(error.to_string()));
                         return Err(map_core_error(&error));
                     }
                     Err(payload) => {
                         // Leader contract: joiners are unblocked with an
                         // error and the key stays computable — then the
                         // panic continues to the worker's isolation layer.
-                        shared
-                            .cache
-                            .complete(key, Err("design computation panicked".to_string()));
+                        shared.cache.complete(
+                            key,
+                            job_bytes,
+                            Err("design computation panicked".to_string()),
+                        );
                         resume_unwind(payload);
                     }
                 }
@@ -736,21 +1061,65 @@ fn sweep_outcome(
     Outcome::Sweep(SweepResult { from_cache, complete, rows })
 }
 
+/// A per-family statistics snapshot for one [`Outcome::Progress`] frame.
+fn progress_snapshot(stats: &CampaignStats, alpha: f64) -> CampaignProgress {
+    let readouts = stats.settling_probabilities(alpha);
+    CampaignProgress {
+        total: stats.total,
+        families: stats
+            .families
+            .iter()
+            .zip(readouts)
+            .map(|(family, readout)| FamilyProgress {
+                label: family.label.clone(),
+                scenarios: family.scenarios,
+                settled: family.settled,
+                deadlines_met: family.deadlines_met,
+                settling_mean: family.settling_time.mean(),
+                settling_p50: family.settling_p50.estimate(),
+                settling_p95: family.settling_p95.estimate(),
+                peak_mean: family.peak_norm.mean(),
+                peak_p95: family.peak_p95.estimate(),
+                tt_share_mean: family.tt_share.mean(),
+                estimate: readout.estimate,
+                lower: readout.lower,
+                upper: readout.upper,
+            })
+            .collect(),
+    }
+}
+
 fn campaign_outcome(
     artifact: &DesignArtifact,
     from_cache: bool,
     job: &CampaignJob,
     token: &CancelToken,
+    progress: &SyncSender<Outcome>,
 ) -> Outcome {
     let sweep = RobustnessSweep::new(
         job.drop_probabilities.clone(),
         job.scenarios_per_intensity,
         job.duration,
     );
-    let campaign = RobustnessCampaign::new(Arc::clone(&artifact.fleet), job.seed)
+    let mut campaign = RobustnessCampaign::new(Arc::clone(&artifact.fleet), job.seed)
         .with_workers(1)
         .with_cancel_token(Some(token.clone()));
-    match campaign.run(&sweep) {
+    if job.progress_every > 0 {
+        // Progress is emitted at chunk boundaries; align the chunk
+        // granularity with the requested cadence so small campaigns stream
+        // too. Chunking never changes the aggregates (the campaign's
+        // determinism contract), only when snapshots can be taken.
+        campaign = campaign.with_chunk_size(job.progress_every.clamp(1, 64));
+    }
+    // Progress emission rides the respond channel: a failed send means the
+    // handler (and therefore the client) is gone — the callback returns
+    // false and the campaign cancels. The *terminal* frame is computed from
+    // the same aggregation whether streaming or not, so `progress_every`
+    // never changes the final answer.
+    let result = campaign.run_with_progress(&sweep, job.progress_every, |snapshot| {
+        progress.send(Outcome::Progress(progress_snapshot(snapshot, job.alpha))).is_ok()
+    });
+    match result {
         Ok(stats) => Outcome::Campaign(CampaignResult {
             from_cache,
             total: stats.total,
@@ -782,5 +1151,96 @@ pub fn design_job(
         specs: specs.iter().map(crate::protocol::WireAppSpec::from_spec).collect(),
         alloc: crate::protocol::WireAllocatorConfig::from_config(alloc),
         bus: crate::protocol::WireBusConfig::from_config(bus),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transport whose `accept` always fails — the EMFILE scenario.
+    struct FailingTransport {
+        calls: Arc<AtomicU64>,
+    }
+
+    impl ServeTransport for FailingTransport {
+        type Stream = UnixStream;
+
+        fn accept_stream(&self) -> std::io::Result<UnixStream> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            Err(std::io::Error::other("induced accept failure"))
+        }
+
+        fn closer(_stream: &UnixStream) -> Option<Closer> {
+            None
+        }
+    }
+
+    fn test_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            cache: ArtifactCache::new(4),
+            config: ServerConfig::new("/tmp/cps-serve-accept-backoff-unused.sock"),
+            stats: ServerStats::default(),
+            handlers: Handlers::default(),
+            serial: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            watchdog: Watchdog::default(),
+        })
+    }
+
+    #[test]
+    fn accept_errors_back_off_instead_of_busy_spinning() {
+        // Regression: the pre-fix loop did a bare `continue` on accept
+        // error, burning a core — over 150 ms it would rack up millions of
+        // accept calls. With 1 ms → 100 ms capped backoff the count stays
+        // tiny.
+        let shared = test_shared();
+        let calls = Arc::new(AtomicU64::new(0));
+        let transport = FailingTransport { calls: Arc::clone(&calls) };
+        let (job_tx, _job_rx) = sync_channel::<JobEnvelope>(1);
+        let loop_thread = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, &transport, &job_tx))
+        };
+        thread::sleep(Duration::from_millis(150));
+        let observed = calls.load(Ordering::Relaxed);
+        assert!(observed >= 2, "the loop must keep retrying, saw {observed} calls");
+        assert!(
+            observed < 1000,
+            "accept loop busy-spun: {observed} accept calls in 150 ms"
+        );
+        assert_eq!(shared.stats.snapshot().accept_errors, observed);
+        shared.shutdown.store(true, Ordering::SeqCst);
+        loop_thread.join().unwrap();
+    }
+
+    #[test]
+    fn accept_backoff_grows_and_caps() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(1));
+        assert_eq!(accept_backoff(2), Duration::from_millis(2));
+        assert_eq!(accept_backoff(4), Duration::from_millis(8));
+        assert_eq!(accept_backoff(8), ACCEPT_BACKOFF_CAP);
+        assert_eq!(accept_backoff(u32::MAX), ACCEPT_BACKOFF_CAP);
+    }
+
+    #[test]
+    fn handler_registry_reaches_quiescence() {
+        let handlers = Arc::new(Handlers::default());
+        let closed = Arc::new(AtomicBool::new(false));
+        let id = {
+            let closed = Arc::clone(&closed);
+            handlers.register(Some(Box::new(move || closed.store(true, Ordering::SeqCst))))
+        };
+        assert_eq!(handlers.live(), 1);
+        assert!(!handlers.wait_quiescent(Duration::from_millis(20)), "still live");
+        handlers.close_all();
+        assert!(closed.load(Ordering::SeqCst), "close_all must invoke the closer");
+        let waiter = {
+            let handlers = Arc::clone(&handlers);
+            thread::spawn(move || handlers.wait_quiescent(Duration::from_secs(5)))
+        };
+        handlers.deregister(id);
+        assert!(waiter.join().unwrap(), "deregistering the last handler quiesces");
+        assert_eq!(handlers.live(), 0);
     }
 }

@@ -1,11 +1,12 @@
 //! The fail-operational design service, end to end: start a
-//! [`DesignServer`] on a Unix-domain socket, drive it with a retrying
-//! [`DesignClient`] through the three job kinds (exact fleet design,
-//! bus-geometry sweep, robustness campaign), demonstrate the degradation
-//! ladder (a node-budgeted request returns the greedy incumbent with
-//! `certified_optimal = false`), then restart the server with deterministic
-//! chaos (worker panics, stalls, dropped/corrupted responses) and show that
-//! every request still reaches a terminal answer.
+//! [`DesignServer`] on a Unix-domain socket *and* a TCP listener, drive it
+//! with a retrying [`DesignClient`] through the three job kinds (exact
+//! fleet design, bus-geometry sweep, robustness campaign), stream a
+//! campaign's partial statistics frame by frame over TCP, demonstrate the
+//! degradation ladder (a node-budgeted request returns the greedy incumbent
+//! with `certified_optimal = false`), then restart the server with
+//! deterministic chaos (worker panics, stalls, dropped/corrupted responses)
+//! and show that every request still reaches a terminal answer.
 //!
 //! Run with `cargo run --release --example design_service`.
 
@@ -27,10 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Nominal service ---------------------------------------------------
-    let mut server = DesignServer::start(ServerConfig::new(&socket))?;
+    let mut config = ServerConfig::new(&socket);
+    // Port 0: the kernel picks a free port, `tcp_addr()` reports it.
+    config.tcp_addr = Some("127.0.0.1:0".parse()?);
+    let mut server = DesignServer::start(config)?;
+    let tcp = server.tcp_addr().expect("tcp listener bound");
     let mut client = DesignClient::new(&socket);
 
-    println!("design service listening on {}", socket.display());
+    println!("design service listening on {} and tcp {tcp}", socket.display());
 
     println!("\n== degraded design (node budget 1) ==");
     match client.request(
@@ -100,6 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenarios_per_intensity: 6,
         duration: 12.0,
         alpha: 0.05,
+        progress_every: 0,
     });
     match client.request(campaign, RequestOptions::default())? {
         Outcome::Campaign(result) => {
@@ -115,10 +121,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => println!("  unexpected outcome: {other:?}"),
     }
 
+    // ---- Streaming over TCP ------------------------------------------------
+    // The same campaign, streamed: partial per-family statistics every 4
+    // scenarios, terminal frame bit-identical to the blocking response.
+    println!("\n== streamed robustness campaign (tcp, progress every 4 scenarios) ==");
+    let mut tcp_client = DesignClient::tcp(tcp);
+    let stream = tcp_client.stream_campaign(
+        CampaignJob {
+            design: design.clone(),
+            seed: 0xDA7E,
+            drop_probabilities: vec![0.0, 0.2, 0.5],
+            scenarios_per_intensity: 6,
+            duration: 12.0,
+            alpha: 0.05,
+            progress_every: 4,
+        },
+        RequestOptions::default(),
+    )?;
+    for item in stream {
+        match item? {
+            Outcome::Progress(progress) => {
+                let worst = progress
+                    .families
+                    .iter()
+                    .min_by(|a, b| a.estimate.total_cmp(&b.estimate))
+                    .map(|family| format!("{} P≥{:.3}", family.label, family.lower))
+                    .unwrap_or_default();
+                println!(
+                    "  progress: {:>2} scenarios aggregated, weakest family so far: {worst}",
+                    progress.total
+                );
+            }
+            Outcome::Campaign(result) => {
+                println!("  terminal: {} scenarios, from_cache = {}", result.total, result.from_cache);
+            }
+            other => println!("  unexpected outcome: {other:?}"),
+        }
+    }
+
     let stats = server.stats();
     println!(
-        "\nserver stats: {} requests, {} designs computed, {} cache hits",
-        stats.requests, stats.designs_computed, stats.cache_hits
+        "\nserver stats: {} requests, {} designs computed, {} cache hits, {} progress frames",
+        stats.requests, stats.designs_computed, stats.cache_hits, stats.progress_frames
     );
     server.shutdown();
 

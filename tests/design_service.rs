@@ -5,19 +5,34 @@
 //! rejection of malformed frames, and a deterministic chaos soak in which
 //! every accepted request reaches a terminal response while the server
 //! survives every injected fault.
+//!
+//! Every scenario runs over *both* transports — the Unix socket and the
+//! TCP listener — through the same helpers, plus streaming-specific tests:
+//! the streamed campaign's terminal frame is bit-identical to the
+//! non-streamed response, progress totals are strictly monotone, and
+//! dropping a stream cancels the campaign server-side.
 
 use automotive_cps::core::{case_study, ApplicationSpec, FleetDesigner};
 use automotive_cps::flexray::FlexRayConfig;
 use automotive_cps::sched::{AllocatorConfig, AppTimingParams};
 use automotive_cps::serve::{
-    design_job, CampaignJob, ChaosConfig, DesignClient, DesignServer, ErrorKind, Job, Outcome,
-    RequestOptions, RetryPolicy, ServerConfig, ServerHandle, SweepJob,
+    design_job, CampaignJob, ChaosConfig, DesignClient, DesignServer, Endpoint, ErrorKind, Job,
+    Outcome, RequestOptions, Response, RetryPolicy, ServerConfig, ServerHandle, SweepJob,
 };
 use proptest::prelude::*;
 use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// The transport a scenario runs over; every scenario has a Unix and a TCP
+/// variant driving identical logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Transport {
+    Unix,
+    Tcp,
+}
 
 fn socket_path(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("cps-serve-{name}-{}.sock", std::process::id()))
@@ -35,10 +50,84 @@ fn nominal_job() -> Job {
     ))
 }
 
-fn start(name: &str, configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+fn nominal_design() -> automotive_cps::serve::DesignJob {
+    match nominal_job() {
+        Job::Design(design) => design,
+        _ => unreachable!(),
+    }
+}
+
+fn start(name: &str, transport: Transport, configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
     let mut config = ServerConfig::new(socket_path(name));
+    if transport == Transport::Tcp {
+        config.tcp_addr = Some("127.0.0.1:0".parse().expect("loopback addr"));
+    }
     configure(&mut config);
     DesignServer::start(config).expect("server starts")
+}
+
+/// The client-side address of `server` over `transport` (cloneable into
+/// worker threads).
+fn endpoint(server: &ServerHandle, transport: Transport) -> Endpoint {
+    match transport {
+        Transport::Unix => Endpoint::Unix(server.socket_path().to_path_buf()),
+        Transport::Tcp => Endpoint::Tcp(server.tcp_addr().expect("tcp listener bound")),
+    }
+}
+
+fn client(server: &ServerHandle, transport: Transport) -> DesignClient {
+    DesignClient::connect_to(endpoint(server, transport))
+}
+
+/// A raw (frame-level) connection for protocol-abuse tests.
+enum RawConn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl RawConn {
+    fn connect(server: &ServerHandle, transport: Transport) -> Self {
+        match transport {
+            Transport::Unix => {
+                RawConn::Unix(UnixStream::connect(server.socket_path()).expect("connect"))
+            }
+            Transport::Tcp => {
+                RawConn::Tcp(TcpStream::connect(server.tcp_addr().expect("bound")).expect("connect"))
+            }
+        }
+    }
+
+    fn shutdown_write(&self) {
+        match self {
+            RawConn::Unix(stream) => stream.shutdown(std::net::Shutdown::Write).unwrap(),
+            RawConn::Tcp(stream) => stream.shutdown(std::net::Shutdown::Write).unwrap(),
+        }
+    }
+}
+
+impl Read for RawConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            RawConn::Unix(stream) => stream.read(buf),
+            RawConn::Tcp(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for RawConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            RawConn::Unix(stream) => stream.write(buf),
+            RawConn::Tcp(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            RawConn::Unix(stream) => stream.flush(),
+            RawConn::Tcp(stream) => stream.flush(),
+        }
+    }
 }
 
 fn fast_retries(seed: u64) -> RetryPolicy {
@@ -87,11 +176,10 @@ fn assert_slots_match(served: &[Vec<u32>], direct: &[Vec<usize>]) {
     assert_eq!(&widened, direct);
 }
 
-#[test]
-fn nominal_design_is_bit_identical_to_the_direct_pipeline() {
+fn nominal_design_scenario(name: &str, transport: Transport) {
     let (direct_slots, direct_table) = reference_design();
-    let mut server = start("nominal", |_| {});
-    let mut client = DesignClient::new(server.socket_path());
+    let mut server = start(name, transport, |_| {});
+    let mut client = client(&server, transport);
 
     let first = client.request(nominal_job(), RequestOptions::default()).expect("first request");
     let Outcome::Design(first) = first else { panic!("expected a design outcome: {first:?}") };
@@ -100,35 +188,73 @@ fn nominal_design_is_bit_identical_to_the_direct_pipeline() {
     assert_slots_match(&first.slots, &direct_slots);
     assert_tables_bit_identical(&first.table, &direct_table);
 
-    // The identical job is served from the artifact cache, bit-identically.
+    // The identical job is served from the artifact cache, bit-identically —
+    // over the client's *reused* pooled connection.
     let second = client.request(nominal_job(), RequestOptions::default()).expect("second request");
     let Outcome::Design(second) = second else { panic!("expected a design outcome") };
     assert!(second.from_cache, "the second request hits the cache");
     assert_slots_match(&second.slots, &direct_slots);
     assert_tables_bit_identical(&second.table, &direct_table);
+    assert_eq!(client.idle_connections(), 1, "a healthy connection returns to the pool");
 
     let stats = server.stats();
     assert_eq!(stats.designs_computed, 1, "one computation serves both requests");
     assert_eq!(stats.cache_hits, 1);
     assert_eq!(stats.requests, 2);
+    assert_eq!(stats.connections, 1, "connection reuse: both requests share one connection");
     assert_eq!(server.cached_artifacts(), 1);
     server.shutdown();
 }
 
 #[test]
-fn single_flight_deduplicates_concurrent_identical_requests() {
-    let server = start("dedup", |config| {
+fn nominal_design_is_bit_identical_to_the_direct_pipeline_unix() {
+    nominal_design_scenario("nominal-unix", Transport::Unix);
+}
+
+#[test]
+fn nominal_design_is_bit_identical_to_the_direct_pipeline_tcp() {
+    nominal_design_scenario("nominal-tcp", Transport::Tcp);
+}
+
+#[test]
+fn both_transports_serve_one_cache_simultaneously() {
+    let (direct_slots, _) = reference_design();
+    let mut server = start("dual", Transport::Tcp, |_| {});
+
+    // Compute over Unix, then hit the same artifact cache over TCP: the
+    // transports are fronts for one shared server.
+    let mut over_unix = client(&server, Transport::Unix);
+    let first = over_unix.request(nominal_job(), RequestOptions::default()).expect("unix request");
+    let Outcome::Design(first) = first else { panic!("expected a design outcome") };
+    assert!(!first.from_cache);
+    assert_slots_match(&first.slots, &direct_slots);
+
+    let mut over_tcp = client(&server, Transport::Tcp);
+    let second = over_tcp.request(nominal_job(), RequestOptions::default()).expect("tcp request");
+    let Outcome::Design(second) = second else { panic!("expected a design outcome") };
+    assert!(second.from_cache, "the TCP request must hit the Unix-computed artifact");
+    assert_slots_match(&second.slots, &direct_slots);
+
+    let stats = server.stats();
+    assert_eq!(stats.designs_computed, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.connections, 2);
+    server.shutdown();
+}
+
+fn single_flight_scenario(name: &str, transport: Transport) {
+    let server = start(name, transport, |config| {
         config.workers = 4;
         config.queue_depth = 16;
     });
-    let path = server.socket_path().to_path_buf();
+    let address = endpoint(&server, transport);
 
     let handles: Vec<_> = (0..4)
         .map(|seed| {
-            let path = path.clone();
+            let address = address.clone();
             std::thread::spawn(move || {
                 let mut client =
-                    DesignClient::new(&path).with_retry_policy(fast_retries(seed));
+                    DesignClient::connect_to(address).with_retry_policy(fast_retries(seed));
                 client.request(nominal_job(), RequestOptions::default())
             })
         })
@@ -153,10 +279,19 @@ fn single_flight_deduplicates_concurrent_identical_requests() {
 }
 
 #[test]
-fn node_budget_exhaustion_degrades_to_the_greedy_incumbent() {
+fn single_flight_deduplicates_concurrent_identical_requests_unix() {
+    single_flight_scenario("dedup-unix", Transport::Unix);
+}
+
+#[test]
+fn single_flight_deduplicates_concurrent_identical_requests_tcp() {
+    single_flight_scenario("dedup-tcp", Transport::Tcp);
+}
+
+fn degradation_scenario(name: &str, transport: Transport) {
     let (direct_slots, _) = reference_design();
-    let mut server = start("degrade", |_| {});
-    let mut client = DesignClient::new(server.socket_path());
+    let mut server = start(name, transport, |_| {});
+    let mut client = client(&server, transport);
 
     // A one-node budget cuts the exact search immediately after the root:
     // the greedy incumbent is served, flagged as uncertified.
@@ -191,8 +326,17 @@ fn node_budget_exhaustion_degrades_to_the_greedy_incumbent() {
 }
 
 #[test]
-fn overload_sheds_requests_instead_of_queueing_unboundedly() {
-    let server = start("shed", |config| {
+fn node_budget_exhaustion_degrades_to_the_greedy_incumbent_unix() {
+    degradation_scenario("degrade-unix", Transport::Unix);
+}
+
+#[test]
+fn node_budget_exhaustion_degrades_to_the_greedy_incumbent_tcp() {
+    degradation_scenario("degrade-tcp", Transport::Tcp);
+}
+
+fn overload_scenario(name: &str, transport: Transport) {
+    let server = start(name, transport, |config| {
         config.workers = 1;
         config.queue_depth = 1;
         config.chaos = Some(ChaosConfig {
@@ -202,15 +346,15 @@ fn overload_sheds_requests_instead_of_queueing_unboundedly() {
             ..ChaosConfig::default()
         });
     });
-    let path = server.socket_path().to_path_buf();
+    let address = endpoint(&server, transport);
 
     // Six impatient clients (no retries) flood a 1-worker/1-slot server
     // whose worker stalls 300 ms per job: the queue bound forces sheds.
     let handles: Vec<_> = (0..6)
         .map(|_| {
-            let path = path.clone();
+            let address = address.clone();
             std::thread::spawn(move || {
-                let mut client = DesignClient::new(&path).with_retry_policy(RetryPolicy {
+                let mut client = DesignClient::connect_to(address).with_retry_policy(RetryPolicy {
                     max_attempts: 1,
                     ..RetryPolicy::default()
                 });
@@ -226,7 +370,7 @@ fn overload_sheds_requests_instead_of_queueing_unboundedly() {
     assert!(server.stats().shed >= 1);
 
     // A patient client retries through the backlog and succeeds.
-    let mut patient = DesignClient::new(&path).with_retry_policy(RetryPolicy {
+    let mut patient = DesignClient::connect_to(address).with_retry_policy(RetryPolicy {
         max_attempts: 30,
         base_delay: Duration::from_millis(50),
         max_delay: Duration::from_millis(200),
@@ -237,16 +381,24 @@ fn overload_sheds_requests_instead_of_queueing_unboundedly() {
 }
 
 #[test]
-fn worker_panics_become_structured_errors_and_the_server_survives() {
-    let mut server = start("panic", |config| {
+fn overload_sheds_requests_instead_of_queueing_unboundedly_unix() {
+    overload_scenario("shed-unix", Transport::Unix);
+}
+
+#[test]
+fn overload_sheds_requests_instead_of_queueing_unboundedly_tcp() {
+    overload_scenario("shed-tcp", Transport::Tcp);
+}
+
+fn panic_isolation_scenario(name: &str, transport: Transport) {
+    let mut server = start(name, transport, |config| {
         config.chaos = Some(ChaosConfig {
             seed: 3,
             worker_panic_probability: 1.0,
             ..ChaosConfig::default()
         });
     });
-    let path = server.socket_path().to_path_buf();
-    let mut impatient = DesignClient::new(&path)
+    let mut impatient = client(&server, transport)
         .with_retry_policy(RetryPolicy { max_attempts: 1, ..RetryPolicy::default() });
 
     for _ in 0..3 {
@@ -269,25 +421,32 @@ fn worker_panics_become_structured_errors_and_the_server_survives() {
 }
 
 #[test]
-fn deadlines_produce_structured_timeouts_within_the_grace_window() {
-    let mut server = start("deadline", |config| {
+fn worker_panics_become_structured_errors_and_the_server_survives_unix() {
+    panic_isolation_scenario("panic-unix", Transport::Unix);
+}
+
+#[test]
+fn worker_panics_become_structured_errors_and_the_server_survives_tcp() {
+    panic_isolation_scenario("panic-tcp", Transport::Tcp);
+}
+
+fn deadline_scenario(name: &str, transport: Transport) {
+    let mut server = start(name, transport, |config| {
         config.grace = Duration::from_millis(500);
     });
-    let mut client = DesignClient::new(server.socket_path());
+    let mut client = client(&server, transport);
 
     // A campaign far too large for a 100 ms deadline: the watchdog flips
     // the token, the pipeline stops at a cooperative checkpoint, and the
     // client receives a *terminal* DeadlineExceeded (never retried).
     let job = Job::Campaign(CampaignJob {
-        design: match nominal_job() {
-            Job::Design(design) => design,
-            _ => unreachable!(),
-        },
+        design: nominal_design(),
         seed: 42,
         drop_probabilities: vec![0.0, 0.2, 0.4],
         scenarios_per_intensity: 10_000,
         duration: 1.0,
         alpha: 0.05,
+        progress_every: 0,
     });
     let started = Instant::now();
     let outcome = client
@@ -311,20 +470,28 @@ fn deadlines_produce_structured_timeouts_within_the_grace_window() {
 }
 
 #[test]
-fn malformed_frames_are_rejected_cleanly() {
-    let mut server = start("malformed", |_| {});
-    let path = server.socket_path().to_path_buf();
+fn deadlines_produce_structured_timeouts_within_the_grace_window_unix() {
+    deadline_scenario("deadline-unix", Transport::Unix);
+}
+
+#[test]
+fn deadlines_produce_structured_timeouts_within_the_grace_window_tcp() {
+    deadline_scenario("deadline-tcp", Transport::Tcp);
+}
+
+fn malformed_frames_scenario(name: &str, transport: Transport) {
+    let mut server = start(name, transport, |_| {});
 
     // An announced frame length beyond the cap: structured Protocol error,
     // before any allocation, then the connection is dropped.
-    let mut stream = UnixStream::connect(&path).expect("connect");
+    let mut stream = RawConn::connect(&server, transport);
     stream.write_all(&(automotive_cps::serve::MAX_FRAME as u32 + 1).to_le_bytes()).unwrap();
     let mut reply = Vec::new();
     stream.read_to_end(&mut reply).expect("server answers then closes");
     assert!(!reply.is_empty(), "an oversized frame earns an error response");
 
     // A frame whose payload is garbage: structured Protocol error.
-    let mut stream = UnixStream::connect(&path).expect("connect");
+    let mut stream = RawConn::connect(&server, transport);
     stream.write_all(&10u32.to_le_bytes()).unwrap();
     stream.write_all(&[0xFF; 10]).unwrap();
     let mut reply = Vec::new();
@@ -333,17 +500,180 @@ fn malformed_frames_are_rejected_cleanly() {
 
     // A truncated frame (connection closed mid-prefix): the handler drops
     // the connection without dying.
-    let mut stream = UnixStream::connect(&path).expect("connect");
+    let mut stream = RawConn::connect(&server, transport);
     stream.write_all(&[0x01, 0x02]).unwrap();
-    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    stream.shutdown_write();
     let mut reply = Vec::new();
     let _ = stream.read_to_end(&mut reply);
 
     assert!(server.stats().protocol_errors >= 2);
 
     // The server survived all of it.
-    let mut client = DesignClient::new(&path);
+    let mut client = client(&server, transport);
     let outcome = client.request(nominal_job(), RequestOptions::default()).expect("still alive");
+    assert!(matches!(outcome, Outcome::Design(_)));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_are_rejected_cleanly_unix() {
+    malformed_frames_scenario("malformed-unix", Transport::Unix);
+}
+
+#[test]
+fn malformed_frames_are_rejected_cleanly_tcp() {
+    malformed_frames_scenario("malformed-tcp", Transport::Tcp);
+}
+
+#[test]
+fn shutdown_is_quiescent_with_connections_open() {
+    let mut server = start("quiesce", Transport::Tcp, |_| {});
+    // Handlers blocked mid-read on both transports when shutdown arrives.
+    let idle_unix = RawConn::connect(&server, Transport::Unix);
+    let idle_tcp = RawConn::connect(&server, Transport::Tcp);
+    // Give the accept loops a beat to register the handlers.
+    let registered = Instant::now();
+    while server.live_handlers() < 2 && registered.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.live_handlers(), 2);
+    server.shutdown();
+    assert_eq!(
+        server.live_handlers(),
+        0,
+        "shutdown must be quiescent: no handler may outlive it"
+    );
+    drop(idle_unix);
+    drop(idle_tcp);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------------
+
+fn small_campaign(progress_every: u64) -> CampaignJob {
+    CampaignJob {
+        design: nominal_design(),
+        seed: 42,
+        drop_probabilities: vec![0.0, 0.3],
+        scenarios_per_intensity: 4,
+        duration: 0.5,
+        alpha: 0.05,
+        progress_every,
+    }
+}
+
+fn streaming_scenario(name: &str, transport: Transport) {
+    let mut server = start(name, transport, |_| {});
+    let mut client = client(&server, transport);
+
+    // Prime the artifact cache so the streamed and non-streamed responses
+    // agree on `from_cache` and differ in nothing at all.
+    let primed = client.request(nominal_job(), RequestOptions::default()).expect("prime");
+    assert!(matches!(primed, Outcome::Design(_)));
+
+    let reference = client
+        .request(Job::Campaign(small_campaign(0)), RequestOptions::default())
+        .expect("non-streamed campaign");
+    let Outcome::Campaign(reference) = reference else {
+        panic!("expected a campaign outcome: {reference:?}")
+    };
+
+    let stream = client
+        .stream_campaign(small_campaign(1), RequestOptions::default())
+        .expect("stream starts");
+    let mut progress_totals = Vec::new();
+    let mut terminal = None;
+    for item in stream {
+        let outcome = item.expect("stream item");
+        match outcome {
+            Outcome::Progress(progress) => {
+                assert_eq!(progress.families.len(), 2, "one snapshot per family");
+                for family in &progress.families {
+                    assert!(family.scenarios <= progress.total);
+                    assert!(family.lower <= family.estimate && family.estimate <= family.upper);
+                }
+                progress_totals.push(progress.total);
+            }
+            other => {
+                assert!(terminal.is_none(), "exactly one terminal frame");
+                terminal = Some(other);
+            }
+        }
+    }
+    let terminal = terminal.expect("the stream must end with a terminal frame");
+
+    // Progress frames: present, strictly monotone, all proper prefixes.
+    assert!(!progress_totals.is_empty(), "progress_every=1 must emit snapshots");
+    assert!(
+        progress_totals.windows(2).all(|pair| pair[0] < pair[1]),
+        "progress totals must be strictly monotone: {progress_totals:?}"
+    );
+    assert!(progress_totals.iter().all(|&total| total < 8), "snapshots are proper prefixes");
+
+    // The terminal frame is bit-identical to the non-streamed response:
+    // same decoded value *and* identical encoded bytes.
+    let Outcome::Campaign(streamed) = &terminal else {
+        panic!("expected a campaign outcome: {terminal:?}")
+    };
+    assert_eq!(streamed.total, 8);
+    assert_eq!(streamed, &reference);
+    let reference_bytes = Response { id: 1, outcome: Outcome::Campaign(reference) }.encode();
+    let streamed_bytes = Response { id: 1, outcome: terminal }.encode();
+    assert_eq!(
+        reference_bytes, streamed_bytes,
+        "the streamed terminal frame must be bit-identical to the non-streamed response"
+    );
+
+    assert_eq!(server.stats().progress_frames, progress_totals.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn streamed_terminal_frame_is_bit_identical_to_the_non_streamed_response_unix() {
+    streaming_scenario("stream-unix", Transport::Unix);
+}
+
+#[test]
+fn streamed_terminal_frame_is_bit_identical_to_the_non_streamed_response_tcp() {
+    streaming_scenario("stream-tcp", Transport::Tcp);
+}
+
+#[test]
+fn dropping_the_stream_cancels_the_campaign() {
+    let mut server = start("stream-cancel", Transport::Unix, |config| {
+        config.workers = 1;
+    });
+    let mut client = client(&server, Transport::Unix);
+
+    // A campaign that would take far too long to finish, streaming every
+    // scenario. Read one progress frame, then drop the stream.
+    let huge = CampaignJob {
+        design: nominal_design(),
+        seed: 7,
+        drop_probabilities: vec![0.0, 0.2, 0.4],
+        scenarios_per_intensity: 100_000,
+        duration: 1.0,
+        alpha: 0.05,
+        progress_every: 1,
+    };
+    let mut stream = client.stream_campaign(huge, RequestOptions::default()).expect("stream");
+    let first = stream.next().expect("one item").expect("progress frame");
+    assert!(matches!(first, Outcome::Progress(_)), "expected progress, got {first:?}");
+    drop(stream);
+
+    // The server must notice the dead stream and fire the cancel token.
+    let waited = Instant::now();
+    while server.stats().streams_cancelled == 0 && waited.elapsed() < Duration::from_secs(30) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().streams_cancelled, 1, "the abandoned stream must cancel");
+
+    // The single worker is free again promptly: a cancelled campaign does
+    // not run to completion in the background.
+    let mut retrying = DesignClient::connect_to(endpoint(&server, Transport::Unix))
+        .with_retry_policy(fast_retries(3));
+    let outcome = retrying.request(nominal_job(), RequestOptions::default()).expect("worker free");
     assert!(matches!(outcome, Outcome::Design(_)));
     server.shutdown();
 }
@@ -353,9 +683,11 @@ fn malformed_frames_are_rejected_cleanly() {
 /// Every request must reach a terminal outcome, delivered design answers
 /// must be bit-identical to the direct pipeline, the server must survive,
 /// and the entire run must replay identically from the same seeds.
-fn chaos_soak(name: &str) -> (Vec<String>, u64) {
+/// Campaign rounds stream (`progress_every = 1`), so the soak also drives
+/// progress frames through the fault mix.
+fn chaos_soak(name: &str, transport: Transport) -> (Vec<String>, u64) {
     let (direct_slots, direct_table) = reference_design();
-    let server = start(name, |config| {
+    let server = start(name, transport, |config| {
         config.workers = 2;
         config.queue_depth = 8;
         config.chaos = Some(ChaosConfig {
@@ -368,12 +700,9 @@ fn chaos_soak(name: &str) -> (Vec<String>, u64) {
             corrupt_response_probability: 0.05,
         });
     });
-    let mut client = DesignClient::new(server.socket_path()).with_retry_policy(fast_retries(7));
+    let mut client = client(&server, transport).with_retry_policy(fast_retries(7));
 
-    let design = match nominal_job() {
-        Job::Design(design) => design,
-        _ => unreachable!(),
-    };
+    let design = nominal_design();
     let mut kinds = Vec::new();
     for round in 0..30u64 {
         let (job, options) = match round % 4 {
@@ -399,6 +728,7 @@ fn chaos_soak(name: &str) -> (Vec<String>, u64) {
                     scenarios_per_intensity: 2,
                     duration: 0.5,
                     alpha: 0.05,
+                    progress_every: 1,
                 }),
                 RequestOptions::default(),
             ),
@@ -421,6 +751,7 @@ fn chaos_soak(name: &str) -> (Vec<String>, u64) {
             Outcome::Sweep(result) => format!("sweep(rows={})", result.rows.len()),
             Outcome::Campaign(result) => format!("campaign(total={})", result.total),
             Outcome::Busy => "busy".to_string(),
+            Outcome::Progress(_) => unreachable!("request() never returns a non-terminal frame"),
             Outcome::Error { kind, .. } => format!("error({kind})"),
         });
     }
@@ -434,16 +765,25 @@ fn chaos_soak(name: &str) -> (Vec<String>, u64) {
     (kinds, stats.worker_panics)
 }
 
-#[test]
-fn chaos_soak_terminates_every_request_and_replays_deterministically() {
-    let (first, first_panics) = chaos_soak("soak-a");
+fn chaos_soak_scenario(prefix: &str, transport: Transport) {
+    let (first, first_panics) = chaos_soak(&format!("{prefix}-a"), transport);
     assert!(first.iter().all(|kind| !kind.starts_with("error(")
         || kind.contains("deadline")), "no request may end in a non-deadline error: {first:?}");
     // Same chaos seed, same request sequence, same jitter seed: the whole
     // fault schedule — and therefore every terminal outcome — replays.
-    let (second, second_panics) = chaos_soak("soak-b");
+    let (second, second_panics) = chaos_soak(&format!("{prefix}-b"), transport);
     assert_eq!(first, second, "the chaos soak must be deterministic");
     assert_eq!(first_panics, second_panics);
+}
+
+#[test]
+fn chaos_soak_terminates_every_request_and_replays_deterministically_unix() {
+    chaos_soak_scenario("soak-unix", Transport::Unix);
+}
+
+#[test]
+fn chaos_soak_terminates_every_request_and_replays_deterministically_tcp() {
+    chaos_soak_scenario("soak-tcp", Transport::Tcp);
 }
 
 proptest! {
@@ -461,6 +801,7 @@ proptest! {
         scenarios in 0usize..10_000,
         duration in 0.01f64..10.0,
         alpha in 0.001f64..0.5,
+        every in 0usize..512,
     ) {
         let request = automotive_cps::serve::Request {
             id: id as u64,
@@ -474,6 +815,7 @@ proptest! {
                 scenarios_per_intensity: scenarios as u64,
                 duration,
                 alpha,
+                progress_every: every as u64,
             }),
         };
         let decoded = automotive_cps::serve::Request::decode(&request.encode());
