@@ -172,6 +172,16 @@ if ! cargo test -q -p automotive-cps --test zero_alloc -- --list \
     exit 1
 fi
 
+# The batched-equivalence suite carries the lane-batched stepping's
+# bit-identity contract (kernel, campaign and scenario layers); same
+# reasoning, same gate.
+step "batched-equivalence suite is collected (tests/batched_equivalence.rs)"
+if ! cargo test -q -p automotive-cps --test batched_equivalence -- --list \
+        | grep ": test" > /dev/null; then
+    echo "ERROR: the batched_equivalence suite was skipped or is empty" >&2
+    exit 1
+fi
+
 # The design-service suite carries every fail-operational guarantee the serve
 # crate makes (bit-identical nominal path, load shedding, panic isolation,
 # deterministic chaos replay); same reasoning, same gate. The scenario matrix

@@ -1,0 +1,611 @@
+//! Lane-batched co-simulation: K scenarios of one fleet stepped together.
+//!
+//! [`BatchCoSim`] is the lane-batched twin of [`CoSimulation`]
+//! (`crate::cosim`): it owns one [`BatchStepKernel`] per application — each
+//! K lanes wide, so the fleet's kernel states pack into `order×K` matrices —
+//! plus one *lane context* per scenario slot: a private FlexRay bus, a
+//! cloned allocation runtime, a degradation RNG stream and the loss/metric
+//! counters. Every period each active lane replays exactly the sequence
+//! `CoSimulation::advance_period` performs (storm injection, norm capture,
+//! runtime mode decision on possibly noise-corrupted norms, bus mirroring,
+//! bus advance, loss detection); only then do all kernels advance their
+//! lanes in one batched sweep ([`BatchStepKernel::step_lanes`]), with
+//! diverging lanes — hold-last-command, a mode differing from its
+//! neighbours, a finished scenario — peeling off to the strided scalar path
+//! for that step and rejoining after.
+//!
+//! # Bit-identity contract
+//!
+//! For every lane the produced trajectory, loss counters and online metrics
+//! are bit-for-bit those of a scalar [`CoSimulation`] running the same
+//! scenario: the batched kernels are bit-identical to the scalar kernels by
+//! construction (see `cps_linalg::matvec_lanes_kernel`), every lane owns
+//! private bus/runtime/RNG state, and the per-period call order matches
+//! `advance_period` exactly. `tests/batched_equivalence.rs` and the module
+//! tests below enforce the contract; the campaign and scenario engines rely
+//! on it to keep their outputs independent of the configured lane width.
+
+use crate::campaign::CampaignScenario;
+use crate::cosim::{register_fleet_frames, DegradationConfig, RunMetrics};
+use crate::error::{CoreError, Result};
+use crate::fleet::DesignedFleet;
+use crate::runtime::AllocationRuntime;
+use crate::scenario::ScenarioSpec;
+use cps_control::{BatchStepKernel, CommunicationMode, LaneStep};
+use cps_flexray::{FlexRayBus, Segment, SimRng};
+use std::sync::Arc;
+
+/// Per-lane mutable context: everything a scalar engine owns besides the
+/// kernel state (which lives packed inside the shared [`BatchStepKernel`]s).
+#[derive(Debug)]
+struct LaneState {
+    /// `true` while the lane carries a scenario of the current group.
+    loaded: bool,
+    /// First error this lane hit mid-run; freezes the lane.
+    error: Option<CoreError>,
+    runtime: AllocationRuntime,
+    bus: FlexRayBus,
+    threshold_scale: f64,
+    degradation: Option<DegradationConfig>,
+    degradation_rng: SimRng,
+    /// Periods this lane's scenario simulates.
+    steps_total: usize,
+    /// Scratch: pre-step plant-state norms of the current period.
+    norms: Vec<f64>,
+    /// Scratch: noise-corrupted norms handed to the runtime.
+    noisy_norms: Vec<f64>,
+    /// Scratch: communication modes granted for the current period.
+    modes: Vec<CommunicationMode>,
+    prev_losses: Vec<u64>,
+    consecutive_losses: Vec<u64>,
+    max_consecutive_losses: Vec<u64>,
+    held_periods: Vec<u64>,
+    /// Online settling candidates (same semantics as `RunMetrics`).
+    candidates: Vec<usize>,
+    peak_norms: Vec<f64>,
+    tt_periods: Vec<u64>,
+}
+
+/// The lane-batched co-simulation engine. Construct once per worker, then
+/// per group of up to `lanes` compatible scenarios: [`BatchCoSim::clear`],
+/// load each lane, [`BatchCoSim::run_loaded`], and read each lane back with
+/// [`BatchCoSim::lane_metrics_into`]. Warm reuse allocates nothing.
+#[derive(Debug)]
+pub(crate) struct BatchCoSim {
+    fleet: Arc<DesignedFleet>,
+    lanes: usize,
+    /// One batched kernel per application, each `lanes` wide.
+    kernels: Vec<BatchStepKernel>,
+    lane_states: Vec<LaneState>,
+    /// Per-application lane operations of the current period: `ops[app][lane]`.
+    ops: Vec<Vec<LaneStep>>,
+    /// Scratch for staging slot allocations.
+    slot_scratch: Vec<Option<usize>>,
+    period: f64,
+}
+
+impl BatchCoSim {
+    /// Builds a batch engine with `lanes` scenario slots over a shared fleet
+    /// design (`lanes` is clamped to at least 1).
+    pub(crate) fn from_fleet(fleet: &Arc<DesignedFleet>, lanes: usize) -> Result<Self> {
+        let lanes = lanes.max(1);
+        let app_count = fleet.app_count();
+        let mut kernels = Vec::with_capacity(app_count);
+        for app in fleet.apps() {
+            kernels.push(app.kernel_matrices().batch_kernel(lanes));
+        }
+        let template_runtime =
+            AllocationRuntime::new(fleet.runtime_apps().to_vec(), fleet.slot_count())?;
+        let mut lane_states = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let mut bus = FlexRayBus::new(fleet.bus_config())?;
+            register_fleet_frames(&mut bus, fleet.apps())?;
+            // Lanes collect statistics only, never transmission logs — the
+            // scalar engines suspend logging the same way on the metrics
+            // path this engine mirrors.
+            bus.set_logging(false);
+            lane_states.push(LaneState {
+                loaded: false,
+                error: None,
+                runtime: template_runtime.clone(),
+                bus,
+                threshold_scale: 1.0,
+                degradation: None,
+                degradation_rng: SimRng::seeded(0),
+                steps_total: 0,
+                norms: vec![0.0; app_count],
+                noisy_norms: Vec::with_capacity(app_count),
+                modes: Vec::with_capacity(app_count),
+                prev_losses: vec![0; app_count],
+                consecutive_losses: vec![0; app_count],
+                max_consecutive_losses: vec![0; app_count],
+                held_periods: vec![0; app_count],
+                candidates: vec![0; app_count],
+                peak_norms: vec![0.0; app_count],
+                tt_periods: vec![0; app_count],
+            });
+        }
+        let period = fleet.period();
+        Ok(BatchCoSim {
+            fleet: Arc::clone(fleet),
+            lanes,
+            kernels,
+            lane_states,
+            ops: vec![vec![LaneStep::Skip; lanes]; app_count],
+            slot_scratch: vec![None; app_count],
+            period,
+        })
+    }
+
+    /// Number of scenario slots.
+    pub(crate) fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Unloads every lane, starting a new group. Lane state is actually
+    /// rewound lazily by the load calls; unloaded lanes are skipped.
+    pub(crate) fn clear(&mut self) {
+        for state in &mut self.lane_states {
+            state.loaded = false;
+            state.error = None;
+        }
+    }
+
+    /// Rewinds one lane to time zero — the lane-local mirror of
+    /// `CoSimulation::reset`: kernel column to the origin, runtime slots
+    /// released, bus counters cleared and every frame back in the dynamic
+    /// segment, degradation stream reseeded, loss/hold/metric counters
+    /// zeroed.
+    fn reset_lane(&mut self, lane: usize) -> Result<()> {
+        for kernel in &mut self.kernels {
+            kernel.reset_lane(lane);
+        }
+        let state = &mut self.lane_states[lane];
+        state.runtime.reset();
+        state.bus.reset();
+        for index in 0..self.fleet.app_count() {
+            state.bus.reassign_frame(index as u32 + 1, Segment::Dynamic)?;
+        }
+        state.degradation_rng =
+            SimRng::seeded(state.degradation.map(|d| d.seed).unwrap_or(0));
+        state.prev_losses.fill(0);
+        state.consecutive_losses.fill(0);
+        state.max_consecutive_losses.fill(0);
+        state.held_periods.fill(0);
+        state.candidates.fill(0);
+        state.peak_norms.fill(0.0);
+        state.tt_periods.fill(0);
+        state.steps_total = 0;
+        state.error = None;
+        state.loaded = false;
+        Ok(())
+    }
+
+    /// The lane-local mirror of `CoSimulation::set_threshold_scale`.
+    fn set_lane_threshold_scale(&mut self, lane: usize, scale: f64) -> Result<()> {
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("threshold scale must be positive and finite, got {scale}"),
+            });
+        }
+        let state = &mut self.lane_states[lane];
+        for (index, app) in self.fleet.apps().iter().enumerate() {
+            state.runtime.set_threshold(index, app.spec().threshold * scale)?;
+        }
+        state.threshold_scale = scale;
+        Ok(())
+    }
+
+    /// Loads a campaign scenario into `lane`, mirroring the scalar
+    /// `run_scenario` call order exactly: reset, threshold scale, fault
+    /// model, degradation, scaled designed disturbances. The caller
+    /// validates the scenario fields (family, scale, duration) first.
+    pub(crate) fn load_campaign_lane(
+        &mut self,
+        lane: usize,
+        scenario: &CampaignScenario,
+    ) -> Result<()> {
+        self.reset_lane(lane)?;
+        self.set_lane_threshold_scale(lane, scenario.threshold_scale)?;
+        let state = &mut self.lane_states[lane];
+        state.bus.set_fault_model(scenario.fault)?;
+        if let Some(config) = &scenario.degradation {
+            config.validate()?;
+        }
+        state.degradation = scenario.degradation;
+        state.degradation_rng =
+            SimRng::seeded(state.degradation.map(|d| d.seed).unwrap_or(0));
+        for (kernel, app) in self.kernels.iter_mut().zip(self.fleet.apps()) {
+            kernel.inject_lane_disturbance_scaled(
+                lane,
+                &app.spec().disturbance,
+                scenario.disturbance_scale,
+            )?;
+        }
+        let state = &mut self.lane_states[lane];
+        state.steps_total = (scenario.duration / self.period).ceil() as usize;
+        state.loaded = true;
+        Ok(())
+    }
+
+    /// Loads a sweep scenario into `lane`, mirroring `run_one`'s call order
+    /// for a spec without bus/allocation overrides: reset, (re)apply the
+    /// fleet's slot map, threshold scale, disturbances. The caller validates
+    /// scale/duration and guarantees the spec carries no bus-config or
+    /// slot-map override (those scenarios take the scalar path).
+    pub(crate) fn load_scenario_lane(&mut self, lane: usize, spec: &ScenarioSpec) -> Result<()> {
+        debug_assert!(spec.bus_config.is_none() && spec.allocation.is_none());
+        self.reset_lane(lane)?;
+        // Scenario sweeps never install fault/degradation layers; clear any
+        // state a previous (campaign) load left behind.
+        let allocation = self.fleet.allocation();
+        let slot_count = allocation.slot_count();
+        for (index, slot) in self.slot_scratch.iter_mut().enumerate() {
+            *slot = allocation.slot_of(index);
+        }
+        let state = &mut self.lane_states[lane];
+        state.bus.set_fault_model(None)?;
+        state.degradation = None;
+        state.degradation_rng = SimRng::seeded(0);
+        state.runtime.set_allocation(&self.slot_scratch, slot_count)?;
+        self.set_lane_threshold_scale(lane, spec.threshold_scale)?;
+        match &spec.disturbances {
+            None => {
+                for (kernel, app) in self.kernels.iter_mut().zip(self.fleet.apps()) {
+                    kernel.inject_lane_disturbance_scaled(
+                        lane,
+                        &app.spec().disturbance,
+                        spec.disturbance_scale,
+                    )?;
+                }
+            }
+            Some(vectors) => {
+                if vectors.len() != self.kernels.len() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!(
+                            "expected {} disturbance vectors, got {}",
+                            self.kernels.len(),
+                            vectors.len()
+                        ),
+                    });
+                }
+                for (kernel, disturbance) in self.kernels.iter_mut().zip(vectors) {
+                    kernel.inject_lane_disturbance_scaled(
+                        lane,
+                        disturbance,
+                        spec.disturbance_scale,
+                    )?;
+                }
+            }
+        }
+        let state = &mut self.lane_states[lane];
+        state.steps_total = (spec.duration / self.period).ceil() as usize;
+        state.loaded = true;
+        Ok(())
+    }
+
+    /// Runs every loaded lane to the end of its scenario. Lanes finishing
+    /// early (shorter durations) skip the remaining periods; a lane hitting
+    /// an engine error freezes while the others finish, and the error of the
+    /// lowest-index failed lane — the first in scenario order — is returned.
+    pub(crate) fn run_loaded(&mut self) -> Result<()> {
+        let max_steps = self
+            .lane_states
+            .iter()
+            .filter(|state| state.loaded)
+            .map(|state| state.steps_total)
+            .max()
+            .unwrap_or(0);
+        for step in 0..max_steps {
+            self.advance_step(step);
+        }
+        for state in &mut self.lane_states {
+            if let Some(error) = state.error.take() {
+                return Err(error);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances every active lane by one period, then steps all kernels'
+    /// lanes in one batched sweep.
+    fn advance_step(&mut self, step: usize) {
+        for lane in 0..self.lanes {
+            let state = &self.lane_states[lane];
+            let active = state.loaded && state.error.is_none() && step < state.steps_total;
+            if !active {
+                for ops in &mut self.ops {
+                    ops[lane] = LaneStep::Skip;
+                }
+                continue;
+            }
+            if let Err(error) = process_lane(
+                &self.fleet,
+                &mut self.kernels,
+                &mut self.lane_states[lane],
+                &mut self.ops,
+                lane,
+                step,
+                self.period,
+            ) {
+                self.lane_states[lane].error = Some(error);
+                for ops in &mut self.ops {
+                    ops[lane] = LaneStep::Skip;
+                }
+            }
+        }
+        for (kernel, ops) in self.kernels.iter_mut().zip(&self.ops) {
+            kernel.step_lanes(ops);
+        }
+    }
+
+    /// Writes lane `lane`'s online summary into `metrics` — the lane-local
+    /// mirror of `run_metrics_into`'s finalisation, bit-identical to the
+    /// scalar engine's fill for the same scenario.
+    pub(crate) fn lane_metrics_into(&self, lane: usize, metrics: &mut RunMetrics) {
+        let state = &self.lane_states[lane];
+        let app_count = self.fleet.app_count();
+        metrics.begin(app_count, self.period);
+        metrics.steps = state.steps_total;
+        for (index, app) in self.fleet.apps().iter().enumerate() {
+            // Same semantics as `settling_index`: the candidate is one past
+            // the last threshold violation; a violation in the final period
+            // means the run never settled.
+            let response = (state.candidates[index] < state.steps_total)
+                .then(|| state.candidates[index] as f64 * self.period);
+            metrics.response_times[index] = response;
+            metrics.deadlines_met[index] =
+                response.map(|t| t <= app.spec().deadline).unwrap_or(false);
+            metrics.candidates[index] = state.candidates[index];
+            metrics.peak_norms[index] = state.peak_norms[index];
+            metrics.tt_periods[index] = state.tt_periods[index];
+            metrics.held_periods[index] = state.held_periods[index];
+            metrics.max_consecutive_losses[index] = state.max_consecutive_losses[index];
+        }
+        metrics.bus = state.bus.statistics();
+    }
+}
+
+/// One lane's share of one period — the exact `advance_period` sequence up
+/// to (but not including) the kernel step, which is deferred to the batched
+/// sweep: the lane's operation for each application lands in
+/// `ops[app][lane]`.
+fn process_lane(
+    fleet: &Arc<DesignedFleet>,
+    kernels: &mut [BatchStepKernel],
+    state: &mut LaneState,
+    ops: &mut [Vec<LaneStep>],
+    lane: usize,
+    step: usize,
+    period: f64,
+) -> Result<()> {
+    let time = step as f64 * period;
+    if let Some(storm) = state.degradation.and_then(|d| d.storm) {
+        let interval_steps = ((storm.interval / period).round() as usize).max(1);
+        if step > 0 && step % interval_steps == 0 {
+            for (kernel, app) in kernels.iter_mut().zip(fleet.apps()) {
+                kernel.inject_lane_disturbance_scaled(
+                    lane,
+                    &app.spec().disturbance,
+                    storm.scale,
+                )?;
+            }
+        }
+    }
+    for (norm, kernel) in state.norms.iter_mut().zip(kernels.iter()) {
+        *norm = kernel.lane_state_norm(lane);
+    }
+    // The runtime decides on what the sensors report — the true norms, or
+    // under degradation norms corrupted by uniform measurement noise (one
+    // draw per application per period whatever the amplitude). The true
+    // norms still drive the plants and the recorded metrics.
+    let LaneState { runtime, norms, noisy_norms, modes, degradation, degradation_rng, .. } = state;
+    if let Some(config) = degradation {
+        noisy_norms.clear();
+        for norm in norms.iter() {
+            let corrupted = norm + config.sensor_noise * degradation_rng.next_signed_unit();
+            noisy_norms.push(corrupted.max(0.0));
+        }
+        runtime.step_into(noisy_norms, modes)?;
+    } else {
+        runtime.step_into(norms, modes)?;
+    }
+
+    for (index, mode) in state.modes.iter().enumerate() {
+        let frame_id = index as u32 + 1;
+        let segment = match mode {
+            CommunicationMode::TimeTriggered => Segment::Static {
+                slot: state
+                    .runtime
+                    .slot_holders()
+                    .iter()
+                    .position(|holder| *holder == Some(index))
+                    .unwrap_or(0),
+            },
+            CommunicationMode::EventTriggered => Segment::Dynamic,
+        };
+        // Reassignment can fail only transiently when two apps swap a slot
+        // within one period; fall back to the dynamic segment.
+        if state.bus.reassign_frame(frame_id, segment).is_err() {
+            state.bus.reassign_frame(frame_id, Segment::Dynamic)?;
+        }
+        state.bus.queue_message(frame_id, time)?;
+    }
+    state.bus.advance_until(time + period);
+
+    // Decide each application's lane operation now that the bus has decided
+    // each frame's fate, and fold this period into the online metrics (the
+    // pre-step norms, exactly as `run_metrics_loop` does after
+    // `advance_period`).
+    for (index, mode) in state.modes.iter().enumerate() {
+        let losses = state.bus.losses_of(index as u32 + 1);
+        let op = if losses > state.prev_losses[index] {
+            state.prev_losses[index] = losses;
+            state.held_periods[index] += 1;
+            state.consecutive_losses[index] += 1;
+            if state.consecutive_losses[index] > state.max_consecutive_losses[index] {
+                state.max_consecutive_losses[index] = state.consecutive_losses[index];
+            }
+            LaneStep::Hold
+        } else {
+            state.consecutive_losses[index] = 0;
+            LaneStep::from_mode(*mode)
+        };
+        ops[index][lane] = op;
+
+        let norm = state.norms[index];
+        let threshold = fleet.apps()[index].spec().threshold * state.threshold_scale;
+        if norm > threshold {
+            state.candidates[index] = step + 1;
+        }
+        if norm > state.peak_norms[index] {
+            state.peak_norms[index] = norm;
+        }
+        if *mode == CommunicationMode::TimeTriggered {
+            state.tt_periods[index] += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+    use crate::cosim::{CoSimulation, ModeSwitchStorm};
+    use cps_flexray::{FaultModel, FlexRayConfig, GilbertElliott};
+
+    fn fleet() -> Arc<DesignedFleet> {
+        let apps = case_study::derived_fleet().unwrap();
+        let table = case_study::derive_table(&apps).unwrap();
+        let allocation =
+            cps_sched::allocate_slots(&table, &cps_sched::AllocatorConfig::default()).unwrap();
+        Arc::new(
+            DesignedFleet::new(apps, allocation, FlexRayConfig::paper_case_study()).unwrap(),
+        )
+    }
+
+    fn scenarios() -> Vec<CampaignScenario> {
+        // Mixed severities: a nominal lane, a faulty lane with storms (lane
+        // divergence through hold-last-command and mode switches), a bursty
+        // lane, and a ragged short lane.
+        vec![
+            CampaignScenario {
+                family: 0,
+                disturbance_scale: 1.0,
+                threshold_scale: 1.0,
+                duration: 2.0,
+                fault: None,
+                degradation: None,
+            },
+            CampaignScenario {
+                family: 0,
+                disturbance_scale: 1.4,
+                threshold_scale: 0.9,
+                duration: 2.0,
+                fault: Some(FaultModel::drops(7, 0.3).with_corruption(0.01)),
+                degradation: Some(DegradationConfig {
+                    seed: 11,
+                    sensor_noise: 0.02,
+                    storm: Some(ModeSwitchStorm { interval: 0.4, scale: 0.8 }),
+                }),
+            },
+            CampaignScenario {
+                family: 0,
+                disturbance_scale: 0.7,
+                threshold_scale: 1.1,
+                duration: 1.5,
+                fault: Some(FaultModel::drops(3, 0.1).with_burst(GilbertElliott {
+                    degrade_probability: 0.2,
+                    recover_probability: 0.3,
+                    bad_drop_probability: 0.9,
+                })),
+                degradation: None,
+            },
+            CampaignScenario {
+                family: 0,
+                disturbance_scale: 1.1,
+                threshold_scale: 1.0,
+                duration: 0.7,
+                fault: Some(FaultModel::drops(5, 0.5)),
+                degradation: Some(DegradationConfig::noise(23, 0.05)),
+            },
+        ]
+    }
+
+    fn scalar_metrics(fleet: &Arc<DesignedFleet>, scenario: &CampaignScenario) -> RunMetrics {
+        let mut engine = CoSimulation::from_fleet(Arc::clone(fleet)).unwrap();
+        let mut metrics = RunMetrics::default();
+        engine.reset().unwrap();
+        engine.set_threshold_scale(scenario.threshold_scale).unwrap();
+        engine.set_fault_model(scenario.fault).unwrap();
+        engine.set_degradation(scenario.degradation).unwrap();
+        engine.inject_disturbances_scaled(scenario.disturbance_scale).unwrap();
+        engine.run_metrics_into(scenario.duration, &mut metrics).unwrap();
+        metrics
+    }
+
+    #[test]
+    fn batched_campaign_lanes_match_scalar_engines_bit_for_bit() {
+        let fleet = fleet();
+        let scenarios = scenarios();
+        for lanes in [1, 2, 3, 4] {
+            let mut batch = BatchCoSim::from_fleet(&fleet, lanes).unwrap();
+            let mut metrics = RunMetrics::default();
+            for group in scenarios.chunks(lanes) {
+                batch.clear();
+                for (lane, scenario) in group.iter().enumerate() {
+                    batch.load_campaign_lane(lane, scenario).unwrap();
+                }
+                batch.run_loaded().unwrap();
+                for (lane, scenario) in group.iter().enumerate() {
+                    batch.lane_metrics_into(lane, &mut metrics);
+                    let expected = scalar_metrics(&fleet, scenario);
+                    assert_eq!(
+                        metrics, expected,
+                        "lane {lane} of {lanes} diverged from the scalar engine"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_lanes_actually_diverge() {
+        // The equivalence above is only meaningful if the scenario mix
+        // exercises the peel-off paths: losses must occur.
+        let fleet = fleet();
+        let mut batch = BatchCoSim::from_fleet(&fleet, 4).unwrap();
+        batch.clear();
+        for (lane, scenario) in scenarios().iter().enumerate() {
+            batch.load_campaign_lane(lane, scenario).unwrap();
+        }
+        batch.run_loaded().unwrap();
+        let mut metrics = RunMetrics::default();
+        batch.lane_metrics_into(1, &mut metrics);
+        assert!(metrics.bus.lost_frames() > 0, "faulty lane must lose frames");
+        assert!(metrics.held_periods.iter().any(|&h| h > 0));
+        batch.lane_metrics_into(0, &mut metrics);
+        assert_eq!(metrics.bus.lost_frames(), 0, "nominal lane must stay clean");
+    }
+
+    #[test]
+    fn warm_reuse_is_bit_identical_to_fresh() {
+        let fleet = fleet();
+        let scenario = &scenarios()[1];
+        let mut batch = BatchCoSim::from_fleet(&fleet, 2).unwrap();
+        let mut first = RunMetrics::default();
+        batch.clear();
+        batch.load_campaign_lane(0, scenario).unwrap();
+        batch.run_loaded().unwrap();
+        batch.lane_metrics_into(0, &mut first);
+        // Re-run the same scenario on the other (stale) lane of the warm
+        // engine; the fresh-run metrics must reproduce bit for bit.
+        let mut second = RunMetrics::default();
+        batch.clear();
+        batch.load_campaign_lane(1, scenario).unwrap();
+        batch.run_loaded().unwrap();
+        batch.lane_metrics_into(1, &mut second);
+        assert_eq!(first, second);
+    }
+}

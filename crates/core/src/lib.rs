@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 
 mod application;
+mod batch;
 mod campaign;
 mod characterize;
 mod cosim;

@@ -1,0 +1,241 @@
+//! Acceptance tests for the lane-batched scenario stepping: every public
+//! batched path must be **bit-identical** to its scalar reference.
+//!
+//! Three layers are pinned here:
+//!
+//! 1. the kernel layer — a [`BatchStepKernel`] lane driven through a scripted
+//!    mix of ET/TT/hold/skip periods reproduces a scalar [`StepKernel`]'s
+//!    augmented state bit for bit, divergence peel-off included;
+//! 2. the campaign layer — a faulty Monte-Carlo campaign with mode-switch
+//!    storms (which force lanes to diverge every few periods) folds into the
+//!    exact same `CampaignStats` for every lane width;
+//! 3. the scenario layer — a mixed sweep with slot-map override specs
+//!    interleaved (which must fall back to the scalar engine mid-chunk)
+//!    returns identical outcomes for every lane width × thread count,
+//!    property-tested over ragged scenario counts.
+
+use automotive_cps::control::{BatchStepKernel, CommunicationMode, LaneStep, StepKernel};
+use automotive_cps::core::{
+    case_study, DesignedFleet, RobustnessCampaign, RobustnessSweep, ScenarioBatch, ScenarioSpec,
+};
+use automotive_cps::flexray::{FlexRayConfig, GilbertElliott};
+use automotive_cps::sched::{allocate_slots, AllocatorConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// The derived fleet, designed once for the whole test binary.
+fn fleet() -> Arc<DesignedFleet> {
+    static FLEET: OnceLock<Arc<DesignedFleet>> = OnceLock::new();
+    Arc::clone(FLEET.get_or_init(|| {
+        Arc::new(
+            DesignedFleet::design(
+                case_study::derived_fleet_specs(),
+                &AllocatorConfig::default(),
+                FlexRayConfig::paper_case_study(),
+            )
+            .expect("derived fleet designs"),
+        )
+    }))
+}
+
+/// A scenario-batch template over the shared fleet, built once.
+fn batch_template() -> &'static ScenarioBatch {
+    static BATCH: OnceLock<ScenarioBatch> = OnceLock::new();
+    BATCH.get_or_init(|| ScenarioBatch::from_fleet(fleet()).expect("batch template"))
+}
+
+/// Deterministic per-period lane script: a mix of every [`LaneStep`] variant
+/// so uniform fast-path periods, divergent peel-off periods and parked lanes
+/// all occur. Lane `l` at period `p` follows a different phase of the same
+/// pattern, so most periods are non-uniform.
+fn scripted_step(lane: usize, period: usize) -> LaneStep {
+    match (period + 3 * lane) % 11 {
+        0..=3 => LaneStep::EventTriggered,
+        4..=6 => LaneStep::TimeTriggered,
+        7 | 8 => LaneStep::Hold,
+        _ => LaneStep::Skip,
+    }
+}
+
+/// Kernel-layer golden run: each lane of a 5-wide batch, stepped through 400
+/// scripted periods (with per-lane scaled disturbance re-injections), must
+/// leave the exact augmented state a scalar kernel reaches under the same
+/// per-period script.
+#[test]
+fn scripted_batch_lanes_reproduce_scalar_kernels_bit_for_bit() {
+    const LANES: usize = 5;
+    const PERIODS: usize = 400;
+    for app in fleet().apps() {
+        let mut batch: BatchStepKernel = app.kernel_matrices().batch_kernel(LANES);
+        let disturbance = &app.spec().disturbance;
+        let mut ops = [LaneStep::Skip; LANES];
+        for lane in 0..LANES {
+            let scale = 0.5 + lane as f64 * 0.3;
+            batch.inject_lane_disturbance_scaled(lane, disturbance, scale).expect("inject");
+        }
+        for period in 0..PERIODS {
+            for (lane, op) in ops.iter_mut().enumerate() {
+                *op = scripted_step(lane, period);
+            }
+            batch.step_lanes(&ops);
+            if period % 64 == 0 {
+                // Mid-run re-injection, as the storm path does.
+                batch.inject_lane_disturbance_scaled(1, disturbance, 0.25).expect("inject");
+            }
+        }
+
+        for lane in 0..LANES {
+            let mut scalar: StepKernel = app.kernel().expect("scalar kernel");
+            let scale = 0.5 + lane as f64 * 0.3;
+            scalar.inject_disturbance_scaled(disturbance, scale).expect("inject");
+            for period in 0..PERIODS {
+                match scripted_step(lane, period) {
+                    LaneStep::EventTriggered => scalar.step(CommunicationMode::EventTriggered),
+                    LaneStep::TimeTriggered => scalar.step(CommunicationMode::TimeTriggered),
+                    LaneStep::Hold => scalar.step_hold(),
+                    LaneStep::Skip => {}
+                }
+                if period % 64 == 0 && lane == 1 {
+                    scalar.inject_disturbance_scaled(disturbance, 0.25).expect("inject");
+                }
+            }
+            let mut lane_state = vec![0.0; scalar.augmented_state().len()];
+            batch.lane_augmented_into(lane, &mut lane_state);
+            assert_eq!(
+                lane_state,
+                scalar.augmented_state(),
+                "{}: lane {lane} diverged from the scalar reference",
+                app.name()
+            );
+            assert_eq!(batch.lane_state_norm(lane), scalar.state_norm(), "{}", app.name());
+            assert_eq!(batch.lane_time(lane), scalar.time(), "{}", app.name());
+        }
+    }
+}
+
+/// A faulty sweep whose mode-switch storms re-disturb every lane mid-run:
+/// storms trigger threshold crossings at different periods per lane, so the
+/// lanes *must* diverge and peel off — the interesting regime for
+/// bit-identity.
+fn stormy_sweep() -> RobustnessSweep {
+    RobustnessSweep::new(vec![0.0, 0.2, 0.6], 4, 1.0)
+        .with_disturbance_range(0.7, 1.5)
+        .with_burst(GilbertElliott {
+            degrade_probability: 0.2,
+            recover_probability: 0.4,
+            bad_drop_probability: 0.9,
+        })
+        .with_corruption(0.03)
+        .with_dynamic_contention(6)
+        .with_sensor_noise(0.02)
+        .with_storm(0.3, 0.6)
+}
+
+/// Campaign-layer bit-identity: every lane width folds the stormy faulty
+/// campaign into the exact same `CampaignStats` — Welford moments and the
+/// order-sensitive P² marker state included — across worker counts too.
+#[test]
+fn campaign_stats_are_bit_identical_across_lane_widths() {
+    let sweep = stormy_sweep();
+    let scalar = RobustnessCampaign::new(fleet(), 0xD1CE)
+        .with_workers(2)
+        .with_chunk_size(5)
+        .with_lane_width(1)
+        .run(&sweep)
+        .expect("scalar-lane campaign");
+    assert_eq!(scalar.total, 12);
+    for lane_width in 2..=8 {
+        for workers in [1, 3] {
+            let stats = RobustnessCampaign::new(fleet(), 0xD1CE)
+                .with_workers(workers)
+                .with_chunk_size(5)
+                .with_lane_width(lane_width)
+                .run(&sweep)
+                .expect("batched campaign");
+            assert_eq!(
+                stats, scalar,
+                "lane width {lane_width} × {workers} workers changed the campaign result"
+            );
+        }
+    }
+}
+
+/// Scenario-layer bit-identity on a mixed list: slot-map override specs are
+/// interleaved with packable sweep specs, so batched chunks must split
+/// around the scalar-only scenarios and still return identical outcomes.
+#[test]
+fn mixed_scenario_batch_matches_scalar_across_lane_widths_and_threads() {
+    let table = case_study::derive_table(fleet().apps()).expect("timing table");
+    let allocation = allocate_slots(&table, &AllocatorConfig::default()).expect("allocation");
+
+    let mut scenarios = ScenarioSpec::disturbance_sweep(0.2, 2.0, 9, 1.0);
+    scenarios.extend(ScenarioSpec::threshold_sweep(0.7, 1.8, 3, 1.0));
+    // Scalar-only specs wedged mid-list: lane packing must break around them.
+    scenarios.insert(4, ScenarioSpec::nominal(1.0).with_allocation(allocation));
+    let per_app: Vec<Vec<f64>> = fleet()
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(index, app)| {
+            app.spec().disturbance.iter().map(|d| d * (index as f64 + 1.0) * 0.3).collect()
+        })
+        .collect();
+    // A per-app disturbance override IS lane-compatible — it must keep its
+    // surrounding group packed.
+    scenarios.insert(7, ScenarioSpec::nominal(1.0).with_disturbances(per_app));
+
+    let scalar = batch_template()
+        .clone()
+        .with_threads(1)
+        .with_lane_width(1)
+        .run(&scenarios)
+        .expect("scalar run");
+    assert_eq!(scalar.len(), scenarios.len());
+    for lane_width in [2, 3, 5, 8] {
+        for threads in [1, 3] {
+            let outcomes = batch_template()
+                .clone()
+                .with_threads(threads)
+                .with_lane_width(lane_width)
+                .run(&scenarios)
+                .expect("batched run");
+            assert_eq!(
+                outcomes, scalar,
+                "lane width {lane_width} × {threads} threads changed the outcomes"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ragged tails and arbitrary widths: any scenario count (including
+    /// remainders shorter than the lane width), any lane width in 1..=8 and
+    /// any thread count must reproduce the scalar outcomes exactly.
+    #[test]
+    fn ragged_scenario_counts_match_scalar_for_any_lane_width(
+        lane_width in 1usize..9,
+        count in 2usize..14,
+        threads in 1usize..4,
+    ) {
+        let scenarios = ScenarioSpec::disturbance_sweep(0.3, 1.8, count, 0.5);
+        let scalar = batch_template()
+            .clone()
+            .with_threads(1)
+            .with_lane_width(1)
+            .run(&scenarios)
+            .expect("scalar run");
+        let batched = batch_template()
+            .clone()
+            .with_threads(threads)
+            .with_lane_width(lane_width)
+            .run(&scenarios)
+            .expect("batched run");
+        prop_assert_eq!(
+            batched, scalar,
+            "lane width {} × {} threads × {} scenarios diverged",
+            lane_width, threads, count
+        );
+    }
+}
