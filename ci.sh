@@ -160,6 +160,16 @@ if ! cargo test -q -p automotive-cps --test allocation_optimal -- --list \
     exit 1
 fi
 
+# The portfolio regression suite carries the parallel allocator's
+# determinism contract (bit-identical optima for every worker count) and
+# the committed node-count fixture; same reasoning, same gate.
+step "portfolio suite is collected (tests/allocation_portfolio.rs)"
+if ! cargo test -q -p automotive-cps --test allocation_portfolio -- --list \
+        | grep ": test" > /dev/null; then
+    echo "ERROR: the allocation_portfolio regression suite was skipped or is empty" >&2
+    exit 1
+fi
+
 step "campaign/fault suite is collected (tests/robustness_campaign.rs, tests/zero_alloc.rs)"
 if ! cargo test -q -p automotive-cps --test robustness_campaign -- --list \
         | grep ": test" > /dev/null; then

@@ -17,6 +17,8 @@
 //!   throughput, design-tier costs (controller synthesis, shared vs. cloned
 //!   engine spin-up, workspace vs. allocating DARE) and kernel-based vs.
 //!   full-horizon characterisation.
+//! * `allocation_opt` — the exact branch-and-bound against the greedy sweep,
+//!   plus the parallel portfolio rungs on a contended 24-app fleet.
 //!
 //! `./ci.sh perf` runs the perf set with `CPS_BENCH_JSON` pointed at
 //! `BENCH_results.json`, maintaining the repository's machine-readable
@@ -60,6 +62,38 @@ pub fn synthetic_fleet(n: usize, seed: u64) -> Vec<AppTimingParams> {
         .collect()
 }
 
+/// A tighter variant of [`synthetic_fleet`]: deadlines leave far less slack
+/// over the dwell peak, so slot packing is contended and the exact search
+/// has a non-trivial optimality proof — the regime the portfolio bench
+/// rungs measure. Deterministic for a given seed.
+pub fn synthetic_fleet_tight(n: usize, seed: u64) -> Vec<AppTimingParams> {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    (0..n)
+        .map(|i| {
+            let xi_tt = 0.2 + next() * 1.5;
+            let xi_et = xi_tt * (2.0 + next() * 4.0);
+            let xi_m = xi_tt * (1.0 + next() * 1.2);
+            let k_p = xi_et * (0.05 + next() * 0.4);
+            let deadline = xi_m + k_p + 0.2 + next() * 3.0;
+            let inter_arrival = deadline + 2.0 + next() * 100.0;
+            AppTimingParams::new(
+                format!("T{i}"),
+                inter_arrival,
+                deadline,
+                xi_tt,
+                xi_et,
+                xi_m,
+                k_p,
+            )
+            .expect("generated parameters satisfy the invariants")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +111,24 @@ mod tests {
             assert!(app.xi_tt <= app.xi_m);
             assert!(app.deadline <= app.inter_arrival);
         }
+    }
+
+    #[test]
+    fn tight_fleet_is_valid_deterministic_and_tighter() {
+        let a = synthetic_fleet_tight(24, 9015);
+        assert_eq!(a, synthetic_fleet_tight(24, 9015));
+        assert_eq!(a.len(), 24);
+        for app in &a {
+            assert!(app.xi_tt <= app.xi_et);
+            assert!(app.xi_tt <= app.xi_m);
+            assert!(app.deadline <= app.inter_arrival);
+        }
+        // "Tight" means less deadline slack over the dwell floor on average,
+        // which is what makes slot packing contended.
+        let slack = |fleet: &[AppTimingParams]| {
+            fleet.iter().map(|app| app.deadline - app.xi_m - app.k_p).sum::<f64>()
+                / fleet.len() as f64
+        };
+        assert!(slack(&a) < slack(&synthetic_fleet(24, 9015)));
     }
 }

@@ -45,7 +45,9 @@ use crate::error::{CoreError, Result};
 use crate::fleet::DesignedFleet;
 use cps_control::{CharacterizationWorkspace, DesignWorkspace};
 use cps_flexray::FlexRayConfig;
-use cps_sched::{AllocatorConfig, AppTimingParams, CancelToken, OptimalAllocator, SchedError};
+use cps_sched::{
+    AllocatorConfig, AppTimingParams, CancelToken, PortfolioAllocator, PortfolioConfig, SchedError,
+};
 
 /// The scratch bundle one design worker owns and threads through every item
 /// of its chunk: the solver-workspace pool of the synthesis path and the
@@ -204,9 +206,10 @@ impl FleetDesigner {
 
     /// The full exact design flow: like [`FleetDesigner::design_fleet`] but
     /// the slot map is the provable minimum of
-    /// [`cps_sched::allocate_slots_optimal`]; the single characterisation
-    /// pass feeds both the greedy incumbent seed and the exact search
-    /// (`config.strategy` is ignored).
+    /// [`cps_sched::allocate_slots_portfolio`], searched by the designer's
+    /// worker count (bit-identical for any setting); the single
+    /// characterisation pass feeds both the greedy incumbent seed and the
+    /// exact search (`config.strategy` is ignored).
     ///
     /// # Errors
     ///
@@ -224,11 +227,13 @@ impl FleetDesigner {
     }
 
     /// The budget-aware exact design flow of the design service: like
-    /// [`FleetDesigner::design_fleet_optimal`], but the branch-and-bound
-    /// search runs under the designer's cancellation token and an optional
-    /// deterministic node budget, and a cut-short search *degrades* instead
-    /// of failing — the greedy incumbent is frozen into the fleet and the
-    /// result carries `certified_optimal = false`.
+    /// [`FleetDesigner::design_fleet_optimal`], but the portfolio search
+    /// runs under the designer's cancellation token and an optional node
+    /// budget — both *aggregated across the portfolio's workers*, so one
+    /// budget and one token govern the whole parallel search — and a
+    /// cut-short search *degrades* instead of failing: the greedy incumbent
+    /// is frozen into the fleet and the result carries
+    /// `certified_optimal = false`.
     ///
     /// With no token and no budget the flow is bit-identical to
     /// [`FleetDesigner::design_fleet_optimal`] (same allocator, same float
@@ -249,7 +254,8 @@ impl FleetDesigner {
     ) -> Result<BudgetedDesign> {
         let apps = self.design(specs)?;
         let table = self.characterize(&apps)?;
-        let mut solver = OptimalAllocator::new(&table, &budgeted(config, &bus_config))?;
+        let portfolio = PortfolioConfig::with_threads(self.threads);
+        let mut solver = PortfolioAllocator::new(&table, &budgeted(config, &bus_config), &portfolio)?;
         solver.set_cancel_token(self.cancel.clone());
         solver.set_node_budget(node_budget);
         let allocation = match solver.solve() {
@@ -278,7 +284,11 @@ impl FleetDesigner {
         bus_config: FlexRayConfig,
     ) -> Result<DesignedFleet> {
         let table = self.characterize(&apps)?;
-        let allocation = cps_sched::allocate_slots_optimal(&table, &budgeted(config, &bus_config))?;
+        let allocation = cps_sched::allocate_slots_portfolio(
+            &table,
+            &budgeted(config, &bus_config),
+            &PortfolioConfig::with_threads(self.threads),
+        )?;
         let fleet = DesignedFleet::new(apps, allocation, bus_config)?;
         fleet.seed_timing_table(table);
         Ok(fleet)

@@ -71,7 +71,10 @@ pub use allocation::{
     allocate_slots, allocation_sweep, AllocationStrategy, AllocatorConfig, SlotAllocation,
 };
 pub use cancel::CancelToken;
-pub use optimal::{allocate_slots_optimal, OptimalAllocator};
+pub use optimal::{
+    allocate_slots_optimal, allocate_slots_portfolio, OptimalAllocator, PortfolioAllocator,
+    PortfolioConfig,
+};
 pub use app::{priority_order, AppTimingParams};
 pub use dwell::{
     dwell_for, max_dwell_for, ConservativeMonotonicModel, DwellTimeModel, ModelKind,

@@ -7,6 +7,16 @@
 //! heuristic sweep into a provable tool: every greedy answer becomes an upper
 //! bound the solver must meet or beat.
 //!
+//! The module splits into the pieces the two solvers share:
+//!
+//! * [`search`](self) (private) — the restricted-growth DFS core, the
+//!   allocation-free per-slot analysis and the deadness test;
+//! * `bounds` (private) — the slot-demand relaxation and the
+//!   pairwise-conflict clique lower bound;
+//! * [`OptimalAllocator`] — the sequential reference solver;
+//! * [`PortfolioAllocator`] — the parallel portfolio solver, bit-identical
+//!   to the sequential one for every worker count.
+//!
 //! # Search space
 //!
 //! Applications are processed in the same deterministic priority order as the
@@ -42,19 +52,17 @@
 //! If that floor already exceeds a member's deadline, no completion can fix
 //! the slot and the branch is cut.
 //!
-//! # Lower bound (slot-demand relaxation)
+//! # Lower bounds
 //!
-//! For the lowest-priority member `i` of a feasible slot `S`, the paper's
-//! Eq. (19) requires `m = Σ_{j∈S∖{i}} ξ̃ᴹⱼ/rⱼ < 1`, hence every feasible slot
-//! carries total demand `Σ_{j∈S} uⱼ < 1 + uᵢ ≤ 1 + u_max` with
-//! `uⱼ = ξ̃ᴹⱼ/rⱼ`, where `ξ̃ᴹⱼ = ξᴹⱼ + ΔΨ` is the dwell bound stretched by the
-//! per-slot transmission overhead of the analysed bus geometry
-//! ([`crate::SlotTiming`]; zero at the design baseline). Relaxing
-//! schedulability to this scalar capacity yields a
-//! bin-packing bound: with `D` the demand of the unassigned applications and
-//! `R` the residual capacity of the open slots, at least
-//! `⌈(D − R)/(1 + u_max)⌉` further slots are needed. Nodes whose open-slot
-//! count plus this bound cannot beat the incumbent are cut.
+//! Nodes are cut when `open slots + lower bound ≥ incumbent`. Two valid
+//! bounds combine (their maximum): the slot-demand relaxation of the
+//! paper's Eq. (19) (every feasible slot carries demand
+//! `Σ (ξᴹⱼ + ΔΨ)/rⱼ < 1 + u_max`, yielding a bin-packing floor for the
+//! unassigned suffix) and a pairwise-conflict clique bound (applications
+//! whose two-member slot is provably dead under the monotone response
+//! envelope can never share a slot, so a conflict clique forces that many
+//! distinct slots). See the `bounds` module docs for the soundness
+//! arguments.
 //!
 //! The incumbent is seeded with the best feasible greedy allocation
 //! (next-fit, first-fit and best-fit under the same model and wait-time
@@ -64,70 +72,43 @@
 //! # Determinism and allocation-freedom
 //!
 //! Branching order, priority order and tie-breaks are all deterministic, so
-//! the returned allocation is a pure function of the inputs. After
+//! the returned allocation is a pure function of the inputs — for the
+//! sequential solver *and* for the portfolio at any worker count (see
+//! [`PortfolioAllocator`] for the two-phase argument). After
 //! [`OptimalAllocator::new`] returns, [`OptimalAllocator::solve_in_place`]
 //! performs no heap allocation: slot membership, status flags and the best
 //! assignment live in buffers sized at construction, and the per-node
 //! schedulability check and bound stream over those buffers (verified by the
-//! workspace's counting-allocator test).
+//! workspace's counting-allocator test; the same holds for
+//! [`PortfolioAllocator::solve_in_place`] at one worker).
 
-use crate::allocation::{AllocationStrategy, AllocatorConfig, SlotAllocation};
-use crate::app::{priority_order, AppTimingParams};
+mod bounds;
+mod portfolio;
+mod search;
+
+pub use portfolio::{allocate_slots_portfolio, PortfolioAllocator, PortfolioConfig};
+
+use crate::allocation::{AllocatorConfig, SlotAllocation};
+use crate::app::AppTimingParams;
 use crate::cancel::CancelToken;
-use crate::dwell::{dwell_for, max_dwell_for, ModelKind};
 use crate::error::{Result, SchedError};
-use crate::schedulability::WaitTimeMethod;
-use crate::timing::SlotTiming;
-use crate::wait_time::MAX_FIXED_POINT_ITERATIONS;
 
-/// Verdict of the allocation-free per-slot analysis at a search node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlotStatus {
-    /// Every member currently meets its deadline.
-    Feasible,
-    /// Some member misses its deadline, but a future addition could still
-    /// repair it (the dwell curve is non-monotonic).
-    Infeasible,
-    /// Provably unschedulable for every superset of the current members.
-    Dead,
-}
+use search::{dfs, seed_greedy, Driver, Flow, Problem, SearchState};
 
 /// Exact minimum-slot allocator: a reusable branch-and-bound search over slot
 /// assignments for one fleet under one [`AllocatorConfig`].
 ///
-/// Construction validates the fleet, precomputes the priority order and
-/// per-application demands, and seeds the incumbent with the best greedy
-/// allocation. [`OptimalAllocator::solve_in_place`] then runs the exact
-/// search without allocating; [`OptimalAllocator::best_allocation`]
-/// materialises the result. The `strategy` field of the configuration is
-/// ignored — the solver searches over *all* packings.
+/// Construction validates the fleet, precomputes the priority order,
+/// per-application demands and conflict cliques, and seeds the incumbent
+/// with the best greedy allocation. [`OptimalAllocator::solve_in_place`]
+/// then runs the exact search without allocating;
+/// [`OptimalAllocator::best_allocation`] materialises the result. The
+/// `strategy` field of the configuration is ignored — the solver searches
+/// over *all* packings.
 #[derive(Debug)]
 pub struct OptimalAllocator<'a> {
-    apps: &'a [AppTimingParams],
-    model: ModelKind,
-    method: WaitTimeMethod,
-    max_slots: usize,
-    /// Per-slot transmission timing of the analysed bus geometry: the
-    /// overhead stretches every blocking/interference occupancy and the
-    /// per-application demand, exactly as in the reference analysis.
-    timing: SlotTiming,
-    /// Applications in decreasing priority (the branching order).
-    order: Vec<usize>,
-    /// Per-application slot demand `uᵢ = (ξᴹᵢ + ΔΨ)/rᵢ` under the active
-    /// model and slot geometry.
-    demand: Vec<f64>,
-    /// Capacity `1 + u_max` of the demand relaxation.
-    capacity: f64,
-    /// `suffix_demand[k]` = total demand of `order[k..]`.
-    suffix_demand: Vec<f64>,
-    /// Slot pool: `slots[..used]` are the open slots of the current node.
-    slots: Vec<Vec<usize>>,
-    status: Vec<SlotStatus>,
-    /// Demand load `Σ uⱼ` of each open slot, recomputed exactly whenever a
-    /// slot's membership changes (no incremental float drift) so the bound
-    /// only pays O(open slots) per node.
-    load: Vec<f64>,
-    used: usize,
+    problem: Problem<'a>,
+    state: SearchState,
     /// Best known solution (`best_used` slots in `best_slots[..best_used]`);
     /// `usize::MAX` when none is known.
     best_slots: Vec<Vec<usize>>,
@@ -149,6 +130,44 @@ pub struct OptimalAllocator<'a> {
     exhausted: bool,
 }
 
+/// The sequential solver's [`Driver`]: plain-field incumbent and node
+/// counter, record-and-continue at improving leaves.
+struct SequentialDriver<'s> {
+    best_slots: &'s mut [Vec<usize>],
+    best_used: &'s mut usize,
+    nodes: &'s mut u64,
+    budget: Option<u64>,
+    cancel: Option<&'s CancelToken>,
+}
+
+impl Driver for SequentialDriver<'_> {
+    fn bound(&self) -> usize {
+        *self.best_used
+    }
+    fn enter_node(&mut self) -> bool {
+        *self.nodes += 1;
+        // `>=` so that a budget of 1 fires at the root node: the search may
+        // *start* at most `budget` nodes, and a cut solve always degrades —
+        // there is no budget small enough to certify by accident. (The wire
+        // protocol reserves 0 for "unbounded", so 1 is the smallest budget a
+        // service request can carry.)
+        if let Some(budget) = self.budget {
+            if *self.nodes >= budget {
+                return false;
+            }
+        }
+        !self.cancel.as_ref().is_some_and(|token| token.is_cancelled())
+    }
+    fn on_leaf(&mut self, state: &SearchState) -> bool {
+        *self.best_used = state.used;
+        for (best, slot) in self.best_slots.iter_mut().zip(&state.slots).take(state.used) {
+            best.clear();
+            best.extend_from_slice(slot);
+        }
+        true
+    }
+}
+
 impl<'a> OptimalAllocator<'a> {
     /// Builds a solver for the fleet under the given configuration
     /// (`config.strategy` is ignored).
@@ -158,101 +177,37 @@ impl<'a> OptimalAllocator<'a> {
     /// [`SchedError::InvalidParameter`] if `apps` is empty or
     /// `config.max_slots` is zero.
     pub fn new(apps: &'a [AppTimingParams], config: &AllocatorConfig) -> Result<Self> {
-        if apps.is_empty() {
-            return Err(SchedError::InvalidParameter {
-                reason: "cannot allocate an empty application set".to_string(),
-            });
-        }
-        if config.max_slots == 0 {
-            return Err(SchedError::InvalidParameter {
-                reason: "max_slots must be at least one".to_string(),
-            });
-        }
-        let order = priority_order(apps);
-        let demand: Vec<f64> = apps
-            .iter()
-            .map(|app| {
-                config.slot_timing.effective_dwell(max_dwell_for(app, config.model))
-                    / app.inter_arrival
-            })
-            .collect();
-        let capacity = 1.0 + demand.iter().copied().fold(0.0, f64::max);
-        let mut suffix_demand = vec![0.0; apps.len() + 1];
-        for k in (0..apps.len()).rev() {
-            suffix_demand[k] = suffix_demand[k + 1] + demand[order[k]];
-        }
-        let pool = config.max_slots.min(apps.len());
-        let make_pool = || -> Vec<Vec<usize>> {
-            (0..pool).map(|_| Vec::with_capacity(apps.len())).collect()
-        };
-
-        let mut solver = OptimalAllocator {
-            apps,
-            model: config.model,
-            method: config.method,
-            max_slots: config.max_slots,
-            timing: config.slot_timing,
-            order,
-            demand,
-            capacity,
-            suffix_demand,
-            slots: make_pool(),
-            status: vec![SlotStatus::Feasible; pool],
-            load: vec![0.0; pool],
-            used: 0,
+        let problem = Problem::new(apps, config)?;
+        let pool = problem.pool();
+        let make_pool =
+            || -> Vec<Vec<usize>> { (0..pool).map(|_| Vec::with_capacity(apps.len())).collect() };
+        let state = SearchState::new(&problem);
+        let mut seed_slots = make_pool();
+        let seed_used = seed_greedy(&problem, &mut seed_slots);
+        Ok(OptimalAllocator {
+            problem,
+            state,
             best_slots: make_pool(),
             best_used: usize::MAX,
-            seed_slots: make_pool(),
-            seed_used: usize::MAX,
+            seed_slots,
+            seed_used,
             nodes: 0,
             cancel: None,
             node_budget: None,
             exhausted: true,
-        };
-        solver.seed_incumbent(config);
-        Ok(solver)
-    }
-
-    /// Runs the greedy strategies under the solver's model/method and stores
-    /// the best feasible allocation as the incumbent seed.
-    ///
-    /// The solver's priority order and one dedicated-slot feasibility pass
-    /// are shared across all three strategies
-    /// ([`crate::allocation::dedicated_slot_precheck`]), so seeding pays the
-    /// per-application characterisation work once instead of once per
-    /// strategy.
-    fn seed_incumbent(&mut self, config: &AllocatorConfig) {
-        if crate::allocation::dedicated_slot_precheck(self.apps, config, &self.order).is_err() {
-            // Some application misses its deadline even alone: no greedy
-            // strategy can succeed (they all require dedicated-slot
-            // feasibility), so the incumbent stays unseeded.
-            return;
-        }
-        for strategy in [
-            AllocationStrategy::NextFit,
-            AllocationStrategy::FirstFit,
-            AllocationStrategy::BestFit,
-        ] {
-            let candidate = crate::allocation::allocate_slots_prechecked(
-                self.apps,
-                &AllocatorConfig { strategy, ..*config },
-                &self.order,
-            );
-            if let Ok(allocation) = candidate {
-                if allocation.slot_count() < self.seed_used.min(self.seed_slots.len() + 1) {
-                    self.seed_used = allocation.slot_count();
-                    for (buffer, slot) in self.seed_slots.iter_mut().zip(&allocation.slots) {
-                        buffer.clear();
-                        buffer.extend_from_slice(slot);
-                    }
-                }
-            }
-        }
+        })
     }
 
     /// The slot count of the greedy seed, if any greedy strategy succeeded.
     pub fn greedy_bound(&self) -> Option<usize> {
         (self.seed_used != usize::MAX).then_some(self.seed_used)
+    }
+
+    /// Size of the root conflict clique: a certified lower bound on the
+    /// optimal slot count of any feasible allocation (0 when the fleet is
+    /// too large for the clique bound, which falls back to demand alone).
+    pub fn clique_lower_bound(&self) -> usize {
+        self.problem.clique.root_clique_size()
     }
 
     /// Number of search-tree nodes expanded by the last
@@ -290,25 +245,6 @@ impl<'a> OptimalAllocator<'a> {
         self.exhausted
     }
 
-    /// Whether the budget checkpoint fired: token cancelled or node budget
-    /// exhausted.
-    fn out_of_budget(&self) -> bool {
-        // `>=` so that a budget of 1 fires at the root node: the search may
-        // *start* at most `budget` nodes, and a cut solve always degrades —
-        // there is no budget small enough to certify by accident. (The wire
-        // protocol reserves 0 for "unbounded", so 1 is the smallest budget a
-        // service request can carry.)
-        if let Some(budget) = self.node_budget {
-            if self.nodes >= budget {
-                return true;
-            }
-        }
-        match &self.cancel {
-            Some(token) => token.is_cancelled(),
-            None => false,
-        }
-    }
-
     /// Runs the exact search and returns the minimum number of TT slots, or
     /// `None` if no feasible allocation within `max_slots` exists. Performs
     /// no heap allocation; the result is stored internally and can be
@@ -324,10 +260,20 @@ impl<'a> OptimalAllocator<'a> {
                 best.extend_from_slice(seed);
             }
         }
-        self.used = 0;
+        self.state.reset();
         self.nodes = 0;
-        self.exhausted = true;
-        self.search(0);
+        let OptimalAllocator {
+            problem, state, best_slots, best_used, nodes, cancel, node_budget, ..
+        } = self;
+        let mut driver = SequentialDriver {
+            best_slots,
+            best_used,
+            nodes,
+            budget: *node_budget,
+            cancel: cancel.as_ref(),
+        };
+        let flow = dfs(problem, state, &mut driver, 0);
+        self.exhausted = flow != Flow::Aborted;
         (self.best_used != usize::MAX).then_some(self.best_used)
     }
 
@@ -335,8 +281,8 @@ impl<'a> OptimalAllocator<'a> {
     pub fn best_allocation(&self) -> Option<SlotAllocation> {
         (self.best_used != usize::MAX).then(|| SlotAllocation {
             slots: self.best_slots[..self.best_used].to_vec(),
-            model: self.model,
-            method: self.method,
+            model: self.problem.model,
+            method: self.problem.method,
         })
     }
 
@@ -354,247 +300,11 @@ impl<'a> OptimalAllocator<'a> {
         match self.solve_in_place() {
             Some(_) => Ok(self.best_allocation().expect("solution recorded")),
             None if self.exhausted => {
-                Err(SchedError::NoFeasibleAllocation { max_slots: self.max_slots })
+                Err(SchedError::NoFeasibleAllocation { max_slots: self.problem.max_slots })
             }
             None => Err(SchedError::SearchCancelled { nodes: self.nodes }),
         }
     }
-
-    /// Depth-first branch-and-bound over restricted-growth assignments.
-    fn search(&mut self, depth: usize) {
-        self.nodes += 1;
-        // Budget checkpoint (deadline token and/or node cap): abandon the
-        // search, keep the incumbent. Checked once per node — the load is
-        // negligible next to the per-node slot analysis.
-        if self.out_of_budget() {
-            self.exhausted = false;
-            return;
-        }
-        // Bound: every completion opens at least `extra_slots_bound` more
-        // slots, so cut when even that cannot beat the incumbent.
-        let floor = self.used + self.extra_slots_bound(depth);
-        if self.best_used != usize::MAX && floor >= self.best_used {
-            return;
-        }
-        if depth == self.order.len() {
-            if self.status[..self.used].iter().all(|&s| s == SlotStatus::Feasible)
-                && (self.best_used == usize::MAX || self.used < self.best_used)
-            {
-                self.best_used = self.used;
-                let OptimalAllocator { slots, best_slots, .. } = self;
-                for (best, slot) in best_slots.iter_mut().zip(&*slots).take(self.used) {
-                    best.clear();
-                    best.extend_from_slice(slot);
-                }
-            }
-            return;
-        }
-        let app = self.order[depth];
-
-        // Existing slots, in creation order (deterministic tie-breaking).
-        for s in 0..self.used {
-            self.slots[s].push(app);
-            let saved_status = self.status[s];
-            let saved_load = self.load[s];
-            self.status[s] = self.slot_status(s);
-            self.load[s] = self.slot_load(s);
-            if self.status[s] != SlotStatus::Dead {
-                self.search(depth + 1);
-            }
-            self.status[s] = saved_status;
-            self.load[s] = saved_load;
-            self.slots[s].pop();
-            // Fast unwind once the budget fired: skip the (expensive) slot
-            // analyses the remaining siblings would run before their child
-            // calls bail out.
-            if !self.exhausted {
-                return;
-            }
-        }
-
-        // Open a new slot (canonical: always the next unused index).
-        if self.used < self.slots.len() {
-            let s = self.used;
-            self.slots[s].clear();
-            self.slots[s].push(app);
-            let saved_status = self.status[s];
-            self.status[s] = self.slot_status(s);
-            self.load[s] = self.demand[app];
-            self.used += 1;
-            if self.status[s] != SlotStatus::Dead {
-                self.search(depth + 1);
-            }
-            self.used -= 1;
-            self.status[s] = saved_status;
-            self.slots[s].pop();
-        }
-    }
-
-    /// Exact demand load of open slot `s` (summed in member order).
-    fn slot_load(&self, s: usize) -> f64 {
-        self.slots[s].iter().map(|&i| self.demand[i]).sum()
-    }
-
-    /// Demand-relaxation lower bound on the number of *additional* slots any
-    /// completion of the current node must open for `order[depth..]`.
-    fn extra_slots_bound(&self, depth: usize) -> usize {
-        let remaining = self.suffix_demand[depth];
-        if remaining <= 0.0 {
-            return 0;
-        }
-        let mut residual = 0.0;
-        for s in 0..self.used {
-            residual += (self.capacity - self.load[s]).max(0.0);
-        }
-        if remaining <= residual {
-            return 0;
-        }
-        ((remaining - residual) / self.capacity).ceil() as usize
-    }
-
-    /// Allocation-free analysis of open slot `s`: mirrors
-    /// [`crate::analyze_slot`] member for member (identical accumulation
-    /// order, so the verdict is bit-for-bit the one `SlotAllocation::verify`
-    /// computes), and additionally detects dead slots.
-    fn slot_status(&self, s: usize) -> SlotStatus {
-        let members = &self.slots[s];
-        let mut feasible = true;
-        for &index in members {
-            match member_response(self.apps, members, index, self.model, self.method, self.timing) {
-                MemberResponse::Overloaded => return SlotStatus::Dead,
-                MemberResponse::Diverged => return SlotStatus::Dead,
-                MemberResponse::Finite { wait, response } => {
-                    let app = &self.apps[index];
-                    if response > app.deadline {
-                        feasible = false;
-                        // Dead only if no future wait can repair the member:
-                        // waits only grow, and the response floor over
-                        // [wait, ∞) is attained at a segment endpoint.
-                        if min_future_response(app, self.model, wait) > app.deadline {
-                            return SlotStatus::Dead;
-                        }
-                    }
-                }
-            }
-        }
-        if feasible {
-            SlotStatus::Feasible
-        } else {
-            SlotStatus::Infeasible
-        }
-    }
-}
-
-/// Outcome of the streaming per-member analysis.
-enum MemberResponse {
-    /// Higher-priority utilisation `m ≥ 1`: unbounded wait, permanently
-    /// unschedulable (matches the infinite response `analyze_slot` reports).
-    Overloaded,
-    /// The exact fixed-point iteration did not converge (cannot happen for
-    /// `m < 1`; treated as unschedulable, matching the defensive bound).
-    Diverged,
-    /// Finite maximum wait time and worst-case response.
-    Finite { wait: f64, response: f64 },
-}
-
-/// Streaming replica of [`crate::analyze_application`] for one member of a
-/// candidate slot: same formulas, same accumulation order over the slot
-/// members, no heap allocation. Keeping the float operation order identical
-/// makes the verdicts bit-compatible with the `InterferenceContext` path.
-fn member_response(
-    apps: &[AppTimingParams],
-    slot: &[usize],
-    index: usize,
-    kind: ModelKind,
-    method: WaitTimeMethod,
-    timing: SlotTiming,
-) -> MemberResponse {
-    let subject = &apps[index];
-    // One pass in slot order mirrors `InterferenceContext::for_application`:
-    // `higher_priority` entries are visited in the same order (with the same
-    // per-slot overhead applied to each dwell bound), so the utilisation and
-    // interference sums round identically.
-    let mut blocking: f64 = 0.0;
-    let mut utilization: f64 = 0.0;
-    let mut interference_sum: f64 = 0.0;
-    for &other_index in slot {
-        if other_index == index {
-            continue;
-        }
-        let other = &apps[other_index];
-        let dwell_bound = timing.effective_dwell(max_dwell_for(other, kind));
-        if other.outranks(subject) {
-            utilization += dwell_bound / other.inter_arrival;
-            interference_sum += dwell_bound;
-        } else {
-            blocking = blocking.max(dwell_bound);
-        }
-    }
-    if utilization >= 1.0 {
-        return MemberResponse::Overloaded;
-    }
-    let wait = match method {
-        WaitTimeMethod::ClosedFormBound => {
-            let a_prime = blocking + interference_sum;
-            a_prime / (1.0 - utilization)
-        }
-        WaitTimeMethod::ExactFixedPoint => {
-            // The monotone iteration of Eq. (5), started (like the reference
-            // implementation) from one pending request per higher-priority
-            // application on top of the blocking term.
-            let mut wait = blocking + interference_sum;
-            let mut converged = None;
-            for _ in 0..MAX_FIXED_POINT_ITERATIONS {
-                // `request_function`: blocking + Σ ⌈w/rⱼ⌉·ξᴹⱼ, higher-priority
-                // terms summed in slot order.
-                let mut interference = 0.0;
-                for &other_index in slot {
-                    if other_index == index {
-                        continue;
-                    }
-                    let other = &apps[other_index];
-                    if other.outranks(subject) {
-                        let dwell_bound = timing.effective_dwell(max_dwell_for(other, kind));
-                        interference += (wait / other.inter_arrival).ceil().max(0.0) * dwell_bound;
-                    }
-                }
-                let next = blocking + interference;
-                if (next - wait).abs() < 1e-12 {
-                    converged = Some(next);
-                    break;
-                }
-                wait = next;
-            }
-            match converged {
-                Some(wait) => wait,
-                None => return MemberResponse::Diverged,
-            }
-        }
-    };
-    let dwell = dwell_for(subject, kind, wait);
-    let response = if wait >= subject.xi_et { subject.xi_et } else { wait + dwell };
-    MemberResponse::Finite { wait, response }
-}
-
-/// Floor of the worst-case response over every wait `t ≥ wait`:
-/// `min_{t ≥ wait} ξ(t)` with `ξ(t) = t + k_dw(t)` for `t < ξᴱᵀ` and
-/// `ξ(t) = ξᴱᵀ` beyond. All three analytical dwell models are piecewise
-/// linear with breakpoints at most `{k_p, ξᴱᵀ}`, so the minimum over the
-/// tail is attained at `wait` itself, at a breakpoint to its right, or at
-/// the ξᴱᵀ cap.
-fn min_future_response(app: &AppTimingParams, kind: ModelKind, wait: f64) -> f64 {
-    let response_at = |t: f64| {
-        if t >= app.xi_et {
-            app.xi_et
-        } else {
-            t + dwell_for(app, kind, t)
-        }
-    };
-    let mut floor = response_at(wait).min(app.xi_et);
-    if app.k_p > wait {
-        floor = floor.min(response_at(app.k_p));
-    }
-    floor
 }
 
 /// Allocates the applications to TT slots with the *minimum possible* slot
@@ -623,9 +333,13 @@ pub fn allocate_slots_optimal(
 
 #[cfg(test)]
 mod tests {
+    use super::search::{member_response, min_future_response, MemberResponse};
     use super::*;
     use crate::allocation::allocate_slots;
     use crate::case_study_fixtures::paper_table1;
+    use crate::dwell::{dwell_for, ModelKind};
+    use crate::schedulability::WaitTimeMethod;
+    use crate::timing::SlotTiming;
 
     fn configs() -> Vec<AllocatorConfig> {
         let mut out = Vec::new();
@@ -725,6 +439,21 @@ mod tests {
         assert_eq!(allocation_a, allocation_b);
         assert_eq!(nodes, solver.nodes_explored());
         assert!(nodes > 0);
+    }
+
+    #[test]
+    fn clique_lower_bound_never_exceeds_the_optimum() {
+        let apps = paper_table1();
+        for config in configs() {
+            let mut solver = OptimalAllocator::new(&apps, &config).unwrap();
+            let clique = solver.clique_lower_bound();
+            if let Some(optimum) = solver.solve_in_place() {
+                assert!(
+                    clique <= optimum,
+                    "clique bound {clique} exceeds optimum {optimum} under {config:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -848,6 +577,84 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn portfolio_matches_sequential_on_the_paper_fleet() {
+        let apps = paper_table1();
+        for config in configs() {
+            let sequential = allocate_slots_optimal(&apps, &config).unwrap();
+            for threads in 1..=4 {
+                let portfolio = PortfolioConfig::with_threads(threads);
+                let parallel = allocate_slots_portfolio(&apps, &config, &portfolio).unwrap();
+                assert_eq!(parallel, sequential, "threads={threads} config={config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_is_idempotent_and_aggregates_nodes() {
+        let apps = paper_table1();
+        let config = AllocatorConfig::default();
+        let mut solver =
+            PortfolioAllocator::new(&apps, &config, &PortfolioConfig::with_threads(1)).unwrap();
+        assert_eq!(solver.greedy_bound(), Some(3));
+        assert!(solver.incumbent_bound().unwrap() <= 3);
+        let first = solver.solve_in_place();
+        let nodes = solver.nodes_explored();
+        let allocation_a = solver.best_allocation().unwrap();
+        assert_eq!(first, Some(3));
+        assert!(solver.certified_optimal());
+        assert_eq!(solver.solve_in_place(), first);
+        assert_eq!(solver.best_allocation().unwrap(), allocation_a);
+        // One worker: the aggregate node count is deterministic.
+        assert_eq!(solver.nodes_explored(), nodes);
+        assert!(nodes > 0);
+    }
+
+    #[test]
+    fn portfolio_budget_and_cancellation_degrade_like_sequential() {
+        let apps = paper_table1();
+        let config = AllocatorConfig::default();
+        let mut solver =
+            PortfolioAllocator::new(&apps, &config, &PortfolioConfig::with_threads(2)).unwrap();
+        let exact = solver.solve_in_place();
+        assert!(solver.certified_optimal());
+
+        // Aggregate budget of 1: cut at the generation root, incumbent
+        // returned uncertified.
+        solver.set_node_budget(Some(1));
+        assert_eq!(solver.solve_in_place(), solver.incumbent_bound());
+        assert!(!solver.certified_optimal());
+        assert!(solver.best_allocation().unwrap().verify(&apps).unwrap());
+
+        // Pre-cancelled token: same ladder.
+        solver.set_node_budget(None);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        solver.set_cancel_token(Some(token));
+        assert_eq!(solver.solve_in_place(), solver.incumbent_bound());
+        assert!(!solver.certified_optimal());
+
+        // Clearing both restores the certified optimum.
+        solver.set_cancel_token(None);
+        assert_eq!(solver.solve_in_place(), exact);
+        assert!(solver.certified_optimal());
+    }
+
+    #[test]
+    fn portfolio_proves_infeasibility_like_sequential() {
+        let apps = paper_table1();
+        let config = AllocatorConfig {
+            model: ModelKind::ConservativeMonotonic,
+            max_slots: 3,
+            ..AllocatorConfig::default()
+        };
+        for threads in [1, 3] {
+            let result =
+                allocate_slots_portfolio(&apps, &config, &PortfolioConfig::with_threads(threads));
+            assert!(matches!(result, Err(SchedError::NoFeasibleAllocation { max_slots: 3 })));
         }
     }
 }

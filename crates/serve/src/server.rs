@@ -61,7 +61,7 @@ use cps_core::{
     ApplicationSpec, CampaignStats, CoreError, FleetDesigner, RobustnessCampaign, RobustnessSweep,
 };
 use cps_flexray::FlexRayConfig;
-use cps_sched::{AllocatorConfig, CancelToken, OptimalAllocator, SchedError};
+use cps_sched::{AllocatorConfig, CancelToken, PortfolioAllocator, PortfolioConfig, SchedError};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
@@ -96,6 +96,13 @@ pub struct ServerConfig {
     pub grace: Duration,
     /// Fault injection; `None` disables chaos entirely.
     pub chaos: Option<ChaosConfig>,
+    /// Worker threads of each exact-allocation portfolio search (design
+    /// jobs and sweep candidates alike); `0` (the default) uses the
+    /// machine's available parallelism. Any setting yields bit-identical
+    /// answers — parallelism only changes how fast a search finishes
+    /// inside its deadline and node budget, which aggregate across the
+    /// workers of one search.
+    pub allocator_threads: usize,
 }
 
 impl ServerConfig {
@@ -110,6 +117,7 @@ impl ServerConfig {
             cache_capacity: 32,
             grace: Duration::from_secs(2),
             chaos: None,
+            allocator_threads: 0,
         }
     }
 }
@@ -887,7 +895,14 @@ fn execute_job(
 
     match &request.job {
         Job::Design(_) => design_outcome(&artifact, from_cache),
-        Job::Sweep(sweep) => sweep_outcome(&artifact, from_cache, sweep, &alloc, token),
+        Job::Sweep(sweep) => sweep_outcome(
+            &artifact,
+            from_cache,
+            sweep,
+            &alloc,
+            shared.config.allocator_threads,
+            token,
+        ),
         Job::Campaign(campaign) => {
             campaign_outcome(&artifact, from_cache, campaign, token, progress)
         }
@@ -931,7 +946,9 @@ fn obtain_artifact(
                 }
             },
             CacheOutcome::Lead => {
-                let designer = FleetDesigner::new().with_cancel_token(Some(token.clone()));
+                let designer = FleetDesigner::new()
+                    .with_threads(shared.config.allocator_threads)
+                    .with_cancel_token(Some(token.clone()));
                 let computed = catch_unwind(AssertUnwindSafe(|| {
                     designer.design_fleet_optimal_budgeted(
                         specs.to_vec(),
@@ -995,6 +1012,7 @@ fn sweep_outcome(
     from_cache: bool,
     job: &SweepJob,
     alloc: &AllocatorConfig,
+    allocator_threads: usize,
     token: &CancelToken,
 ) -> Outcome {
     let table = match artifact.fleet.timing_table() {
@@ -1036,7 +1054,8 @@ fn sweep_outcome(
             slot_count: 0,
             certified_optimal: true,
         };
-        let mut solver = match OptimalAllocator::new(&table, &candidate) {
+        let portfolio = PortfolioConfig::with_threads(allocator_threads);
+        let mut solver = match PortfolioAllocator::new(&table, &candidate, &portfolio) {
             Ok(solver) => solver,
             Err(_) => {
                 rows.push(row);

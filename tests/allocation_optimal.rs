@@ -13,13 +13,22 @@
 //! `AllocatorConfig::sweep_matrix` are strictly suboptimal, and only the
 //! exact search finds the 2-slot packing.
 //!
+//! Since the portfolio scale-out, the suite also gates the parallel solver:
+//! for every oracle case — the original small-fleet grid *and* new 8–10
+//! application fleets — the portfolio must return the **bit-identical**
+//! `SlotAllocation` (same slot count *and* same deterministically
+//! tie-broken assignment) for every worker count 1..=8, and a property
+//! test pins the conflict-clique lower bound below the true optimum.
+//!
 //! `ci.sh` fails if this file stops being collected — the optimality story
 //! rests on it.
 
 use automotive_cps::sched::{
-    allocate_slots, allocate_slots_optimal, AllocatorConfig, AppTimingParams, ModelKind,
-    OptimalAllocator, SlotAllocation, SlotTiming, WaitTimeMethod,
+    allocate_slots, allocate_slots_optimal, allocate_slots_portfolio, AllocatorConfig,
+    AppTimingParams, ModelKind, OptimalAllocator, PortfolioConfig, SlotAllocation, SlotTiming,
+    WaitTimeMethod,
 };
+use proptest::prelude::*;
 
 /// The four model × method combinations the allocator supports (the unsafe
 /// simple monotonic model is excluded, as in `sweep_matrix`).
@@ -304,6 +313,123 @@ fn branch_and_bound_matches_exhaustive_enumeration_under_slot_timing() {
     let allocation = allocate_slots_optimal(&apps, &config).expect("solver succeeds");
     assert_eq!(allocation.slot_count(), oracle);
     assert!(oracle > 3, "0.8 s of per-slot overhead must cost the paper fleet slots");
+}
+
+/// Asserts the portfolio's central invariant on one case: for every worker
+/// count 1..=8 the parallel solver returns exactly the sequential outcome —
+/// the bit-identical `SlotAllocation` when feasible, the same error when
+/// not.
+fn assert_portfolio_bit_identical(
+    apps: &[AppTimingParams],
+    config: &AllocatorConfig,
+    context: &str,
+) {
+    let sequential = allocate_slots_optimal(apps, config);
+    for threads in 1..=8usize {
+        let portfolio =
+            allocate_slots_portfolio(apps, config, &PortfolioConfig::with_threads(threads));
+        assert_eq!(
+            portfolio, sequential,
+            "{context} threads={threads}: portfolio diverged from the sequential solver"
+        );
+    }
+}
+
+#[test]
+fn portfolio_is_bit_identical_to_sequential_on_the_oracle_grid() {
+    // The full grid behind `branch_and_bound_matches_exhaustive_enumeration_
+    // on_random_fleets` — every fleet × config case the oracle certifies,
+    // re-run through every worker count. Feasible and infeasible cases
+    // alike must agree exactly.
+    for n in 2..=5 {
+        for seed in 0..12 {
+            let apps = random_fleet(n, seed * 1000 + n as u64);
+            for config in analysis_configs(n).into_iter().chain(analysis_configs(1)) {
+                assert_portfolio_bit_identical(
+                    &apps,
+                    &config,
+                    &format!("n={n} seed={seed} {:?}/{:?}", config.model, config.method),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn branch_and_bound_matches_exhaustive_enumeration_on_mid_size_fleets() {
+    // 8–10 applications: large enough that the frontier actually splits
+    // across workers (the small-fleet grid often fits a single subtree),
+    // still small enough for the exhaustive oracle (Bell(10) = 115 975
+    // partitions). Each case is judged by the oracle *and* re-run through
+    // every worker count.
+    let full = analysis_configs(0).len(); // 4 model × method combinations
+    assert_eq!(full, 4);
+    let cases: Vec<(usize, u64, Vec<usize>)> = vec![
+        (8, 81, (0..4).collect()),
+        (8, 82, (0..4).collect()),
+        (8, 83, (0..4).collect()),
+        (9, 91, vec![0, 3]),
+        (9, 92, vec![0, 3]),
+        (10, 101, vec![0, 3]),
+    ];
+    let mut feasible = 0usize;
+    for (n, seed, config_indices) in cases {
+        let apps = random_fleet(n, seed);
+        let configs = analysis_configs(n);
+        for index in config_indices {
+            let config = configs[index];
+            let context = format!("n={n} seed={seed} {:?}/{:?}", config.model, config.method);
+            let oracle = oracle_minimum(&apps, &config);
+            match (oracle, allocate_slots_optimal(&apps, &config)) {
+                (Some(minimum), Ok(allocation)) => {
+                    assert_eq!(
+                        allocation.slot_count(),
+                        minimum,
+                        "{context}: solver found {} slots, exhaustive minimum is {minimum}",
+                        allocation.slot_count()
+                    );
+                    assert!(allocation.verify(&apps).expect("analysis runs"), "{context}");
+                    feasible += 1;
+                }
+                (None, Err(_)) => {}
+                (oracle, solver) => panic!(
+                    "{context}: oracle and solver disagree on feasibility: \
+                     {oracle:?} vs {solver:?}"
+                ),
+            }
+            assert_portfolio_bit_identical(&apps, &config, &context);
+        }
+    }
+    assert!(feasible >= 8, "only {feasible} feasible mid-size cases — seeds too harsh");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The conflict-clique relaxation is a *valid* lower bound: on any
+    /// fleet the solver can decide, the clique size never exceeds the true
+    /// optimal slot count (if it did, pruning could cut the optimum and
+    /// the portfolio's first-leaf determinism argument would collapse).
+    #[test]
+    fn clique_lower_bound_never_exceeds_the_true_optimum(
+        n in 2usize..8,
+        seed in 0i64..1_000_000,
+        config_index in 0usize..4,
+    ) {
+        let apps = random_fleet(n, seed as u64);
+        let config = analysis_configs(n)[config_index];
+        let mut solver = OptimalAllocator::new(&apps, &config).expect("solver builds");
+        let clique = solver.clique_lower_bound();
+        if let Some(optimum) = solver.solve_in_place() {
+            prop_assert!(
+                clique <= optimum,
+                "clique bound {clique} exceeds the optimum {optimum} \
+                 (n={n} seed={seed} {:?}/{:?})",
+                config.model,
+                config.method
+            );
+        }
+    }
 }
 
 #[test]

@@ -9,8 +9,14 @@
 //! `CharacterizationWorkspace` scratch the fleet designer threads through
 //! its characterisation passes — and across the branch-and-bound
 //! slot-allocation search: every inner node evaluation (streaming
-//! schedulability check plus demand bound) and the full
+//! schedulability check plus demand and clique bounds) and the full
 //! `OptimalAllocator::solve_in_place` run on buffers sized at construction.
+//! The parallel portfolio gets the same proof in its single-worker
+//! configuration (`threads = 1` spawns nothing and drains the frontier
+//! inline, so the counted thread *is* the worker): frontier generation,
+//! the count search with live shared-incumbent updates, and the
+//! deterministic reconstruction pass are all allocation-free after the
+//! warm-up solve.
 //!
 //! This file must stay a single-test binary: the allocation counter is
 //! global to the process, and a concurrently running second test would
@@ -30,7 +36,8 @@ use automotive_cps::linalg::{
     expm_into, solve_dare_in_place, DareOptions, ExpmWorkspace, Matrix, RiccatiWorkspace,
 };
 use automotive_cps::sched::{
-    AllocatorConfig, CancelToken, ModelKind, OptimalAllocator, WaitTimeMethod,
+    AllocatorConfig, CancelToken, ModelKind, OptimalAllocator, PortfolioAllocator,
+    PortfolioConfig, WaitTimeMethod,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -304,6 +311,54 @@ fn kernel_and_runtime_hot_paths_do_not_allocate() {
                 after - before
             );
         }
+    }
+
+    // Portfolio search, single-worker configuration: `threads = 1` spawns
+    // no worker threads — frontier generation, the count search (shared
+    // atomic incumbent updates included) and the answer phase all run
+    // inline on the counted thread, on buffers sized at construction
+    // (greedy + restart seeding included). Two fleets cover both answer
+    // phases: on the paper fleet the greedy seed *is* the optimum (the
+    // seed-copy path), while on the trap fleet below the seed is strictly
+    // suboptimal, so every solve runs the deterministic reconstruction
+    // DFS too. Token and budget armed, as in the design service.
+    let trap_fleet: Vec<_> = [
+        ("A1", 0.8, 2.00),
+        ("A2", 0.8, 2.01),
+        ("A3", 1.1, 2.02),
+        ("A4", 1.1, 2.03),
+    ]
+    .iter()
+    .map(|&(name, xi_m, deadline)| {
+        automotive_cps::sched::AppTimingParams::new(name, 200.0, deadline, 0.1, 10.0, xi_m, 0.05)
+            .expect("trap fleet parameters are valid")
+    })
+    .collect();
+    for (fleet, label) in [(&table, "paper"), (&trap_fleet, "trap")] {
+        let config = AllocatorConfig { max_slots: fleet.len(), ..AllocatorConfig::default() };
+        let mut solver =
+            PortfolioAllocator::new(fleet, &config, &PortfolioConfig::with_threads(1))
+                .expect("portfolio builds");
+        solver.set_cancel_token(Some(token.clone()));
+        solver.set_node_budget(Some(u64::MAX));
+        let warm = solver.solve_in_place().expect("fleet is schedulable");
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut slots_checksum = 0usize;
+        for _ in 0..200 {
+            slots_checksum += solver.solve_in_place().expect("fleet is schedulable");
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+        assert_eq!(slots_checksum, warm * 200, "portfolio must be deterministic");
+        assert!(solver.nodes_explored() > 0);
+        assert_eq!(
+            after - before,
+            0,
+            "the single-worker portfolio search performed {} heap allocations over \
+             200 solves ({label} fleet)",
+            after - before
+        );
     }
 
     // Fleet-designer steady-state loop: the two solvers every controller
